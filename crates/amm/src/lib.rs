@@ -1,0 +1,47 @@
+//! # ammboost-amm
+//!
+//! A from-scratch Uniswap-V3-style concentrated-liquidity AMM engine — the
+//! "original AMM logic" that ammBoost migrates to its sidechain (paper
+//! §IV-B). One implementation serves both deployment modes: the mainchain
+//! baseline contracts (`ammboost-mainchain`) and the sidechain processor
+//! (`ammboost-core`) execute exactly this code, which is what makes the
+//! paper's equivalence argument ("same logic, same outcome") testable.
+//!
+//! Modules:
+//! - [`types`] — ticks, liquidity, amounts, position/pool ids.
+//! - [`tick_math`] — tick ↔ Q64.96 sqrt-price conversion (derived factors,
+//!   no magic constants).
+//! - [`sqrt_price_math`] — amount deltas and price movement.
+//! - [`liquidity_math`] — amounts → liquidity conversions.
+//! - [`swap_math`] — the single-range swap step.
+//! - [`pool`] — the pool: multi-range swaps, positions, fees, flash loans.
+//! - [`tx`] — the transaction vocabulary + paper-calibrated size models.
+//!
+//! ```
+//! use ammboost_amm::pool::{Pool, SwapKind};
+//! use ammboost_amm::types::PositionId;
+//! use ammboost_crypto::Address;
+//!
+//! let mut pool = Pool::new_standard(); // 0.3% fee, price 1.0
+//! let lp = Address::from_index(1);
+//! let id = PositionId::derive(&[b"quickstart"]);
+//! pool.mint(id, lp, -600, 600, 1_000_000, 1_000_000)?;
+//! let out = pool.swap(true, SwapKind::ExactInput(10_000), None)?;
+//! assert!(out.amount_out > 0);
+//! # Ok::<(), ammboost_amm::error::AmmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod liquidity_math;
+pub mod pool;
+pub mod sqrt_price_math;
+pub mod swap_math;
+pub mod tick_math;
+pub mod tx;
+pub mod types;
+
+pub use error::AmmError;
+pub use pool::{Pool, Position, SwapKind, SwapResult};
+pub use types::{Amount, AmountPair, Liquidity, PoolId, PositionId, Tick};

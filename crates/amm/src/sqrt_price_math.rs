@@ -1,0 +1,339 @@
+//! Price-movement math on Q64.96 sqrt prices (Uniswap `SqrtPriceMath`).
+//!
+//! The rounding direction of every operation is chosen so the pool never
+//! pays out more or charges less than the exact real-number result — the
+//! "pool favourable" rounding that makes pool solvency an invariant.
+
+use crate::types::{Amount, Liquidity};
+use ammboost_crypto::U256;
+
+/// Errors from price/amount computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriceMathError {
+    /// Liquidity was zero where it must be positive.
+    ZeroLiquidity,
+    /// Price would move out of the representable/valid range.
+    PriceOverflow,
+    /// The requested output exceeds what the available reserves allow.
+    InsufficientReserves,
+    /// An intermediate amount exceeded 128 bits.
+    AmountOverflow,
+}
+
+impl std::fmt::Display for PriceMathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PriceMathError::ZeroLiquidity => write!(f, "zero liquidity"),
+            PriceMathError::PriceOverflow => write!(f, "price overflow"),
+            PriceMathError::InsufficientReserves => write!(f, "insufficient reserves"),
+            PriceMathError::AmountOverflow => write!(f, "amount overflow"),
+        }
+    }
+}
+
+impl std::error::Error for PriceMathError {}
+
+fn q96() -> U256 {
+    U256::pow2(96)
+}
+
+fn div_rounding_up(a: U256, b: U256) -> U256 {
+    let (q, r) = a.div_rem(b);
+    if r.is_zero() {
+        q
+    } else {
+        q + U256::ONE
+    }
+}
+
+fn to_amount(v: U256) -> Result<Amount, PriceMathError> {
+    v.to_u128().ok_or(PriceMathError::AmountOverflow)
+}
+
+/// Amount of token0 between two sqrt prices for `liquidity`:
+/// `L * 2^96 * (sqrt_hi - sqrt_lo) / (sqrt_hi * sqrt_lo)`.
+///
+/// Arguments may be given in either order.
+///
+/// # Errors
+/// Fails if the result exceeds 128 bits.
+pub fn amount0_delta(
+    sqrt_a: U256,
+    sqrt_b: U256,
+    liquidity: Liquidity,
+    round_up: bool,
+) -> Result<Amount, PriceMathError> {
+    let (lo, hi) = if sqrt_a <= sqrt_b {
+        (sqrt_a, sqrt_b)
+    } else {
+        (sqrt_b, sqrt_a)
+    };
+    if lo.is_zero() {
+        return Err(PriceMathError::PriceOverflow);
+    }
+    let numerator1 = U256::from_u128(liquidity) << 96;
+    let numerator2 = hi - lo;
+    let out = if round_up {
+        div_rounding_up(numerator1.mul_div_rounding_up(numerator2, hi), lo)
+    } else {
+        numerator1.mul_div(numerator2, hi) / lo
+    };
+    to_amount(out)
+}
+
+/// Amount of token1 between two sqrt prices for `liquidity`:
+/// `L * (sqrt_hi - sqrt_lo) / 2^96`.
+///
+/// # Errors
+/// Fails if the result exceeds 128 bits.
+pub fn amount1_delta(
+    sqrt_a: U256,
+    sqrt_b: U256,
+    liquidity: Liquidity,
+    round_up: bool,
+) -> Result<Amount, PriceMathError> {
+    let (lo, hi) = if sqrt_a <= sqrt_b {
+        (sqrt_a, sqrt_b)
+    } else {
+        (sqrt_b, sqrt_a)
+    };
+    let l = U256::from_u128(liquidity);
+    let out = if round_up {
+        l.mul_div_rounding_up(hi - lo, q96())
+    } else {
+        l.mul_div(hi - lo, q96())
+    };
+    to_amount(out)
+}
+
+/// The sqrt price after adding (`add = true`) or removing an `amount` of
+/// token0. Rounds up so the price moves the smaller distance.
+///
+/// # Errors
+/// Fails on zero liquidity or when removal exceeds reserves.
+pub fn next_sqrt_price_from_amount0(
+    sqrt_price: U256,
+    liquidity: Liquidity,
+    amount: Amount,
+    add: bool,
+) -> Result<U256, PriceMathError> {
+    if amount == 0 {
+        return Ok(sqrt_price);
+    }
+    if liquidity == 0 {
+        return Err(PriceMathError::ZeroLiquidity);
+    }
+    let numerator1 = U256::from_u128(liquidity) << 96;
+    let amt = U256::from_u128(amount);
+    let product = amt.full_mul(sqrt_price);
+
+    if add {
+        // denominator = L*2^96 + amount * sqrtP (may exceed 256 bits; fall
+        // back to the alternative formula when it does)
+        if let Some(product256) = product.to_u256() {
+            if let Some(denom) = numerator1.checked_add(product256) {
+                return Ok(numerator1.mul_div_rounding_up(sqrt_price, denom));
+            }
+        }
+        // sqrtP' = L*2^96 / (L*2^96/sqrtP + amount)
+        let denom = (numerator1 / sqrt_price)
+            .checked_add(amt)
+            .ok_or(PriceMathError::PriceOverflow)?;
+        Ok(div_rounding_up(numerator1, denom))
+    } else {
+        let product256 = product.to_u256().ok_or(PriceMathError::InsufficientReserves)?;
+        let denom = numerator1
+            .checked_sub(product256)
+            .ok_or(PriceMathError::InsufficientReserves)?;
+        if denom.is_zero() {
+            return Err(PriceMathError::InsufficientReserves);
+        }
+        let next = numerator1.mul_div_rounding_up(sqrt_price, denom);
+        Ok(next)
+    }
+}
+
+/// The sqrt price after adding (`add = true`) or removing an `amount` of
+/// token1. Rounds down so the price moves the smaller distance.
+///
+/// # Errors
+/// Fails on zero liquidity or when removal exceeds reserves.
+pub fn next_sqrt_price_from_amount1(
+    sqrt_price: U256,
+    liquidity: Liquidity,
+    amount: Amount,
+    add: bool,
+) -> Result<U256, PriceMathError> {
+    if liquidity == 0 {
+        return Err(PriceMathError::ZeroLiquidity);
+    }
+    let l = U256::from_u128(liquidity);
+    if add {
+        let quotient = U256::from_u128(amount).mul_div(q96(), l);
+        sqrt_price
+            .checked_add(quotient)
+            .ok_or(PriceMathError::PriceOverflow)
+    } else {
+        let quotient = U256::from_u128(amount).mul_div_rounding_up(q96(), l);
+        sqrt_price
+            .checked_sub(quotient)
+            .ok_or(PriceMathError::InsufficientReserves)
+    }
+}
+
+/// The sqrt price after spending `amount_in` of the input token.
+/// `zero_for_one` means token0 is the input (price decreases).
+///
+/// # Errors
+/// Propagates the underlying amount0/amount1 errors.
+pub fn next_sqrt_price_from_input(
+    sqrt_price: U256,
+    liquidity: Liquidity,
+    amount_in: Amount,
+    zero_for_one: bool,
+) -> Result<U256, PriceMathError> {
+    if zero_for_one {
+        next_sqrt_price_from_amount0(sqrt_price, liquidity, amount_in, true)
+    } else {
+        next_sqrt_price_from_amount1(sqrt_price, liquidity, amount_in, true)
+    }
+}
+
+/// The sqrt price after withdrawing `amount_out` of the output token.
+///
+/// # Errors
+/// Fails when the output exceeds available reserves.
+pub fn next_sqrt_price_from_output(
+    sqrt_price: U256,
+    liquidity: Liquidity,
+    amount_out: Amount,
+    zero_for_one: bool,
+) -> Result<U256, PriceMathError> {
+    if zero_for_one {
+        // output is token1; price decreases
+        next_sqrt_price_from_amount1(sqrt_price, liquidity, amount_out, false)
+    } else {
+        // output is token0; price increases
+        next_sqrt_price_from_amount0(sqrt_price, liquidity, amount_out, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tick_math::sqrt_ratio_at_tick;
+
+    const L: Liquidity = 2_000_000_000_000u128; // 2e12
+
+    fn p(tick: i32) -> U256 {
+        sqrt_ratio_at_tick(tick).unwrap()
+    }
+
+    #[test]
+    fn amount_deltas_are_order_insensitive() {
+        let a = p(-1000);
+        let b = p(1000);
+        assert_eq!(
+            amount0_delta(a, b, L, true).unwrap(),
+            amount0_delta(b, a, L, true).unwrap()
+        );
+        assert_eq!(
+            amount1_delta(a, b, L, false).unwrap(),
+            amount1_delta(b, a, L, false).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_width_range_is_zero_amount() {
+        let a = p(42);
+        assert_eq!(amount0_delta(a, a, L, true).unwrap(), 0);
+        assert_eq!(amount1_delta(a, a, L, true).unwrap(), 0);
+    }
+
+    #[test]
+    fn round_up_ge_round_down() {
+        let a = p(-500);
+        let b = p(777);
+        assert!(amount0_delta(a, b, L, true).unwrap() >= amount0_delta(a, b, L, false).unwrap());
+        assert!(amount1_delta(a, b, L, true).unwrap() >= amount1_delta(a, b, L, false).unwrap());
+    }
+
+    #[test]
+    fn input_token0_decreases_price() {
+        let start = p(0);
+        let next = next_sqrt_price_from_input(start, L, 10_000, true).unwrap();
+        assert!(next < start);
+    }
+
+    #[test]
+    fn input_token1_increases_price() {
+        let start = p(0);
+        let next = next_sqrt_price_from_input(start, L, 10_000, false).unwrap();
+        assert!(next > start);
+    }
+
+    #[test]
+    fn output_directions() {
+        let start = p(0);
+        // taking token1 out moves price down
+        assert!(next_sqrt_price_from_output(start, L, 10_000, true).unwrap() < start);
+        // taking token0 out moves price up
+        assert!(next_sqrt_price_from_output(start, L, 10_000, false).unwrap() > start);
+    }
+
+    #[test]
+    fn zero_amount_keeps_price() {
+        let start = p(123);
+        assert_eq!(
+            next_sqrt_price_from_amount0(start, L, 0, true).unwrap(),
+            start
+        );
+        assert_eq!(
+            next_sqrt_price_from_amount1(start, L, 0, true).unwrap(),
+            start
+        );
+    }
+
+    #[test]
+    fn zero_liquidity_rejected() {
+        assert_eq!(
+            next_sqrt_price_from_amount0(p(0), 0, 5, true),
+            Err(PriceMathError::ZeroLiquidity)
+        );
+        assert_eq!(
+            next_sqrt_price_from_amount1(p(0), 0, 5, true),
+            Err(PriceMathError::ZeroLiquidity)
+        );
+    }
+
+    #[test]
+    fn excessive_output_rejected() {
+        // draining far more token1 than the range holds
+        let r = next_sqrt_price_from_output(p(0), 1_000, u128::MAX / 2, true);
+        assert_eq!(r, Err(PriceMathError::InsufficientReserves));
+    }
+
+    #[test]
+    fn amount_roundtrip_input_token1() {
+        // moving the price by adding token1 and then measuring amount1
+        // between old and new price recovers ~the input
+        let start = p(0);
+        let amount: Amount = 5_000_000;
+        let next = next_sqrt_price_from_input(start, L, amount, false).unwrap();
+        let measured = amount1_delta(start, next, L, true).unwrap();
+        assert!(measured <= amount);
+        assert!(amount - measured <= 1, "lost more than 1 unit: {measured}");
+    }
+
+    #[test]
+    fn amount_roundtrip_input_token0() {
+        let start = p(0);
+        let amount: Amount = 5_000_000;
+        let next = next_sqrt_price_from_input(start, L, amount, true).unwrap();
+        let measured = amount0_delta(start, next, L, true).unwrap();
+        // rounding-up of the price means we may need up to `amount`, never
+        // more
+        assert!(measured <= amount, "{measured} > {amount}");
+        assert!(amount - measured <= 1);
+    }
+}

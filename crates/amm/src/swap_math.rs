@@ -1,0 +1,251 @@
+//! Single-range swap stepping (Uniswap `SwapMath::computeSwapStep`): moves
+//! the price within one tick range, computing input consumed, output
+//! produced and the LP fee charged.
+
+use crate::sqrt_price_math::{
+    amount0_delta, amount1_delta, next_sqrt_price_from_input, next_sqrt_price_from_output,
+    PriceMathError,
+};
+use crate::types::{Amount, Liquidity, PIPS_DENOMINATOR};
+use ammboost_crypto::U256;
+
+/// Result of one swap step within a single tick range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapStep {
+    /// Price after the step.
+    pub sqrt_price_next: U256,
+    /// Input consumed (excluding the fee).
+    pub amount_in: Amount,
+    /// Output produced.
+    pub amount_out: Amount,
+    /// Fee charged on the input token.
+    pub fee_amount: Amount,
+}
+
+/// The remaining swap budget: either input still to spend or output still
+/// to receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Remaining {
+    /// Exact-input swap: input tokens left to spend (fee inclusive).
+    Input(Amount),
+    /// Exact-output swap: output tokens still owed to the trader.
+    Output(Amount),
+}
+
+/// Computes one swap step towards `sqrt_price_target`.
+///
+/// `zero_for_one` is implied by the price direction: a target below the
+/// current price swaps token0 → token1.
+///
+/// # Errors
+/// Propagates price-math failures (zero liquidity, reserve exhaustion).
+pub fn compute_swap_step(
+    sqrt_price_current: U256,
+    sqrt_price_target: U256,
+    liquidity: Liquidity,
+    remaining: Remaining,
+    fee_pips: u32,
+) -> Result<SwapStep, PriceMathError> {
+    debug_assert!(fee_pips < PIPS_DENOMINATOR);
+    let zero_for_one = sqrt_price_current >= sqrt_price_target;
+
+    let sqrt_price_next;
+    let mut amount_in;
+    let mut amount_out;
+
+    match remaining {
+        Remaining::Input(budget) => {
+            let budget_less_fee = U256::from_u128(budget)
+                .mul_div(
+                    U256::from_u64((PIPS_DENOMINATOR - fee_pips) as u64),
+                    U256::from_u64(PIPS_DENOMINATOR as u64),
+                )
+                .to_u128()
+                .expect("budget shrank");
+            amount_in = if zero_for_one {
+                amount0_delta(sqrt_price_target, sqrt_price_current, liquidity, true)?
+            } else {
+                amount1_delta(sqrt_price_current, sqrt_price_target, liquidity, true)?
+            };
+            if budget_less_fee >= amount_in {
+                sqrt_price_next = sqrt_price_target;
+            } else {
+                sqrt_price_next = next_sqrt_price_from_input(
+                    sqrt_price_current,
+                    liquidity,
+                    budget_less_fee,
+                    zero_for_one,
+                )?;
+            }
+            let reached = sqrt_price_next == sqrt_price_target;
+            if !reached {
+                amount_in = if zero_for_one {
+                    amount0_delta(sqrt_price_next, sqrt_price_current, liquidity, true)?
+                } else {
+                    amount1_delta(sqrt_price_current, sqrt_price_next, liquidity, true)?
+                };
+            }
+            amount_out = if zero_for_one {
+                amount1_delta(sqrt_price_next, sqrt_price_current, liquidity, false)?
+            } else {
+                amount0_delta(sqrt_price_current, sqrt_price_next, liquidity, false)?
+            };
+            let fee_amount = if !reached {
+                // whole remaining budget is consumed; everything beyond the
+                // net input is the fee
+                budget - amount_in
+            } else {
+                mul_div_rounding_up_u128(amount_in, fee_pips)
+            };
+            return Ok(SwapStep {
+                sqrt_price_next,
+                amount_in,
+                amount_out,
+                fee_amount,
+            });
+        }
+        Remaining::Output(owed) => {
+            amount_out = if zero_for_one {
+                amount1_delta(sqrt_price_target, sqrt_price_current, liquidity, false)?
+            } else {
+                amount0_delta(sqrt_price_current, sqrt_price_target, liquidity, false)?
+            };
+            if owed >= amount_out {
+                sqrt_price_next = sqrt_price_target;
+            } else {
+                sqrt_price_next = next_sqrt_price_from_output(
+                    sqrt_price_current,
+                    liquidity,
+                    owed,
+                    zero_for_one,
+                )?;
+            }
+            let reached = sqrt_price_next == sqrt_price_target;
+            if !reached {
+                amount_out = if zero_for_one {
+                    amount1_delta(sqrt_price_next, sqrt_price_current, liquidity, false)?
+                } else {
+                    amount0_delta(sqrt_price_current, sqrt_price_next, liquidity, false)?
+                };
+            }
+            // cap at what was asked for (rounding may overshoot by 1)
+            if amount_out > owed {
+                amount_out = owed;
+            }
+            amount_in = if zero_for_one {
+                amount0_delta(sqrt_price_next, sqrt_price_current, liquidity, true)?
+            } else {
+                amount1_delta(sqrt_price_current, sqrt_price_next, liquidity, true)?
+            };
+            let fee_amount = mul_div_rounding_up_u128(amount_in, fee_pips);
+            Ok(SwapStep {
+                sqrt_price_next,
+                amount_in,
+                amount_out,
+                fee_amount,
+            })
+        }
+    }
+}
+
+/// `ceil(amount * fee / (1e6 - fee))` — the fee on top of a net input.
+fn mul_div_rounding_up_u128(amount: Amount, fee_pips: u32) -> Amount {
+    U256::from_u128(amount)
+        .mul_div_rounding_up(
+            U256::from_u64(fee_pips as u64),
+            U256::from_u64((PIPS_DENOMINATOR - fee_pips) as u64),
+        )
+        .to_u128()
+        .expect("fee fits in 128 bits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tick_math::sqrt_ratio_at_tick;
+
+    const L: Liquidity = 2_000_000_000_000u128;
+    const FEE: u32 = 3000; // 0.3%
+
+    fn p(t: i32) -> U256 {
+        sqrt_ratio_at_tick(t).unwrap()
+    }
+
+    #[test]
+    fn exact_in_reaches_target_when_budget_ample() {
+        let step = compute_swap_step(p(0), p(-100), L, Remaining::Input(u128::MAX >> 4), FEE)
+            .unwrap();
+        assert_eq!(step.sqrt_price_next, p(-100));
+        assert!(step.amount_in > 0);
+        assert!(step.amount_out > 0);
+        assert!(step.fee_amount > 0);
+    }
+
+    #[test]
+    fn exact_in_partial_consumes_entire_budget() {
+        let budget = 10_000u128;
+        let step = compute_swap_step(p(0), p(-10000), L, Remaining::Input(budget), FEE).unwrap();
+        assert!(step.sqrt_price_next > p(-10000));
+        assert_eq!(step.amount_in + step.fee_amount, budget);
+    }
+
+    #[test]
+    fn fee_is_about_fee_rate() {
+        let step = compute_swap_step(p(0), p(-50), L, Remaining::Input(u128::MAX >> 4), FEE)
+            .unwrap();
+        // fee / (in + fee) ≈ 0.003
+        let total = step.amount_in + step.fee_amount;
+        let rate = step.fee_amount as f64 / total as f64;
+        assert!((rate - 0.003).abs() < 1e-4, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_fee_zero_fee_amount_at_target() {
+        let step =
+            compute_swap_step(p(0), p(-50), L, Remaining::Input(u128::MAX >> 4), 0).unwrap();
+        assert_eq!(step.fee_amount, 0);
+    }
+
+    #[test]
+    fn exact_out_exact_delivery() {
+        let owed = 1_000_000u128;
+        let step = compute_swap_step(p(0), p(-20000), L, Remaining::Output(owed), FEE).unwrap();
+        assert_eq!(step.amount_out, owed);
+        assert!(step.amount_in > 0);
+        assert!(step.sqrt_price_next > p(-20000));
+    }
+
+    #[test]
+    fn exact_out_capped_at_range_capacity() {
+        // asking for more output than the range can produce stops at target
+        let step =
+            compute_swap_step(p(0), p(-100), L, Remaining::Output(u128::MAX >> 4), FEE).unwrap();
+        assert_eq!(step.sqrt_price_next, p(-100));
+        let capacity = amount1_delta(p(-100), p(0), L, false).unwrap();
+        assert_eq!(step.amount_out, capacity);
+    }
+
+    #[test]
+    fn one_for_zero_direction() {
+        let step = compute_swap_step(p(0), p(100), L, Remaining::Input(u128::MAX >> 4), FEE)
+            .unwrap();
+        assert_eq!(step.sqrt_price_next, p(100));
+        // input is token1, output token0
+        assert!(step.amount_in > 0 && step.amount_out > 0);
+    }
+
+    #[test]
+    fn output_not_greater_than_input_value_at_price_one() {
+        // near tick 0 price ≈ 1, so out <= in (fees + slippage)
+        let step =
+            compute_swap_step(p(0), p(-3000), L, Remaining::Input(1_000_000), FEE).unwrap();
+        assert!(step.amount_out <= step.amount_in + step.fee_amount);
+    }
+
+    #[test]
+    fn tiny_budget_all_fee() {
+        // a 1-wei budget: the fee rounding consumes it
+        let step = compute_swap_step(p(0), p(-100), L, Remaining::Input(1), FEE).unwrap();
+        assert_eq!(step.amount_in + step.fee_amount, 1);
+    }
+}

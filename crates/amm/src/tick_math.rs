@@ -1,0 +1,247 @@
+//! Tick ↔ sqrt-price conversions.
+//!
+//! A tick `t` corresponds to the price `1.0001^t`; the pool works with
+//! *sqrt* prices in Q64.96, so `sqrt_ratio_at_tick(t) = 1.0001^(t/2) · 2^96`.
+//!
+//! Unlike the Solidity reference (which bakes in twenty magic constants),
+//! we derive the per-bit factors `sqrt(1.0001)^(2^i)` at first use by exact
+//! integer square root and repeated squaring in Q128 with 512-bit
+//! intermediates and round-to-nearest at each step. Accumulated relative
+//! error is below `2^-100`, far finer than one tick (`~2^-13.3`), so the
+//! round-trip `tick_at_sqrt_ratio(sqrt_ratio_at_tick(t)) == t` holds across
+//! the whole domain (property-tested).
+
+use crate::types::Tick;
+use ammboost_crypto::{U256, U512};
+use std::sync::OnceLock;
+
+/// Lowest usable tick: `log_1.0001(2^-128)` rounded towards zero, the same
+/// domain Uniswap V3 uses.
+pub const MIN_TICK: Tick = -887272;
+/// Highest usable tick.
+pub const MAX_TICK: Tick = 887272;
+
+/// Number of per-bit factors needed to cover `|tick| <= 887272 < 2^20`.
+const FACTOR_BITS: usize = 20;
+
+/// Errors from tick-math conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickMathError {
+    /// Tick outside `[MIN_TICK, MAX_TICK]`.
+    TickOutOfRange(Tick),
+    /// Sqrt price outside `[min_sqrt_ratio(), max_sqrt_ratio()]`.
+    SqrtPriceOutOfRange,
+}
+
+impl std::fmt::Display for TickMathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TickMathError::TickOutOfRange(t) => write!(f, "tick {t} out of range"),
+            TickMathError::SqrtPriceOutOfRange => write!(f, "sqrt price out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TickMathError {}
+
+/// `sqrt(1.0001)^(2^i)` in Q128, for `i` in `0..FACTOR_BITS`.
+fn factors() -> &'static [U256; FACTOR_BITS] {
+    static FACTORS: OnceLock<[U256; FACTOR_BITS]> = OnceLock::new();
+    FACTORS.get_or_init(|| {
+        // f0 = round(sqrt(1.0001) * 2^128)
+        //    = round(isqrt(10001 << 256) / 100)
+        let n = U512::from_u256(U256::from_u64(10001)) << 256;
+        let root = n.isqrt(); // floor(sqrt(10001) * 2^128)
+        let hundred = U256::from_u64(100);
+        let (q, r) = root.div_rem(hundred);
+        let f0 = if r >= U256::from_u64(50) { q + U256::ONE } else { q };
+
+        let mut out = [U256::ZERO; FACTOR_BITS];
+        out[0] = f0;
+        for i in 1..FACTOR_BITS {
+            // out[i] = round(out[i-1]^2 / 2^128)
+            let sq = out[i - 1].full_mul(out[i - 1]);
+            let rounded = sq
+                .checked_add(U512::pow2(127))
+                .expect("factor squaring cannot overflow 512 bits");
+            out[i] = (rounded >> 128)
+                .to_u256()
+                .expect("tick factors fit in 256 bits");
+        }
+        out
+    })
+}
+
+/// Returns `1.0001^(tick/2)` in Q64.96.
+///
+/// # Errors
+/// Fails when `tick` lies outside `[MIN_TICK, MAX_TICK]`.
+pub fn sqrt_ratio_at_tick(tick: Tick) -> Result<U256, TickMathError> {
+    if !(MIN_TICK..=MAX_TICK).contains(&tick) {
+        return Err(TickMathError::TickOutOfRange(tick));
+    }
+    let abs = tick.unsigned_abs();
+    // acc = sqrt(1.0001)^|tick| in Q128
+    let mut acc = U256::pow2(128);
+    let f = factors();
+    for (i, factor) in f.iter().enumerate() {
+        if (abs >> i) & 1 == 1 {
+            // acc = round(acc * factor / 2^128)
+            let prod = acc.full_mul(*factor);
+            let rounded = prod
+                .checked_add(U512::pow2(127))
+                .expect("q128 product cannot overflow 512 bits");
+            acc = (rounded >> 128)
+                .to_u256()
+                .expect("q128 accumulator fits 256 bits");
+        }
+    }
+    if tick >= 0 {
+        // Q128 -> Q96 with round-to-nearest.
+        Ok((acc + U256::pow2(31)) >> 32)
+    } else {
+        // 1/acc in Q96 = round(2^224 / acc).
+        let num = U256::pow2(224);
+        let (q, r) = num.div_rem(acc);
+        let double_r = r.checked_add(r).expect("remainder below modulus");
+        Ok(if double_r >= acc { q + U256::ONE } else { q })
+    }
+}
+
+/// The smallest valid sqrt price, `sqrt_ratio_at_tick(MIN_TICK)`.
+pub fn min_sqrt_ratio() -> U256 {
+    static MIN: OnceLock<U256> = OnceLock::new();
+    *MIN.get_or_init(|| sqrt_ratio_at_tick(MIN_TICK).expect("MIN_TICK is in range"))
+}
+
+/// The largest valid sqrt price, `sqrt_ratio_at_tick(MAX_TICK)`.
+pub fn max_sqrt_ratio() -> U256 {
+    static MAX: OnceLock<U256> = OnceLock::new();
+    *MAX.get_or_init(|| sqrt_ratio_at_tick(MAX_TICK).expect("MAX_TICK is in range"))
+}
+
+/// Returns the greatest tick whose sqrt ratio is `<= sqrt_price`
+/// (binary search over [`sqrt_ratio_at_tick`]).
+///
+/// # Errors
+/// Fails when the price is outside the valid range.
+pub fn tick_at_sqrt_ratio(sqrt_price: U256) -> Result<Tick, TickMathError> {
+    if sqrt_price < min_sqrt_ratio() || sqrt_price > max_sqrt_ratio() {
+        return Err(TickMathError::SqrtPriceOutOfRange);
+    }
+    let (mut lo, mut hi) = (MIN_TICK, MAX_TICK);
+    // invariant: ratio(lo) <= sqrt_price < ratio(hi + 1)
+    while lo < hi {
+        let mid = lo + (hi - lo + 1) / 2; // upper mid so the loop shrinks
+        let r = sqrt_ratio_at_tick(mid).expect("mid in range");
+        if r <= sqrt_price {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_zero_is_q96() {
+        assert_eq!(sqrt_ratio_at_tick(0).unwrap(), U256::pow2(96));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(sqrt_ratio_at_tick(MAX_TICK + 1).is_err());
+        assert!(sqrt_ratio_at_tick(MIN_TICK - 1).is_err());
+    }
+
+    #[test]
+    fn monotonic_in_tick() {
+        let mut prev = sqrt_ratio_at_tick(MIN_TICK).unwrap();
+        for t in [-887271, -100000, -500, -1, 0, 1, 500, 100000, 887272] {
+            let r = sqrt_ratio_at_tick(t).unwrap();
+            assert!(r > prev, "tick {t} not monotonic");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn bounds_match_uniswap_magnitudes() {
+        // Uniswap's MIN_SQRT_RATIO = 4295128739 ~ 2^32; MAX ~ 2^160.4.
+        let min = min_sqrt_ratio();
+        let max = max_sqrt_ratio();
+        assert_eq!(min.bits(), 33);
+        assert!((159..=161).contains(&max.bits()), "max bits {}", max.bits());
+        // our derivation should agree with the reference constant to within
+        // a relative error of ~1e-9 (they truncate, we round)
+        let reference_min = U256::from_u64(4295128739);
+        let diff = if min > reference_min {
+            min - reference_min
+        } else {
+            reference_min - min
+        };
+        assert!(
+            diff < U256::from_u64(50),
+            "min {min} vs reference {reference_min}"
+        );
+    }
+
+    #[test]
+    fn one_tick_ratio_close_to_1_0001() {
+        // price(1)/price(0) should be ~sqrt(1.0001)
+        let r1 = sqrt_ratio_at_tick(1).unwrap();
+        let r0 = sqrt_ratio_at_tick(0).unwrap();
+        // r1/r0 * 1e12 ≈ sqrt(1.0001)*1e12 ≈ 1000049998750
+        let scaled = r1.mul_div(U256::from_u128(1_000_000_000_000), r0);
+        let v = scaled.to_u128().unwrap();
+        assert!((1_000_049_998_000..=1_000_050_000_000).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn roundtrip_exact_on_sample_ticks() {
+        for t in [
+            MIN_TICK, -887271, -123456, -60, -2, -1, 0, 1, 2, 60, 123456, 887271, MAX_TICK,
+        ] {
+            let r = sqrt_ratio_at_tick(t).unwrap();
+            assert_eq!(tick_at_sqrt_ratio(r).unwrap(), t, "tick {t}");
+        }
+    }
+
+    #[test]
+    fn tick_at_ratio_between_ticks_rounds_down() {
+        let r5 = sqrt_ratio_at_tick(5).unwrap();
+        let r6 = sqrt_ratio_at_tick(6).unwrap();
+        let mid = (r5 + r6) >> 1;
+        assert_eq!(tick_at_sqrt_ratio(mid).unwrap(), 5);
+        // one below a boundary belongs to the previous tick
+        assert_eq!(tick_at_sqrt_ratio(r6 - U256::ONE).unwrap(), 5);
+        assert_eq!(tick_at_sqrt_ratio(r6).unwrap(), 6);
+    }
+
+    #[test]
+    fn price_out_of_bounds_rejected() {
+        assert!(tick_at_sqrt_ratio(min_sqrt_ratio() - U256::ONE).is_err());
+        assert!(tick_at_sqrt_ratio(max_sqrt_ratio() + U256::ONE).is_err());
+    }
+
+    #[test]
+    fn negative_tick_is_reciprocal() {
+        // ratio(t) * ratio(-t) ≈ 2^192 (i.e. price * 1/price == 1)
+        for t in [1, 60, 887272] {
+            let a = sqrt_ratio_at_tick(t).unwrap();
+            let b = sqrt_ratio_at_tick(-t).unwrap();
+            let prod = a.full_mul(b);
+            let expect = U512::pow2(192);
+            let diff = if prod > expect {
+                prod.checked_sub(expect).unwrap()
+            } else {
+                expect.checked_sub(prod).unwrap()
+            };
+            // relative error bound: diff / 2^192 < 2^-30
+            assert!(diff < (U512::pow2(162)), "tick {t}: diff {diff:?}");
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The AMM transaction vocabulary shared by the mainchain baseline and the
+//! ammBoost sidechain: swaps (exact in/out), mints, burns, collects —
+//! together with the wire-size model calibrated to the paper's Uniswap
+//! traffic analysis (Appendix D, Table VII).
+
+use crate::types::{Amount, PoolId, PositionId, Tick};
+use ammboost_crypto::{Address, H256, U256};
+use serde::{Deserialize, Serialize};
+
+/// Exact-input vs exact-output trade intent with its slippage protection
+/// (paper §IV-B, "Swaps").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapIntent {
+    /// Trade exactly `amount_in` input tokens for as much output as
+    /// possible, but at least `min_amount_out`.
+    ExactInput {
+        /// Input budget, fee inclusive.
+        amount_in: Amount,
+        /// Slippage floor on the output.
+        min_amount_out: Amount,
+    },
+    /// Receive exactly `amount_out`, spending as little input as possible,
+    /// but at most `max_amount_in`.
+    ExactOutput {
+        /// Desired output.
+        amount_out: Amount,
+        /// Slippage ceiling on the input.
+        max_amount_in: Amount,
+    },
+}
+
+/// A swap transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapTx {
+    /// The trading client (also the recipient of the output).
+    pub user: Address,
+    /// The target pool.
+    pub pool: PoolId,
+    /// `true` to sell token0 for token1.
+    pub zero_for_one: bool,
+    /// The trade intent and slippage protection.
+    pub intent: SwapIntent,
+    /// Optional worst-case sqrt price (Q64.96).
+    pub sqrt_price_limit: Option<U256>,
+    /// Round number after which the trade is void (paper: "deadline").
+    pub deadline_round: u64,
+}
+
+/// A mint (liquidity-provision) transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MintTx {
+    /// The liquidity provider.
+    pub user: Address,
+    /// The target pool.
+    pub pool: PoolId,
+    /// Existing position to top up, or `None` to create a new one.
+    pub position: Option<PositionId>,
+    /// Lower price tick of the range.
+    pub tick_lower: Tick,
+    /// Upper price tick of the range.
+    pub tick_upper: Tick,
+    /// Token0 budget.
+    pub amount0_desired: Amount,
+    /// Token1 budget.
+    pub amount1_desired: Amount,
+    /// Per-user uniquifier so identical mints derive distinct position
+    /// ids.
+    pub nonce: u64,
+}
+
+impl MintTx {
+    /// The position id a *new* mint creates: the hash of the mint
+    /// transaction and the LP's identity (paper §IV-B "Mints"). Top-ups
+    /// (`position: Some(..)`) keep their existing id.
+    pub fn derived_position_id(&self) -> PositionId {
+        if let Some(existing) = self.position {
+            return existing;
+        }
+        let mut bytes = Vec::with_capacity(96);
+        AmmTx::Mint(self.clone()).encode_into(&mut bytes);
+        PositionId::derive(&[b"mint-position", &bytes, self.user.as_bytes()])
+    }
+}
+
+/// A burn (liquidity-withdrawal) transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurnTx {
+    /// The liquidity provider.
+    pub user: Address,
+    /// The target pool.
+    pub pool: PoolId,
+    /// The position to withdraw from.
+    pub position: PositionId,
+    /// Liquidity to burn; `None` burns everything (deleting the position).
+    pub liquidity: Option<u128>,
+}
+
+/// A collect (fee-withdrawal) transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectTx {
+    /// The liquidity provider.
+    pub user: Address,
+    /// The target pool.
+    pub pool: PoolId,
+    /// The position whose fees are collected.
+    pub position: PositionId,
+    /// Token0 fee amount requested (capped at what is owed).
+    pub amount0: Amount,
+    /// Token1 fee amount requested.
+    pub amount1: Amount,
+}
+
+/// Any AMM transaction processed by the sidechain (flash loans stay on the
+/// mainchain and are *not* part of this enum — paper §IV-B, "Flashes").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AmmTx {
+    /// A trade.
+    Swap(SwapTx),
+    /// Liquidity provision.
+    Mint(MintTx),
+    /// Liquidity withdrawal.
+    Burn(BurnTx),
+    /// Fee collection.
+    Collect(CollectTx),
+}
+
+/// Transaction-type discriminant (for traffic statistics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AmmTxKind {
+    /// Swap transactions.
+    Swap,
+    /// Mint transactions.
+    Mint,
+    /// Burn transactions.
+    Burn,
+    /// Collect transactions.
+    Collect,
+}
+
+impl AmmTx {
+    /// The transaction kind.
+    pub fn kind(&self) -> AmmTxKind {
+        match self {
+            AmmTx::Swap(_) => AmmTxKind::Swap,
+            AmmTx::Mint(_) => AmmTxKind::Mint,
+            AmmTx::Burn(_) => AmmTxKind::Burn,
+            AmmTx::Collect(_) => AmmTxKind::Collect,
+        }
+    }
+
+    /// The issuing user.
+    pub fn user(&self) -> Address {
+        match self {
+            AmmTx::Swap(t) => t.user,
+            AmmTx::Mint(t) => t.user,
+            AmmTx::Burn(t) => t.user,
+            AmmTx::Collect(t) => t.user,
+        }
+    }
+
+    /// The target pool.
+    pub fn pool(&self) -> PoolId {
+        match self {
+            AmmTx::Swap(t) => t.pool,
+            AmmTx::Mint(t) => t.pool,
+            AmmTx::Burn(t) => t.pool,
+            AmmTx::Collect(t) => t.pool,
+        }
+    }
+
+    /// A stable transaction id (hash of the serialized payload).
+    pub fn tx_id(&self) -> H256 {
+        // serde_json would be heavyweight; hash a compact manual encoding.
+        let mut bytes = Vec::with_capacity(128);
+        self.encode_into(&mut bytes);
+        H256::hash(&bytes)
+    }
+
+    /// Compact binary encoding — the *sidechain wire format*. Field-packed
+    /// with no ABI padding, which is why sidechain entries are several times
+    /// smaller than their mainchain counterparts (paper Table IV).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AmmTx::Swap(t) => {
+                out.push(0);
+                out.extend_from_slice(t.user.as_bytes());
+                out.extend_from_slice(&t.pool.0.to_be_bytes());
+                out.push(t.zero_for_one as u8);
+                match t.intent {
+                    SwapIntent::ExactInput {
+                        amount_in,
+                        min_amount_out,
+                    } => {
+                        out.push(0);
+                        out.extend_from_slice(&amount_in.to_be_bytes());
+                        out.extend_from_slice(&min_amount_out.to_be_bytes());
+                    }
+                    SwapIntent::ExactOutput {
+                        amount_out,
+                        max_amount_in,
+                    } => {
+                        out.push(1);
+                        out.extend_from_slice(&amount_out.to_be_bytes());
+                        out.extend_from_slice(&max_amount_in.to_be_bytes());
+                    }
+                }
+                match t.sqrt_price_limit {
+                    Some(p) => {
+                        out.push(1);
+                        out.extend_from_slice(&p.to_be_bytes());
+                    }
+                    None => out.push(0),
+                }
+                out.extend_from_slice(&t.deadline_round.to_be_bytes());
+            }
+            AmmTx::Mint(t) => {
+                out.push(1);
+                out.extend_from_slice(t.user.as_bytes());
+                out.extend_from_slice(&t.pool.0.to_be_bytes());
+                match t.position {
+                    Some(p) => {
+                        out.push(1);
+                        out.extend_from_slice(&p.0 .0);
+                    }
+                    None => out.push(0),
+                }
+                out.extend_from_slice(&t.tick_lower.to_be_bytes());
+                out.extend_from_slice(&t.tick_upper.to_be_bytes());
+                out.extend_from_slice(&t.amount0_desired.to_be_bytes());
+                out.extend_from_slice(&t.amount1_desired.to_be_bytes());
+                out.extend_from_slice(&t.nonce.to_be_bytes());
+            }
+            AmmTx::Burn(t) => {
+                out.push(2);
+                out.extend_from_slice(t.user.as_bytes());
+                out.extend_from_slice(&t.pool.0.to_be_bytes());
+                out.extend_from_slice(&t.position.0 .0);
+                match t.liquidity {
+                    Some(l) => {
+                        out.push(1);
+                        out.extend_from_slice(&l.to_be_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+            AmmTx::Collect(t) => {
+                out.push(3);
+                out.extend_from_slice(t.user.as_bytes());
+                out.extend_from_slice(&t.pool.0.to_be_bytes());
+                out.extend_from_slice(&t.position.0 .0);
+                out.extend_from_slice(&t.amount0.to_be_bytes());
+                out.extend_from_slice(&t.amount1.to_be_bytes());
+            }
+        }
+    }
+
+    /// The transaction's size in bytes **as observed on Ethereum mainnet**
+    /// (paper Table VII: swap 1007.83 B, mint 814.49 B, burn 907.07 B,
+    /// collect 921.80 B). Used when modelling baseline chain growth for
+    /// production Ethereum.
+    pub fn mainnet_size_bytes(&self) -> usize {
+        match self.kind() {
+            AmmTxKind::Swap => 1008,
+            AmmTxKind::Mint => 814,
+            AmmTxKind::Burn => 907,
+            AmmTxKind::Collect => 922,
+        }
+    }
+
+    /// The transaction's size in bytes as observed on **Sepolia** (paper
+    /// Table IV: 365.27 / 565.55 / 280.21 / 150.18 B — smaller because the
+    /// testnet deploys the simple router without the universal router).
+    pub fn sepolia_size_bytes(&self) -> usize {
+        match self.kind() {
+            AmmTxKind::Swap => 365,
+            AmmTxKind::Mint => 566,
+            AmmTxKind::Burn => 280,
+            AmmTxKind::Collect => 150,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_swap() -> AmmTx {
+        AmmTx::Swap(SwapTx {
+            user: Address::from_index(1),
+            pool: PoolId(0),
+            zero_for_one: true,
+            intent: SwapIntent::ExactInput {
+                amount_in: 1000,
+                min_amount_out: 900,
+            },
+            sqrt_price_limit: None,
+            deadline_round: 77,
+        })
+    }
+
+    #[test]
+    fn tx_ids_are_stable_and_distinct() {
+        let a = sample_swap();
+        assert_eq!(a.tx_id(), a.tx_id());
+        let mut b = sample_swap();
+        if let AmmTx::Swap(s) = &mut b {
+            s.deadline_round = 78;
+        }
+        assert_ne!(a.tx_id(), b.tx_id());
+    }
+
+    #[test]
+    fn kind_and_user_accessors() {
+        let tx = sample_swap();
+        assert_eq!(tx.kind(), AmmTxKind::Swap);
+        assert_eq!(tx.user(), Address::from_index(1));
+        assert_eq!(tx.pool(), PoolId(0));
+    }
+
+    #[test]
+    fn size_models_match_paper_tables() {
+        let swap = sample_swap();
+        assert_eq!(swap.mainnet_size_bytes(), 1008);
+        assert_eq!(swap.sepolia_size_bytes(), 365);
+        let burn = AmmTx::Burn(BurnTx {
+            user: Address::from_index(2),
+            pool: PoolId(0),
+            position: PositionId::derive(&[b"p"]),
+            liquidity: None,
+        });
+        assert_eq!(burn.mainnet_size_bytes(), 907);
+        assert_eq!(burn.sepolia_size_bytes(), 280);
+    }
+
+    #[test]
+    fn compact_encoding_is_much_smaller_than_abi_sizes() {
+        let tx = sample_swap();
+        let mut buf = Vec::new();
+        tx.encode_into(&mut buf);
+        assert!(buf.len() < 120, "compact swap is {} bytes", buf.len());
+    }
+
+    #[test]
+    fn encoding_distinguishes_exact_input_and_output() {
+        let a = sample_swap();
+        let b = AmmTx::Swap(SwapTx {
+            intent: SwapIntent::ExactOutput {
+                amount_out: 1000,
+                max_amount_in: 900,
+            },
+            ..match sample_swap() {
+                AmmTx::Swap(s) => s,
+                _ => unreachable!(),
+            }
+        });
+        assert_ne!(a.tx_id(), b.tx_id());
+    }
+}

@@ -1,0 +1,178 @@
+//! Core value types of the AMM engine: ticks, liquidity, sqrt prices and
+//! token identifiers.
+
+use ammboost_crypto::{H256, U256};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// `2^96`, the fixed-point scale of sqrt prices (Q64.96).
+pub fn q96() -> U256 {
+    U256::pow2(96)
+}
+
+/// `2^128`, the fixed-point scale of fee-growth accumulators (Q128).
+pub fn q128() -> U256 {
+    U256::pow2(128)
+}
+
+/// Fee denominators are expressed in pips: hundredths of a basis point,
+/// i.e. a fee of `3000` pips is 0.30%.
+pub const PIPS_DENOMINATOR: u32 = 1_000_000;
+
+/// A price tick index. Prices are `1.0001^tick`; sqrt prices are
+/// `1.0001^(tick/2)` in Q64.96.
+pub type Tick = i32;
+
+/// Liquidity units (Uniswap's `uint128 liquidity`).
+pub type Liquidity = u128;
+
+/// Token amounts. The engine works in `u128`, which comfortably covers the
+/// paper's workloads; intermediate math is widened to 256 bits.
+pub type Amount = u128;
+
+/// Identifies one of the two tokens in a pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TokenSide {
+    /// The first token of the pair (Uniswap's `token0`).
+    Token0,
+    /// The second token of the pair (Uniswap's `token1`).
+    Token1,
+}
+
+impl TokenSide {
+    /// The opposite side.
+    pub fn other(self) -> TokenSide {
+        match self {
+            TokenSide::Token0 => TokenSide::Token1,
+            TokenSide::Token1 => TokenSide::Token0,
+        }
+    }
+}
+
+/// A pair of token amounts `(amount0, amount1)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct AmountPair {
+    /// Amount of token0.
+    pub amount0: Amount,
+    /// Amount of token1.
+    pub amount1: Amount,
+}
+
+impl AmountPair {
+    /// The zero pair.
+    pub const ZERO: AmountPair = AmountPair {
+        amount0: 0,
+        amount1: 0,
+    };
+
+    /// Creates a pair.
+    pub fn new(amount0: Amount, amount1: Amount) -> AmountPair {
+        AmountPair { amount0, amount1 }
+    }
+
+    /// Component for the given side.
+    pub fn get(&self, side: TokenSide) -> Amount {
+        match side {
+            TokenSide::Token0 => self.amount0,
+            TokenSide::Token1 => self.amount1,
+        }
+    }
+
+    /// Checked elementwise addition.
+    pub fn checked_add(self, other: AmountPair) -> Option<AmountPair> {
+        Some(AmountPair {
+            amount0: self.amount0.checked_add(other.amount0)?,
+            amount1: self.amount1.checked_add(other.amount1)?,
+        })
+    }
+
+    /// Checked elementwise subtraction.
+    pub fn checked_sub(self, other: AmountPair) -> Option<AmountPair> {
+        Some(AmountPair {
+            amount0: self.amount0.checked_sub(other.amount0)?,
+            amount1: self.amount1.checked_sub(other.amount1)?,
+        })
+    }
+
+    /// `true` when both components are zero.
+    pub fn is_zero(&self) -> bool {
+        self.amount0 == 0 && self.amount1 == 0
+    }
+}
+
+impl fmt::Display for AmountPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} token0, {} token1)", self.amount0, self.amount1)
+    }
+}
+
+/// A unique liquidity-position identifier. The sidechain derives it as the
+/// hash of the mint transaction and the LP's public key (paper §IV-B).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct PositionId(pub H256);
+
+impl PositionId {
+    /// Derives a position id from arbitrary identifying bytes.
+    pub fn derive(parts: &[&[u8]]) -> PositionId {
+        PositionId(H256::hash_concat(parts))
+    }
+}
+
+impl fmt::Display for PositionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pos:{}", &self.0.to_hex()[..12])
+    }
+}
+
+/// A pool identifier (one per token pair + fee tier).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize)]
+pub struct PoolId(pub u32);
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_side_other() {
+        assert_eq!(TokenSide::Token0.other(), TokenSide::Token1);
+        assert_eq!(TokenSide::Token1.other(), TokenSide::Token0);
+    }
+
+    #[test]
+    fn amount_pair_arithmetic() {
+        let a = AmountPair::new(10, 20);
+        let b = AmountPair::new(1, 2);
+        assert_eq!(a.checked_add(b), Some(AmountPair::new(11, 22)));
+        assert_eq!(a.checked_sub(b), Some(AmountPair::new(9, 18)));
+        assert_eq!(b.checked_sub(a), None);
+        assert!(AmountPair::ZERO.is_zero());
+        assert_eq!(a.get(TokenSide::Token0), 10);
+        assert_eq!(a.get(TokenSide::Token1), 20);
+    }
+
+    #[test]
+    fn overflowing_add_is_none() {
+        let a = AmountPair::new(u128::MAX, 0);
+        assert_eq!(a.checked_add(AmountPair::new(1, 0)), None);
+    }
+
+    #[test]
+    fn position_ids_are_distinct() {
+        let a = PositionId::derive(&[b"tx1", b"owner"]);
+        let b = PositionId::derive(&[b"tx2", b"owner"]);
+        assert_ne!(a, b);
+        assert_eq!(a, PositionId::derive(&[b"tx1", b"owner"]));
+    }
+
+    #[test]
+    fn fixed_point_scales() {
+        assert_eq!(q96(), U256::pow2(96));
+        assert_eq!(q128(), U256::pow2(128));
+    }
+}

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the AMM engine: tick math, swap
+//! stepping, pool operations — the per-transaction costs that bound
+//! sidechain throughput.
+
+use ammboost_amm::pool::{Pool, SwapKind};
+use ammboost_amm::tick_math::{sqrt_ratio_at_tick, tick_at_sqrt_ratio};
+use ammboost_amm::types::PositionId;
+use ammboost_crypto::Address;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn pool_with_liquidity() -> Pool {
+    let mut pool = Pool::new_standard();
+    pool.mint(
+        PositionId::derive(&[b"bench"]),
+        Address::from_index(1),
+        -6000,
+        6000,
+        10u128.pow(14),
+        10u128.pow(14),
+    )
+    .expect("seed mint");
+    pool
+}
+
+fn bench_tick_math(c: &mut Criterion) {
+    c.bench_function("tick_math/sqrt_ratio_at_tick", |b| {
+        let mut t = -400_000i32;
+        b.iter(|| {
+            t = if t > 400_000 { -400_000 } else { t + 997 };
+            black_box(sqrt_ratio_at_tick(black_box(t)).unwrap())
+        })
+    });
+    c.bench_function("tick_math/tick_at_sqrt_ratio", |b| {
+        let r = sqrt_ratio_at_tick(12345).unwrap();
+        b.iter(|| black_box(tick_at_sqrt_ratio(black_box(r)).unwrap()))
+    });
+}
+
+fn bench_swaps(c: &mut Criterion) {
+    c.bench_function("pool/swap_exact_input_small", |b| {
+        let pool = pool_with_liquidity();
+        b.iter_batched(
+            || pool.clone(),
+            |mut p| {
+                black_box(
+                    p.swap(true, SwapKind::ExactInput(50_000), None)
+                        .expect("swap"),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("pool/swap_alternating_directions", |b| {
+        let mut pool = pool_with_liquidity();
+        let mut dir = false;
+        b.iter(|| {
+            dir = !dir;
+            black_box(
+                pool.swap(dir, SwapKind::ExactInput(50_000), None)
+                    .expect("swap"),
+            )
+        })
+    });
+}
+
+fn bench_positions(c: &mut Criterion) {
+    c.bench_function("pool/mint_and_burn", |b| {
+        let pool = pool_with_liquidity();
+        let lp = Address::from_index(9);
+        let mut i = 0u64;
+        b.iter_batched(
+            || pool.clone(),
+            |mut p| {
+                i += 1;
+                let id = PositionId::derive(&[b"mb", &i.to_be_bytes()]);
+                p.mint(id, lp, -1200, 1200, 1_000_000, 1_000_000).unwrap();
+                let liq = p.position(&id).unwrap().liquidity;
+                p.burn(id, lp, liq).unwrap();
+                black_box(p.collect(id, lp, u128::MAX, u128::MAX).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_tick_math, bench_swaps, bench_positions);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the crypto substrate: Keccak, field
+//! arithmetic, TSQC partial signing/combination, VRF evaluation, Merkle
+//! trees — the building blocks of block production and sync
+//! authentication.
+
+use ammboost_crypto::dkg::{run_ceremony, DkgConfig};
+use ammboost_crypto::field::Fr;
+use ammboost_crypto::keccak::keccak256;
+use ammboost_crypto::merkle::MerkleTree;
+use ammboost_crypto::tsqc::{combine, partial_sign};
+use ammboost_crypto::vrf::VrfSecretKey;
+use ammboost_crypto::H256;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_keccak(c: &mut Criterion) {
+    let data_1k = vec![0xAAu8; 1024];
+    let data_64k = vec![0x55u8; 65_536];
+    c.bench_function("keccak256/1KiB", |b| {
+        b.iter(|| black_box(keccak256(black_box(&data_1k))))
+    });
+    c.bench_function("keccak256/64KiB", |b| {
+        b.iter(|| black_box(keccak256(black_box(&data_64k))))
+    });
+}
+
+fn bench_field(c: &mut Criterion) {
+    let x = Fr::from_u128(0xDEADBEEF_CAFEBABE_u128);
+    let y = Fr::from_u128(0x12345678_9ABCDEF0_u128);
+    c.bench_function("fr/mul", |b| b.iter(|| black_box(black_box(x) * black_box(y))));
+    c.bench_function("fr/inverse", |b| b.iter(|| black_box(x.inverse().unwrap())));
+}
+
+fn bench_tsqc(c: &mut Criterion) {
+    let out = run_ceremony(DkgConfig::for_faults(4), 7); // n=14, t=10
+    let msg = b"sync payload for benchmarks";
+    c.bench_function("tsqc/partial_sign", |b| {
+        b.iter(|| black_box(partial_sign(&out.key_shares[0], msg)))
+    });
+    let partials: Vec<_> = out.key_shares[..10]
+        .iter()
+        .map(|k| partial_sign(k, msg))
+        .collect();
+    c.bench_function("tsqc/combine_10_of_14", |b| {
+        b.iter(|| black_box(combine(black_box(&partials), 10).unwrap()))
+    });
+    let sig = combine(&partials, 10).unwrap();
+    c.bench_function("tsqc/verify", |b| {
+        b.iter(|| black_box(out.group_public_key.verify_raw_tsqc(msg, &sig)))
+    });
+}
+
+fn bench_dkg(c: &mut Criterion) {
+    c.bench_function("dkg/ceremony_n14_t10", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_ceremony(DkgConfig::for_faults(4), seed))
+        })
+    });
+}
+
+fn bench_vrf(c: &mut Criterion) {
+    let sk = VrfSecretKey::from_entropy(keccak256(b"vrf-bench"));
+    let pk = sk.public_key();
+    c.bench_function("vrf/eval", |b| b.iter(|| black_box(sk.eval(b"epoch-9"))));
+    let (_, proof) = sk.eval(b"epoch-9");
+    c.bench_function("vrf/verify", |b| {
+        b.iter(|| black_box(pk.verify(b"epoch-9", &proof).unwrap()))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<H256> = (0..1000u64)
+        .map(|i| H256::hash(&i.to_be_bytes()))
+        .collect();
+    c.bench_function("merkle/root_1000_leaves", |b| {
+        b.iter(|| black_box(MerkleTree::from_leaves(black_box(leaves.clone())).root()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_keccak,
+    bench_field,
+    bench_tsqc,
+    bench_dkg,
+    bench_vrf,
+    bench_merkle
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the system pipeline: sidechain transaction
+//! processing rate, summary building, sync verification on TokenBank,
+//! PBFT agreement, and a small end-to-end epoch.
+
+use ammboost_amm::types::PoolId;
+use ammboost_consensus::pbft::{run_consensus, Behavior};
+use ammboost_core::config::SystemConfig;
+use ammboost_core::processor::EpochProcessor;
+use ammboost_core::system::System;
+use ammboost_crypto::{Address, H256};
+use ammboost_workload::{GeneratorConfig, TrafficGenerator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_processor_throughput(c: &mut Criterion) {
+    let mut generator = TrafficGenerator::new(GeneratorConfig {
+        daily_volume: 25_000_000,
+        ..GeneratorConfig::default()
+    });
+    let batch: Vec<_> = (0..1000).map(|_| generator.next_tx(0)).collect();
+    let mut base = EpochProcessor::new(PoolId(0));
+    base.seed_liquidity(
+        Address::from_index(999),
+        -120_000,
+        120_000,
+        10u128.pow(15),
+        10u128.pow(15),
+    );
+    let snapshot: std::collections::HashMap<_, _> = generator
+        .users()
+        .into_iter()
+        .map(|u| (u, (10u128.pow(13), 10u128.pow(13))))
+        .collect();
+    c.bench_function("processor/execute_1000_txs", |b| {
+        b.iter_batched(
+            || {
+                let mut p = base.clone();
+                p.begin_epoch(snapshot.clone());
+                p
+            },
+            |mut p| {
+                for (i, gtx) in batch.iter().enumerate() {
+                    black_box(p.execute(&gtx.tx, gtx.wire_size, i as u64));
+                }
+                p
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_pbft(c: &mut Criterion) {
+    c.bench_function("pbft/agreement_n14_honest", |b| {
+        let behaviors = vec![Behavior::Honest; 14];
+        b.iter(|| black_box(run_consensus(&behaviors, H256::hash(b"block"), 4)))
+    });
+    c.bench_function("pbft/agreement_n14_bad_leader", |b| {
+        let mut behaviors = vec![Behavior::Honest; 14];
+        behaviors[0] = Behavior::ProposesInvalid;
+        b.iter(|| black_box(run_consensus(&behaviors, H256::hash(b"block"), 4)))
+    });
+}
+
+fn bench_small_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    group.bench_function("small_test_run_3_epochs", |b| {
+        b.iter(|| black_box(System::new(SystemConfig::small_test()).run()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_processor_throughput,
+    bench_pbft,
+    bench_small_system
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Developer utility: run one System configuration and dump the full
+//! report (used while calibrating; not part of the table reproductions).
+
+use ammboost_core::config::SystemConfig;
+use ammboost_core::system::System;
+
+fn main() {
+    let mut cfg = SystemConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(vd) = args.get(1) {
+        cfg.daily_volume = vd.parse().expect("daily volume");
+    }
+    if let Some(ep) = args.get(2) {
+        cfg.epochs = ep.parse().expect("epochs");
+    }
+    let report = System::new(cfg).run();
+    println!("{report:#?}");
+}

@@ -1,0 +1,37 @@
+//! Runs every table/figure reproduction in sequence (the full §VI
+//! evaluation). Individual binaries: `table01_comparison` …
+//! `table12_committee`, `fig05_gas_growth`.
+//!
+//! Heavy sweeps (Tables VIII-XI run 11-epoch simulations per
+//! configuration) take a few minutes in release mode.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table07_traffic",
+        "table04_storage",
+        "table02_itemized_gas",
+        "table03_uniswap_gas",
+        "fig05_gas_growth",
+        "table05_scalability",
+        "table12_committee",
+        "table06_rollup",
+        "table01_comparison",
+        "table09_round_duration",
+        "table10_epoch_len",
+        "table08_blocksize",
+        "table11_traffic_mix",
+        "ablation_pruning",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in bins {
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!();
+    println!("All reproductions completed.");
+}

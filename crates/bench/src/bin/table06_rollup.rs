@@ -1,0 +1,77 @@
+//! Reproduces **Table VI — ammBoost vs ammOP** (the Optimism-inspired
+//! rollup): throughput, transaction latency and payout latency under the
+//! same 25M/day workload.
+
+use ammboost_bench::{header, row};
+use ammboost_core::config::SystemConfig;
+use ammboost_core::system::System;
+use ammboost_rollup::{AmmOp, RollupConfig};
+use ammboost_sim::time::{SimDuration, SimTime};
+use ammboost_workload::uniswap2023;
+use ammboost_workload::{GeneratorConfig, TrafficGenerator};
+
+fn main() {
+    header("Table VI — ammBoost vs ammOP (Optimism-inspired rollup)");
+
+    // --- ammBoost at the paper's default 25M/day ---
+    let amm = System::new(SystemConfig::default()).run();
+
+    // --- ammOP: same arrivals through 1.8 MB / 35 s batches ---
+    let mut gen = TrafficGenerator::new(GeneratorConfig::default());
+    let mut op = AmmOp::new(RollupConfig::default());
+    let round = SimDuration::from_secs(7);
+    let rounds = 11 * 30u64;
+    for r in 0..rounds {
+        let start = SimTime::ZERO + round.saturating_mul(r);
+        let batch = gen.next_round(r);
+        let n = batch.len().max(1) as u64;
+        for (i, gtx) in batch.into_iter().enumerate() {
+            let at = start + SimDuration::from_millis(round.as_millis() * i as u64 / n);
+            op.submit(at, gtx.wire_size);
+        }
+        op.advance_to(start + round);
+    }
+    op.drain();
+
+    row(
+        "ammOP throughput (tx/s)",
+        "51.16",
+        format!("{:.2}", op.capacity_tps(uniswap2023::mix_weighted_avg_size())),
+    );
+    row(
+        "ammOP tx latency (s)",
+        "2577.28",
+        format!("{:.2}", op.avg_tx_latency().as_secs_f64()),
+    );
+    row(
+        "ammOP payout latency (s)",
+        "604815.28",
+        format!("{:.2}", op.avg_payout_latency().as_secs_f64()),
+    );
+    println!();
+    row(
+        "ammBoost throughput (tx/s)",
+        "138.06",
+        format!("{:.2}", amm.throughput_tps),
+    );
+    row(
+        "ammBoost tx latency (s)",
+        "231.52",
+        format!("{:.2}", amm.avg_sc_latency_secs),
+    );
+    row(
+        "ammBoost payout latency (s)",
+        "346.49",
+        format!("{:.2}", amm.avg_payout_latency_secs),
+    );
+    println!();
+    let tput_gain = amm.throughput_tps / op.capacity_tps(uniswap2023::mix_weighted_avg_size());
+    row("throughput gain (x)", "2.69", format!("{tput_gain:.2}"));
+    println!();
+    println!(
+        "shape check: ammBoost processes ~5 MB per 35 s (5 rounds x 1 MB) \
+         vs ammOP's 1.8 MB, hence the ~2.7x throughput and far lower \
+         queueing latency; ammOP's payout latency is dominated by the \
+         7-day contestation period."
+    );
+}

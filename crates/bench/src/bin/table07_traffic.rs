@@ -1,0 +1,47 @@
+//! Reproduces **Table VII — Transaction type breakdown in Uniswap traffic
+//! for 2023** and validates the generator against it.
+
+use ammboost_bench::{header, line, row};
+use ammboost_workload::uniswap2023::{chain_growth_2023_bytes, daily_volume_1x, TABLE_VII};
+use ammboost_workload::{GeneratorConfig, TrafficGenerator};
+use std::collections::HashMap;
+
+fn main() {
+    header("Table VII — Uniswap 2023 traffic breakdown");
+    for r in TABLE_VII.iter() {
+        line(
+            &format!("{:?}", r.kind),
+            format!(
+                "{:5.2}% of traffic, {:6} tx/day, avg {:7.2} B",
+                r.percent, r.volume_per_day, r.avg_size_bytes
+            ),
+        );
+    }
+    println!();
+    line("implied 1x daily volume", daily_volume_1x());
+    line(
+        "implied 2023 chain growth",
+        format!("{:.2} GB (paper: ~20.2 GB)", chain_growth_2023_bytes() as f64 / 1e9),
+    );
+
+    // validate the generator reproduces the mix
+    let mut gen = TrafficGenerator::new(GeneratorConfig {
+        daily_volume: 1_000_000,
+        seed: 99,
+        ..GeneratorConfig::default()
+    });
+    let mut counts: HashMap<_, u64> = HashMap::new();
+    let total = 100_000u64;
+    for _ in 0..total {
+        *counts.entry(gen.next_tx(0).tx.kind()).or_insert(0) += 1;
+    }
+    println!();
+    for r in TABLE_VII.iter() {
+        let measured = 100.0 * *counts.get(&r.kind).unwrap_or(&0) as f64 / total as f64;
+        row(
+            &format!("generator mix: {:?} (%)", r.kind),
+            format!("{:.2}", r.percent),
+            format!("{measured:.2}"),
+        );
+    }
+}

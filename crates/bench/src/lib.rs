@@ -1,0 +1,110 @@
+//! # ammboost-bench
+//!
+//! The experiment harness: one reproduction binary per table/figure of
+//! the paper (under `src/bin/`) plus Criterion micro-benchmarks (under
+//! `benches/`). This library holds the shared formatting and the
+//! paper-reference constants the binaries compare against.
+
+#![warn(missing_docs)]
+
+use ammboost_core::config::SystemConfig;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==============================================================");
+    println!("{title}");
+    println!("==============================================================");
+}
+
+/// Prints one paper-vs-measured row.
+pub fn row(label: &str, paper: impl std::fmt::Display, measured: impl std::fmt::Display) {
+    println!("{label:<44} paper: {paper:>14}   measured: {measured:>14}");
+}
+
+/// Prints a plain key/value line.
+pub fn line(label: &str, value: impl std::fmt::Display) {
+    println!("{label:<44} {value}");
+}
+
+/// Formats bytes with a unit.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1_000_000_000 {
+        format!("{:.2} GB", bytes as f64 / 1e9)
+    } else if bytes >= 1_000_000 {
+        format!("{:.2} MB", bytes as f64 / 1e6)
+    } else if bytes >= 1_000 {
+        format!("{:.2} KB", bytes as f64 / 1e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a gas quantity.
+pub fn fmt_gas(gas: u64) -> String {
+    if gas >= 1_000_000_000 {
+        format!("{:.2}B gas", gas as f64 / 1e9)
+    } else if gas >= 1_000_000 {
+        format!("{:.2}M gas", gas as f64 / 1e6)
+    } else {
+        format!("{gas} gas")
+    }
+}
+
+/// The paper's default experiment configuration (§VI-A), which binaries
+/// tweak per experiment.
+pub fn paper_default_config() -> SystemConfig {
+    SystemConfig::default()
+}
+
+/// Paper reference values for Table V (scalability).
+pub struct TableVRow {
+    /// Daily volume.
+    pub daily_volume: u64,
+    /// Paper throughput (tx/s).
+    pub throughput: f64,
+    /// Paper average sidechain latency (s).
+    pub sc_latency: f64,
+    /// Paper average payout latency (s).
+    pub payout_latency: f64,
+}
+
+/// Table V as published.
+pub const TABLE_V: [TableVRow; 4] = [
+    TableVRow {
+        daily_volume: 50_000,
+        throughput: 0.42,
+        sc_latency: 7.13,
+        payout_latency: 120.71,
+    },
+    TableVRow {
+        daily_volume: 500_000,
+        throughput: 3.41,
+        sc_latency: 7.13,
+        payout_latency: 120.71,
+    },
+    TableVRow {
+        daily_volume: 5_000_000,
+        throughput: 33.04,
+        sc_latency: 7.13,
+        payout_latency: 120.71,
+    },
+    TableVRow {
+        daily_volume: 25_000_000,
+        throughput: 138.06,
+        sc_latency: 231.52,
+        payout_latency: 346.49,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(500), "500 B");
+        assert_eq!(fmt_bytes(20_200_000_000), "20.20 GB");
+        assert_eq!(fmt_gas(2_225_000_000), "2.23B gas");
+    }
+}

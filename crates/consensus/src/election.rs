@@ -1,0 +1,330 @@
+//! Committee election by cryptographic sortition (paper §IV-A,
+//! Appendix A): each miner evaluates a VRF on the epoch seed; the lowest
+//! stake-weighted draws win seats, the lowest of all is the leader. The
+//! VRF proof doubles as the publicly verifiable *election proof* that
+//! committees attach when handing the next `vk_c` to their predecessor
+//! (§IV-C).
+
+use ammboost_crypto::vrf::{VrfProof, VrfPublicKey, VrfSecretKey};
+use ammboost_crypto::H256;
+use serde::{Deserialize, Serialize};
+
+/// A registered sidechain miner (ammBoost requires the AMM to run its own
+/// miner population, §IV-A).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MinerRecord {
+    /// Stable miner id.
+    pub id: u64,
+    /// The miner's VRF public key.
+    pub vrf_pk: VrfPublicKey,
+    /// Sybil-resistant mining power (stake).
+    pub stake: u64,
+}
+
+/// One miner's sortition ticket: the VRF output and its proof.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ElectionProof {
+    /// The miner claiming a seat.
+    pub miner: u64,
+    /// Epoch being elected for.
+    pub epoch: u64,
+    /// VRF output.
+    pub output: H256,
+    /// VRF proof (the publicly verifiable election proof).
+    pub proof: VrfProof,
+}
+
+/// The elected committee for an epoch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Committee {
+    /// The epoch this committee serves.
+    pub epoch: u64,
+    /// Members ordered by priority (best draw first); `members[0]` is the
+    /// leader of view 0. Share indices for DKG/TSQC are `position + 1`.
+    pub members: Vec<u64>,
+    /// Election proofs, parallel to `members`.
+    pub proofs: Vec<ElectionProof>,
+}
+
+impl Committee {
+    /// The current leader under `view` (round-robin rotation on view
+    /// change).
+    pub fn leader(&self, view: u64) -> u64 {
+        self.members[(view as usize) % self.members.len()]
+    }
+
+    /// Committee size `n = 3f + 2`.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The member's 1-based share index, if present.
+    pub fn share_index(&self, miner: u64) -> Option<u32> {
+        self.members
+            .iter()
+            .position(|&m| m == miner)
+            .map(|p| p as u32 + 1)
+    }
+}
+
+/// The election input string for `(seed, epoch)`.
+fn election_input(seed: &H256, epoch: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(44);
+    v.extend_from_slice(b"elect");
+    v.extend_from_slice(&seed.0);
+    v.extend_from_slice(&epoch.to_be_bytes());
+    v
+}
+
+/// Draws a miner's sortition ticket.
+pub fn draw_ticket(
+    sk: &VrfSecretKey,
+    miner_id: u64,
+    seed: &H256,
+    epoch: u64,
+) -> ElectionProof {
+    let (output, proof) = sk.eval(&election_input(seed, epoch));
+    ElectionProof {
+        miner: miner_id,
+        epoch,
+        output,
+        proof,
+    }
+}
+
+/// Verifies one election proof against the miner's registered key.
+pub fn verify_ticket(record: &MinerRecord, seed: &H256, proof: &ElectionProof) -> bool {
+    record.id == proof.miner
+        && record
+            .vrf_pk
+            .verify(&election_input(seed, proof.epoch), &proof.proof)
+            .map(|out| out == proof.output)
+            .unwrap_or(false)
+}
+
+/// Stake-weighted priority: lower is better. Computed as
+/// `output / stake` over the first 16 bytes of the VRF output, compared
+/// in integers (ties broken by the raw output, then the miner id).
+fn priority_cmp(
+    a: &ElectionProof,
+    a_stake: u64,
+    b: &ElectionProof,
+    b_stake: u64,
+) -> std::cmp::Ordering {
+    let av = u128::from_be_bytes(a.output.0[..16].try_into().expect("16 bytes"));
+    let bv = u128::from_be_bytes(b.output.0[..16].try_into().expect("16 bytes"));
+    let a_pri = av / a_stake.max(1) as u128;
+    let b_pri = bv / b_stake.max(1) as u128;
+    a_pri
+        .cmp(&b_pri)
+        .then(av.cmp(&bv))
+        .then(a.miner.cmp(&b.miner))
+}
+
+/// Errors from committee election.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectionError {
+    /// Fewer registered miners than seats.
+    NotEnoughMiners {
+        /// Registered miners.
+        have: usize,
+        /// Seats needed.
+        need: usize,
+    },
+    /// A ticket failed verification.
+    BadTicket(u64),
+}
+
+impl std::fmt::Display for ElectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElectionError::NotEnoughMiners { have, need } => {
+                write!(f, "only {have} miners for {need} seats")
+            }
+            ElectionError::BadTicket(m) => write!(f, "invalid election ticket from miner {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ElectionError {}
+
+/// Runs the election: verifies every ticket and seats the
+/// `committee_size` best-priority miners (the `Elect` function of the
+/// paper's §III API).
+///
+/// # Errors
+/// Fails when a ticket does not verify or too few miners registered.
+pub fn elect_committee(
+    miners: &[MinerRecord],
+    tickets: &[ElectionProof],
+    seed: &H256,
+    epoch: u64,
+    committee_size: usize,
+) -> Result<Committee, ElectionError> {
+    if tickets.len() < committee_size {
+        return Err(ElectionError::NotEnoughMiners {
+            have: tickets.len(),
+            need: committee_size,
+        });
+    }
+    let stake_of = |id: u64| -> Option<u64> {
+        miners.iter().find(|m| m.id == id).map(|m| m.stake)
+    };
+    for t in tickets {
+        let rec = miners
+            .iter()
+            .find(|m| m.id == t.miner)
+            .ok_or(ElectionError::BadTicket(t.miner))?;
+        if t.epoch != epoch || !verify_ticket(rec, seed, t) {
+            return Err(ElectionError::BadTicket(t.miner));
+        }
+    }
+    let mut ranked: Vec<&ElectionProof> = tickets.iter().collect();
+    ranked.sort_by(|a, b| {
+        priority_cmp(
+            a,
+            stake_of(a.miner).unwrap_or(1),
+            b,
+            stake_of(b.miner).unwrap_or(1),
+        )
+    });
+    let seated = &ranked[..committee_size];
+    Ok(Committee {
+        epoch,
+        members: seated.iter().map(|t| t.miner).collect(),
+        proofs: seated.iter().map(|&t| t.clone()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ammboost_crypto::keccak::keccak256;
+
+    fn miner(i: u64, stake: u64) -> (MinerRecord, VrfSecretKey) {
+        let sk = VrfSecretKey::from_entropy(keccak256(&i.to_be_bytes()));
+        (
+            MinerRecord {
+                id: i,
+                vrf_pk: sk.public_key(),
+                stake,
+            },
+            sk,
+        )
+    }
+
+    fn setup(n: u64) -> (Vec<MinerRecord>, Vec<VrfSecretKey>) {
+        let mut recs = Vec::new();
+        let mut sks = Vec::new();
+        for i in 0..n {
+            let (r, s) = miner(i, 100);
+            recs.push(r);
+            sks.push(s);
+        }
+        (recs, sks)
+    }
+
+    fn tickets(recs: &[MinerRecord], sks: &[VrfSecretKey], seed: &H256, epoch: u64) -> Vec<ElectionProof> {
+        recs.iter()
+            .zip(sks)
+            .map(|(r, s)| draw_ticket(s, r.id, seed, epoch))
+            .collect()
+    }
+
+    #[test]
+    fn election_is_deterministic_and_sized() {
+        let (recs, sks) = setup(20);
+        let seed = H256::hash(b"epoch-seed");
+        let t = tickets(&recs, &sks, &seed, 1);
+        let c1 = elect_committee(&recs, &t, &seed, 1, 5).unwrap();
+        let c2 = elect_committee(&recs, &t, &seed, 1, 5).unwrap();
+        assert_eq!(c1.members, c2.members);
+        assert_eq!(c1.size(), 5);
+    }
+
+    #[test]
+    fn committee_rotates_with_seed() {
+        let (recs, sks) = setup(30);
+        let s1 = H256::hash(b"seed-1");
+        let s2 = H256::hash(b"seed-2");
+        let c1 = elect_committee(&recs, &tickets(&recs, &sks, &s1, 1), &s1, 1, 8).unwrap();
+        let c2 = elect_committee(&recs, &tickets(&recs, &sks, &s2, 2), &s2, 2, 8).unwrap();
+        assert_ne!(c1.members, c2.members, "committee refresh failed");
+    }
+
+    #[test]
+    fn forged_ticket_rejected() {
+        let (recs, sks) = setup(10);
+        let seed = H256::hash(b"seed");
+        let mut t = tickets(&recs, &sks, &seed, 1);
+        // miner 0 claims miner 1's identity
+        t[0].miner = 1;
+        let err = elect_committee(&recs, &t, &seed, 1, 4).unwrap_err();
+        assert_eq!(err, ElectionError::BadTicket(1));
+    }
+
+    #[test]
+    fn tampered_output_rejected() {
+        let (recs, sks) = setup(10);
+        let seed = H256::hash(b"seed");
+        let mut t = tickets(&recs, &sks, &seed, 1);
+        t[3].output = H256::hash(b"better-draw");
+        assert!(matches!(
+            elect_committee(&recs, &t, &seed, 1, 4),
+            Err(ElectionError::BadTicket(3))
+        ));
+    }
+
+    #[test]
+    fn too_few_miners_rejected() {
+        let (recs, sks) = setup(3);
+        let seed = H256::hash(b"seed");
+        let t = tickets(&recs, &sks, &seed, 1);
+        assert!(matches!(
+            elect_committee(&recs, &t, &seed, 1, 5),
+            Err(ElectionError::NotEnoughMiners { have: 3, need: 5 })
+        ));
+    }
+
+    #[test]
+    fn stake_weight_biases_selection() {
+        // one whale with 1000x stake should essentially always win a seat
+        let mut recs = Vec::new();
+        let mut sks = Vec::new();
+        for i in 0..50u64 {
+            let (r, s) = miner(i, if i == 7 { 100_000 } else { 100 });
+            recs.push(r);
+            sks.push(s);
+        }
+        let mut wins = 0;
+        for e in 0..20u64 {
+            let seed = H256::hash(&e.to_be_bytes());
+            let t = tickets(&recs, &sks, &seed, e);
+            let c = elect_committee(&recs, &t, &seed, e, 10).unwrap();
+            if c.members.contains(&7) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 18, "whale won only {wins}/20 elections");
+    }
+
+    #[test]
+    fn leader_rotation_on_views() {
+        let (recs, sks) = setup(10);
+        let seed = H256::hash(b"seed");
+        let c = elect_committee(&recs, &tickets(&recs, &sks, &seed, 1), &seed, 1, 5).unwrap();
+        assert_eq!(c.leader(0), c.members[0]);
+        assert_eq!(c.leader(1), c.members[1]);
+        assert_eq!(c.leader(5), c.members[0]);
+    }
+
+    #[test]
+    fn share_indices_are_one_based() {
+        let (recs, sks) = setup(10);
+        let seed = H256::hash(b"seed");
+        let c = elect_committee(&recs, &tickets(&recs, &sks, &seed, 1), &seed, 1, 5).unwrap();
+        assert_eq!(c.share_index(c.members[0]), Some(1));
+        assert_eq!(c.share_index(c.members[4]), Some(5));
+        assert_eq!(c.share_index(999), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the PBFT layer: under any placement of at
+//! most `f` faulty members the committee decides the honest proposal;
+//! beyond `f` silent members liveness may be lost but safety never is.
+
+use ammboost_consensus::election::{draw_ticket, elect_committee, MinerRecord};
+use ammboost_consensus::pbft::{run_consensus, Behavior};
+use ammboost_crypto::keccak::keccak256;
+use ammboost_crypto::vrf::VrfSecretKey;
+use ammboost_crypto::H256;
+use proptest::prelude::*;
+
+fn behaviors_with_faults(
+    n: usize,
+    fault_positions: &[usize],
+    fault_kind: Behavior,
+) -> Vec<Behavior> {
+    let mut v = vec![Behavior::Honest; n];
+    for &p in fault_positions {
+        v[p % n] = fault_kind;
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn up_to_f_faults_never_block_decision(
+        f in 1usize..4,
+        positions in proptest::collection::vec(0usize..100, 0..4),
+        silent in any::<bool>(),
+    ) {
+        let n = 3 * f + 2;
+        let kind = if silent { Behavior::Silent } else { Behavior::ProposesInvalid };
+        // dedup positions modulo n, cap at f faults
+        let mut pos: Vec<usize> = positions.iter().map(|p| p % n).collect();
+        pos.sort_unstable();
+        pos.dedup();
+        pos.truncate(f);
+        let behaviors = behaviors_with_faults(n, &pos, kind);
+        let proposal = H256::hash(b"proposal");
+        let outcome = run_consensus(&behaviors, proposal, (n as u64) + 2);
+        prop_assert_eq!(outcome.decided, Some(proposal), "liveness lost with {} faults of {}", pos.len(), f);
+    }
+
+    #[test]
+    fn silent_majority_blocks_but_never_decides_wrong(
+        f in 1usize..3,
+        extra in 1usize..3,
+    ) {
+        let n = 3 * f + 2;
+        let silent_count = (f + extra).min(n - 1);
+        let positions: Vec<usize> = (1..=silent_count).collect();
+        let behaviors = behaviors_with_faults(n, &positions, Behavior::Silent);
+        let proposal = H256::hash(b"proposal");
+        let outcome = run_consensus(&behaviors, proposal, 6);
+        // either the honest quorum still holds (decided == proposal) or no
+        // decision at all — never a different digest
+        if let Some(d) = outcome.decided {
+            prop_assert_eq!(d, proposal);
+        }
+    }
+
+    #[test]
+    fn view_changes_bounded_by_faulty_leaders(
+        f in 1usize..4,
+        leader_faults in 1usize..4,
+    ) {
+        let n = 3 * f + 2;
+        let k = leader_faults.min(f);
+        // the first k leaders are faulty (rotation order 0, 1, 2, ...)
+        let positions: Vec<usize> = (0..k).collect();
+        let behaviors = behaviors_with_faults(n, &positions, Behavior::Silent);
+        let outcome = run_consensus(&behaviors, H256::hash(b"p"), (n as u64) + 2);
+        prop_assert_eq!(outcome.decided, Some(H256::hash(b"p")));
+        prop_assert_eq!(outcome.view_changes, k as u64, "one view change per bad leader");
+    }
+
+    #[test]
+    fn election_is_deterministic_and_complete(
+        population in 10usize..60,
+        committee in 4usize..10,
+        seed_byte in any::<u64>(),
+    ) {
+        prop_assume!(committee <= population);
+        let recs_sks: Vec<(MinerRecord, VrfSecretKey)> = (0..population as u64)
+            .map(|i| {
+                let sk = VrfSecretKey::from_entropy(keccak256(&(i ^ seed_byte).to_be_bytes()));
+                (
+                    MinerRecord {
+                        id: i,
+                        vrf_pk: sk.public_key(),
+                        stake: 100 + i,
+                    },
+                    sk,
+                )
+            })
+            .collect();
+        let recs: Vec<MinerRecord> = recs_sks.iter().map(|(r, _)| r.clone()).collect();
+        let seed = H256::hash(&seed_byte.to_be_bytes());
+        let tickets: Vec<_> = recs_sks
+            .iter()
+            .map(|(r, sk)| draw_ticket(sk, r.id, &seed, 1))
+            .collect();
+        let c1 = elect_committee(&recs, &tickets, &seed, 1, committee).unwrap();
+        let c2 = elect_committee(&recs, &tickets, &seed, 1, committee).unwrap();
+        prop_assert_eq!(&c1.members, &c2.members);
+        prop_assert_eq!(c1.members.len(), committee);
+        // no duplicate seats
+        let mut dedup = c1.members.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), committee);
+        // every member is a registered miner with a valid proof
+        for (i, m) in c1.members.iter().enumerate() {
+            prop_assert!(recs.iter().any(|r| r.id == *m));
+            prop_assert_eq!(c1.proofs[i].miner, *m);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # ammboost-core
+//!
+//! The ammBoost system itself — the paper's primary contribution wired
+//! over the substrate crates:
+//!
+//! - [`config`] — experiment configuration (§VI-A defaults) and the
+//!   fault-injection plan.
+//! - [`txenv`] — the `CreateTx` / `VerifyTx` API of §III.
+//! - [`processor`] — pool-snapshot-based, delayed-token-payout execution
+//!   with epoch deposits (§IV-B, Fig. 4).
+//! - [`system`] — the full runner: election → DKG → rounds of meta-blocks
+//!   → summary → TSQC-authenticated sync → pruning, plus interruption
+//!   recovery (view change, mass-sync, rollbacks; §IV-C).
+//! - [`baseline`] — the all-on-mainchain Uniswap baseline for comparison.
+//! - [`api`] — the paper's §III functionality list (`SystemSetup` …
+//!   `Prune`) as concrete entry points.
+//!
+//! ```no_run
+//! use ammboost_core::config::SystemConfig;
+//! use ammboost_core::system::System;
+//!
+//! let report = System::new(SystemConfig::small_test()).run();
+//! println!("throughput: {:.2} tx/s", report.throughput_tps);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod baseline;
+pub mod config;
+pub mod processor;
+pub mod system;
+pub mod txenv;
+
+pub use baseline::{BaselineConfig, BaselineReport, BaselineRunner};
+pub use config::{DepositPolicy, FaultPlan, SystemConfig};
+pub use processor::EpochProcessor;
+pub use system::{System, SystemReport};
+pub use txenv::{create_tx, verify_tx, SignedTx};

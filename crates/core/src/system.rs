@@ -1,0 +1,896 @@
+//! The full ammBoost system: mainchain (TokenBank + ERC20s), sidechain
+//! (processor + ledger), consensus (election, DKG, TSQC, PBFT latency),
+//! traffic, syncing, pruning, and interruption recovery — the machinery
+//! behind every experiment in the paper's §VI.
+//!
+//! One `System::run` executes the configured number of epochs and returns
+//! a [`SystemReport`] with the metrics of §VI-A: throughput, sidechain
+//! transaction latency, payout latency, gas, and main/side chain growth.
+//!
+//! ## Scale note (see `DESIGN.md`)
+//! Committee *latency* is modelled at the configured committee size
+//! (e.g. 500) via the Table-XII-calibrated [`AgreementModel`], while the
+//! threshold cryptography (DKG + TSQC) executes for real on a reduced
+//! "crypto committee" (`crypto_committee_faults`, default `f = 4` →
+//! 14 members, threshold 10) so that multi-million-transaction runs remain
+//! tractable. Every cryptographic check TokenBank performs is genuine.
+
+use crate::config::{DepositPolicy, SystemConfig};
+use crate::processor::EpochProcessor;
+use ammboost_amm::types::PoolId;
+use ammboost_consensus::election::{draw_ticket, elect_committee, Committee, MinerRecord};
+use ammboost_consensus::latency::AgreementModel;
+use ammboost_consensus::pbft::{run_consensus, Behavior};
+use ammboost_crypto::dkg::{run_ceremony, DkgConfig, DkgOutput};
+use ammboost_crypto::tsqc::{partial_sign, QuorumCertificate};
+use ammboost_crypto::vrf::VrfSecretKey;
+use ammboost_crypto::{Address, H256};
+use ammboost_mainchain::chain::{Mainchain, TxId, TxSpec};
+use ammboost_mainchain::contracts::token_bank::{SyncInput, SyncReceipt};
+use ammboost_mainchain::contracts::{Erc20, TokenBank};
+use ammboost_mainchain::gas::GasMeter;
+use ammboost_sidechain::block::{ExecutedTx, MetaBlock, SummaryBlock};
+use ammboost_sidechain::ledger::Ledger;
+use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
+use ammboost_sim::metrics::LatencyStats;
+use ammboost_sim::rng::DetRng;
+use ammboost_sim::time::{SimDuration, SimTime};
+use ammboost_workload::{GeneratorConfig, TrafficGenerator};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Everything a run measures (the §VI-A metric list).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Transactions generated.
+    pub submitted: u64,
+    /// Transactions accepted into meta-blocks.
+    pub accepted: u64,
+    /// Transactions rejected by validation.
+    pub rejected: u64,
+    /// Transactions still queued when the run ended (after drain this is
+    /// zero).
+    pub leftover_queue: u64,
+    /// Throughput in processed transactions/second over the active window.
+    pub throughput_tps: f64,
+    /// Mean sidechain transaction latency (submission → meta-block),
+    /// seconds.
+    pub avg_sc_latency_secs: f64,
+    /// Mean payout latency (submission → sync confirmation), seconds.
+    pub avg_payout_latency_secs: f64,
+    /// Total mainchain gas consumed (deposits + approvals + syncs).
+    pub mainchain_gas: u64,
+    /// Gas spent on syncs alone.
+    pub sync_gas: u64,
+    /// Gas spent on deposits + approvals.
+    pub deposit_gas: u64,
+    /// Mainchain growth in bytes.
+    pub mainchain_growth_bytes: u64,
+    /// Sidechain size at the end (after pruning).
+    pub sidechain_bytes: u64,
+    /// Peak sidechain size (Table XI's "max sc growth").
+    pub sidechain_peak_bytes: u64,
+    /// Total bytes reclaimed by pruning.
+    pub sidechain_pruned_bytes: u64,
+    /// Syncs confirmed on the mainchain.
+    pub syncs_confirmed: u64,
+    /// Mass-syncs performed (recovery path).
+    pub mass_syncs: u64,
+    /// View changes observed.
+    pub view_changes: u64,
+    /// The PBFT agreement time for the configured committee/block size,
+    /// seconds.
+    pub agreement_secs: f64,
+    /// Largest summary block produced, in bytes — the permanent per-epoch
+    /// sidechain growth (Table XI's "max sc growth"; bounded by the user
+    /// and position counts, not by traffic volume).
+    pub max_summary_bytes: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+}
+
+enum PendingOp {
+    /// A sync covering every epoch up to and including `through_epoch`;
+    /// `rollback` marks the planned fork-loss fault.
+    Sync {
+        through_epoch: u64,
+        rollback: bool,
+    },
+}
+
+/// Snapshot taken before applying a sync scheduled to be rolled back, so
+/// the fork-abandonment fault can restore all affected state.
+struct RollbackBackup {
+    bank: TokenBank,
+    token0: Erc20,
+    token1: Erc20,
+    registered_shares: DkgOutput,
+    synced_through: u64,
+}
+
+/// The assembled system.
+pub struct System {
+    cfg: SystemConfig,
+    chain: Mainchain,
+    bank: TokenBank,
+    token0: Erc20,
+    token1: Erc20,
+    processor: EpochProcessor,
+    ledger: Ledger,
+    generator: TrafficGenerator,
+    miners: Vec<MinerRecord>,
+    miner_sks: Vec<VrfSecretKey>,
+    agreement: AgreementModel,
+    /// Shares matching the vk currently registered in TokenBank.
+    registered_shares: DkgOutput,
+    /// DKG for the next committee (its vk rides the next sync).
+    next_dkg: DkgOutput,
+    committees: Vec<Committee>,
+    queue: VecDeque<(SimTime, ammboost_amm::tx::AmmTx, usize)>,
+    awaiting_payout: BTreeMap<u64, Vec<SimTime>>,
+    unsynced: Vec<(u64, Vec<PayoutEntry>, Vec<PositionEntry>, PoolUpdate)>,
+    pending_ops: Vec<(TxId, PendingOp)>,
+    rollback_backup: Option<RollbackBackup>,
+    /// Highest epoch covered by a submitted (not reverted) sync.
+    synced_through: u64,
+    // metrics
+    sc_latency: LatencyStats,
+    payout_latency: LatencyStats,
+    submitted: u64,
+    accepted: u64,
+    rejected: u64,
+    view_changes: u64,
+    mass_syncs: u64,
+    syncs_confirmed: u64,
+    sync_gas: u64,
+    deposit_gas: u64,
+    max_summary_bytes: u64,
+    /// The most recent sync receipt (itemization source for Table II).
+    pub last_sync_receipt: Option<SyncReceipt>,
+}
+
+impl System {
+    /// Builds a system from a configuration: deploys contracts, funds
+    /// users, seeds pool liquidity, registers the genesis committee.
+    pub fn new(cfg: SystemConfig) -> System {
+        let mut rng = DetRng::new(cfg.seed);
+        let crypto_cfg = DkgConfig::for_faults(cfg.crypto_committee_faults);
+        let genesis_dkg = run_ceremony(crypto_cfg, cfg.seed ^ 0xD16);
+        let next_dkg = run_ceremony(crypto_cfg, cfg.seed ^ 0xD16 ^ 1);
+
+        let mut bank = TokenBank::deploy(genesis_dkg.group_public_key);
+        let mut token0 = Erc20::new("TKA");
+        let mut token1 = Erc20::new("TKB");
+        bank.create_pool(PoolId(0), &mut GasMeter::new());
+
+        let generator = TrafficGenerator::new(GeneratorConfig {
+            daily_volume: cfg.daily_volume,
+            mix: cfg.mix,
+            users: cfg.users,
+            round_duration: cfg.round_duration,
+            pool: PoolId(0),
+            deadline_slack_rounds: 1_000_000,
+            max_positions_per_user: 1,
+            seed: cfg.seed ^ 0x7AFF,
+        });
+
+        // faucet: users get enough for all their deposits; the bank gets
+        // the genesis pool reserves (backing payouts of trading gains)
+        let per_user = cfg
+            .deposit_amount
+            .saturating_mul(cfg.epochs as u128 + 1)
+            .saturating_mul(2);
+        for user in generator.users() {
+            token0.mint(user, per_user);
+            token1.mint(user, per_user);
+        }
+        let seed_liquidity: u128 = 4_000_000_000_000_000;
+        token0.mint(bank.address, seed_liquidity * 2);
+        token1.mint(bank.address, seed_liquidity * 2);
+
+        let mut processor = EpochProcessor::new(PoolId(0));
+        processor.seed_liquidity(
+            Address::from_pubkey_bytes(b"genesis-lp"),
+            -120_000,
+            120_000,
+            seed_liquidity,
+            seed_liquidity,
+        );
+
+        // sidechain miner population with VRF identities
+        let mut miners = Vec::with_capacity(cfg.miner_population);
+        let mut miner_sks = Vec::with_capacity(cfg.miner_population);
+        for i in 0..cfg.miner_population as u64 {
+            let sk = VrfSecretKey::from_entropy(rng.entropy32());
+            miners.push(MinerRecord {
+                id: i,
+                vrf_pk: sk.public_key(),
+                stake: 100 + (i % 17) * 10,
+            });
+            miner_sks.push(sk);
+        }
+
+        let genesis_ref = H256::hash(b"mainchain-block-containing-token-bank");
+        System {
+            chain: Mainchain::new(cfg.mainchain),
+            bank,
+            token0,
+            token1,
+            processor,
+            ledger: Ledger::new(genesis_ref),
+            generator,
+            miners,
+            miner_sks,
+            agreement: AgreementModel::default(),
+            registered_shares: genesis_dkg,
+            next_dkg,
+            committees: Vec::new(),
+            queue: VecDeque::new(),
+            awaiting_payout: BTreeMap::new(),
+            unsynced: Vec::new(),
+            pending_ops: Vec::new(),
+            rollback_backup: None,
+            synced_through: 0,
+            sc_latency: LatencyStats::new(),
+            payout_latency: LatencyStats::new(),
+            submitted: 0,
+            accepted: 0,
+            rejected: 0,
+            view_changes: 0,
+            mass_syncs: 0,
+            syncs_confirmed: 0,
+            sync_gas: 0,
+            deposit_gas: 0,
+            max_summary_bytes: 0,
+            last_sync_receipt: None,
+            cfg,
+        }
+    }
+
+    /// The elected committees so far (one per epoch).
+    pub fn committees(&self) -> &[Committee] {
+        &self.committees
+    }
+
+    /// Read access to the TokenBank.
+    pub fn bank(&self) -> &TokenBank {
+        &self.bank
+    }
+
+    /// Read access to the sidechain ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Read access to the mainchain.
+    pub fn chain(&self) -> &Mainchain {
+        &self.chain
+    }
+
+    /// Read access to the sidechain processor (pool + deposits).
+    pub fn processor(&self) -> &EpochProcessor {
+        &self.processor
+    }
+
+    /// Read access to the traffic generator.
+    pub fn generator(&self) -> &TrafficGenerator {
+        &self.generator
+    }
+
+    /// Runs the configured number of epochs (plus queue drain) and
+    /// reports. The system remains inspectable afterwards (e.g.
+    /// [`System::last_sync_receipt`], [`System::bank`]).
+    pub fn run(&mut self) -> SystemReport {
+        let warmup = SimDuration::from_secs(60);
+        let t0 = SimTime::ZERO + warmup;
+
+        // deposits backing epoch 1 (and the committee for epoch 1)
+        self.submit_deposits(SimTime::ZERO, 1);
+        self.chain.advance_to(t0);
+        self.handle_confirmations();
+
+        for epoch in 1..=self.cfg.epochs {
+            let epoch_start = t0 + self.cfg.epoch_duration().saturating_mul(epoch - 1);
+            self.run_epoch(epoch, epoch_start);
+        }
+
+        // drain the queue (paper: queues are emptied after each run)
+        let run_end = t0 + self.cfg.run_duration();
+        let drain_end = self.drain_queue(run_end);
+
+        // settle any outstanding sync confirmations
+        self.chain
+            .advance_to(drain_end + SimDuration::from_secs(120));
+        self.handle_confirmations();
+
+        let active_window = drain_end.since(t0);
+        let throughput = if active_window.as_secs_f64() > 0.0 {
+            self.accepted as f64 / active_window.as_secs_f64()
+        } else {
+            0.0
+        };
+
+        SystemReport {
+            submitted: self.submitted,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            leftover_queue: self.queue.len() as u64,
+            throughput_tps: throughput,
+            avg_sc_latency_secs: self.sc_latency.mean_secs(),
+            avg_payout_latency_secs: self.payout_latency.mean_secs(),
+            mainchain_gas: self.chain.total_gas(),
+            sync_gas: self.sync_gas,
+            deposit_gas: self.deposit_gas,
+            mainchain_growth_bytes: self.chain.growth_bytes(),
+            sidechain_bytes: self.ledger.size_bytes(),
+            sidechain_peak_bytes: self.ledger.peak_bytes(),
+            sidechain_pruned_bytes: self.ledger.pruned_bytes(),
+            syncs_confirmed: self.syncs_confirmed,
+            mass_syncs: self.mass_syncs,
+            view_changes: self.view_changes,
+            agreement_secs: self
+                .agreement
+                .agreement_time(self.cfg.committee_size, self.cfg.meta_block_bytes)
+                .as_secs_f64(),
+            max_summary_bytes: self.max_summary_bytes,
+            epochs: self.cfg.epochs,
+        }
+    }
+
+    fn run_epoch(&mut self, epoch: u64, epoch_start: SimTime) {
+        // --- committee election (validated VRF sortition) ---
+        let seed = H256::hash_concat(&[b"epoch-seed", &self.cfg.seed.to_be_bytes(), &epoch.to_be_bytes()]);
+        let committee_size = self.cfg.committee_size.min(self.miners.len());
+        let tickets: Vec<_> = self
+            .miners
+            .iter()
+            .zip(&self.miner_sks)
+            .map(|(m, sk)| draw_ticket(sk, m.id, &seed, epoch))
+            .collect();
+        let committee = elect_committee(&self.miners, &tickets, &seed, epoch, committee_size)
+            .expect("population exceeds committee size");
+        self.committees.push(committee);
+
+        // --- SnapshotBank (or carry-over when the previous epoch's sync
+        // is missing and a mass-sync is owed, paper §IV-C) ---
+        if self.synced_through >= epoch - 1 {
+            let snapshot = self.bank.snapshot_deposits(epoch);
+            self.processor.begin_epoch(snapshot);
+        } else {
+            self.processor.carry_over_epoch();
+        }
+
+        // --- per-epoch deposits for the next epoch ---
+        if self.cfg.deposit_policy == DepositPolicy::PerEpoch && epoch < self.cfg.epochs {
+            self.submit_deposits(epoch_start, epoch + 1);
+        }
+
+        // --- fault-driven PBFT run for round 0, if scheduled ---
+        let mut round0_penalty = SimDuration::ZERO;
+        let leader_behavior = if self.cfg.faults.silent_leader_epochs.contains(&epoch) {
+            Some(Behavior::Silent)
+        } else if self.cfg.faults.invalid_proposal_epochs.contains(&epoch) {
+            Some(Behavior::ProposesInvalid)
+        } else {
+            None
+        };
+        if let Some(behavior) = leader_behavior {
+            let n = 3 * self.cfg.crypto_committee_faults + 2;
+            let mut behaviors = vec![Behavior::Honest; n];
+            behaviors[0] = behavior;
+            let outcome = run_consensus(&behaviors, H256::hash(b"round-0-proposal"), 8);
+            assert!(outcome.decided.is_some(), "liveness lost under f faults");
+            self.view_changes += outcome.view_changes;
+            round0_penalty = self
+                .agreement
+                .view_change_time(self.cfg.committee_size, self.cfg.meta_block_bytes)
+                .saturating_mul(outcome.view_changes);
+        }
+
+        // --- rounds: ω−1 meta-block rounds, then the summary round ---
+        // (the epoch's last round is spent mining the summary-block, so no
+        // transactions are processed in it — this is what makes short
+        // epochs lose throughput in the paper's Table X)
+        for round in 0..self.cfg.rounds_per_epoch {
+            let global_round = (epoch - 1) * self.cfg.rounds_per_epoch + round;
+            let round_start = epoch_start + self.cfg.round_duration.saturating_mul(round);
+            let mut round_end = round_start + self.cfg.round_duration;
+            if round == 0 {
+                round_end += round0_penalty;
+            }
+
+            // arrivals spread uniformly across the round
+            let batch = self.generator.next_round(global_round);
+            let n = batch.len() as u64;
+            for (i, gtx) in batch.into_iter().enumerate() {
+                let offset = SimDuration::from_millis(
+                    self.cfg.round_duration.as_millis() * i as u64 / n.max(1),
+                );
+                self.queue.push_back((round_start + offset, gtx.tx, gtx.wire_size));
+                self.submitted += 1;
+            }
+
+            if round < self.cfg.rounds_per_epoch - 1 {
+                self.mine_meta_block(epoch, round, global_round, round_end);
+            }
+            self.chain.advance_to(round_end);
+            self.handle_confirmations();
+        }
+
+        // --- epoch end: summary, sync, pruning trigger ---
+        let epoch_end = epoch_start + self.cfg.epoch_duration();
+        self.close_epoch(epoch, epoch_end);
+    }
+
+    fn mine_meta_block(
+        &mut self,
+        epoch: u64,
+        round: u64,
+        global_round: u64,
+        round_end: SimTime,
+    ) {
+        let mut executed: Vec<ExecutedTx> = Vec::new();
+        let mut bytes = 0usize;
+        while let Some((arrival, _, size)) = self.queue.front() {
+            if *arrival >= round_end || bytes + size > self.cfg.meta_block_bytes {
+                break;
+            }
+            let (arrival, tx, size) = self.queue.pop_front().expect("front checked");
+            bytes += size;
+            let out = self.processor.execute(&tx, size, global_round);
+            if out.accepted() {
+                self.accepted += 1;
+                self.sc_latency.record(round_end.since(arrival));
+                self.awaiting_payout.entry(epoch).or_default().push(arrival);
+                // feed back created/deleted positions so traffic can
+                // reference them
+                match &out.effect {
+                    ammboost_sidechain::block::TxEffect::Mint { .. } => {}
+                    ammboost_sidechain::block::TxEffect::Burn {
+                        position, deleted, ..
+                    } => {
+                        if *deleted {
+                            self.generator.forget_position(*position);
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                self.rejected += 1;
+            }
+            executed.push(out);
+        }
+        let block = MetaBlock::new(epoch, round, self.ledger.tip(), executed);
+        self.ledger
+            .append_meta(block)
+            .expect("locally mined meta-block chains correctly");
+    }
+
+    fn close_epoch(&mut self, epoch: u64, epoch_end: SimTime) {
+        let (payouts, positions, pool_update) = self.processor.end_epoch();
+        let summary = SummaryBlock {
+            epoch,
+            parent: self.ledger.tip(),
+            meta_refs: self
+                .ledger
+                .meta_blocks(epoch)
+                .iter()
+                .map(|m| m.id())
+                .collect(),
+            payouts: payouts.clone(),
+            positions: positions.clone(),
+            pool: pool_update,
+        };
+        self.max_summary_bytes = self.max_summary_bytes.max(summary.size_bytes() as u64);
+        self.ledger
+            .append_summary(summary)
+            .expect("locally built summary chains correctly");
+
+        if self.cfg.faults.invalid_sync_epochs.contains(&epoch) {
+            // the leader proposed invalid Sync inputs; the committee
+            // refuses to certify — no sync this epoch, mass-sync next
+            self.unsynced.push((epoch, payouts, positions, pool_update));
+            return;
+        }
+
+        self.unsynced.push((epoch, payouts, positions, pool_update));
+        let rollback = self.cfg.faults.rollback_epochs.contains(&epoch);
+        self.submit_sync(epoch, epoch_end, rollback);
+    }
+
+    /// Builds and submits a (mass-)sync covering all unsynced epochs.
+    fn submit_sync(&mut self, through_epoch: u64, at: SimTime, rollback: bool) {
+        debug_assert!(!self.unsynced.is_empty());
+        let is_mass = self.unsynced.len() > 1;
+        if is_mass {
+            self.mass_syncs += 1;
+        }
+        // merge: latest payouts (deposits are cumulative on the
+        // sidechain), union of positions (later entries win), last pool
+        let payouts = self.unsynced.last().expect("non-empty").1.clone();
+        let mut merged: BTreeMap<_, PositionEntry> = BTreeMap::new();
+        for (_, _, positions, _) in &self.unsynced {
+            for p in positions {
+                merged.insert(p.id, *p);
+            }
+        }
+        let pool = self.unsynced.last().expect("non-empty").3;
+        let input = SyncInput {
+            epoch: through_epoch,
+            payouts,
+            positions: merged.into_values().collect(),
+            pool,
+            next_vk: self.next_dkg.group_public_key,
+        };
+
+        // TSQC: the committee matching the registered vk certifies
+        let payload = input.abi_payload();
+        let threshold = self.registered_shares.config.threshold;
+        let partials: Vec<_> = self.registered_shares.key_shares[..threshold]
+            .iter()
+            .map(|ks| partial_sign(ks, &payload))
+            .collect();
+        let qc = QuorumCertificate::assemble(through_epoch, &payload, &partials, threshold)
+            .expect("threshold partials available");
+
+        // apply to the bank now (full backup first when this sync is
+        // scheduled to be lost to a rollback), submit the transaction for
+        // gas/latency accounting
+        if rollback {
+            self.rollback_backup = Some(RollbackBackup {
+                bank: self.bank.clone(),
+                token0: self.token0.clone(),
+                token1: self.token1.clone(),
+                registered_shares: self.registered_shares.clone(),
+                synced_through: self.synced_through,
+            });
+        }
+        self.synced_through = through_epoch;
+        let receipt = self
+            .bank
+            .sync(&input, &qc, &mut self.token0, &mut self.token1)
+            .expect("committee-built sync must verify");
+
+        // rollover: re-lock every payout as the next epoch's deposit
+        if self.cfg.deposit_policy == DepositPolicy::OncePerRun {
+            for p in &input.payouts {
+                self.bank
+                    .relock(
+                        p.user,
+                        p.amount0,
+                        p.amount1,
+                        through_epoch + 1,
+                        &mut self.token0,
+                        &mut self.token1,
+                    )
+                    .expect("payout was just dispensed");
+            }
+        }
+
+        let tx_id = self.chain.submit(
+            at,
+            TxSpec {
+                label: "sync".into(),
+                gas: receipt.meter.total(),
+                size_bytes: receipt.tx_size_bytes,
+                depends_on: None,
+            },
+        );
+        self.sync_gas += receipt.meter.total();
+        self.last_sync_receipt = Some(receipt);
+        self.pending_ops.push((
+            tx_id,
+            PendingOp::Sync {
+                through_epoch,
+                rollback,
+            },
+        ));
+        // rotate committee keys: the next committee's shares will match
+        // the vk just recorded
+        self.registered_shares = self.next_dkg.clone();
+        self.next_dkg = run_ceremony(
+            DkgConfig::for_faults(self.cfg.crypto_committee_faults),
+            self.cfg.seed ^ 0xD16 ^ (through_epoch + 2),
+        );
+    }
+
+    fn handle_confirmations(&mut self) {
+        let mut remaining = Vec::new();
+        for (tx_id, op) in std::mem::take(&mut self.pending_ops) {
+            let Some(confirmed_at) = self.chain.confirmed_at(tx_id) else {
+                remaining.push((tx_id, op));
+                continue;
+            };
+            match op {
+                PendingOp::Sync {
+                    through_epoch,
+                    rollback,
+                } => {
+                    if rollback {
+                        // The fork containing the sync is abandoned: undo
+                        // the block, censor the transaction, restore bank,
+                        // token ledgers and committee keys. `unsynced` is
+                        // kept — the next epoch mass-syncs (paper §IV-C).
+                        self.chain.reorg(1);
+                        self.chain.censor_pending(tx_id);
+                        // the censored sync's gas never lands on-chain
+                        if let Some(rec) = self.chain.tx(tx_id) {
+                            self.sync_gas -= rec.spec.gas;
+                        }
+                        let backup = self
+                            .rollback_backup
+                            .take()
+                            .expect("backup stored at submission");
+                        self.bank = backup.bank;
+                        self.token0 = backup.token0;
+                        self.token1 = backup.token1;
+                        self.registered_shares = backup.registered_shares;
+                        self.synced_through = backup.synced_through;
+                        continue;
+                    }
+                    // durable: record payout latencies, prune epochs
+                    self.syncs_confirmed += 1;
+                    let epochs: Vec<u64> = self
+                        .awaiting_payout
+                        .range(..=through_epoch)
+                        .map(|(e, _)| *e)
+                        .collect();
+                    for e in epochs {
+                        if let Some(arrivals) = self.awaiting_payout.remove(&e) {
+                            for a in arrivals {
+                                self.payout_latency.record(confirmed_at.since(a));
+                            }
+                        }
+                    }
+                    for (e, _, _, _) in self.unsynced.drain(..) {
+                        if !self.cfg.disable_pruning {
+                            let _ = self.ledger.prune_epoch(e);
+                        }
+                    }
+                }
+            }
+        }
+        self.pending_ops = remaining;
+    }
+
+    /// Submits the deposit chains (2 approvals + deposit per user) backing
+    /// `for_epoch`; token movement applies immediately, gas/latency flow
+    /// through the mainchain.
+    fn submit_deposits(&mut self, at: SimTime, for_epoch: u64) {
+        let users = self.generator.users();
+        let amount = self.cfg.deposit_amount;
+        for user in users {
+            let mut m_a0 = GasMeter::new();
+            self.token0
+                .approve(user, self.bank.address, amount, &mut m_a0);
+            let a0 = self.chain.submit(
+                at,
+                TxSpec {
+                    label: "approve".into(),
+                    gas: m_a0.total() + ammboost_mainchain::gas::TX_BASE,
+                    size_bytes: 68,
+                    depends_on: None,
+                },
+            );
+            let mut m_a1 = GasMeter::new();
+            self.token1
+                .approve(user, self.bank.address, amount, &mut m_a1);
+            let a1 = self.chain.submit(
+                at,
+                TxSpec {
+                    label: "approve".into(),
+                    gas: m_a1.total() + ammboost_mainchain::gas::TX_BASE,
+                    size_bytes: 68,
+                    depends_on: Some(a0),
+                },
+            );
+            let mut m_dep = GasMeter::new();
+            self.bank
+                .deposit(
+                    user,
+                    amount,
+                    amount,
+                    for_epoch,
+                    &mut self.token0,
+                    &mut self.token1,
+                    &mut m_dep,
+                )
+                .expect("faucet funded users");
+            self.chain.submit(
+                at,
+                TxSpec {
+                    label: "deposit".into(),
+                    gas: m_dep.total(),
+                    size_bytes: 132,
+                    depends_on: Some(a1),
+                },
+            );
+            self.deposit_gas +=
+                m_a0.total() + m_a1.total() + 2 * ammboost_mainchain::gas::TX_BASE + m_dep.total();
+        }
+    }
+
+    /// After the final epoch, keeps mining rounds until the queue empties
+    /// (the paper drains queues after each run); the drained traffic forms
+    /// one extra epoch settled by a final sync.
+    fn drain_queue(&mut self, run_end: SimTime) -> SimTime {
+        if self.queue.is_empty() {
+            return run_end;
+        }
+        let drain_epoch = self.cfg.epochs + 1;
+        // fresh deposit snapshot for the drain epoch (rollover or placed
+        // deposits) so payouts stay backed by locked tokens; carry over
+        // when the final epochs are still awaiting a mass-sync
+        if self.synced_through >= self.cfg.epochs {
+            self.processor
+                .begin_epoch(self.bank.snapshot_deposits(drain_epoch));
+        } else {
+            self.processor.carry_over_epoch();
+        }
+
+        let mut t = run_end;
+        let mut round = self.cfg.epochs * self.cfg.rounds_per_epoch;
+        while !self.queue.is_empty() {
+            let round_end = t + self.cfg.round_duration;
+            let mut bytes = 0usize;
+            while let Some((_, _, size)) = self.queue.front() {
+                if bytes + size > self.cfg.meta_block_bytes {
+                    break;
+                }
+                let (arrival, tx, size) = self.queue.pop_front().expect("front checked");
+                bytes += size;
+                let out = self.processor.execute(&tx, size, round);
+                if out.accepted() {
+                    self.accepted += 1;
+                    self.sc_latency.record(round_end.since(arrival));
+                    self.awaiting_payout
+                        .entry(drain_epoch)
+                        .or_default()
+                        .push(arrival);
+                } else {
+                    self.rejected += 1;
+                }
+            }
+            round += 1;
+            t = round_end;
+        }
+        // settle the drained traffic: wait for the pending regular sync to
+        // confirm first, then submit the drain epoch's sync
+        self.chain.advance_to(t + SimDuration::from_secs(60));
+        self.handle_confirmations();
+        let (payouts, positions, pool_update) = self.processor.end_epoch();
+        self.unsynced
+            .push((drain_epoch, payouts, positions, pool_update));
+        self.submit_sync(drain_epoch, t + SimDuration::from_secs(60), false);
+        self.chain
+            .advance_to(t + SimDuration::from_secs(120));
+        self.handle_confirmations();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FaultPlan;
+
+    fn small() -> SystemConfig {
+        SystemConfig::small_test()
+    }
+
+    #[test]
+    fn small_run_completes_and_balances() {
+        let report = System::new(small()).run();
+        assert!(report.accepted > 0, "{report:?}");
+        assert_eq!(report.leftover_queue, 0);
+        assert!(report.syncs_confirmed >= 3);
+        assert!(report.throughput_tps > 0.0);
+        assert!(report.avg_sc_latency_secs > 0.0);
+        assert!(report.avg_payout_latency_secs > report.avg_sc_latency_secs);
+        assert!(report.mainchain_gas > 0);
+        assert!(report.sidechain_pruned_bytes > 0);
+    }
+
+    #[test]
+    fn underloaded_latency_is_quasi_instant() {
+        // 50K daily volume (paper Table V, first column): txs processed in
+        // the round they arrive
+        let report = System::new(small()).run();
+        assert!(
+            report.avg_sc_latency_secs < 7.0,
+            "latency {}",
+            report.avg_sc_latency_secs
+        );
+    }
+
+    #[test]
+    fn pruning_bounds_sidechain_size() {
+        let report = System::new(small()).run();
+        // after the final syncs everything prunable is pruned; only
+        // permanent summary blocks remain
+        assert!(
+            report.sidechain_bytes < report.sidechain_peak_bytes,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = System::new(small()).run();
+        let b = System::new(small()).run();
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.mainchain_gas, b.mainchain_gas);
+        assert_eq!(a.avg_payout_latency_secs, b.avg_payout_latency_secs);
+    }
+
+    #[test]
+    fn silent_leader_recovers_with_view_change() {
+        let mut cfg = small();
+        cfg.faults = FaultPlan {
+            silent_leader_epochs: [2].into(),
+            ..FaultPlan::default()
+        };
+        let report = System::new(cfg).run();
+        assert!(report.view_changes >= 1);
+        assert_eq!(report.leftover_queue, 0);
+        assert!(report.syncs_confirmed >= 3, "{report:?}");
+    }
+
+    #[test]
+    fn invalid_sync_triggers_mass_sync() {
+        let mut cfg = small();
+        cfg.faults = FaultPlan {
+            invalid_sync_epochs: [2].into(),
+            ..FaultPlan::default()
+        };
+        let report = System::new(cfg).run();
+        assert!(report.mass_syncs >= 1, "{report:?}");
+        // epoch 2's transactions still reach payout via the mass-sync
+        assert_eq!(report.leftover_queue, 0);
+    }
+
+    #[test]
+    fn rollback_recovered_by_mass_sync() {
+        let mut cfg = small();
+        cfg.faults = FaultPlan {
+            rollback_epochs: [2].into(),
+            ..FaultPlan::default()
+        };
+        let report = System::new(cfg).run();
+        assert!(report.mass_syncs >= 1, "{report:?}");
+        assert_eq!(report.leftover_queue, 0);
+    }
+
+    #[test]
+    fn per_epoch_deposits_cost_more_gas() {
+        let once = System::new(small()).run();
+        let mut cfg = small();
+        cfg.deposit_policy = DepositPolicy::PerEpoch;
+        let per_epoch = System::new(cfg).run();
+        assert!(
+            per_epoch.deposit_gas > once.deposit_gas,
+            "{} vs {}",
+            per_epoch.deposit_gas,
+            once.deposit_gas
+        );
+    }
+
+    #[test]
+    fn committees_rotate_every_epoch() {
+        // drive two epochs manually and compare the elected committees
+        let cfg = small();
+        let mut sys = System::new(cfg.clone());
+        let t0 = SimTime::ZERO + SimDuration::from_secs(60);
+        sys.submit_deposits(SimTime::ZERO, 1);
+        sys.chain.advance_to(t0);
+        sys.handle_confirmations();
+        sys.run_epoch(1, t0);
+        sys.run_epoch(2, t0 + cfg.epoch_duration());
+        let committees = sys.committees();
+        assert_eq!(committees.len(), 2);
+        assert_ne!(
+            committees[0].members, committees[1].members,
+            "committee refresh failed"
+        );
+    }
+}

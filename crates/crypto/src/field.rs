@@ -1,0 +1,283 @@
+//! Arithmetic in the BN254 (alt_bn128) scalar field `F_r`, where
+//!
+//! `r = 21888242871839275222246405745257275088548364400416034343698204186575808495617`
+//!
+//! This is the exponent field of the BN256 curve used by the paper's
+//! Solidity BLS verification (Ethereum precompiles EIP-196/197), so all
+//! threshold-signature, DKG, Shamir and VRF algebra in this crate runs over
+//! the same scalar field a production deployment would use.
+
+use crate::u256::U256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// The BN254 scalar modulus `r` (little-endian limbs).
+///
+/// Hex: `0x30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001`.
+pub const MODULUS: U256 = U256::from_limbs([
+    0x43e1f593f0000001,
+    0x2833e84879b97091,
+    0xb85045b68181585d,
+    0x30644e72e131a029,
+]);
+
+/// An element of the BN254 scalar field, kept reduced (`0 <= v < r`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Fr(U256);
+
+impl Fr {
+    /// The additive identity.
+    pub const ZERO: Fr = Fr(U256::ZERO);
+    /// The multiplicative identity.
+    pub const ONE: Fr = Fr(U256::ONE);
+
+    /// Creates an element from a `u64`.
+    pub fn from_u64(v: u64) -> Fr {
+        Fr(U256::from_u64(v))
+    }
+
+    /// Creates an element from a `u128`.
+    pub fn from_u128(v: u128) -> Fr {
+        Fr(U256::from_u128(v)).reduce_once()
+    }
+
+    /// Reduces an arbitrary [`U256`] modulo `r`.
+    pub fn from_u256_reduced(v: U256) -> Fr {
+        if v < MODULUS {
+            Fr(v)
+        } else {
+            Fr(v % MODULUS)
+        }
+    }
+
+    /// Interprets 32 big-endian bytes as an integer and reduces mod `r`.
+    ///
+    /// This is the "hash-to-field" used by hash-to-point: a 256-bit digest
+    /// is reduced into the field. The modulus bias is ~2^-2 of the top bit
+    /// range, acceptable for simulation.
+    pub fn from_be_bytes_reduced(bytes: [u8; 32]) -> Fr {
+        Fr::from_u256_reduced(U256::from_be_bytes(bytes))
+    }
+
+    /// Returns the canonical representative in `[0, r)`.
+    pub fn to_u256(&self) -> U256 {
+        self.0
+    }
+
+    /// Big-endian byte encoding of the canonical representative.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns `true` for the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    fn reduce_once(self) -> Fr {
+        if self.0 >= MODULUS {
+            Fr(self.0.wrapping_sub(MODULUS))
+        } else {
+            self
+        }
+    }
+
+    /// Modular exponentiation (square-and-multiply).
+    pub fn pow(&self, mut exp: U256) -> Fr {
+        let mut base = *self;
+        let mut acc = Fr::ONE;
+        while !exp.is_zero() {
+            if exp.bit(0) {
+                acc = acc * base;
+            }
+            base = base * base;
+            exp = exp >> 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// Returns `None` for zero.
+    pub fn inverse(&self) -> Option<Fr> {
+        if self.is_zero() {
+            return None;
+        }
+        let exp = MODULUS.wrapping_sub(U256::from_u64(2));
+        Some(self.pow(exp))
+    }
+
+    /// Doubles the element.
+    pub fn double(&self) -> Fr {
+        *self + *self
+    }
+
+    /// Squares the element.
+    pub fn square(&self) -> Fr {
+        *self * *self
+    }
+
+    /// Draws a uniformly random element using the provided 32-byte entropy.
+    ///
+    /// Callers supply entropy (e.g. from an RNG or a hash); the bytes are
+    /// reduced modulo `r`.
+    pub fn from_entropy(bytes: [u8; 32]) -> Fr {
+        Fr::from_be_bytes_reduced(bytes)
+    }
+}
+
+impl Add for Fr {
+    type Output = Fr;
+    fn add(self, rhs: Fr) -> Fr {
+        let (sum, carry) = self.0.overflowing_add(rhs.0);
+        if carry || sum >= MODULUS {
+            Fr(sum.wrapping_sub(MODULUS))
+        } else {
+            Fr(sum)
+        }
+    }
+}
+
+impl Sub for Fr {
+    type Output = Fr;
+    fn sub(self, rhs: Fr) -> Fr {
+        let (diff, borrow) = self.0.overflowing_sub(rhs.0);
+        if borrow {
+            Fr(diff.wrapping_add(MODULUS))
+        } else {
+            Fr(diff)
+        }
+    }
+}
+
+impl Mul for Fr {
+    type Output = Fr;
+    fn mul(self, rhs: Fr) -> Fr {
+        let prod = self.0.full_mul(rhs.0);
+        let (_, rem) = prod.div_rem_u256(MODULUS);
+        Fr(rem)
+    }
+}
+
+impl Neg for Fr {
+    type Output = Fr;
+    fn neg(self) -> Fr {
+        if self.is_zero() {
+            self
+        } else {
+            Fr(MODULUS.wrapping_sub(self.0))
+        }
+    }
+}
+
+impl From<u64> for Fr {
+    fn from(v: u64) -> Fr {
+        Fr::from_u64(v)
+    }
+}
+
+impl fmt::Debug for Fr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fr({})", self.0)
+    }
+}
+
+impl fmt::Display for Fr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::iter::Sum for Fr {
+    fn sum<I: Iterator<Item = Fr>>(iter: I) -> Fr {
+        iter.fold(Fr::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::iter::Product for Fr {
+    fn product<I: Iterator<Item = Fr>>(iter: I) -> Fr {
+        iter.fold(Fr::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulus_is_expected_decimal() {
+        assert_eq!(
+            MODULUS.to_string(),
+            "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+        );
+    }
+
+    #[test]
+    fn add_wraps_at_modulus() {
+        let almost = Fr::from_u256_reduced(MODULUS.wrapping_sub(U256::ONE));
+        assert_eq!(almost + Fr::ONE, Fr::ZERO);
+        assert_eq!(almost + Fr::from_u64(2), Fr::ONE);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(
+            Fr::ZERO - Fr::ONE,
+            Fr::from_u256_reduced(MODULUS.wrapping_sub(U256::ONE))
+        );
+        assert_eq!(Fr::from_u64(5) - Fr::from_u64(3), Fr::from_u64(2));
+    }
+
+    #[test]
+    fn mul_matches_small_values() {
+        assert_eq!(Fr::from_u64(7) * Fr::from_u64(6), Fr::from_u64(42));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let x = Fr::from_u128(987654321987654321u128);
+        assert_eq!(x + (-x), Fr::ZERO);
+        assert_eq!(-Fr::ZERO, Fr::ZERO);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let x = Fr::from_u128(123456789123456789u128);
+        let inv = x.inverse().unwrap();
+        assert_eq!(x * inv, Fr::ONE);
+        assert!(Fr::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let x = Fr::from_u64(3);
+        assert_eq!(x.pow(U256::ZERO), Fr::ONE);
+        assert_eq!(x.pow(U256::from_u64(1)), x);
+        assert_eq!(x.pow(U256::from_u64(5)), Fr::from_u64(243));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // x^(r-1) == 1 for x != 0
+        let x = Fr::from_u64(1234567);
+        assert_eq!(x.pow(MODULUS.wrapping_sub(U256::ONE)), Fr::ONE);
+    }
+
+    #[test]
+    fn reduction_of_large_values() {
+        let big = U256::MAX;
+        let r = Fr::from_u256_reduced(big);
+        assert!(r.to_u256() < MODULUS);
+        // 2^256 - 1 mod r computed two ways
+        let manual = U256::MAX % MODULUS;
+        assert_eq!(r.to_u256(), manual);
+    }
+
+    #[test]
+    fn sum_and_product_iters() {
+        let xs = [Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)];
+        assert_eq!(xs.iter().copied().sum::<Fr>(), Fr::from_u64(6));
+        assert_eq!(xs.iter().copied().product::<Fr>(), Fr::from_u64(6));
+    }
+}

@@ -1,0 +1,268 @@
+//! Keccak-256 as used by Ethereum (original Keccak padding `0x01`, *not*
+//! the NIST SHA-3 `0x06` padding), implemented from the specification.
+//!
+//! Keccak-256 drives every hash in the workspace: transaction ids, block
+//! ids, Merkle trees, hash-to-point for the TSQC signatures, and the gas
+//! accounting of the `KECCAK256` EVM opcode.
+
+/// Rate in bytes for Keccak-256 (1600-bit state, 512-bit capacity).
+pub const KECCAK256_RATE: usize = 136;
+
+/// Output size in bytes.
+pub const KECCAK256_OUTPUT: usize = 32;
+
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+const RHO: [u32; 24] = [
+    1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14, 27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+];
+
+const PI: [usize; 24] = [
+    10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+];
+
+/// The Keccak-f[1600] permutation.
+pub fn keccak_f1600(state: &mut [u64; 25]) {
+    for &rc in RC.iter() {
+        // θ
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x + 5 * y] ^= d;
+            }
+        }
+        // ρ and π
+        let mut last = state[1];
+        for i in 0..24 {
+            let j = PI[i];
+            let tmp = state[j];
+            state[j] = last.rotate_left(RHO[i]);
+            last = tmp;
+        }
+        // χ
+        for y in 0..5 {
+            let row = [
+                state[5 * y],
+                state[5 * y + 1],
+                state[5 * y + 2],
+                state[5 * y + 3],
+                state[5 * y + 4],
+            ];
+            for x in 0..5 {
+                state[5 * y + x] = row[x] ^ ((!row[(x + 1) % 5]) & row[(x + 2) % 5]);
+            }
+        }
+        // ι
+        state[0] ^= rc;
+    }
+}
+
+/// Streaming Keccak-256 hasher.
+///
+/// ```
+/// use ammboost_crypto::keccak::Keccak256;
+/// let mut h = Keccak256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), ammboost_crypto::keccak::keccak256(b"abc"));
+/// ```
+#[derive(Clone)]
+pub struct Keccak256 {
+    state: [u64; 25],
+    buf: [u8; KECCAK256_RATE],
+    buf_len: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Keccak256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Keccak256")
+            .field("buffered", &self.buf_len)
+            .finish()
+    }
+}
+
+impl Keccak256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [0u64; 25],
+            buf: [0u8; KECCAK256_RATE],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the sponge.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = (KECCAK256_RATE - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == KECCAK256_RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..KECCAK256_RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buf[8 * i..8 * (i + 1)]);
+            self.state[i] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f1600(&mut self.state);
+        self.buf_len = 0;
+    }
+
+    /// Finishes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        // Keccak padding: 0x01 .. 0x80 within the rate block.
+        self.buf[self.buf_len..].fill(0);
+        self.buf[self.buf_len] ^= 0x01;
+        self.buf[KECCAK256_RATE - 1] ^= 0x80;
+        self.buf_len = KECCAK256_RATE;
+        // absorb final block without resetting padding
+        for i in 0..KECCAK256_RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buf[8 * i..8 * (i + 1)]);
+            self.state[i] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f1600(&mut self.state);
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[8 * i..8 * (i + 1)].copy_from_slice(&self.state[i].to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot Keccak-256.
+///
+/// ```
+/// let digest = ammboost_crypto::keccak::keccak256(b"");
+/// assert_eq!(hex(&digest), "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+/// # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+/// ```
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    let mut h = Keccak256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Keccak-256 over the concatenation of several byte slices, avoiding an
+/// intermediate allocation.
+pub fn keccak256_concat(parts: &[&[u8]]) -> [u8; 32] {
+    let mut h = Keccak256::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn fox_vector() {
+        assert_eq!(
+            hex(&keccak256(b"The quick brown fox jumps over the lazy dog")),
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for chunk in [1usize, 7, 64, 135, 136, 137, 500] {
+            let mut h = Keccak256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), keccak256(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn rate_boundary_lengths() {
+        // Hash inputs straddling the 136-byte rate boundary; mostly a
+        // regression guard for padding logic.
+        for len in [0usize, 1, 135, 136, 137, 271, 272, 273] {
+            let data = vec![0xA5u8; len];
+            let d1 = keccak256(&data);
+            let mut h = Keccak256::new();
+            h.update(&data);
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn concat_matches_join() {
+        let a = b"hello ".as_slice();
+        let b = b"world".as_slice();
+        assert_eq!(keccak256_concat(&[a, b]), keccak256(b"hello world"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(keccak256(b"a"), keccak256(b"b"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Keccak-256 binary Merkle trees for block transaction roots and
+//! inclusion proofs (used to audit pruned meta-blocks against their
+//! summary-block commitments).
+
+use crate::types::H256;
+use serde::{Deserialize, Serialize};
+
+/// Domain tags prevent leaf/node second-preimage confusion.
+const LEAF_TAG: &[u8] = &[0x00];
+const NODE_TAG: &[u8] = &[0x01];
+
+/// Hashes a leaf payload.
+pub fn leaf_hash(data: &[u8]) -> H256 {
+    H256::hash_concat(&[LEAF_TAG, data])
+}
+
+fn node_hash(l: &H256, r: &H256) -> H256 {
+    H256::hash_concat(&[NODE_TAG, &l.0, &r.0])
+}
+
+/// A Merkle tree with all levels retained for proof generation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MerkleTree {
+    levels: Vec<Vec<H256>>,
+}
+
+/// A sibling-path inclusion proof.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hashes from leaf level to just below the root.
+    pub siblings: Vec<H256>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from pre-hashed leaves. An empty leaf set yields the
+    /// all-zero root. Odd levels duplicate their last node.
+    pub fn from_leaves(leaves: Vec<H256>) -> MerkleTree {
+        if leaves.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![H256::ZERO]],
+            };
+        }
+        let mut levels = vec![leaves];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let l = &pair[0];
+                let r = pair.get(1).unwrap_or(l);
+                next.push(node_hash(l, r));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Builds a tree by hashing raw items as leaves.
+    pub fn from_items<T: AsRef<[u8]>>(items: &[T]) -> MerkleTree {
+        MerkleTree::from_leaves(items.iter().map(|i| leaf_hash(i.as_ref())).collect())
+    }
+
+    /// The Merkle root.
+    pub fn root(&self) -> H256 {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// `true` when the tree was built from zero leaves.
+    pub fn is_empty(&self) -> bool {
+        self.levels.len() == 1 && self.levels[0][0] == H256::ZERO
+    }
+
+    /// Produces an inclusion proof for leaf `index`.
+    ///
+    /// Returns `None` when the index is out of bounds.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.levels[0].len() || self.is_empty() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = if idx % 2 == 0 {
+                level.get(idx + 1).unwrap_or(&level[idx])
+            } else {
+                &level[idx - 1]
+            };
+            siblings.push(*sib);
+            idx /= 2;
+        }
+        Some(MerkleProof { index, siblings })
+    }
+}
+
+/// Verifies an inclusion proof for `leaf` against `root`.
+pub fn verify_proof(root: &H256, leaf: &H256, proof: &MerkleProof) -> bool {
+    let mut acc = *leaf;
+    let mut idx = proof.index;
+    for sib in &proof.siblings {
+        acc = if idx % 2 == 0 {
+            node_hash(&acc, sib)
+        } else {
+            node_hash(sib, &acc)
+        };
+        idx /= 2;
+    }
+    acc == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("tx-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_tree_root_is_zero() {
+        let t = MerkleTree::from_leaves(vec![]);
+        assert_eq!(t.root(), H256::ZERO);
+        assert!(t.is_empty());
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let leaf = leaf_hash(b"only");
+        let t = MerkleTree::from_leaves(vec![leaf]);
+        assert_eq!(t.root(), leaf);
+        let p = t.prove(0).unwrap();
+        assert!(p.siblings.is_empty());
+        assert!(verify_proof(&t.root(), &leaf, &p));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let data = items(n);
+            let t = MerkleTree::from_items(&data);
+            for (i, item) in data.iter().enumerate() {
+                let p = t.prove(i).unwrap();
+                assert!(
+                    verify_proof(&t.root(), &leaf_hash(item), &p),
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_rejected() {
+        let data = items(8);
+        let t = MerkleTree::from_items(&data);
+        let p = t.prove(3).unwrap();
+        assert!(!verify_proof(&t.root(), &leaf_hash(b"tx-4"), &p));
+    }
+
+    #[test]
+    fn wrong_index_rejected() {
+        let data = items(8);
+        let t = MerkleTree::from_items(&data);
+        let mut p = t.prove(3).unwrap();
+        p.index = 4;
+        assert!(!verify_proof(&t.root(), &leaf_hash(b"tx-3"), &p));
+    }
+
+    #[test]
+    fn out_of_bounds_proof_is_none() {
+        let t = MerkleTree::from_items(&items(4));
+        assert!(t.prove(4).is_none());
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let a = MerkleTree::from_items(&items(6)).root();
+        let mut data = items(6);
+        data[5] = b"tx-5-mutated".to_vec();
+        let b = MerkleTree::from_items(&data).root();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn leaf_node_domain_separation() {
+        // A node hash of two leaves must differ from a leaf hash of their
+        // concatenation.
+        let l = leaf_hash(b"a");
+        let r = leaf_hash(b"b");
+        let node = MerkleTree::from_leaves(vec![l, r]).root();
+        let mut concat = Vec::new();
+        concat.extend_from_slice(&l.0);
+        concat.extend_from_slice(&r.0);
+        assert_ne!(node, leaf_hash(&concat));
+    }
+}

@@ -1,0 +1,190 @@
+//! Common hash-sized value types shared across the workspace: [`H256`]
+//! digests and 20-byte [`Address`]es (derived, Ethereum-style, from the
+//! Keccak-256 hash of a public key).
+
+use crate::keccak::keccak256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 256-bit hash value (block ids, transaction ids, Merkle roots).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct H256(pub [u8; 32]);
+
+impl H256 {
+    /// The all-zero hash.
+    pub const ZERO: H256 = H256([0u8; 32]);
+
+    /// Hashes arbitrary bytes with Keccak-256.
+    pub fn hash(data: &[u8]) -> H256 {
+        H256(keccak256(data))
+    }
+
+    /// Hashes the concatenation of multiple byte slices.
+    pub fn hash_concat(parts: &[&[u8]]) -> H256 {
+        H256(crate::keccak::keccak256_concat(parts))
+    }
+
+    /// Returns the raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Returns `true` if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// Lowercase hex string (no `0x` prefix).
+    pub fn to_hex(&self) -> String {
+        to_hex(&self.0)
+    }
+}
+
+impl fmt::Debug for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H256(0x{}…)", &self.to_hex()[..8])
+    }
+}
+
+impl fmt::Display for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl From<[u8; 32]> for H256 {
+    fn from(b: [u8; 32]) -> Self {
+        H256(b)
+    }
+}
+
+impl AsRef<[u8]> for H256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A 20-byte account / contract address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The all-zero address (used as the "null" address).
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Derives an address from public-key bytes: the low 20 bytes of
+    /// `keccak256(pk)`, as Ethereum does.
+    pub fn from_pubkey_bytes(pk: &[u8]) -> Address {
+        let h = keccak256(pk);
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&h[12..]);
+        Address(out)
+    }
+
+    /// A deterministic test/demo address derived from an index.
+    pub fn from_index(i: u64) -> Address {
+        let h = keccak256(&i.to_be_bytes());
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&h[12..]);
+        Address(out)
+    }
+
+    /// Returns the raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Lowercase hex string (no `0x` prefix).
+    pub fn to_hex(&self) -> String {
+        to_hex(&self.0)
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address(0x{}…)", &self.to_hex()[..8])
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Encodes bytes as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+/// Decodes a hex string (with or without `0x` prefix).
+///
+/// # Errors
+/// Returns `None` on odd length or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_and_display() {
+        let h = H256::hash(b"hello");
+        assert!(!h.is_zero());
+        assert!(h.to_string().starts_with("0x"));
+        assert_eq!(h.to_hex().len(), 64);
+    }
+
+    #[test]
+    fn address_derivation_is_deterministic() {
+        let a = Address::from_pubkey_bytes(b"some pubkey");
+        let b = Address::from_pubkey_bytes(b"some pubkey");
+        let c = Address::from_pubkey_bytes(b"other pubkey");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn address_from_index_distinct() {
+        assert_ne!(Address::from_index(0), Address::from_index(1));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = vec![0u8, 1, 0xab, 0xff, 0x10];
+        let s = to_hex(&data);
+        assert_eq!(from_hex(&s).unwrap(), data);
+        assert_eq!(from_hex(&format!("0x{s}")).unwrap(), data);
+        assert!(from_hex("abc").is_none()); // odd length
+        assert!(from_hex("zz").is_none()); // bad digit
+    }
+
+    #[test]
+    fn hash_concat_matches() {
+        assert_eq!(H256::hash_concat(&[b"ab", b"c"]), H256::hash(b"abc"));
+    }
+}

@@ -1,0 +1,1107 @@
+//! Fixed-width 256-bit and 512-bit unsigned integers.
+//!
+//! These are the arithmetic workhorses of the whole workspace: the AMM engine
+//! uses them for Q64.96 sqrt-price math (including the 512-bit-intermediate
+//! `mul_div` that Uniswap calls `FullMath.mulDiv`), and the crypto layer uses
+//! them for field arithmetic modulo the BN254 scalar prime.
+//!
+//! Layout is four (resp. eight) little-endian `u64` limbs. All arithmetic is
+//! implemented from scratch; division uses Knuth's Algorithm D.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub};
+
+/// A 256-bit unsigned integer (four little-endian `u64` limbs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct U256(pub(crate) [u64; 4]);
+
+/// A 512-bit unsigned integer (eight little-endian `u64` limbs), used as the
+/// intermediate type for full-width 256x256 multiplication.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct U512(pub(crate) [u64; 8]);
+
+/// Error returned when parsing a [`U256`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseU256Error {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+    Overflow,
+}
+
+impl fmt::Display for ParseU256Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit `{c}`"),
+            ParseErrorKind::Overflow => write!(f, "value does not fit in 256 bits"),
+        }
+    }
+}
+
+impl std::error::Error for ParseU256Error {}
+
+impl U256 {
+    /// The value `0`.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The value `1`.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The maximum representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a value from a `u64`.
+    #[inline]
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Creates a value from a `u128`.
+    #[inline]
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Creates a value from raw little-endian limbs.
+    #[inline]
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns the raw little-endian limbs.
+    #[inline]
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Returns `2^exp`.
+    ///
+    /// # Panics
+    /// Panics if `exp >= 256`.
+    pub fn pow2(exp: u32) -> Self {
+        assert!(exp < 256, "pow2 exponent out of range");
+        let mut out = [0u64; 4];
+        out[(exp / 64) as usize] = 1u64 << (exp % 64);
+        U256(out)
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Truncates to the low 64 bits.
+    #[inline]
+    pub const fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Truncates to the low 128 bits.
+    #[inline]
+    pub const fn low_u128(&self) -> u128 {
+        (self.0[0] as u128) | ((self.0[1] as u128) << 64)
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.low_u128())
+        } else {
+            None
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns bit `i` (little-endian numbering).
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Addition returning `(wrapped, carried)`.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Subtraction returning `(wrapped, borrowed)`.
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Wrapping (mod `2^256`) addition.
+    pub fn wrapping_add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping (mod `2^256`) subtraction.
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).unwrap_or(U256::MAX)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: U256) -> U256 {
+        self.checked_sub(rhs).unwrap_or(U256::ZERO)
+    }
+
+    /// Full-width multiplication producing a 512-bit result.
+    pub fn full_mul(self, rhs: U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = (self.0[i] as u128) * (rhs.0[j] as u128)
+                    + (out[i + j] as u128)
+                    + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512(out)
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: U256) -> Option<U256> {
+        let full = self.full_mul(rhs);
+        if full.0[4..].iter().all(|&l| l == 0) {
+            Some(U256([full.0[0], full.0[1], full.0[2], full.0[3]]))
+        } else {
+            None
+        }
+    }
+
+    /// Wrapping (mod `2^256`) multiplication.
+    pub fn wrapping_mul(self, rhs: U256) -> U256 {
+        let full = self.full_mul(rhs);
+        U256([full.0[0], full.0[1], full.0[2], full.0[3]])
+    }
+
+    /// Division with remainder.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(self, divisor: U256) -> (U256, U256) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (U256::ZERO, self);
+        }
+        let (q, r) = div_rem_slices(&self.0, &divisor.0);
+        (U256(slice_to_4(&q)), U256(slice_to_4(&r)))
+    }
+
+    /// Checked division (`None` when dividing by zero).
+    pub fn checked_div(self, divisor: U256) -> Option<U256> {
+        if divisor.is_zero() {
+            None
+        } else {
+            Some(self.div_rem(divisor).0)
+        }
+    }
+
+    /// Computes `floor(self * mul / div)` with a 512-bit intermediate.
+    ///
+    /// This is the Uniswap `FullMath.mulDiv` primitive.
+    ///
+    /// # Panics
+    /// Panics if `div` is zero or the result does not fit in 256 bits.
+    pub fn mul_div(self, mul: U256, div: U256) -> U256 {
+        self.checked_mul_div(mul, div)
+            .expect("mul_div overflow or division by zero")
+    }
+
+    /// Computes `ceil(self * mul / div)` with a 512-bit intermediate.
+    ///
+    /// # Panics
+    /// Panics if `div` is zero or the result does not fit in 256 bits.
+    pub fn mul_div_rounding_up(self, mul: U256, div: U256) -> U256 {
+        let prod = self.full_mul(mul);
+        let (q, r) = prod.div_rem_u256(div);
+        let mut out = q.to_u256().expect("mul_div_rounding_up overflow");
+        if !r.is_zero() {
+            out = out
+                .checked_add(U256::ONE)
+                .expect("mul_div_rounding_up overflow");
+        }
+        out
+    }
+
+    /// Checked `floor(self * mul / div)`.
+    ///
+    /// Returns `None` when `div == 0` or when the quotient exceeds 256 bits.
+    pub fn checked_mul_div(self, mul: U256, div: U256) -> Option<U256> {
+        if div.is_zero() {
+            return None;
+        }
+        let prod = self.full_mul(mul);
+        let (q, _r) = prod.div_rem_u256(div);
+        q.to_u256()
+    }
+
+    /// Computes `(self * mul) >> shift` with a 512-bit intermediate,
+    /// truncating. Used for Q128 fixed-point products.
+    ///
+    /// # Panics
+    /// Panics if the shifted result does not fit in 256 bits.
+    pub fn mul_shr(self, mul: U256, shift: u32) -> U256 {
+        let prod = self.full_mul(mul);
+        let shifted = prod >> shift;
+        shifted.to_u256().expect("mul_shr overflow")
+    }
+
+    /// Integer square root: the largest `r` with `r * r <= self`.
+    pub fn isqrt(self) -> U256 {
+        if self.is_zero() {
+            return U256::ZERO;
+        }
+        // Newton's method with a power-of-two initial overestimate.
+        let mut x = U256::pow2((self.bits() + 1) / 2);
+        loop {
+            // y = (x + self / x) / 2
+            let y = (x + self / x) >> 1;
+            if y >= x {
+                return x;
+            }
+            x = y;
+        }
+    }
+
+    /// Big-endian byte representation.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses from big-endian bytes.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut l = [0u8; 8];
+            l.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+            limbs[i] = u64::from_be_bytes(l);
+        }
+        U256(limbs)
+    }
+
+    /// Parses a decimal string.
+    pub fn from_dec_str(s: &str) -> Result<Self, ParseU256Error> {
+        if s.is_empty() {
+            return Err(ParseU256Error {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = U256::ZERO;
+        let ten = U256::from_u64(10);
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10).ok_or(ParseU256Error {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            acc = acc
+                .checked_mul(ten)
+                .and_then(|a| a.checked_add(U256::from_u64(d as u64)))
+                .ok_or(ParseU256Error {
+                    kind: ParseErrorKind::Overflow,
+                })?;
+        }
+        Ok(acc)
+    }
+}
+
+fn slice_to_4(s: &[u64]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (i, &l) in s.iter().enumerate().take(4) {
+        out[i] = l;
+    }
+    debug_assert!(s.iter().skip(4).all(|&l| l == 0));
+    out
+}
+
+fn slice_to_8(s: &[u64]) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for (i, &l) in s.iter().enumerate().take(8) {
+        out[i] = l;
+    }
+    debug_assert!(s.iter().skip(8).all(|&l| l == 0));
+    out
+}
+
+/// Knuth Algorithm D long division over little-endian `u64` limb slices.
+///
+/// Returns `(quotient, remainder)` with all leading zeros preserved away.
+fn div_rem_slices(num: &[u64], div: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    // Strip leading (most-significant) zeros.
+    let n_len = num.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    let d_len = div.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    assert!(d_len > 0, "division by zero");
+    let num = &num[..n_len];
+    let div = &div[..d_len];
+
+    if n_len < d_len {
+        return (vec![0], num.to_vec());
+    }
+
+    // Single-limb divisor: simple schoolbook division.
+    if d_len == 1 {
+        let d = div[0] as u128;
+        let mut q = vec![0u64; n_len];
+        let mut rem: u128 = 0;
+        for i in (0..n_len).rev() {
+            let cur = (rem << 64) | num[i] as u128;
+            q[i] = (cur / d) as u64;
+            rem = cur % d;
+        }
+        return (q, vec![rem as u64]);
+    }
+
+    // D1: normalize so the top divisor limb has its high bit set.
+    let shift = div[d_len - 1].leading_zeros();
+    let mut v = shl_limbs(div, shift);
+    v.truncate(d_len); // shift cannot push the divisor into a new limb
+    let mut u = shl_limbs(num, shift);
+    u.resize(n_len + 1, 0);
+
+    let n = d_len;
+    let m = n_len - d_len;
+    let mut q = vec![0u64; m + 1];
+    let b: u128 = 1u128 << 64;
+
+    // D2..D7: main loop.
+    for j in (0..=m).rev() {
+        // D3: estimate q-hat.
+        let top = ((u[j + n] as u128) << 64) | (u[j + n - 1] as u128);
+        let mut qhat = top / (v[n - 1] as u128);
+        let mut rhat = top % (v[n - 1] as u128);
+        while qhat >= b
+            || qhat * (v[n - 2] as u128) > (rhat << 64) + (u[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += v[n - 1] as u128;
+            if rhat >= b {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract.
+        let mut borrow: i128 = 0;
+        let mut carry: u128 = 0;
+        for i in 0..n {
+            let p = qhat * (v[i] as u128) + carry;
+            carry = p >> 64;
+            let sub = (u[j + i] as i128) - ((p as u64) as i128) + borrow;
+            u[j + i] = sub as u64;
+            borrow = sub >> 64; // arithmetic shift: 0 or -1
+        }
+        let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+        u[j + n] = sub as u64;
+        let neg = sub < 0;
+
+        // D5/D6: if we subtracted too much, add one divisor back.
+        if neg {
+            qhat -= 1;
+            let mut c: u128 = 0;
+            for i in 0..n {
+                let s = (u[j + i] as u128) + (v[i] as u128) + c;
+                u[j + i] = s as u64;
+                c = s >> 64;
+            }
+            u[j + n] = u[j + n].wrapping_add(c as u64);
+        }
+        q[j] = qhat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let rem = shr_limbs(&u[..n], shift);
+    (q, rem)
+}
+
+fn shl_limbs(x: &[u64], shift: u32) -> Vec<u64> {
+    debug_assert!(shift < 64);
+    if shift == 0 {
+        return x.to_vec();
+    }
+    let mut out = vec![0u64; x.len() + 1];
+    for (i, &l) in x.iter().enumerate() {
+        out[i] |= l << shift;
+        out[i + 1] = l >> (64 - shift);
+    }
+    if out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+fn shr_limbs(x: &[u64], shift: u32) -> Vec<u64> {
+    debug_assert!(shift < 64);
+    if shift == 0 {
+        return x.to_vec();
+    }
+    let mut out = vec![0u64; x.len()];
+    for i in 0..x.len() {
+        out[i] = x[i] >> shift;
+        if i + 1 < x.len() {
+            out[i] |= x[i + 1] << (64 - shift);
+        }
+    }
+    out
+}
+
+impl U512 {
+    /// The value `0`.
+    pub const ZERO: U512 = U512([0; 8]);
+    /// The value `1`.
+    pub const ONE: U512 = U512([1, 0, 0, 0, 0, 0, 0, 0]);
+
+    /// Creates from raw little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; 8]) -> Self {
+        U512(limbs)
+    }
+
+    /// Widens a [`U256`].
+    pub const fn from_u256(v: U256) -> Self {
+        U512([v.0[0], v.0[1], v.0[2], v.0[3], 0, 0, 0, 0])
+    }
+
+    /// Returns `2^exp`.
+    ///
+    /// # Panics
+    /// Panics if `exp >= 512`.
+    pub fn pow2(exp: u32) -> Self {
+        assert!(exp < 512, "pow2 exponent out of range");
+        let mut out = [0u64; 8];
+        out[(exp / 64) as usize] = 1u64 << (exp % 64);
+        U512(out)
+    }
+
+    /// Returns `true` when zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 8]
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> u32 {
+        for i in (0..8).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Narrows to [`U256`] when the value fits.
+    pub fn to_u256(&self) -> Option<U256> {
+        if self.0[4..].iter().all(|&l| l == 0) {
+            Some(U256([self.0[0], self.0[1], self.0[2], self.0[3]]))
+        } else {
+            None
+        }
+    }
+
+    /// Addition returning `(wrapped, carried)`.
+    pub fn overflowing_add(self, rhs: U512) -> (U512, bool) {
+        let mut out = [0u64; 8];
+        let mut carry = false;
+        for i in 0..8 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 || c2;
+        }
+        (U512(out), carry)
+    }
+
+    /// Subtraction returning `(wrapped, borrowed)`.
+    pub fn overflowing_sub(self, rhs: U512) -> (U512, bool) {
+        let mut out = [0u64; 8];
+        let mut borrow = false;
+        for i in 0..8 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 || b2;
+        }
+        (U512(out), borrow)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: U512) -> Option<U512> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: U512) -> Option<U512> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Division with remainder by a 256-bit divisor.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u256(self, divisor: U256) -> (U512, U256) {
+        assert!(!divisor.is_zero(), "division by zero");
+        let (q, r) = div_rem_slices(&self.0, &divisor.0);
+        (U512(slice_to_8(&q)), U256(slice_to_4(&r)))
+    }
+
+    /// Division with remainder by a 512-bit divisor.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(self, divisor: U512) -> (U512, U512) {
+        assert!(!divisor.is_zero(), "division by zero");
+        let (q, r) = div_rem_slices(&self.0, &divisor.0);
+        (U512(slice_to_8(&q)), U512(slice_to_8(&r)))
+    }
+
+    /// Integer square root: largest `r` with `r * r <= self`.
+    ///
+    /// The result always fits in a [`U256`].
+    pub fn isqrt(self) -> U256 {
+        if self.is_zero() {
+            return U256::ZERO;
+        }
+        let mut x = U512::pow2(((self.bits() + 1) / 2).min(256));
+        loop {
+            let (q, _) = self.div_rem(x);
+            let (sum, carry) = x.overflowing_add(q);
+            assert!(!carry, "isqrt internal overflow");
+            let y = sum >> 1;
+            if ge_512(y, x) {
+                return x.to_u256().expect("isqrt result exceeds 256 bits");
+            }
+            x = y;
+        }
+    }
+}
+
+fn ge_512(a: U512, b: U512) -> bool {
+    for i in (0..8).rev() {
+        match a.0[i].cmp(&b.0[i]) {
+            Ordering::Greater => return true,
+            Ordering::Less => return false,
+            Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+// ---- operator impls -------------------------------------------------------
+
+impl Add for U256 {
+    type Output = U256;
+    fn add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).expect("U256 addition overflow")
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: U256) -> U256 {
+        self.checked_sub(rhs).expect("U256 subtraction underflow")
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+    fn mul(self, rhs: U256) -> U256 {
+        self.checked_mul(rhs).expect("U256 multiplication overflow")
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    fn div(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    fn rem(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            out[i] = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    fn shr(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..(4 - limb_shift) {
+            out[i] = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U512 {
+    type Output = U512;
+    fn shr(self, shift: u32) -> U512 {
+        if shift >= 512 {
+            return U512::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 8];
+        for i in 0..(8 - limb_shift) {
+            out[i] = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 8 {
+                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+        }
+        U512(out)
+    }
+}
+
+impl Shl<u32> for U512 {
+    type Output = U512;
+    fn shl(self, shift: u32) -> U512 {
+        if shift >= 512 {
+            return U512::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 8];
+        for i in (limb_shift..8).rev() {
+            out[i] = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+        }
+        U512(out)
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U512 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..8).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U512 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        U256::from_u64(v as u64)
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256({self})")
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = *self;
+        let ten = U256::from_u64(10);
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(ten);
+            digits.push(b'0' + r.low_u64() as u8);
+            cur = q;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).expect("decimal digits are ascii"))
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if f.alternate() {
+            write!(f, "0x")?;
+        }
+        write!(
+            f,
+            "{:016x}{:016x}{:016x}{:016x}",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
+    }
+}
+
+impl fmt::Debug for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U512(0x")?;
+        for i in (0..8).rev() {
+            write!(f, "{:016x}", self.0[i])?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::str::FromStr for U256 {
+    type Err = ParseU256Error;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        U256::from_dec_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_basic() {
+        assert_eq!(u(2) + u(3), u(5));
+        assert_eq!(u(5) - u(3), u(2));
+        let (v, c) = U256::MAX.overflowing_add(U256::ONE);
+        assert!(c);
+        assert_eq!(v, U256::ZERO);
+        let (v, b) = U256::ZERO.overflowing_sub(U256::ONE);
+        assert!(b);
+        assert_eq!(v, U256::MAX);
+    }
+
+    #[test]
+    fn carries_propagate_across_limbs() {
+        let a = U256([u64::MAX, u64::MAX, 0, 0]);
+        let sum = a + U256::ONE;
+        assert_eq!(sum, U256([0, 0, 1, 0]));
+        assert_eq!(sum - U256::ONE, a);
+    }
+
+    #[test]
+    fn mul_full_width() {
+        let a = U256::from_u128(u128::MAX);
+        let sq = a.full_mul(a);
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let expect = U512::pow2(256)
+            .checked_sub(U512::pow2(129))
+            .unwrap()
+            .checked_add(U512::ONE)
+            .unwrap();
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn div_rem_roundtrip() {
+        let n = U256::from_dec_str("340282366920938463463374607431768211455123456789").unwrap();
+        let d = U256::from_dec_str("987654321987654321").unwrap();
+        let (q, r) = n.div_rem(d);
+        assert_eq!(q * d + r, n);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn div_by_larger_is_zero() {
+        let (q, r) = u(5).div_rem(u(7));
+        assert_eq!(q, U256::ZERO);
+        assert_eq!(r, u(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = u(1).div_rem(U256::ZERO);
+    }
+
+    #[test]
+    fn u512_div_rem_roundtrip() {
+        let a = U256::MAX;
+        let b = U256::from_dec_str("123456789123456789123456789").unwrap();
+        let prod = a.full_mul(b);
+        let (q, r) = prod.div_rem_u256(b);
+        assert_eq!(q.to_u256().unwrap(), a);
+        assert_eq!(r, U256::ZERO);
+        let (q2, r2) = prod.div_rem_u256(a);
+        assert_eq!(q2.to_u256().unwrap(), b);
+        assert_eq!(r2, U256::ZERO);
+    }
+
+    #[test]
+    fn mul_div_matches_exact() {
+        // (2^200 * 3) / 2^100 == 3 * 2^100
+        let a = U256::pow2(200);
+        let out = a.mul_div(u(3), U256::pow2(100));
+        assert_eq!(out, U256::pow2(100) * u(3));
+    }
+
+    #[test]
+    fn mul_div_rounding_up_adds_one_on_remainder() {
+        assert_eq!(u(10).mul_div(u(1), u(3)), u(3));
+        assert_eq!(u(10).mul_div_rounding_up(u(1), u(3)), u(4));
+        assert_eq!(u(9).mul_div_rounding_up(u(1), u(3)), u(3));
+    }
+
+    #[test]
+    fn shifts() {
+        let one = U256::ONE;
+        assert_eq!(one << 255, U256([0, 0, 0, 1 << 63]));
+        assert_eq!((one << 255) >> 255, one);
+        assert_eq!(one << 256, U256::ZERO);
+        assert_eq!(U256::pow2(100) >> 36, U256::pow2(64));
+        let x = U512::pow2(300);
+        assert_eq!(x >> 44, U512::pow2(256));
+    }
+
+    #[test]
+    fn isqrt_small_and_large() {
+        assert_eq!(U256::ZERO.isqrt(), U256::ZERO);
+        assert_eq!(u(1).isqrt(), u(1));
+        assert_eq!(u(15).isqrt(), u(3));
+        assert_eq!(u(16).isqrt(), u(4));
+        assert_eq!(u(17).isqrt(), u(4));
+        let big = U256::pow2(200);
+        assert_eq!(big.isqrt(), U256::pow2(100));
+        // U512 sqrt of 2^400
+        assert_eq!(U512::pow2(400).isqrt(), U256::pow2(200));
+        // max: isqrt(2^512 - 1) = 2^256 - 1
+        let max512 = U512([u64::MAX; 8]);
+        assert_eq!(max512.isqrt(), U256::MAX);
+    }
+
+    #[test]
+    fn dec_string_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "1000000000000000000000000000000000000",
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935",
+        ];
+        for c in cases {
+            assert_eq!(U256::from_dec_str(c).unwrap().to_string(), c);
+        }
+        assert!(U256::from_dec_str(
+            "115792089237316195423570985008687907853269984665640564039457584007913129639936"
+        )
+        .is_err());
+        assert!(U256::from_dec_str("12a").is_err());
+        assert!(U256::from_dec_str("").is_err());
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U256::from_dec_str("123456789012345678901234567890").unwrap();
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+        let b = U256::ONE.to_be_bytes();
+        assert_eq!(b[31], 1);
+        assert!(b[..31].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!(U256::pow2(200).bits(), 201);
+        assert!(U256::pow2(200).bit(200));
+        assert!(!U256::pow2(200).bit(199));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(U256::pow2(128) > U256::from_u128(u128::MAX));
+        assert!(u(3) < u(4));
+        assert_eq!(u(4).cmp(&u(4)), Ordering::Equal);
+    }
+
+    #[test]
+    fn hex_display() {
+        assert_eq!(
+            format!("{:x}", U256::ONE),
+            "0000000000000000000000000000000000000000000000000000000000000001"
+        );
+        assert!(format!("{:#x}", U256::ONE).starts_with("0x"));
+    }
+
+    #[test]
+    fn knuth_d6_addback_case() {
+        // Construct a case that forces the rare add-back branch:
+        // numerator = 2^256 - 1, divisor = (2^128) + 3 style values.
+        let n = U512::from_u256(U256::MAX);
+        let d = U256::pow2(128) + u(3);
+        let (q, r) = n.div_rem_u256(d);
+        let q = q.to_u256().unwrap();
+        assert_eq!(q.full_mul(d).to_u256().unwrap() + r, U256::MAX);
+        assert!(r < d);
+    }
+}

@@ -1,0 +1,11 @@
+//! The mainchain contract layer: ERC20 tokens, ammBoost's `TokenBank`
+//! base contract, and the full-on-chain Uniswap baseline.
+
+pub mod erc20;
+pub mod token_bank;
+pub mod uniswap;
+
+pub use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
+pub use erc20::Erc20;
+pub use token_bank::{SyncInput, TokenBank};
+pub use uniswap::UniswapBaseline;

@@ -1,0 +1,185 @@
+//! The EVM gas schedule (post-EIP-2929 / EIP-1108, the rules in force on
+//! the Sepolia testnet the paper profiled with Tenderly) and a labelled
+//! gas meter that makes every charge itemizable — the reproduction of the
+//! paper's Table II depends on this itemization.
+
+/// Base cost of any transaction.
+pub const TX_BASE: u64 = 21_000;
+/// Per-byte calldata cost (non-zero bytes, post-EIP-2028).
+pub const CALLDATA_NONZERO_BYTE: u64 = 16;
+/// Per-byte calldata cost (zero bytes).
+pub const CALLDATA_ZERO_BYTE: u64 = 4;
+/// Storing a fresh 32-byte word: `SSTORE` to a zero slot (20,000) plus the
+/// EIP-2929 cold-access surcharge (2,100) — the paper's "22,100 gas per
+/// word" (Table II).
+pub const SSTORE_NEW_WORD: u64 = 22_100;
+/// Updating an existing word in a cold slot: 2,900 + 2,100.
+pub const SSTORE_UPDATE_COLD: u64 = 5_000;
+/// Updating an existing word in a warm slot.
+pub const SSTORE_UPDATE_WARM: u64 = 2_900;
+/// Reading a cold storage slot (EIP-2929).
+pub const SLOAD_COLD: u64 = 2_100;
+/// Reading a warm storage slot.
+pub const SLOAD_WARM: u64 = 100;
+/// Keccak-256 base cost.
+pub const KECCAK_BASE: u64 = 30;
+/// Keccak-256 cost per 32-byte word of input.
+pub const KECCAK_PER_WORD: u64 = 6;
+/// `ecMul` precompile on alt_bn128 (EIP-1108).
+pub const EC_MUL: u64 = 6_000;
+/// `ecAdd` precompile on alt_bn128 (EIP-1108).
+pub const EC_ADD: u64 = 150;
+/// `ecPairing` per-pair cost (EIP-1108).
+pub const PAIRING_PER_PAIR: u64 = 34_000;
+/// `ecPairing` base cost (EIP-1108).
+pub const PAIRING_BASE: u64 = 45_000;
+/// Cold account/contract access for `CALL` (EIP-2929).
+pub const CALL_COLD: u64 = 2_600;
+/// Warm `CALL`.
+pub const CALL_WARM: u64 = 100;
+/// `LOG` base cost.
+pub const LOG_BASE: u64 = 375;
+/// `LOG` cost per topic.
+pub const LOG_PER_TOPIC: u64 = 375;
+/// `LOG` cost per data byte.
+pub const LOG_PER_BYTE: u64 = 8;
+/// Refund for clearing a storage slot (EIP-3529 cap applies at tx level;
+/// we track refunds but cap them at 1/5 of gas used, as the EVM does).
+pub const SSTORE_CLEAR_REFUND: u64 = 4_800;
+
+/// Cost of hashing `len` bytes with the `KECCAK256` opcode.
+pub fn keccak_cost(len: usize) -> u64 {
+    KECCAK_BASE + KECCAK_PER_WORD * (len as u64).div_ceil(32)
+}
+
+/// Cost of an `ecPairing` check over `k` pairs. The BLS verification in
+/// TokenBank uses `k = 2`, giving the paper's 113,000.
+pub fn pairing_cost(pairs: usize) -> u64 {
+    PAIRING_BASE + PAIRING_PER_PAIR * pairs as u64
+}
+
+/// Intrinsic transaction cost for the given calldata.
+pub fn intrinsic_cost(calldata_len: usize, zero_fraction: f64) -> u64 {
+    let zeros = (calldata_len as f64 * zero_fraction) as u64;
+    let nonzeros = calldata_len as u64 - zeros;
+    TX_BASE + zeros * CALLDATA_ZERO_BYTE + nonzeros * CALLDATA_NONZERO_BYTE
+}
+
+/// A single labelled gas charge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GasItem {
+    /// What the charge was for (e.g. `"payout"`, `"pairing"`).
+    pub label: &'static str,
+    /// Gas units charged.
+    pub gas: u64,
+}
+
+/// A gas meter that remembers what every unit was spent on.
+#[derive(Clone, Debug, Default)]
+pub struct GasMeter {
+    items: Vec<GasItem>,
+    refund: u64,
+}
+
+impl GasMeter {
+    /// A fresh meter.
+    pub fn new() -> GasMeter {
+        GasMeter::default()
+    }
+
+    /// Charges `gas` under `label`.
+    pub fn charge(&mut self, label: &'static str, gas: u64) {
+        self.items.push(GasItem { label, gas });
+    }
+
+    /// Registers a storage-clear refund.
+    pub fn add_refund(&mut self, gas: u64) {
+        self.refund += gas;
+    }
+
+    /// Total gas charged, after applying the EIP-3529 refund cap
+    /// (refunds at most 1/5 of gas used).
+    pub fn total(&self) -> u64 {
+        let gross: u64 = self.items.iter().map(|i| i.gas).sum();
+        gross - self.refund.min(gross / 5)
+    }
+
+    /// Gross gas before refunds.
+    pub fn gross(&self) -> u64 {
+        self.items.iter().map(|i| i.gas).sum()
+    }
+
+    /// Sum of the charges carrying `label`.
+    pub fn total_for(&self, label: &str) -> u64 {
+        self.items
+            .iter()
+            .filter(|i| i.label == label)
+            .map(|i| i.gas)
+            .sum()
+    }
+
+    /// All recorded items in charge order.
+    pub fn items(&self) -> &[GasItem] {
+        &self.items
+    }
+
+    /// Merges another meter's charges into this one.
+    pub fn absorb(&mut self, other: GasMeter) {
+        self.items.extend(other.items);
+        self.refund += other.refund;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        // the exact numbers Table II itemizes
+        assert_eq!(SSTORE_NEW_WORD, 22_100);
+        assert_eq!(EC_MUL, 6_000);
+        assert_eq!(pairing_cost(2), 113_000);
+        assert_eq!(keccak_cost(256), 30 + 6 * 8);
+        assert_eq!(keccak_cost(1), 36);
+        assert_eq!(keccak_cost(0), 30);
+    }
+
+    #[test]
+    fn intrinsic_cost_shape() {
+        assert_eq!(intrinsic_cost(0, 0.0), 21_000);
+        assert_eq!(intrinsic_cost(100, 0.0), 21_000 + 1_600);
+        assert_eq!(intrinsic_cost(100, 1.0), 21_000 + 400);
+    }
+
+    #[test]
+    fn meter_itemization() {
+        let mut m = GasMeter::new();
+        m.charge("storage", SSTORE_NEW_WORD);
+        m.charge("storage", SSTORE_NEW_WORD);
+        m.charge("pairing", pairing_cost(2));
+        assert_eq!(m.total_for("storage"), 44_200);
+        assert_eq!(m.total_for("pairing"), 113_000);
+        assert_eq!(m.total(), 157_200);
+        assert_eq!(m.items().len(), 3);
+    }
+
+    #[test]
+    fn refund_is_capped_at_one_fifth() {
+        let mut m = GasMeter::new();
+        m.charge("x", 10_000);
+        m.add_refund(100_000);
+        assert_eq!(m.total(), 8_000); // 10,000 - min(100,000, 2,000)
+        assert_eq!(m.gross(), 10_000);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = GasMeter::new();
+        a.charge("a", 10);
+        let mut b = GasMeter::new();
+        b.charge("b", 20);
+        a.absorb(b);
+        assert_eq!(a.total(), 30);
+    }
+}

@@ -1,0 +1,170 @@
+//! The sidechain's packed binary codec.
+//!
+//! Unlike the mainchain's ABI (32-byte words, offset/length bookkeeping),
+//! sidechain entries are field-packed with no padding — this is why a
+//! payout entry costs 97 B here vs 352 B as ABI calldata, and a position
+//! entry 217 B vs 416 B (paper Table IV; the paper measured 215 B with a
+//! marginally different field set).
+
+use crate::block::SummaryBlock;
+use crate::summary::{PayoutEntry, PositionEntry};
+
+/// Meta-block header size: epoch (8) + round (8) + parent (32) +
+/// tx root (32) + tx count (4).
+pub const META_HEADER_BYTES: usize = 84;
+
+/// Summary-block header size: epoch (8) + parent (32) + counts (3 × 4).
+pub const SUMMARY_HEADER_BYTES: usize = 52;
+
+/// Packed size of a pool update: pool id (4) + two u128 reserves.
+pub const POOL_UPDATE_BYTES: usize = 4 + 16 + 16;
+
+/// Wire slot reserved for a user/owner public key (uncompressed G1).
+const PUBKEY_BYTES: usize = 64;
+
+/// Encodes a payout entry: pk slot (64) + two u128 amounts + a flag byte.
+/// 97 bytes — matching the paper's measured sidechain payout entry.
+pub fn encode_payout(p: &PayoutEntry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(97);
+    let mut pk_slot = [0u8; PUBKEY_BYTES];
+    pk_slot[..20].copy_from_slice(p.user.as_bytes());
+    out.extend_from_slice(&pk_slot);
+    out.extend_from_slice(&p.amount0.to_be_bytes());
+    out.extend_from_slice(&p.amount1.to_be_bytes());
+    out.push(0); // refund flag
+    out
+}
+
+/// Encodes a position entry: id (32) + owner pk slot (64) + liquidity,
+/// amounts, fees, fee-growth snapshots (7 × 16) + ticks (2 × 4) + deleted
+/// flag. 217 bytes (paper: 215 with a marginally different field set).
+pub fn encode_position(p: &PositionEntry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(217);
+    out.extend_from_slice(&p.id.0 .0);
+    let mut pk_slot = [0u8; PUBKEY_BYTES];
+    pk_slot[..20].copy_from_slice(p.owner.as_bytes());
+    out.extend_from_slice(&pk_slot);
+    out.extend_from_slice(&p.liquidity.to_be_bytes());
+    out.extend_from_slice(&p.amount0.to_be_bytes());
+    out.extend_from_slice(&p.amount1.to_be_bytes());
+    out.extend_from_slice(&p.fees0.to_be_bytes());
+    out.extend_from_slice(&p.fees1.to_be_bytes());
+    out.extend_from_slice(&p.fee_growth_inside0.to_be_bytes());
+    out.extend_from_slice(&p.fee_growth_inside1.to_be_bytes());
+    out.extend_from_slice(&p.tick_lower.to_be_bytes());
+    out.extend_from_slice(&p.tick_upper.to_be_bytes());
+    out.push(p.deleted as u8);
+    out
+}
+
+/// Packed size of one payout entry.
+pub fn payout_entry_size() -> usize {
+    97
+}
+
+/// Packed size of one position entry.
+pub fn position_entry_size() -> usize {
+    217
+}
+
+/// Encodes the body of a summary block (payouts ‖ positions ‖ pool).
+pub fn encode_summary_body(b: &SummaryBlock) -> Vec<u8> {
+    let mut out = Vec::new();
+    for p in &b.payouts {
+        out.extend_from_slice(&encode_payout(p));
+    }
+    for p in &b.positions {
+        out.extend_from_slice(&encode_position(p));
+    }
+    out.extend_from_slice(&(b.pool.pool.0).to_be_bytes());
+    out.extend_from_slice(&b.pool.reserve0.to_be_bytes());
+    out.extend_from_slice(&b.pool.reserve1.to_be_bytes());
+    out
+}
+
+/// Total size of a summary block on the sidechain.
+pub fn summary_block_size(b: &SummaryBlock) -> usize {
+    SUMMARY_HEADER_BYTES
+        + b.meta_refs.len() * 32
+        + b.payouts.len() * payout_entry_size()
+        + b.positions.len() * position_entry_size()
+        + POOL_UPDATE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::PoolUpdate;
+    use ammboost_amm::types::{PoolId, PositionId};
+    use ammboost_crypto::{Address, H256};
+
+    fn payout() -> PayoutEntry {
+        PayoutEntry {
+            user: Address::from_index(1),
+            amount0: 123,
+            amount1: 456,
+        }
+    }
+
+    fn position() -> PositionEntry {
+        PositionEntry {
+            id: PositionId::derive(&[b"p"]),
+            owner: Address::from_index(2),
+            liquidity: 1,
+            amount0: 2,
+            amount1: 3,
+            fees0: 4,
+            fees1: 5,
+            fee_growth_inside0: 6,
+            fee_growth_inside1: 7,
+            tick_lower: -60,
+            tick_upper: 60,
+            deleted: false,
+        }
+    }
+
+    #[test]
+    fn payout_encoding_matches_declared_size() {
+        assert_eq!(encode_payout(&payout()).len(), payout_entry_size());
+        assert_eq!(payout_entry_size(), 97);
+    }
+
+    #[test]
+    fn position_encoding_matches_declared_size() {
+        assert_eq!(encode_position(&position()).len(), position_entry_size());
+        assert_eq!(position_entry_size(), 217);
+    }
+
+    #[test]
+    fn sidechain_entries_much_smaller_than_abi() {
+        // Table IV: 97 vs 352 and 217 vs 416
+        assert!(payout_entry_size() * 3 < 352 + 1);
+        assert!(position_entry_size() * 19 / 10 < 416 + 1);
+    }
+
+    #[test]
+    fn summary_block_size_composition() {
+        let b = SummaryBlock {
+            epoch: 1,
+            parent: H256::ZERO,
+            meta_refs: vec![H256::ZERO; 30],
+            payouts: vec![payout(); 100],
+            positions: vec![position(); 10],
+            pool: PoolUpdate {
+                pool: PoolId(0),
+                reserve0: 0,
+                reserve1: 0,
+            },
+        };
+        let expect = SUMMARY_HEADER_BYTES + 30 * 32 + 100 * 97 + 10 * 217 + POOL_UPDATE_BYTES;
+        assert_eq!(summary_block_size(&b), expect);
+    }
+
+    #[test]
+    fn encodings_distinguish_entries() {
+        let a = encode_payout(&payout());
+        let mut p2 = payout();
+        p2.amount0 += 1;
+        assert_ne!(a, encode_payout(&p2));
+    }
+}

@@ -1,0 +1,297 @@
+//! Epoch summaries — the paper's Fig. 4 summary rules.
+//!
+//! During an epoch the committee tracks every user's **deposit balance**
+//! as transactions execute (swaps debit the input and credit the output,
+//! mints debit provided liquidity, burns/collects credit withdrawals).
+//! At the epoch's end the final deposit map *is* the payout list
+//! (`sumPayouts = Deposits`), and the touched positions form the position
+//! list; TokenBank recomputes pool balances from these (paper §IV-B).
+
+use ammboost_amm::types::{PoolId, PositionId};
+use ammboost_crypto::Address;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A payout entry: the user's final deposit balance for the epoch
+/// (deduction, accrual and leftover refund all netted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PayoutEntry {
+    /// The receiving user.
+    pub user: Address,
+    /// Token0 to dispense.
+    pub amount0: u128,
+    /// Token1 to dispense.
+    pub amount1: u128,
+}
+
+/// A liquidity-position entry: created, updated or deleted during the
+/// epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionEntry {
+    /// Position identifier (hash of the mint tx and the LP's key).
+    pub id: PositionId,
+    /// The owning LP.
+    pub owner: Address,
+    /// Liquidity units held after the epoch.
+    pub liquidity: u128,
+    /// Token0 principal attributed to the position.
+    pub amount0: u128,
+    /// Token1 principal attributed to the position.
+    pub amount1: u128,
+    /// Accrued, uncollected token0 fees.
+    pub fees0: u128,
+    /// Accrued, uncollected token1 fees.
+    pub fees1: u128,
+    /// Fee-growth-inside snapshot (token0, truncated to 128 bits) letting
+    /// the next committee resume fee accounting.
+    pub fee_growth_inside0: u128,
+    /// Fee-growth-inside snapshot (token1).
+    pub fee_growth_inside1: u128,
+    /// Lower price tick.
+    pub tick_lower: i32,
+    /// Upper price tick.
+    pub tick_upper: i32,
+    /// `true` when fully withdrawn — TokenBank removes it.
+    pub deleted: bool,
+}
+
+/// Updated pool reserves reported to TokenBank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolUpdate {
+    /// The pool.
+    pub pool: PoolId,
+    /// New token0 reserve.
+    pub reserve0: u128,
+    /// New token1 reserve.
+    pub reserve1: u128,
+}
+
+/// Errors from deposit tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepositError {
+    /// The user's deposit cannot cover the debit — the transaction must be
+    /// rejected (paper: "accept transactions only from users who own
+    /// enough deposits").
+    InsufficientDeposit {
+        /// The user.
+        user: Address,
+        /// Amount needed of token0.
+        need0: u128,
+        /// Amount needed of token1.
+        need1: u128,
+        /// Available token0.
+        have0: u128,
+        /// Available token1.
+        have1: u128,
+    },
+    /// Credit would overflow.
+    Overflow,
+}
+
+impl std::fmt::Display for DepositError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DepositError::InsufficientDeposit {
+                user,
+                need0,
+                need1,
+                have0,
+                have1,
+            } => write!(
+                f,
+                "deposit of {user} covers ({have0}, {have1}), needs ({need0}, {need1})"
+            ),
+            DepositError::Overflow => write!(f, "deposit overflow"),
+        }
+    }
+}
+
+impl std::error::Error for DepositError {}
+
+/// The per-epoch deposit ledger: retrieved from TokenBank at epoch start
+/// (`SnapshotBank`), mutated by every processed transaction, emitted as
+/// the payout list at epoch end.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deposits {
+    balances: HashMap<Address, (u128, u128)>,
+}
+
+impl Deposits {
+    /// An empty ledger.
+    pub fn new() -> Deposits {
+        Deposits::default()
+    }
+
+    /// Builds the ledger from a TokenBank snapshot.
+    pub fn from_snapshot(snapshot: HashMap<Address, (u128, u128)>) -> Deposits {
+        Deposits { balances: snapshot }
+    }
+
+    /// A user's `(token0, token1)` balance.
+    pub fn get(&self, user: &Address) -> (u128, u128) {
+        self.balances.get(user).copied().unwrap_or((0, 0))
+    }
+
+    /// Number of users with an entry.
+    pub fn len(&self) -> usize {
+        self.balances.len()
+    }
+
+    /// `true` when no user has an entry.
+    pub fn is_empty(&self) -> bool {
+        self.balances.is_empty()
+    }
+
+    /// Checks whether `user` can cover a debit without applying it.
+    pub fn can_cover(&self, user: &Address, need0: u128, need1: u128) -> bool {
+        let (have0, have1) = self.get(user);
+        have0 >= need0 && have1 >= need1
+    }
+
+    /// Debits both tokens atomically.
+    ///
+    /// # Errors
+    /// Fails (leaving the ledger unchanged) when coverage is insufficient.
+    pub fn debit(
+        &mut self,
+        user: Address,
+        amount0: u128,
+        amount1: u128,
+    ) -> Result<(), DepositError> {
+        let (have0, have1) = self.get(&user);
+        if have0 < amount0 || have1 < amount1 {
+            return Err(DepositError::InsufficientDeposit {
+                user,
+                need0: amount0,
+                need1: amount1,
+                have0,
+                have1,
+            });
+        }
+        self.balances
+            .insert(user, (have0 - amount0, have1 - amount1));
+        Ok(())
+    }
+
+    /// Credits both tokens (newly accrued tokens are immediately usable
+    /// for further trading within the epoch — paper §IV-B).
+    ///
+    /// # Errors
+    /// Fails on overflow.
+    pub fn credit(
+        &mut self,
+        user: Address,
+        amount0: u128,
+        amount1: u128,
+    ) -> Result<(), DepositError> {
+        let (have0, have1) = self.get(&user);
+        let new0 = have0.checked_add(amount0).ok_or(DepositError::Overflow)?;
+        let new1 = have1.checked_add(amount1).ok_or(DepositError::Overflow)?;
+        self.balances.insert(user, (new0, new1));
+        Ok(())
+    }
+
+    /// Emits the payout list: every user's final balance, sorted by
+    /// address for determinism. This is Fig. 4's `sumPayouts = Deposits`.
+    /// Zero-balance entries are retained — their inclusion clears the
+    /// deposit slot on TokenBank.
+    pub fn to_payouts(&self) -> Vec<PayoutEntry> {
+        let mut out: Vec<PayoutEntry> = self
+            .balances
+            .iter()
+            .map(|(user, &(amount0, amount1))| PayoutEntry {
+                user: *user,
+                amount0,
+                amount1,
+            })
+            .collect();
+        out.sort_by_key(|p| p.user);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut snap = HashMap::new();
+        snap.insert(a(1), (10, 15));
+        let d = Deposits::from_snapshot(snap);
+        assert_eq!(d.get(&a(1)), (10, 15));
+        assert_eq!(d.get(&a(2)), (0, 0));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn paper_swap_example() {
+        // Paper §IV-B: deposit (10A, 15B), swap 5A for 10B → (5A, 25B)
+        let mut d = Deposits::new();
+        d.credit(a(1), 10, 15).unwrap();
+        d.debit(a(1), 5, 0).unwrap();
+        d.credit(a(1), 0, 10).unwrap();
+        assert_eq!(d.get(&a(1)), (5, 25));
+        let payouts = d.to_payouts();
+        assert_eq!(
+            payouts,
+            vec![PayoutEntry {
+                user: a(1),
+                amount0: 5,
+                amount1: 25
+            }]
+        );
+    }
+
+    #[test]
+    fn debit_is_atomic() {
+        let mut d = Deposits::new();
+        d.credit(a(1), 10, 0).unwrap();
+        // would cover token0 but not token1 → nothing changes
+        let err = d.debit(a(1), 5, 1).unwrap_err();
+        assert!(matches!(err, DepositError::InsufficientDeposit { .. }));
+        assert_eq!(d.get(&a(1)), (10, 0));
+    }
+
+    #[test]
+    fn can_cover_matches_debit() {
+        let mut d = Deposits::new();
+        d.credit(a(1), 7, 3).unwrap();
+        assert!(d.can_cover(&a(1), 7, 3));
+        assert!(!d.can_cover(&a(1), 8, 0));
+        assert!(!d.can_cover(&a(2), 1, 0));
+    }
+
+    #[test]
+    fn accrued_tokens_usable_immediately() {
+        let mut d = Deposits::new();
+        d.credit(a(1), 10, 0).unwrap();
+        d.debit(a(1), 10, 0).unwrap();
+        d.credit(a(1), 0, 20).unwrap(); // swap output
+        // use the fresh token1 right away
+        d.debit(a(1), 0, 20).unwrap();
+        assert_eq!(d.get(&a(1)), (0, 0));
+    }
+
+    #[test]
+    fn payouts_sorted_and_complete() {
+        let mut d = Deposits::new();
+        d.credit(a(3), 3, 0).unwrap();
+        d.credit(a(1), 1, 0).unwrap();
+        d.credit(a(2), 0, 0).unwrap(); // zero entry retained
+        let p = d.to_payouts();
+        assert_eq!(p.len(), 3);
+        assert!(p.windows(2).all(|w| w[0].user < w[1].user));
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut d = Deposits::new();
+        d.credit(a(1), u128::MAX, 0).unwrap();
+        assert_eq!(d.credit(a(1), 1, 0), Err(DepositError::Overflow));
+    }
+}

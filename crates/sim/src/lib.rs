@@ -1,0 +1,27 @@
+//! # ammboost-sim
+//!
+//! The deterministic simulation substrate all ammBoost experiments run on:
+//!
+//! - [`time`] — millisecond-resolution simulated clocks (no wall time).
+//! - [`engine`] — a deterministic discrete-event queue.
+//! - [`net`] — Δ-bounded, bandwidth-limited network cost model (the
+//!   paper's 1 Gbps cluster).
+//! - [`rng`] — seeded randomness with the sampling helpers workloads need.
+//! - [`metrics`] — latency statistics, throughput and chain-growth series.
+//!
+//! Everything is seedable and free of wall-clock reads, so each experiment
+//! binary reproduces its numbers bit-for-bit from its seed.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod net;
+pub mod rng;
+pub mod time;
+
+pub use engine::EventQueue;
+pub use metrics::{throughput, GrowthSeries, LatencyStats};
+pub use net::NetworkModel;
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

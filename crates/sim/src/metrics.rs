@@ -1,0 +1,180 @@
+//! Measurement plumbing: latency statistics, counters and throughput —
+//! the quantities every table in the paper reports.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Collects latency samples and reports summary statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples_ms: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// An empty collector.
+    pub fn new() -> LatencyStats {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_ms.push(d.as_millis());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Arithmetic mean in seconds (`0.0` when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let sum: u128 = self.samples_ms.iter().map(|&x| x as u128).sum();
+        sum as f64 / self.samples_ms.len() as f64 / 1000.0
+    }
+
+    /// Percentile (0–100) in seconds, nearest-rank (`0.0` when empty).
+    pub fn percentile_secs(&self, p: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)] as f64 / 1000.0
+    }
+
+    /// Maximum sample in seconds.
+    pub fn max_secs(&self) -> f64 {
+        self.samples_ms.iter().max().map_or(0.0, |&x| x as f64 / 1000.0)
+    }
+
+    /// Minimum sample in seconds.
+    pub fn min_secs(&self) -> f64 {
+        self.samples_ms.iter().min().map_or(0.0, |&x| x as f64 / 1000.0)
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+    }
+}
+
+/// Computes throughput in events/second over an observation window.
+pub fn throughput(events: u64, window: SimDuration) -> f64 {
+    let secs = window.as_secs_f64();
+    if secs == 0.0 {
+        return 0.0;
+    }
+    events as f64 / secs
+}
+
+/// A monotonically growing byte counter with a time series of checkpoints —
+/// used for chain-growth measurements (Figure 5).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GrowthSeries {
+    total_bytes: u64,
+    checkpoints: Vec<(SimTime, u64)>,
+}
+
+impl GrowthSeries {
+    /// An empty series.
+    pub fn new() -> GrowthSeries {
+        GrowthSeries::default()
+    }
+
+    /// Adds `bytes` of growth.
+    pub fn add(&mut self, bytes: u64) {
+        self.total_bytes += bytes;
+    }
+
+    /// Removes `bytes` (pruning).
+    pub fn remove(&mut self, bytes: u64) {
+        self.total_bytes = self.total_bytes.saturating_sub(bytes);
+    }
+
+    /// Records a checkpoint of the current total at `t`.
+    pub fn checkpoint(&mut self, t: SimTime) {
+        self.checkpoints.push((t, self.total_bytes));
+    }
+
+    /// Current total bytes.
+    pub fn total(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The recorded `(time, bytes)` checkpoints.
+    pub fn checkpoints(&self) -> &[(SimTime, u64)] {
+        &self.checkpoints
+    }
+
+    /// The maximum total ever checkpointed (the "max chain growth" of
+    /// Table XI).
+    pub fn peak(&self) -> u64 {
+        self.checkpoints
+            .iter()
+            .map(|&(_, b)| b)
+            .max()
+            .unwrap_or(self.total_bytes)
+            .max(self.total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_basic() {
+        let mut s = LatencyStats::new();
+        for ms in [100u64, 200, 300, 400, 500] {
+            s.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean_secs() - 0.3).abs() < 1e-9);
+        assert!((s.percentile_secs(50.0) - 0.3).abs() < 1e-9);
+        assert!((s.max_secs() - 0.5).abs() < 1e-9);
+        assert!((s.min_secs() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean_secs(), 0.0);
+        assert_eq!(s.percentile_secs(99.0), 0.0);
+        assert_eq!(s.max_secs(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(SimDuration::from_millis(100));
+        let mut b = LatencyStats::new();
+        b.record(SimDuration::from_millis(300));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean_secs() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        assert!((throughput(1000, SimDuration::from_secs(10)) - 100.0).abs() < 1e-9);
+        assert_eq!(throughput(5, SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn growth_series_prune_and_peak() {
+        let mut g = GrowthSeries::new();
+        g.add(1000);
+        g.checkpoint(SimTime::from_secs(1));
+        g.add(500);
+        g.checkpoint(SimTime::from_secs(2));
+        g.remove(1200);
+        g.checkpoint(SimTime::from_secs(3));
+        assert_eq!(g.total(), 300);
+        assert_eq!(g.peak(), 1500);
+        assert_eq!(g.checkpoints().len(), 3);
+    }
+}

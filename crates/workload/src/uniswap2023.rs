@@ -1,0 +1,120 @@
+//! The paper's Uniswap traffic analysis for 2023 (Appendix D, Table VII),
+//! embedded as the calibrated traffic model, plus the headline statistics
+//! the introduction quotes.
+
+use ammboost_amm::tx::AmmTxKind;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table VII.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficRow {
+    /// Transaction type.
+    pub kind: AmmTxKind,
+    /// Share of all 2023 traffic, in percent.
+    pub percent: f64,
+    /// Average transactions per 24 hours.
+    pub volume_per_day: u64,
+    /// Average raw transaction size on Ethereum, in bytes.
+    pub avg_size_bytes: f64,
+}
+
+/// Table VII: transaction-type breakdown of Uniswap V3 traffic in 2023.
+pub const TABLE_VII: [TrafficRow; 4] = [
+    TrafficRow {
+        kind: AmmTxKind::Swap,
+        percent: 93.19,
+        volume_per_day: 52_379,
+        avg_size_bytes: 1007.83,
+    },
+    TrafficRow {
+        kind: AmmTxKind::Mint,
+        percent: 2.14,
+        volume_per_day: 1_204,
+        avg_size_bytes: 814.49,
+    },
+    TrafficRow {
+        kind: AmmTxKind::Burn,
+        percent: 2.38,
+        volume_per_day: 1_338,
+        avg_size_bytes: 907.07,
+    },
+    TrafficRow {
+        kind: AmmTxKind::Collect,
+        percent: 2.27,
+        volume_per_day: 1_275,
+        avg_size_bytes: 921.80,
+    },
+];
+
+/// Uniswap V3's 2023 transaction count on Ethereum (paper §I: ~20 million
+/// transactions, ≈20.2 GB of chain growth).
+pub const UNISWAP_V3_TX_2023: u64 = 20_000_000;
+
+/// Uniswap's total daily volume used as the "1x" reference
+/// (≈ Σ Table VII volumes ≈ 56,196; the paper rounds to ~50K).
+pub fn daily_volume_1x() -> u64 {
+    TABLE_VII.iter().map(|r| r.volume_per_day).sum()
+}
+
+/// The average transaction size under the Table VII mix, in bytes.
+pub fn mix_weighted_avg_size() -> f64 {
+    let total_pct: f64 = TABLE_VII.iter().map(|r| r.percent).sum();
+    TABLE_VII
+        .iter()
+        .map(|r| r.percent * r.avg_size_bytes)
+        .sum::<f64>()
+        / total_pct
+}
+
+/// Average mainnet size for one transaction kind (Table VII), rounded to
+/// whole bytes for block-budget accounting.
+pub fn size_for(kind: AmmTxKind) -> usize {
+    TABLE_VII
+        .iter()
+        .find(|r| r.kind == kind)
+        .map(|r| r.avg_size_bytes.round() as usize)
+        .expect("all kinds present in Table VII")
+}
+
+/// Estimated 2023 chain growth from Uniswap V3 on Ethereum, in bytes
+/// (tx count × mix-weighted average size — the paper's ≈20.2 GB).
+pub fn chain_growth_2023_bytes() -> u64 {
+    (UNISWAP_V3_TX_2023 as f64 * mix_weighted_avg_size()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_sum_to_about_100() {
+        let total: f64 = TABLE_VII.iter().map(|r| r.percent).sum();
+        assert!((total - 99.98).abs() < 0.05, "{total}");
+    }
+
+    #[test]
+    fn daily_volume_near_paper_reference() {
+        let v = daily_volume_1x();
+        assert!((50_000..60_000).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn weighted_size_near_one_kb() {
+        let s = mix_weighted_avg_size();
+        assert!((990.0..1010.0).contains(&s), "{s}");
+    }
+
+    #[test]
+    fn growth_estimate_near_20_gb() {
+        let gb = chain_growth_2023_bytes() as f64 / 1e9;
+        assert!((19.0..21.0).contains(&gb), "{gb} GB");
+    }
+
+    #[test]
+    fn per_kind_sizes() {
+        assert_eq!(size_for(AmmTxKind::Swap), 1008);
+        assert_eq!(size_for(AmmTxKind::Mint), 814);
+        assert_eq!(size_for(AmmTxKind::Burn), 907);
+        assert_eq!(size_for(AmmTxKind::Collect), 922);
+    }
+}

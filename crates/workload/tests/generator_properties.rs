@@ -1,0 +1,155 @@
+//! Property-based tests for traffic generation: arrival-rate formula,
+//! mix convergence, position-reference validity and determinism across
+//! arbitrary configurations.
+
+use ammboost_amm::tx::{AmmTx, AmmTxKind};
+use ammboost_sim::time::SimDuration;
+use ammboost_workload::{GeneratorConfig, TrafficGenerator, TrafficMix};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn cfg(volume: u64, bt: u64, users: u64, seed: u64, mix: TrafficMix) -> GeneratorConfig {
+    GeneratorConfig {
+        daily_volume: volume,
+        mix,
+        users,
+        round_duration: SimDuration::from_secs(bt),
+        seed,
+        ..GeneratorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rho_formula_is_ceil(volume in 1_000u64..100_000_000, bt in 1u64..30) {
+        let g = TrafficGenerator::new(cfg(volume, bt, 10, 1, TrafficMix::uniswap_2023()));
+        let expect = ((volume as f64 * bt as f64) / 86_400.0).ceil() as u64;
+        prop_assert_eq!(g.txs_per_round(), expect);
+        prop_assert!(g.txs_per_round() >= 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic(
+        volume in 10_000u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let mut a = TrafficGenerator::new(cfg(volume, 7, 20, seed, TrafficMix::uniswap_2023()));
+        let mut b = TrafficGenerator::new(cfg(volume, 7, 20, seed, TrafficMix::uniswap_2023()));
+        for round in 0..3 {
+            prop_assert_eq!(a.next_round(round), b.next_round(round));
+        }
+    }
+
+    #[test]
+    fn users_stay_in_population(
+        users in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let mut g = TrafficGenerator::new(cfg(500_000, 7, users, seed, TrafficMix::uniswap_2023()));
+        let population: HashSet<_> = g.users().into_iter().collect();
+        prop_assert_eq!(population.len(), users as usize);
+        for _ in 0..300 {
+            let t = g.next_tx(0);
+            prop_assert!(population.contains(&t.tx.user()), "tx from unknown user");
+        }
+    }
+
+    #[test]
+    fn burns_and_collects_follow_mints(
+        seed in any::<u64>(),
+        mix_burn in 10.0f64..40.0,
+    ) {
+        // a burn/collect may only reference a position some earlier mint
+        // created (or fall back to a mint)
+        let mix = TrafficMix::from_tuple((40.0, 20.0, mix_burn, 100.0 - 60.0 - mix_burn));
+        let mut g = TrafficGenerator::new(cfg(500_000, 7, 10, seed, mix));
+        let mut seen_positions = HashSet::new();
+        for _ in 0..500 {
+            let t = g.next_tx(0);
+            match &t.tx {
+                AmmTx::Mint(m) => {
+                    seen_positions.insert(m.derived_position_id());
+                }
+                AmmTx::Burn(b) => {
+                    prop_assert!(
+                        seen_positions.contains(&b.position),
+                        "burn references a never-minted position"
+                    );
+                }
+                AmmTx::Collect(c) => {
+                    prop_assert!(seen_positions.contains(&c.position));
+                }
+                AmmTx::Swap(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn position_cap_limits_fresh_mints(
+        cap in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut config = cfg(
+            500_000,
+            7,
+            5,
+            seed,
+            TrafficMix::from_tuple((0.0, 100.0, 0.0, 0.0)),
+        );
+        config.max_positions_per_user = cap;
+        let mut g = TrafficGenerator::new(config);
+        let mut fresh_per_user: HashMap<_, usize> = HashMap::new();
+        for _ in 0..200 {
+            if let AmmTx::Mint(m) = g.next_tx(0).tx {
+                if m.position.is_none() {
+                    *fresh_per_user.entry(m.user).or_insert(0) += 1;
+                }
+            }
+        }
+        for (user, count) in fresh_per_user {
+            prop_assert!(
+                count <= cap,
+                "user {user} created {count} fresh positions with cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_converges_to_configuration(
+        swap_pct in 60.0f64..95.0,
+        seed in any::<u64>(),
+    ) {
+        let rest = (100.0 - swap_pct) / 3.0;
+        let mix = TrafficMix::from_tuple((swap_pct, rest, rest, rest));
+        let mut g = TrafficGenerator::new(cfg(1_000_000, 7, 20, seed, mix));
+        let total = 4_000usize;
+        let mut swaps = 0usize;
+        for _ in 0..total {
+            if g.next_tx(0).tx.kind() == AmmTxKind::Swap {
+                swaps += 1;
+            }
+        }
+        let measured = 100.0 * swaps as f64 / total as f64;
+        prop_assert!(
+            (measured - swap_pct).abs() < 5.0,
+            "swap mix {measured:.1}% vs configured {swap_pct:.1}%"
+        );
+    }
+
+    #[test]
+    fn wire_sizes_always_match_table_vii(seed in any::<u64>()) {
+        let mut g = TrafficGenerator::new(cfg(500_000, 7, 10, seed, TrafficMix::uniswap_2023()));
+        for _ in 0..200 {
+            let t = g.next_tx(0);
+            let expect = match t.tx.kind() {
+                AmmTxKind::Swap => 1008,
+                AmmTxKind::Mint => 814,
+                AmmTxKind::Burn => 907,
+                AmmTxKind::Collect => 922,
+            };
+            prop_assert_eq!(t.wire_size, expect);
+        }
+    }
+}

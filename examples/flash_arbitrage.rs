@@ -1,0 +1,77 @@
+//! Flash loans stay on the mainchain (paper §IV-B): this example takes a
+//! flash loan from TokenBank's pool reserves, "arbitrages" it, repays
+//! principal + fee within the same block, and shows the failed-repayment
+//! case reverting cleanly.
+//!
+//! ```sh
+//! cargo run --release --example flash_arbitrage
+//! ```
+
+use ammboost_amm::types::PoolId;
+use ammboost_crypto::dkg::{run_ceremony, DkgConfig};
+use ammboost_crypto::tsqc::{partial_sign, QuorumCertificate};
+use ammboost_mainchain::contracts::token_bank::SyncInput;
+use ammboost_mainchain::contracts::{Erc20, TokenBank};
+use ammboost_mainchain::gas::GasMeter;
+use ammboost_sidechain::summary::PoolUpdate;
+
+fn main() {
+    // deploy the bank with a committee and give the pool reserves via a
+    // (committee-signed) sync
+    let dkg = run_ceremony(DkgConfig::for_faults(1), 7);
+    let mut bank = TokenBank::deploy(dkg.group_public_key);
+    let mut token0 = Erc20::new("TKA");
+    let mut token1 = Erc20::new("TKB");
+    bank.create_pool(PoolId(0), &mut GasMeter::new());
+    token0.mint(bank.address, 10_000_000);
+    token1.mint(bank.address, 10_000_000);
+
+    let input = SyncInput {
+        epoch: 1,
+        payouts: vec![],
+        positions: vec![],
+        pool: PoolUpdate {
+            pool: PoolId(0),
+            reserve0: 1_000_000,
+            reserve1: 1_000_000,
+        },
+        next_vk: dkg.group_public_key,
+    };
+    let payload = input.abi_payload();
+    let partials: Vec<_> = dkg.key_shares[..4]
+        .iter()
+        .map(|k| partial_sign(k, &payload))
+        .collect();
+    let qc = QuorumCertificate::assemble(1, &payload, &partials, 4).unwrap();
+    bank.sync(&input, &qc, &mut token0, &mut token1)
+        .expect("sync seeds reserves");
+    println!("pool reserves: {:?}", bank.pool_reserves(&PoolId(0)).unwrap());
+
+    // profitable arbitrage: borrow 500K token0, "sell it elsewhere" for
+    // 502K, repay 500K + 0.3% fee (1,500), pocket 500
+    let mut meter = GasMeter::new();
+    let fees = bank
+        .flash(PoolId(0), 500_000, 0, &mut meter, |loan0, _| {
+            let proceeds = loan0 + 2_000; // the off-platform price gap
+            let repay = loan0 + 1_500; // principal + 0.3% fee
+            println!("borrowed {loan0}, sold for {proceeds}, repaying {repay}");
+            (repay, 0)
+        })
+        .expect("profitable arbitrage");
+    println!(
+        "flash succeeded: pool earned {fees:?} in fees ({} gas)",
+        meter.total()
+    );
+    println!("reserves after: {:?}", bank.pool_reserves(&PoolId(0)).unwrap());
+
+    // unprofitable arbitrage: repayment short of principal + fee — the
+    // whole loan inverts, nothing moves
+    let before = bank.pool_reserves(&PoolId(0)).unwrap();
+    let result = bank.flash(PoolId(0), 500_000, 0, &mut GasMeter::new(), |loan0, _| {
+        println!("borrowed {loan0}, market moved against us...");
+        (loan0, 0) // can't even cover the fee
+    });
+    println!("flash failed as expected: {:?}", result.unwrap_err());
+    assert_eq!(bank.pool_reserves(&PoolId(0)).unwrap(), before);
+    println!("reserves untouched: {before:?}");
+}

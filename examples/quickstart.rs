@@ -1,0 +1,56 @@
+//! Quickstart: run a small ammBoost system end to end and print the
+//! report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ammboost_core::config::SystemConfig;
+use ammboost_core::system::System;
+
+fn main() {
+    // A small configuration: 3 epochs x 5 rounds x 7 s, 10 users,
+    // 50K tx/day, committee of 5 (f = 1), every transaction signed.
+    let cfg = SystemConfig::small_test();
+    println!(
+        "running {} epochs of {} rounds ({} per round) ...",
+        cfg.epochs, cfg.rounds_per_epoch, cfg.round_duration
+    );
+
+    let mut system = System::new(cfg);
+    let report = system.run();
+
+    println!();
+    println!("=== ammBoost quickstart report ===");
+    println!("transactions submitted : {}", report.submitted);
+    println!("accepted into blocks   : {}", report.accepted);
+    println!("rejected               : {}", report.rejected);
+    println!("throughput             : {:.2} tx/s", report.throughput_tps);
+    println!(
+        "sidechain latency      : {:.2} s (submission -> meta-block)",
+        report.avg_sc_latency_secs
+    );
+    println!(
+        "payout latency         : {:.2} s (submission -> sync confirmed)",
+        report.avg_payout_latency_secs
+    );
+    println!("mainchain gas          : {} (deposits + syncs)", report.mainchain_gas);
+    println!(
+        "mainchain growth       : {} bytes",
+        report.mainchain_growth_bytes
+    );
+    println!(
+        "sidechain size         : {} bytes now, {} at peak, {} pruned",
+        report.sidechain_bytes, report.sidechain_peak_bytes, report.sidechain_pruned_bytes
+    );
+    println!("syncs confirmed        : {}", report.syncs_confirmed);
+
+    // the TokenBank on the mainchain holds the canonical state
+    let bank = system.bank();
+    println!();
+    println!(
+        "TokenBank: expecting epoch {}, {} live positions",
+        bank.expected_epoch(),
+        bank.position_count()
+    );
+}

@@ -1,0 +1,37 @@
+//! # ammboost
+//!
+//! Umbrella crate for the ammBoost reproduction ("ammBoost: State Growth
+//! Control for AMMs", DSN 2025): re-exports every workspace crate under
+//! one roof so downstream users can depend on a single crate.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`crypto`] | `ammboost-crypto` | U256, Keccak-256, BLS, DKG, TSQC, VRF, Merkle |
+//! | [`sim`] | `ammboost-sim` | simulated time, event queue, network model, metrics |
+//! | [`amm`] | `ammboost-amm` | the concentrated-liquidity AMM engine |
+//! | [`mainchain`] | `ammboost-mainchain` | simulated L1, gas schedule, TokenBank, baseline |
+//! | [`sidechain`] | `ammboost-sidechain` | meta/summary blocks, summary rules, pruning |
+//! | [`consensus`] | `ammboost-consensus` | PBFT, sortition election, latency model |
+//! | [`core`] | `ammboost-core` | the ammBoost system + baseline runners |
+//! | [`workload`] | `ammboost-workload` | Uniswap-2023-calibrated traffic |
+//! | [`rollup`] | `ammboost-rollup` | the ammOP optimistic-rollup baseline |
+//!
+//! ```no_run
+//! use ammboost::core::config::SystemConfig;
+//! use ammboost::core::system::System;
+//!
+//! let report = System::new(SystemConfig::small_test()).run();
+//! assert!(report.syncs_confirmed > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ammboost_amm as amm;
+pub use ammboost_consensus as consensus;
+pub use ammboost_core as core;
+pub use ammboost_crypto as crypto;
+pub use ammboost_mainchain as mainchain;
+pub use ammboost_rollup as rollup;
+pub use ammboost_sidechain as sidechain;
+pub use ammboost_sim as sim;
+pub use ammboost_workload as workload;

@@ -1,0 +1,106 @@
+//! State-growth control — the paper's headline property: meta-blocks are
+//! pruned once their sync confirms, permanent growth is only the summary
+//! blocks (bounded by users × positions), and the mainchain stores only
+//! state changes.
+
+use ammboost_core::config::SystemConfig;
+use ammboost_core::system::System;
+
+#[test]
+fn sidechain_is_pruned_to_summaries() {
+    let mut cfg = SystemConfig::small_test();
+    cfg.epochs = 5;
+    let mut sys = System::new(cfg);
+    let report = sys.run();
+
+    // peak includes the unsynced epochs' meta-blocks; the final size is a
+    // small multiple of the permanent summary blocks
+    assert!(report.sidechain_pruned_bytes > 0);
+    assert!(
+        report.sidechain_bytes < report.sidechain_peak_bytes / 2,
+        "pruning reclaimed too little: {report:?}"
+    );
+    let summaries_bytes: u64 = sys
+        .ledger()
+        .summaries()
+        .iter()
+        .map(|s| s.size_bytes() as u64)
+        .sum();
+    assert!(
+        report.sidechain_bytes <= summaries_bytes + 1000,
+        "final sidechain size must be ~the permanent summaries"
+    );
+}
+
+#[test]
+fn permanent_growth_is_bounded_by_population_not_traffic() {
+    // 10x the traffic must not 10x the permanent per-epoch growth
+    let mut low = SystemConfig::small_test();
+    low.daily_volume = 50_000;
+    let low_report = System::new(low).run();
+
+    let mut high = SystemConfig::small_test();
+    high.daily_volume = 500_000;
+    let high_report = System::new(high).run();
+
+    assert!(high_report.accepted > low_report.accepted * 5);
+    let ratio =
+        high_report.max_summary_bytes as f64 / low_report.max_summary_bytes.max(1) as f64;
+    assert!(
+        ratio < 3.0,
+        "permanent growth scaled with traffic: {} -> {}",
+        low_report.max_summary_bytes,
+        high_report.max_summary_bytes
+    );
+}
+
+#[test]
+fn mainchain_growth_far_below_baseline() {
+    use ammboost_core::baseline::{BaselineConfig, BaselineRunner};
+    use ammboost_sim::time::SimDuration;
+
+    let mut cfg = SystemConfig::small_test();
+    cfg.daily_volume = 500_000;
+    cfg.users = 20;
+    let amm = System::new(cfg).run();
+
+    let base = BaselineRunner::new(BaselineConfig {
+        daily_volume: 500_000,
+        users: 20,
+        duration: SimDuration::from_secs(3 * 5 * 7),
+        ..BaselineConfig::default()
+    })
+    .run();
+
+    // growth reduction (the Figure 5 property, small-scale)
+    assert!(
+        amm.mainchain_growth_bytes < base.growth_bytes / 2,
+        "ammBoost growth {} vs baseline {}",
+        amm.mainchain_growth_bytes,
+        base.growth_bytes
+    );
+    // gas reduction
+    assert!(
+        amm.mainchain_gas < base.total_gas / 4,
+        "ammBoost gas {} vs baseline {}",
+        amm.mainchain_gas,
+        base.total_gas
+    );
+}
+
+#[test]
+fn longer_epochs_mean_fewer_syncs() {
+    let mut short = SystemConfig::small_test();
+    short.rounds_per_epoch = 5;
+    short.epochs = 6;
+    let short_report = System::new(short).run();
+
+    let mut long = SystemConfig::small_test();
+    long.rounds_per_epoch = 15;
+    long.epochs = 2; // same total rounds
+    let long_report = System::new(long).run();
+
+    assert!(short_report.syncs_confirmed > long_report.syncs_confirmed);
+    // fewer syncs -> less sync gas
+    assert!(short_report.sync_gas > long_report.sync_gas);
+}
