@@ -297,8 +297,7 @@ impl Pool {
                 });
             }
         }
-        let amounts =
-            self.modify_position(id, owner, tick_lower, tick_upper, liquidity as i128)?;
+        let amounts = self.modify_position(id, owner, tick_lower, tick_upper, liquidity as i128)?;
         self.balance0 = self
             .balance0
             .checked_add(amounts.amount0)
@@ -337,10 +336,7 @@ impl Pool {
         }
         let (lower, upper) = (pos.tick_lower, pos.tick_upper);
         let amounts = self.modify_position(id, owner, lower, upper, -(liquidity as i128))?;
-        let pos = self
-            .positions
-            .get_mut(&id)
-            .expect("position existed above");
+        let pos = self.positions.get_mut(&id).expect("position existed above");
         pos.tokens_owed0 = pos
             .tokens_owed0
             .checked_add(amounts.amount0)
@@ -380,10 +376,7 @@ impl Pool {
             // poke: update owed fees without changing liquidity
             self.modify_position(id, owner, lower, upper, 0)?;
         }
-        let pos = self
-            .positions
-            .get_mut(&id)
-            .expect("position existed above");
+        let pos = self.positions.get_mut(&id).expect("position existed above");
         let take0 = amount0_requested.min(pos.tokens_owed0);
         let take1 = amount1_requested.min(pos.tokens_owed1);
         pos.tokens_owed0 -= take0;
@@ -809,14 +802,14 @@ impl Pool {
         if self.liquidity > 0 {
             let l = U256::from_u128(self.liquidity);
             if paid0 > 0 {
-                self.fee_growth_global0 = self.fee_growth_global0.wrapping_add(
-                    U256::from_u128(paid0).mul_div(U256::pow2(128), l),
-                );
+                self.fee_growth_global0 = self
+                    .fee_growth_global0
+                    .wrapping_add(U256::from_u128(paid0).mul_div(U256::pow2(128), l));
             }
             if paid1 > 0 {
-                self.fee_growth_global1 = self.fee_growth_global1.wrapping_add(
-                    U256::from_u128(paid1).mul_div(U256::pow2(128), l),
-                );
+                self.fee_growth_global1 = self
+                    .fee_growth_global1
+                    .wrapping_add(U256::from_u128(paid1).mul_div(U256::pow2(128), l));
             }
         }
         Ok(AmountPair::new(paid0, paid1))
@@ -1053,8 +1046,12 @@ mod tests {
             .unwrap();
         pool.swap(true, SwapKind::ExactInput(5_000_000), None)
             .unwrap();
-        let c1 = pool.collect(pid(1), addr(1), Amount::MAX, Amount::MAX).unwrap();
-        let c2 = pool.collect(pid(2), addr(2), Amount::MAX, Amount::MAX).unwrap();
+        let c1 = pool
+            .collect(pid(1), addr(1), Amount::MAX, Amount::MAX)
+            .unwrap();
+        let c2 = pool
+            .collect(pid(2), addr(2), Amount::MAX, Amount::MAX)
+            .unwrap();
         let ratio_liquidity = l2 as f64 / l1 as f64;
         let ratio_fees = c2.amount0 as f64 / c1.amount0 as f64;
         assert!(
@@ -1067,10 +1064,13 @@ mod tests {
     fn out_of_range_position_earns_no_fees() {
         let mut pool = pool_with_liquidity();
         // a range far above the current price
-        pool.mint(pid(9), addr(9), 6000, 6600, 1_000_000, 0).unwrap();
+        pool.mint(pid(9), addr(9), 6000, 6600, 1_000_000, 0)
+            .unwrap();
         pool.swap(true, SwapKind::ExactInput(1_000_000), None)
             .unwrap();
-        let c = pool.collect(pid(9), addr(9), Amount::MAX, Amount::MAX).unwrap();
+        let c = pool
+            .collect(pid(9), addr(9), Amount::MAX, Amount::MAX)
+            .unwrap();
         assert_eq!(c, AmountPair::ZERO);
     }
 
@@ -1127,8 +1127,10 @@ mod tests {
         let mut pool = Pool::new_standard();
         pool.mint(pid(1), addr(1), -600, 600, 10_000_000, 10_000_000)
             .unwrap();
-        pool.swap(true, SwapKind::ExactInput(3_000_000), None).unwrap();
-        pool.swap(false, SwapKind::ExactInput(2_000_000), None).unwrap();
+        pool.swap(true, SwapKind::ExactInput(3_000_000), None)
+            .unwrap();
+        pool.swap(false, SwapKind::ExactInput(2_000_000), None)
+            .unwrap();
         let liq = pool.position(&pid(1)).unwrap().liquidity;
         pool.burn(pid(1), addr(1), liq).unwrap();
         pool.collect(pid(1), addr(1), Amount::MAX, Amount::MAX)
@@ -1180,7 +1182,9 @@ mod tests {
             AmountPair::new(loan.amount0 + 3_000, loan.amount1 + 3_000)
         })
         .unwrap();
-        let c = pool.collect(pid(1), addr(1), Amount::MAX, Amount::MAX).unwrap();
+        let c = pool
+            .collect(pid(1), addr(1), Amount::MAX, Amount::MAX)
+            .unwrap();
         assert!(c.amount0 > 0 && c.amount1 > 0);
     }
 

@@ -141,7 +141,9 @@ pub fn next_sqrt_price_from_amount0(
             .ok_or(PriceMathError::PriceOverflow)?;
         Ok(div_rounding_up(numerator1, denom))
     } else {
-        let product256 = product.to_u256().ok_or(PriceMathError::InsufficientReserves)?;
+        let product256 = product
+            .to_u256()
+            .ok_or(PriceMathError::InsufficientReserves)?;
         let denom = numerator1
             .checked_sub(product256)
             .ok_or(PriceMathError::InsufficientReserves)?;

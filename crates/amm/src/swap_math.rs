@@ -97,12 +97,12 @@ pub fn compute_swap_step(
             } else {
                 mul_div_rounding_up_u128(amount_in, fee_pips)
             };
-            return Ok(SwapStep {
+            Ok(SwapStep {
                 sqrt_price_next,
                 amount_in,
                 amount_out,
                 fee_amount,
-            });
+            })
         }
         Remaining::Output(owed) => {
             amount_out = if zero_for_one {
@@ -113,12 +113,8 @@ pub fn compute_swap_step(
             if owed >= amount_out {
                 sqrt_price_next = sqrt_price_target;
             } else {
-                sqrt_price_next = next_sqrt_price_from_output(
-                    sqrt_price_current,
-                    liquidity,
-                    owed,
-                    zero_for_one,
-                )?;
+                sqrt_price_next =
+                    next_sqrt_price_from_output(sqrt_price_current, liquidity, owed, zero_for_one)?;
             }
             let reached = sqrt_price_next == sqrt_price_target;
             if !reached {
@@ -173,8 +169,8 @@ mod tests {
 
     #[test]
     fn exact_in_reaches_target_when_budget_ample() {
-        let step = compute_swap_step(p(0), p(-100), L, Remaining::Input(u128::MAX >> 4), FEE)
-            .unwrap();
+        let step =
+            compute_swap_step(p(0), p(-100), L, Remaining::Input(u128::MAX >> 4), FEE).unwrap();
         assert_eq!(step.sqrt_price_next, p(-100));
         assert!(step.amount_in > 0);
         assert!(step.amount_out > 0);
@@ -191,8 +187,8 @@ mod tests {
 
     #[test]
     fn fee_is_about_fee_rate() {
-        let step = compute_swap_step(p(0), p(-50), L, Remaining::Input(u128::MAX >> 4), FEE)
-            .unwrap();
+        let step =
+            compute_swap_step(p(0), p(-50), L, Remaining::Input(u128::MAX >> 4), FEE).unwrap();
         // fee / (in + fee) ≈ 0.003
         let total = step.amount_in + step.fee_amount;
         let rate = step.fee_amount as f64 / total as f64;
@@ -201,8 +197,7 @@ mod tests {
 
     #[test]
     fn zero_fee_zero_fee_amount_at_target() {
-        let step =
-            compute_swap_step(p(0), p(-50), L, Remaining::Input(u128::MAX >> 4), 0).unwrap();
+        let step = compute_swap_step(p(0), p(-50), L, Remaining::Input(u128::MAX >> 4), 0).unwrap();
         assert_eq!(step.fee_amount, 0);
     }
 
@@ -227,8 +222,8 @@ mod tests {
 
     #[test]
     fn one_for_zero_direction() {
-        let step = compute_swap_step(p(0), p(100), L, Remaining::Input(u128::MAX >> 4), FEE)
-            .unwrap();
+        let step =
+            compute_swap_step(p(0), p(100), L, Remaining::Input(u128::MAX >> 4), FEE).unwrap();
         assert_eq!(step.sqrt_price_next, p(100));
         // input is token1, output token0
         assert!(step.amount_in > 0 && step.amount_out > 0);
@@ -237,8 +232,7 @@ mod tests {
     #[test]
     fn output_not_greater_than_input_value_at_price_one() {
         // near tick 0 price ≈ 1, so out <= in (fees + slippage)
-        let step =
-            compute_swap_step(p(0), p(-3000), L, Remaining::Input(1_000_000), FEE).unwrap();
+        let step = compute_swap_step(p(0), p(-3000), L, Remaining::Input(1_000_000), FEE).unwrap();
         assert!(step.amount_out <= step.amount_in + step.fee_amount);
     }
 

@@ -54,7 +54,11 @@ fn factors() -> &'static [U256; FACTOR_BITS] {
         let root = n.isqrt(); // floor(sqrt(10001) * 2^128)
         let hundred = U256::from_u64(100);
         let (q, r) = root.div_rem(hundred);
-        let f0 = if r >= U256::from_u64(50) { q + U256::ONE } else { q };
+        let f0 = if r >= U256::from_u64(50) {
+            q + U256::ONE
+        } else {
+            q
+        };
 
         let mut out = [U256::ZERO; FACTOR_BITS];
         out[0] = f0;

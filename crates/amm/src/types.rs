@@ -125,7 +125,9 @@ impl fmt::Display for PositionId {
 }
 
 /// A pool identifier (one per token pair + fee tier).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize,
+)]
 pub struct PoolId(pub u32);
 
 impl fmt::Display for PoolId {

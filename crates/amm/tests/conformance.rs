@@ -21,8 +21,15 @@ fn pid(tag: &str) -> PositionId {
 #[test]
 fn full_burn_settles_fees_before_tick_clear() {
     let mut pool = Pool::new_standard();
-    pool.mint(pid("base"), addr(1), -120_000, 120_000, 10u128.pow(13), 10u128.pow(13))
-        .unwrap();
+    pool.mint(
+        pid("base"),
+        addr(1),
+        -120_000,
+        120_000,
+        10u128.pow(13),
+        10u128.pow(13),
+    )
+    .unwrap();
 
     for cycle in 0..50u64 {
         let id = PositionId::derive(&[b"churn", &cycle.to_be_bytes()]);
@@ -30,10 +37,13 @@ fn full_burn_settles_fees_before_tick_clear() {
         // and cleared over and over)
         let lo = -600 - 60 * (cycle as i32 % 7);
         let hi = 600 + 60 * (cycle as i32 % 5);
-        pool.mint(id, addr(2), lo, hi, 5_000_000, 5_000_000).unwrap();
+        pool.mint(id, addr(2), lo, hi, 5_000_000, 5_000_000)
+            .unwrap();
         // trade through the range so fees accrue
-        pool.swap(true, SwapKind::ExactInput(2_000_000), None).unwrap();
-        pool.swap(false, SwapKind::ExactInput(2_000_000), None).unwrap();
+        pool.swap(true, SwapKind::ExactInput(2_000_000), None)
+            .unwrap();
+        pool.swap(false, SwapKind::ExactInput(2_000_000), None)
+            .unwrap();
         // full exit must always succeed (the bug made this fail with
         // balance overflow after a few cycles)
         let held = pool.position(&id).unwrap().liquidity;
@@ -59,11 +69,17 @@ fn fees_split_across_overlapping_ranges() {
         .unwrap();
     // small swaps stay inside both ranges
     for _ in 0..20 {
-        pool.swap(true, SwapKind::ExactInput(100_000), None).unwrap();
-        pool.swap(false, SwapKind::ExactInput(100_000), None).unwrap();
+        pool.swap(true, SwapKind::ExactInput(100_000), None)
+            .unwrap();
+        pool.swap(false, SwapKind::ExactInput(100_000), None)
+            .unwrap();
     }
-    let fa = pool.collect(pid("a"), addr(1), Amount::MAX, Amount::MAX).unwrap();
-    let fb = pool.collect(pid("b"), addr(2), Amount::MAX, Amount::MAX).unwrap();
+    let fa = pool
+        .collect(pid("a"), addr(1), Amount::MAX, Amount::MAX)
+        .unwrap();
+    let fb = pool
+        .collect(pid("b"), addr(2), Amount::MAX, Amount::MAX)
+        .unwrap();
     // a's liquidity is denser (same budget, half the width): more fees
     assert!(
         fa.amount0 > fb.amount0,
@@ -123,8 +139,15 @@ fn exact_output_across_tick_boundary_delivers_exactly() {
 #[test]
 fn dust_swaps_accumulate_consistently() {
     let mut pool = Pool::new_standard();
-    pool.mint(pid("base"), addr(1), -600, 600, 10u128.pow(12), 10u128.pow(12))
-        .unwrap();
+    pool.mint(
+        pid("base"),
+        addr(1),
+        -600,
+        600,
+        10u128.pow(12),
+        10u128.pow(12),
+    )
+    .unwrap();
     let start_balances = pool.balances();
     let mut total_in = 0u128;
     let mut total_out = 0u128;
@@ -143,8 +166,15 @@ fn dust_swaps_accumulate_consistently() {
 #[test]
 fn price_limit_exactly_on_initialized_tick() {
     let mut pool = Pool::new_standard();
-    pool.mint(pid("base"), addr(1), -1200, 1200, 10u128.pow(10), 10u128.pow(10))
-        .unwrap();
+    pool.mint(
+        pid("base"),
+        addr(1),
+        -1200,
+        1200,
+        10u128.pow(10),
+        10u128.pow(10),
+    )
+    .unwrap();
     let limit = sqrt_ratio_at_tick(-1200).unwrap() + ammboost_crypto::U256::ONE;
     let res = pool
         .swap(true, SwapKind::ExactInput(u128::MAX >> 8), Some(limit))
@@ -158,8 +188,15 @@ fn price_limit_exactly_on_initialized_tick() {
 #[test]
 fn reentering_range_resumes_fee_accrual() {
     let mut pool = Pool::new_standard();
-    pool.mint(pid("wide"), addr(1), -120_000, 120_000, 10u128.pow(13), 10u128.pow(13))
-        .unwrap();
+    pool.mint(
+        pid("wide"),
+        addr(1),
+        -120_000,
+        120_000,
+        10u128.pow(13),
+        10u128.pow(13),
+    )
+    .unwrap();
     pool.mint(pid("narrow"), addr(2), -600, 600, 10_000_000, 10_000_000)
         .unwrap();
 
@@ -185,8 +222,10 @@ fn reentering_range_resumes_fee_accrual() {
     )
     .unwrap();
     for _ in 0..10 {
-        pool.swap(true, SwapKind::ExactInput(500_000), None).unwrap();
-        pool.swap(false, SwapKind::ExactInput(500_000), None).unwrap();
+        pool.swap(true, SwapKind::ExactInput(500_000), None)
+            .unwrap();
+        pool.swap(false, SwapKind::ExactInput(500_000), None)
+            .unwrap();
     }
     let owed_back_inside = pool
         .collect(pid("narrow"), addr(2), Amount::MAX, Amount::MAX)
@@ -209,8 +248,12 @@ fn flash_during_active_positions_pays_all_in_range() {
         ammboost_amm::types::AmountPair::new(loan.amount0 + 3_000, loan.amount1 + 3_000)
     })
     .unwrap();
-    let fa = pool.collect(pid("a"), addr(1), Amount::MAX, Amount::MAX).unwrap();
-    let fb = pool.collect(pid("b"), addr(2), Amount::MAX, Amount::MAX).unwrap();
+    let fa = pool
+        .collect(pid("a"), addr(1), Amount::MAX, Amount::MAX)
+        .unwrap();
+    let fb = pool
+        .collect(pid("b"), addr(2), Amount::MAX, Amount::MAX)
+        .unwrap();
     // equal liquidity -> equal flash-fee share (within rounding)
     assert!((fa.amount0 as i128 - fb.amount0 as i128).abs() <= 1);
     assert!((fa.amount1 as i128 - fb.amount1 as i128).abs() <= 1);

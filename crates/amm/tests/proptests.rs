@@ -2,9 +2,7 @@
 //! invariants, fee conservation and pool solvency.
 
 use ammboost_amm::pool::{Pool, SwapKind};
-use ammboost_amm::tick_math::{
-    sqrt_ratio_at_tick, tick_at_sqrt_ratio, MAX_TICK, MIN_TICK,
-};
+use ammboost_amm::tick_math::{sqrt_ratio_at_tick, tick_at_sqrt_ratio, MAX_TICK, MIN_TICK};
 use ammboost_amm::types::{Amount, PositionId};
 use ammboost_crypto::{Address, U256};
 use proptest::prelude::*;

@@ -27,7 +27,9 @@ fn bench_keccak(c: &mut Criterion) {
 fn bench_field(c: &mut Criterion) {
     let x = Fr::from_u128(0xDEADBEEF_CAFEBABE_u128);
     let y = Fr::from_u128(0x12345678_9ABCDEF0_u128);
-    c.bench_function("fr/mul", |b| b.iter(|| black_box(black_box(x) * black_box(y))));
+    c.bench_function("fr/mul", |b| {
+        b.iter(|| black_box(black_box(x) * black_box(y)))
+    });
     c.bench_function("fr/inverse", |b| b.iter(|| black_box(x.inverse().unwrap())));
 }
 
@@ -71,9 +73,7 @@ fn bench_vrf(c: &mut Criterion) {
 }
 
 fn bench_merkle(c: &mut Criterion) {
-    let leaves: Vec<H256> = (0..1000u64)
-        .map(|i| H256::hash(&i.to_be_bytes()))
-        .collect();
+    let leaves: Vec<H256> = (0..1000u64).map(|i| H256::hash(&i.to_be_bytes())).collect();
     c.bench_function("merkle/root_1000_leaves", |b| {
         b.iter(|| black_box(MerkleTree::from_leaves(black_box(leaves.clone())).root()))
     });

@@ -18,15 +18,24 @@ fn main() {
     off.disable_pruning = true;
     let without_pruning = System::new(off).run();
 
-    line("sidechain final (pruning ON)", fmt_bytes(with_pruning.sidechain_bytes));
+    line(
+        "sidechain final (pruning ON)",
+        fmt_bytes(with_pruning.sidechain_bytes),
+    );
     line(
         "sidechain final (pruning OFF)",
         fmt_bytes(without_pruning.sidechain_bytes),
     );
-    line("bytes reclaimed by pruning", fmt_bytes(with_pruning.sidechain_pruned_bytes));
+    line(
+        "bytes reclaimed by pruning",
+        fmt_bytes(with_pruning.sidechain_pruned_bytes),
+    );
     let reduction = 100.0
         * (1.0 - with_pruning.sidechain_bytes as f64 / without_pruning.sidechain_bytes as f64);
-    line("pruning reduces sidechain size by", format!("{reduction:.2}%"));
+    line(
+        "pruning reduces sidechain size by",
+        format!("{reduction:.2}%"),
+    );
     println!();
     line(
         "note",

@@ -29,14 +29,16 @@ fn main() {
     line("ammBoost gas (total)", fmt_gas(amm.mainchain_gas));
     line("baseline gas (total)", fmt_gas(baseline.total_gas));
     let gas_reduction = 100.0 * (1.0 - amm.mainchain_gas as f64 / baseline.total_gas as f64);
-    row(
-        "gas reduction (%)",
-        "96.05",
-        format!("{gas_reduction:.2}"),
-    );
+    row("gas reduction (%)", "96.05", format!("{gas_reduction:.2}"));
     println!();
-    line("ammBoost mainchain growth", fmt_bytes(amm.mainchain_growth_bytes));
-    line("baseline growth (Sepolia sizes)", fmt_bytes(baseline.growth_bytes));
+    line(
+        "ammBoost mainchain growth",
+        fmt_bytes(amm.mainchain_growth_bytes),
+    );
+    line(
+        "baseline growth (Sepolia sizes)",
+        fmt_bytes(baseline.growth_bytes),
+    );
     line(
         "baseline growth (mainnet sizes)",
         fmt_bytes(baseline.mainnet_growth_bytes),

@@ -3,27 +3,47 @@
 //! `table12_committee`, `fig05_gas_growth`.
 //!
 //! Heavy sweeps (Tables VIII-XI run 11-epoch simulations per
-//! configuration) take a few minutes in release mode.
+//! configuration) take a few minutes in release mode. Pass `--smoke` to
+//! run only the fast reproductions (everything except those sweeps) —
+//! this is what CI uses to keep the binaries from rotting.
 
 use std::process::Command;
 
+const FAST_BINS: &[&str] = &[
+    "table07_traffic",
+    "table04_storage",
+    "table02_itemized_gas",
+    "table03_uniswap_gas",
+    "fig05_gas_growth",
+    "table05_scalability",
+    "table12_committee",
+    "table06_rollup",
+    "table01_comparison",
+    "ablation_pruning",
+];
+
+const SWEEP_BINS: &[&str] = &[
+    "table09_round_duration",
+    "table10_epoch_len",
+    "table08_blocksize",
+    "table11_traffic_mix",
+];
+
 fn main() {
-    let bins = [
-        "table07_traffic",
-        "table04_storage",
-        "table02_itemized_gas",
-        "table03_uniswap_gas",
-        "fig05_gas_growth",
-        "table05_scalability",
-        "table12_committee",
-        "table06_rollup",
-        "table01_comparison",
-        "table09_round_duration",
-        "table10_epoch_len",
-        "table08_blocksize",
-        "table11_traffic_mix",
-        "ablation_pruning",
-    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(unknown) = args.iter().find(|a| *a != "--smoke") {
+        eprintln!("unknown argument: {unknown}");
+        eprintln!("usage: repro_all [--smoke]");
+        std::process::exit(2);
+    }
+
+    let bins: Vec<&str> = if smoke {
+        FAST_BINS.to_vec()
+    } else {
+        FAST_BINS.iter().chain(SWEEP_BINS).copied().collect()
+    };
+
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
     for bin in bins {
@@ -33,5 +53,9 @@ fn main() {
         assert!(status.success(), "{bin} failed");
     }
     println!();
-    println!("All reproductions completed.");
+    if smoke {
+        println!("Smoke reproductions completed (sweep tables skipped).");
+    } else {
+        println!("All reproductions completed.");
+    }
 }

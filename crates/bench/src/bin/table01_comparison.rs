@@ -12,7 +12,12 @@ fn main() {
     header("Table I — ammBoost vs deployed rollup solutions");
     println!(
         "{:<22} {:>12} {:>16} {:>22} {:>14} {:>22}",
-        "solution", "tput (tx/s)", "payout delay", "withdrawal overhead", "decentralized", "mainchain storage"
+        "solution",
+        "tput (tx/s)",
+        "payout delay",
+        "withdrawal overhead",
+        "decentralized",
+        "mainchain storage"
     );
     println!(
         "{:<22} {:>12} {:>16} {:>22} {:>14} {:>22}",

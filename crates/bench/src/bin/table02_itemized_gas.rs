@@ -63,10 +63,7 @@ fn main() {
             receipt.meter.total_for("position.storage")
         ),
     );
-    line(
-        "payouts in sync",
-        format!("{}", receipt.payouts_applied),
-    );
+    line("payouts in sync", format!("{}", receipt.payouts_applied));
     line("sync total", format!("{} gas", receipt.meter.total()));
 
     // --- deposit gas (2 tokens) ---

@@ -9,7 +9,10 @@ use ammboost_sidechain::codec;
 fn main() {
     header("Table IV — per-operation storage overhead (bytes)");
 
-    line("ammBoost sync components", "mainchain (ABI) vs sidechain (packed)");
+    line(
+        "ammBoost sync components",
+        "mainchain (ABI) vs sidechain (packed)",
+    );
     row(
         "payout entry (mainchain ABI)",
         "352",
@@ -40,7 +43,10 @@ fn main() {
     row("burn", "280.21", "280");
     row("collect", "150.18", "150");
     println!();
-    line("Uniswap tx sizes on production Ethereum", "universal router");
+    line(
+        "Uniswap tx sizes on production Ethereum",
+        "universal router",
+    );
     row("swap", "1007.83", "1008");
     row("mint", "814.49", "814");
     row("burn", "907.07", "907");

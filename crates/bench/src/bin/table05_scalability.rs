@@ -37,7 +37,10 @@ fn main() {
             format!("{:.2}", reference.payout_latency),
             format!("{:.2}", report.avg_payout_latency_secs),
         );
-        line("  accepted/submitted", format!("{}/{}", report.accepted, report.submitted));
+        line(
+            "  accepted/submitted",
+            format!("{}/{}", report.accepted, report.submitted),
+        );
     }
     println!();
     println!(

@@ -36,7 +36,10 @@ fn main() {
     row(
         "ammOP throughput (tx/s)",
         "51.16",
-        format!("{:.2}", op.capacity_tps(uniswap2023::mix_weighted_avg_size())),
+        format!(
+            "{:.2}",
+            op.capacity_tps(uniswap2023::mix_weighted_avg_size())
+        ),
     );
     row(
         "ammOP tx latency (s)",

@@ -21,7 +21,10 @@ fn main() {
     line("implied 1x daily volume", daily_volume_1x());
     line(
         "implied 2023 chain growth",
-        format!("{:.2} GB (paper: ~20.2 GB)", chain_growth_2023_bytes() as f64 / 1e9),
+        format!(
+            "{:.2} GB (paper: ~20.2 GB)",
+            chain_growth_2023_bytes() as f64 / 1e9
+        ),
     );
 
     // validate the generator reproduces the mix

@@ -77,12 +77,7 @@ fn election_input(seed: &H256, epoch: u64) -> Vec<u8> {
 }
 
 /// Draws a miner's sortition ticket.
-pub fn draw_ticket(
-    sk: &VrfSecretKey,
-    miner_id: u64,
-    seed: &H256,
-    epoch: u64,
-) -> ElectionProof {
+pub fn draw_ticket(sk: &VrfSecretKey, miner_id: u64, seed: &H256, epoch: u64) -> ElectionProof {
     let (output, proof) = sk.eval(&election_input(seed, epoch));
     ElectionProof {
         miner: miner_id,
@@ -167,9 +162,7 @@ pub fn elect_committee(
             need: committee_size,
         });
     }
-    let stake_of = |id: u64| -> Option<u64> {
-        miners.iter().find(|m| m.id == id).map(|m| m.stake)
-    };
+    let stake_of = |id: u64| -> Option<u64> { miners.iter().find(|m| m.id == id).map(|m| m.stake) };
     for t in tickets {
         let rec = miners
             .iter()
@@ -224,7 +217,12 @@ mod tests {
         (recs, sks)
     }
 
-    fn tickets(recs: &[MinerRecord], sks: &[VrfSecretKey], seed: &H256, epoch: u64) -> Vec<ElectionProof> {
+    fn tickets(
+        recs: &[MinerRecord],
+        sks: &[VrfSecretKey],
+        seed: &H256,
+        epoch: u64,
+    ) -> Vec<ElectionProof> {
         recs.iter()
             .zip(sks)
             .map(|(r, s)| draw_ticket(s, r.id, seed, epoch))

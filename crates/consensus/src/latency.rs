@@ -46,11 +46,11 @@ impl AgreementModel {
     /// Time for one PBFT agreement on a block of `block_bytes` with a
     /// committee of `n`.
     pub fn agreement_time(&self, n: usize, block_bytes: usize) -> SimDuration {
-        let fanout = self
+        let fanout = self.net.transmit_time(block_bytes).saturating_mul(n as u64);
+        let votes = self
             .net
-            .transmit_time(block_bytes)
+            .transmit_time(self.vote_bytes)
             .saturating_mul(n as u64);
-        let votes = self.net.transmit_time(self.vote_bytes).saturating_mul(n as u64);
         let pairwise_ms = (self.pairwise_ns * (n as u64) * (n as u64)) / 1_000_000;
         fanout
             + votes

@@ -225,11 +225,7 @@ pub struct ConsensusOutcome {
 ///
 /// `proposal` is the digest honest leaders propose. At most `max_views`
 /// are attempted.
-pub fn run_consensus(
-    behaviors: &[Behavior],
-    proposal: Digest,
-    max_views: u64,
-) -> ConsensusOutcome {
+pub fn run_consensus(behaviors: &[Behavior], proposal: Digest, max_views: u64) -> ConsensusOutcome {
     let n = behaviors.len();
     let mut replicas: Vec<Replica> = behaviors
         .iter()

@@ -3,6 +3,8 @@
 //! producing the gas / growth / latency numbers ammBoost is compared
 //! against in Table III and Figure 5.
 
+use ammboost_amm::tx::{AmmTx, AmmTxKind};
+use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_mainchain::chain::{Mainchain, TxId, TxSpec};
 use ammboost_mainchain::contracts::uniswap::{BaselineError, UniswapBaseline};
 use ammboost_mainchain::contracts::Erc20;
@@ -10,8 +12,6 @@ use ammboost_mainchain::gas::{GasMeter, TX_BASE};
 use ammboost_sim::metrics::LatencyStats;
 use ammboost_sim::time::{SimDuration, SimTime};
 use ammboost_workload::{GeneratorConfig, TrafficGenerator};
-use ammboost_amm::tx::{AmmTx, AmmTxKind};
-use ammboost_amm::types::{PoolId, PositionId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -171,8 +171,8 @@ impl BaselineRunner {
             let batch = self.generator.next_round(r);
             let n = batch.len().max(1) as u64;
             for (i, gtx) in batch.into_iter().enumerate() {
-                let arrival = round_start
-                    + SimDuration::from_millis(round.as_millis() * i as u64 / n);
+                let arrival =
+                    round_start + SimDuration::from_millis(round.as_millis() * i as u64 / n);
                 submitted += 1;
                 match self.execute(&gtx.tx, arrival, &mut approval_gas) {
                     Ok((gas, size, kind, op_id)) => {

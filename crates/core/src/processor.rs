@@ -183,7 +183,11 @@ impl EpochProcessor {
             ),
         };
         // deposit must cover the worst-case input (paper §IV-B)
-        let (need0, need1) = if s.zero_for_one { (cover, 0) } else { (0, cover) };
+        let (need0, need1) = if s.zero_for_one {
+            (cover, 0)
+        } else {
+            (0, cover)
+        };
         if !self.deposits.can_cover(&s.user, need0, need1) {
             return Self::reject("insufficient deposit for swap input");
         }
@@ -234,15 +238,14 @@ impl EpochProcessor {
             },
             None => (m.tick_lower, m.tick_upper),
         };
-        let (liquidity, amounts) = match self.pool.quote_mint(
-            tick_lower,
-            tick_upper,
-            m.amount0_desired,
-            m.amount1_desired,
-        ) {
-            Ok(q) => q,
-            Err(e) => return Self::reject(format!("mint failed: {e}")),
-        };
+        let (liquidity, amounts) =
+            match self
+                .pool
+                .quote_mint(tick_lower, tick_upper, m.amount0_desired, m.amount1_desired)
+            {
+                Ok(q) => q,
+                Err(e) => return Self::reject(format!("mint failed: {e}")),
+            };
         if !self
             .deposits
             .can_cover(&m.user, amounts.amount0, amounts.amount1)
@@ -250,13 +253,10 @@ impl EpochProcessor {
             return Self::reject("insufficient deposit for mint");
         }
         let created = self.pool.position(&id).is_none();
-        let actual = match self.pool.mint_liquidity(
-            id,
-            m.user,
-            tick_lower,
-            tick_upper,
-            liquidity,
-        ) {
+        let actual = match self
+            .pool
+            .mint_liquidity(id, m.user, tick_lower, tick_upper, liquidity)
+        {
             Ok(a) => a,
             Err(e) => return Self::reject(format!("mint failed: {e}")),
         };

@@ -92,10 +92,7 @@ pub struct SystemReport {
 enum PendingOp {
     /// A sync covering every epoch up to and including `through_epoch`;
     /// `rollback` marks the planned fork-loss fault.
-    Sync {
-        through_epoch: u64,
-        rollback: bool,
-    },
+    Sync { through_epoch: u64, rollback: bool },
 }
 
 /// Snapshot taken before applying a sync scheduled to be rolled back, so
@@ -339,7 +336,11 @@ impl System {
 
     fn run_epoch(&mut self, epoch: u64, epoch_start: SimTime) {
         // --- committee election (validated VRF sortition) ---
-        let seed = H256::hash_concat(&[b"epoch-seed", &self.cfg.seed.to_be_bytes(), &epoch.to_be_bytes()]);
+        let seed = H256::hash_concat(&[
+            b"epoch-seed",
+            &self.cfg.seed.to_be_bytes(),
+            &epoch.to_be_bytes(),
+        ]);
         let committee_size = self.cfg.committee_size.min(self.miners.len());
         let tickets: Vec<_> = self
             .miners
@@ -406,7 +407,8 @@ impl System {
                 let offset = SimDuration::from_millis(
                     self.cfg.round_duration.as_millis() * i as u64 / n.max(1),
                 );
-                self.queue.push_back((round_start + offset, gtx.tx, gtx.wire_size));
+                self.queue
+                    .push_back((round_start + offset, gtx.tx, gtx.wire_size));
                 self.submitted += 1;
             }
 
@@ -422,13 +424,7 @@ impl System {
         self.close_epoch(epoch, epoch_end);
     }
 
-    fn mine_meta_block(
-        &mut self,
-        epoch: u64,
-        round: u64,
-        global_round: u64,
-        round_end: SimTime,
-    ) {
+    fn mine_meta_block(&mut self, epoch: u64, round: u64, global_round: u64, round_end: SimTime) {
         let mut executed: Vec<ExecutedTx> = Vec::new();
         let mut bytes = 0usize;
         while let Some((arrival, _, size)) = self.queue.front() {
@@ -448,10 +444,8 @@ impl System {
                     ammboost_sidechain::block::TxEffect::Mint { .. } => {}
                     ammboost_sidechain::block::TxEffect::Burn {
                         position, deleted, ..
-                    } => {
-                        if *deleted {
-                            self.generator.forget_position(*position);
-                        }
+                    } if *deleted => {
+                        self.generator.forget_position(*position);
                     }
                     _ => {}
                 }
@@ -762,8 +756,7 @@ impl System {
         self.unsynced
             .push((drain_epoch, payouts, positions, pool_update));
         self.submit_sync(drain_epoch, t + SimDuration::from_secs(60), false);
-        self.chain
-            .advance_to(t + SimDuration::from_secs(120));
+        self.chain.advance_to(t + SimDuration::from_secs(120));
         self.handle_confirmations();
         t
     }

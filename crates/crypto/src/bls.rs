@@ -138,11 +138,7 @@ impl Signature {
 /// message** (the CoSi/TSQC case): `e(H(m), Σpk) == e(Σsig, g2)`.
 ///
 /// Callers must have checked proofs of possession for every key.
-pub fn verify_same_message(
-    keys: &[PublicKey],
-    msg: &[u8],
-    aggregate: &Signature,
-) -> bool {
+pub fn verify_same_message(keys: &[PublicKey], msg: &[u8], aggregate: &Signature) -> bool {
     if keys.is_empty() {
         return false;
     }
@@ -153,7 +149,11 @@ pub fn verify_same_message(
 /// Deterministically derives a keypair from a seed and an index — handy for
 /// simulations that need thousands of reproducible miner identities.
 pub fn keypair_from_seed(seed: u64, index: u64) -> (SecretKey, PublicKey) {
-    let digest = keccak256_concat(&[b"AMMBOOST-KEYGEN", &seed.to_be_bytes(), &index.to_be_bytes()]);
+    let digest = keccak256_concat(&[
+        b"AMMBOOST-KEYGEN",
+        &seed.to_be_bytes(),
+        &index.to_be_bytes(),
+    ]);
     let sk = SecretKey::from_entropy(digest);
     let pk = sk.public_key();
     (sk, pk)

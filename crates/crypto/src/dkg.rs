@@ -66,11 +66,7 @@ pub struct Dealing {
 impl Dealing {
     /// Produces an honest dealing for `dealer` under `config`, drawing
     /// polynomial coefficients from `entropy`.
-    pub fn deal<F: FnMut() -> [u8; 32]>(
-        dealer: u32,
-        config: DkgConfig,
-        mut entropy: F,
-    ) -> Dealing {
+    pub fn deal<F: FnMut() -> [u8; 32]>(dealer: u32, config: DkgConfig, mut entropy: F) -> Dealing {
         let secret = Fr::from_entropy(entropy());
         let poly = Polynomial::random_with_secret(secret, config.threshold, &mut entropy);
         let commitments = poly
@@ -187,14 +183,9 @@ impl std::error::Error for DkgError {}
 /// # Errors
 /// Fails when fewer than `threshold` dealers qualify (liveness cannot be
 /// guaranteed below the reconstruction threshold).
-pub fn aggregate_dealings(
-    config: DkgConfig,
-    dealings: &[Dealing],
-) -> Result<DkgOutput, DkgError> {
+pub fn aggregate_dealings(config: DkgConfig, dealings: &[Dealing]) -> Result<DkgOutput, DkgError> {
     for d in dealings {
-        if d.shares.len() != config.participants
-            || d.commitments.len() != config.threshold
-        {
+        if d.shares.len() != config.participants || d.commitments.len() != config.threshold {
             return Err(DkgError::MalformedDealing(d.dealer));
         }
     }
@@ -294,20 +285,14 @@ mod tests {
             })
             .collect();
         let group_secret = reconstruct_secret(&shares).unwrap();
-        assert_eq!(
-            G2::generator() * group_secret,
-            out.group_public_key.point()
-        );
+        assert_eq!(G2::generator() * group_secret, out.group_public_key.point());
     }
 
     #[test]
     fn verification_keys_match_secrets() {
         let out = run_ceremony(DkgConfig::new(4, 3), 9);
         for ks in &out.key_shares {
-            assert_eq!(
-                ks.verification_key.point(),
-                G2::generator() * ks.secret
-            );
+            assert_eq!(ks.verification_key.point(), G2::generator() * ks.secret);
         }
     }
 

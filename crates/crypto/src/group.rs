@@ -33,9 +33,7 @@ pub const G2_SERIALIZED_LEN: usize = 128;
 macro_rules! group_impl {
     ($name:ident, $doc:literal, $tag:literal, $ser_len:expr) => {
         #[doc = $doc]
-        #[derive(
-            Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
         pub struct $name(Fr);
 
         impl $name {

@@ -146,10 +146,7 @@ mod tests {
             let t = MerkleTree::from_items(&data);
             for (i, item) in data.iter().enumerate() {
                 let p = t.prove(i).unwrap();
-                assert!(
-                    verify_proof(&t.root(), &leaf_hash(item), &p),
-                    "n={n} i={i}"
-                );
+                assert!(verify_proof(&t.root(), &leaf_hash(item), &p), "n={n} i={i}");
             }
         }
     }

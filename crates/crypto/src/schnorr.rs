@@ -69,11 +69,8 @@ impl Keypair {
 
     /// Signs `msg`.
     pub fn sign(&self, msg: &[u8]) -> SchnorrSignature {
-        let k = Fr::from_be_bytes_reduced(keccak256_concat(&[
-            DST_NONCE,
-            &self.sk.to_be_bytes(),
-            msg,
-        ]));
+        let k =
+            Fr::from_be_bytes_reduced(keccak256_concat(&[DST_NONCE, &self.sk.to_be_bytes(), msg]));
         let r = G1::generator() * k;
         let e = challenge(&r, &self.pk, msg);
         SchnorrSignature {

@@ -30,7 +30,10 @@ impl Polynomial {
     /// # Panics
     /// Panics if `coeffs` is empty.
     pub fn new(coeffs: Vec<Fr>) -> Polynomial {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         Polynomial { coeffs }
     }
 
@@ -109,10 +112,7 @@ impl std::error::Error for InterpolationError {}
 ///
 /// # Errors
 /// Returns an error on duplicate indices or if `at` is not in `indices`.
-pub fn lagrange_coefficient_at_zero(
-    indices: &[u32],
-    at: u32,
-) -> Result<Fr, InterpolationError> {
+pub fn lagrange_coefficient_at_zero(indices: &[u32], at: u32) -> Result<Fr, InterpolationError> {
     let mut num = Fr::ONE;
     let mut den = Fr::ONE;
     let xi = Fr::from_u64(at as u64);

@@ -51,11 +51,7 @@ pub fn partial_sign(share: &KeyShare, msg: &[u8]) -> PartialSignature {
 
 /// Verifies a partial signature against the signer's public verification
 /// key `vk_i = g2 * x_i` (published by the DKG).
-pub fn verify_partial(
-    vk_i: &PublicKey,
-    msg: &[u8],
-    partial: &PartialSignature,
-) -> bool {
+pub fn verify_partial(vk_i: &PublicKey, msg: &[u8], partial: &PartialSignature) -> bool {
     let h = G1::hash_to_point(DST_TSQC, msg);
     crate::group::pairing_check(
         &h,
@@ -106,10 +102,7 @@ impl From<InterpolationError> for CombineError {
 /// Fails below threshold. Partials are **not** individually verified here —
 /// callers either verify each partial (`verify_partial`) or verify the
 /// combined signature against the group key, as TokenBank does.
-pub fn combine(
-    partials: &[PartialSignature],
-    threshold: usize,
-) -> Result<Signature, CombineError> {
+pub fn combine(partials: &[PartialSignature], threshold: usize) -> Result<Signature, CombineError> {
     let mut unique: BTreeMap<u32, Signature> = BTreeMap::new();
     for p in partials {
         unique.entry(p.index).or_insert(p.signature);
@@ -120,8 +113,7 @@ pub fn combine(
             need: threshold,
         });
     }
-    let chosen: Vec<(u32, Signature)> =
-        unique.into_iter().take(threshold).collect();
+    let chosen: Vec<(u32, Signature)> = unique.into_iter().take(threshold).collect();
     let indices: Vec<u32> = chosen.iter().map(|(i, _)| *i).collect();
     let mut acc = G1::IDENTITY;
     for (i, sig) in &chosen {
@@ -177,12 +169,7 @@ impl QuorumCertificate {
             return false;
         }
         let h = G1::hash_to_point(DST_TSQC, payload);
-        crate::group::pairing_check(
-            &h,
-            &vk_c.point(),
-            &self.signature.point(),
-            &G2::generator(),
-        )
+        crate::group::pairing_check(&h, &vk_c.point(), &self.signature.point(), &G2::generator())
     }
 
     /// Serialized size on the mainchain in bytes: 64-byte signature (the
@@ -190,6 +177,15 @@ impl QuorumCertificate {
     /// epoch registers it; see paper Table IV).
     pub fn mainchain_signature_size(&self) -> usize {
         64
+    }
+}
+
+impl PublicKey {
+    /// Verifies a *combined* TSQC signature over `msg` (the raw form used
+    /// before wrapping into a [`QuorumCertificate`]).
+    pub fn verify_raw_tsqc(&self, msg: &[u8], sig: &Signature) -> bool {
+        let h = G1::hash_to_point(DST_TSQC, msg);
+        crate::group::pairing_check(&h, &self.point(), &sig.point(), &G2::generator())
     }
 }
 
@@ -313,14 +309,5 @@ mod tests {
         partials[0] = partial_sign(&out.key_shares[0], b"evil");
         let sig = combine(&partials, 4).unwrap();
         assert!(!out.group_public_key.verify_raw_tsqc(msg, &sig));
-    }
-}
-
-impl PublicKey {
-    /// Verifies a *combined* TSQC signature over `msg` (the raw form used
-    /// before wrapping into a [`QuorumCertificate`]).
-    pub fn verify_raw_tsqc(&self, msg: &[u8], sig: &Signature) -> bool {
-        let h = G1::hash_to_point(DST_TSQC, msg);
-        crate::group::pairing_check(&h, &self.point(), &sig.point(), &G2::generator())
     }
 }

@@ -212,9 +212,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + (out[i + j] as u128)
-                    + carry;
+                let cur = (self.0[i] as u128) * (rhs.0[j] as u128) + (out[i + j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -317,7 +315,7 @@ impl U256 {
             return U256::ZERO;
         }
         // Newton's method with a power-of-two initial overestimate.
-        let mut x = U256::pow2((self.bits() + 1) / 2);
+        let mut x = U256::pow2(self.bits().div_ceil(2));
         loop {
             // y = (x + self / x) / 2
             let y = (x + self / x) >> 1;
@@ -439,9 +437,7 @@ fn div_rem_slices(num: &[u64], div: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let top = ((u[j + n] as u128) << 64) | (u[j + n - 1] as u128);
         let mut qhat = top / (v[n - 1] as u128);
         let mut rhat = top % (v[n - 1] as u128);
-        while qhat >= b
-            || qhat * (v[n - 2] as u128) > (rhat << 64) + (u[j + n - 2] as u128)
-        {
+        while qhat >= b || qhat * (v[n - 2] as u128) > (rhat << 64) + (u[j + n - 2] as u128) {
             qhat -= 1;
             rhat += v[n - 1] as u128;
             if rhat >= b {
@@ -633,7 +629,7 @@ impl U512 {
         if self.is_zero() {
             return U256::ZERO;
         }
-        let mut x = U512::pow2(((self.bits() + 1) / 2).min(256));
+        let mut x = U512::pow2(self.bits().div_ceil(2).min(256));
         loop {
             let (q, _) = self.div_rem(x);
             let (sum, carry) = x.overflowing_add(q);

@@ -40,13 +40,9 @@ fn committee_handover_chain() {
                 .iter()
                 .map(|ks| partial_sign(ks, payload.as_bytes()))
                 .collect();
-            let forged_qc = QuorumCertificate::assemble(
-                epoch,
-                payload.as_bytes(),
-                &forged,
-                config.threshold,
-            )
-            .unwrap();
+            let forged_qc =
+                QuorumCertificate::assemble(epoch, payload.as_bytes(), &forged, config.threshold)
+                    .unwrap();
             // (stale seed differs from the registered committee)
             assert!(!forged_qc.verify(&registered_vk, payload.as_bytes()));
         }
@@ -146,9 +142,7 @@ fn vrf_outputs_are_statistically_spread() {
     // interval roughly uniformly
     let mut buckets = [0usize; 10];
     for i in 0..200u64 {
-        let sk = VrfSecretKey::from_entropy(ammboost_crypto::keccak::keccak256(
-            &i.to_be_bytes(),
-        ));
+        let sk = VrfSecretKey::from_entropy(ammboost_crypto::keccak::keccak256(&i.to_be_bytes()));
         let (out, _) = sk.eval(b"spread-test");
         let f = ammboost_crypto::vrf::output_to_unit_fraction(&out);
         buckets[(f * 10.0) as usize % 10] += 1;

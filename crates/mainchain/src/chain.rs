@@ -267,7 +267,7 @@ impl Mainchain {
         // orphaned txs regain priority, oldest first
         let mut reinsert: Vec<TxId> = orphaned.clone();
         reinsert.reverse();
-        reinsert.extend(self.pending.drain(..));
+        reinsert.append(&mut self.pending);
         self.pending = reinsert;
         orphaned
     }
@@ -339,7 +339,10 @@ mod tests {
         let deposit = chain.submit(SimTime::from_secs(1), dep);
         chain.advance_to(SimTime::from_secs(12));
         assert!(chain.confirmed_at(approve).is_some());
-        assert!(chain.confirmed_at(deposit).is_none(), "dep needs earlier block");
+        assert!(
+            chain.confirmed_at(deposit).is_none(),
+            "dep needs earlier block"
+        );
         chain.advance_to(SimTime::from_secs(24));
         assert_eq!(chain.confirmed_at(deposit), Some(SimTime::from_secs(24)));
     }

@@ -58,7 +58,10 @@ impl Erc20 {
 
     /// Remaining allowance from `owner` to `spender`.
     pub fn allowance(&self, owner: &Address, spender: &Address) -> u128 {
-        self.allowances.get(&(*owner, *spender)).copied().unwrap_or(0)
+        self.allowances
+            .get(&(*owner, *spender))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total minted supply.
@@ -192,7 +195,10 @@ mod tests {
         t.mint(a(2), 1);
         let mut m = GasMeter::new();
         t.transfer(a(1), a(2), 400, &mut m).unwrap();
-        assert_eq!(m.total_for("erc20.transfer.sstore_to"), gas::SSTORE_UPDATE_COLD);
+        assert_eq!(
+            m.total_for("erc20.transfer.sstore_to"),
+            gas::SSTORE_UPDATE_COLD
+        );
     }
 
     #[test]
@@ -213,9 +219,7 @@ mod tests {
         t.mint(a(1), 100);
         let mut m = GasMeter::new();
         t.approve(a(1), a(9), 60, &mut m);
-        assert!(t
-            .transfer_from(a(9), a(1), a(2), 61, &mut m)
-            .is_err());
+        assert!(t.transfer_from(a(9), a(1), a(2), 61, &mut m).is_err());
         t.transfer_from(a(9), a(1), a(2), 60, &mut m).unwrap();
         assert_eq!(t.balance_of(&a(2)), 60);
         assert_eq!(t.allowance(&a(1), &a(9)), 0);

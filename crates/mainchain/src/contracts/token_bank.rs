@@ -390,7 +390,10 @@ impl TokenBank {
             .ok_or(TokenBankError::NoCommitteeKey)?;
 
         // --- authentication (Table II "Authentication" columns) ---
-        meter.charge("auth.intrinsic", gas::intrinsic_cost(payload.len() + 68, 0.35));
+        meter.charge(
+            "auth.intrinsic",
+            gas::intrinsic_cost(payload.len() + 68, 0.35),
+        );
         meter.charge("auth.keccak256", gas::keccak_cost(payload.len()));
         meter.charge("auth.hash_to_point.ecmul", gas::EC_MUL);
         meter.charge("auth.pairing", gas::pairing_cost(2));
@@ -583,15 +586,21 @@ impl TokenBank {
         }
         let fee0 = mul_ceil(amount0, self.flash_fee_pips);
         let fee1 = mul_ceil(amount1, self.flash_fee_pips);
-        meter.charge("flash.transfers_out", 2 * (gas::SLOAD_COLD + gas::SSTORE_UPDATE_COLD));
+        meter.charge(
+            "flash.transfers_out",
+            2 * (gas::SLOAD_COLD + gas::SSTORE_UPDATE_COLD),
+        );
         let (repay0, repay1) = callback(amount0, amount1);
         if repay0 < amount0 + fee0 || repay1 < amount1 + fee1 {
             return Err(TokenBankError::FlashNotRepaid);
         }
-        meter.charge("flash.transfers_in", 2 * (gas::SLOAD_COLD + gas::SSTORE_UPDATE_COLD));
+        meter.charge(
+            "flash.transfers_in",
+            2 * (gas::SLOAD_COLD + gas::SSTORE_UPDATE_COLD),
+        );
         let reserves = self.pools.get_mut(&pool).expect("checked above");
-        reserves.0 = reserves.0 + (repay0 - amount0);
-        reserves.1 = reserves.1 + (repay1 - amount1);
+        reserves.0 += repay0 - amount0;
+        reserves.1 += repay1 - amount1;
         meter.charge("flash.pool_update", gas::SSTORE_UPDATE_COLD);
         Ok((repay0 - amount0, repay1 - amount1))
     }
@@ -707,7 +716,15 @@ mod tests {
         w.token0
             .approve(a(1), w.bank.address, 500, &mut GasMeter::new());
         w.bank
-            .deposit(a(1), 500, 0, 1, &mut w.token0, &mut w.token1, &mut GasMeter::new())
+            .deposit(
+                a(1),
+                500,
+                0,
+                1,
+                &mut w.token0,
+                &mut w.token1,
+                &mut GasMeter::new(),
+            )
             .unwrap();
 
         let mut input = empty_sync(&w, 1);

@@ -173,7 +173,13 @@ impl UniswapBaseline {
         } else {
             (token1, token0)
         };
-        token_in.transfer_from(self.address, tx.user, self.address, result.amount_in, &mut meter)?;
+        token_in.transfer_from(
+            self.address,
+            tx.user,
+            self.address,
+            result.amount_in,
+            &mut meter,
+        )?;
         token_out.transfer(self.address, tx.user, result.amount_out, &mut meter)?;
         self.pool = staged;
 
@@ -248,10 +254,22 @@ impl UniswapBaseline {
             tx.amount1_desired,
         )?;
         if amounts.amount0 > 0 {
-            token0.transfer_from(self.address, tx.user, self.address, amounts.amount0, &mut meter)?;
+            token0.transfer_from(
+                self.address,
+                tx.user,
+                self.address,
+                amounts.amount0,
+                &mut meter,
+            )?;
         }
         if amounts.amount1 > 0 {
-            token1.transfer_from(self.address, tx.user, self.address, amounts.amount1, &mut meter)?;
+            token1.transfer_from(
+                self.address,
+                tx.user,
+                self.address,
+                amounts.amount1,
+                &mut meter,
+            )?;
         }
 
         // storage: NFPM position struct (6 words) + NFT bookkeeping
@@ -408,8 +426,10 @@ mod tests {
 
     fn approve_all(w: &mut World, user: Address) {
         let mut m = GasMeter::new();
-        w.token0.approve(user, w.base.address, u128::MAX / 2, &mut m);
-        w.token1.approve(user, w.base.address, u128::MAX / 2, &mut m);
+        w.token0
+            .approve(user, w.base.address, u128::MAX / 2, &mut m);
+        w.token1
+            .approve(user, w.base.address, u128::MAX / 2, &mut m);
     }
 
     fn mint_base_liquidity(w: &mut World) -> PositionId {

@@ -15,8 +15,7 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1_000u64..500_000, 50usize..2_000)
-            .prop_map(|(gas, size)| Op::Submit { gas, size }),
+        (1_000u64..500_000, 50usize..2_000).prop_map(|(gas, size)| Op::Submit { gas, size }),
         (1u64..60).prop_map(|secs| Op::Advance { secs }),
         (1usize..3).prop_map(|depth| Op::Reorg { depth }),
     ]
@@ -43,7 +42,7 @@ proptest! {
                     }));
                 }
                 Op::Advance { secs } => {
-                    now = now + ammboost_sim::time::SimDuration::from_secs(secs);
+                    now += ammboost_sim::time::SimDuration::from_secs(secs);
                     chain.advance_to(now);
                 }
                 Op::Reorg { depth } => {

@@ -94,12 +94,7 @@ fn censored_transaction_never_confirms() {
     assert!(!chain.censor_pending(other));
 }
 
-fn bank_world() -> (
-    TokenBank,
-    Erc20,
-    Erc20,
-    ammboost_crypto::dkg::DkgOutput,
-) {
+fn bank_world() -> (TokenBank, Erc20, Erc20, ammboost_crypto::dkg::DkgOutput) {
     let dkg = run_ceremony(DkgConfig::for_faults(1), 31);
     let mut bank = TokenBank::deploy(dkg.group_public_key);
     bank.create_pool(PoolId(0), &mut GasMeter::new());
@@ -110,10 +105,7 @@ fn bank_world() -> (
     (bank, t0, t1, dkg)
 }
 
-fn signed(
-    dkg: &ammboost_crypto::dkg::DkgOutput,
-    input: &SyncInput,
-) -> QuorumCertificate {
+fn signed(dkg: &ammboost_crypto::dkg::DkgOutput, input: &SyncInput) -> QuorumCertificate {
     let payload = input.abi_payload();
     let partials: Vec<_> = dkg.key_shares[..4]
         .iter()

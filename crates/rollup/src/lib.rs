@@ -98,7 +98,8 @@ impl AmmOp {
             self.processed += 1;
             let latency = at.since(submitted);
             self.tx_latency.record(latency);
-            self.payout_latency.record(latency + self.config.contestation);
+            self.payout_latency
+                .record(latency + self.config.contestation);
         }
         self.batches += 1;
         self.last_batch_time = at;
@@ -138,9 +139,7 @@ impl AmmOp {
     /// The pipeline's capacity ceiling in transactions/second for an
     /// average transaction size.
     pub fn capacity_tps(&self, avg_tx_bytes: f64) -> f64 {
-        self.config.batch_bytes as f64
-            / avg_tx_bytes
-            / self.config.batch_interval.as_secs_f64()
+        self.config.batch_bytes as f64 / avg_tx_bytes / self.config.batch_interval.as_secs_f64()
     }
 }
 
@@ -177,10 +176,7 @@ mod tests {
         p.submit(SimTime::from_secs(1), 1000);
         p.advance_to(SimTime::from_secs(35));
         let payout = p.avg_payout_latency().as_secs_f64();
-        assert!(
-            (payout - (34.0 + 604_800.0)).abs() < 1.0,
-            "payout {payout}"
-        );
+        assert!((payout - (34.0 + 604_800.0)).abs() < 1.0, "payout {payout}");
     }
 
     #[test]

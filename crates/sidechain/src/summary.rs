@@ -271,7 +271,8 @@ mod tests {
         let mut d = Deposits::new();
         d.credit(a(1), 10, 0).unwrap();
         d.debit(a(1), 10, 0).unwrap();
-        d.credit(a(1), 0, 20).unwrap(); // swap output
+        // swap output
+        d.credit(a(1), 0, 20).unwrap();
         // use the fresh token1 right away
         d.debit(a(1), 0, 20).unwrap();
         assert_eq!(d.get(&a(1)), (0, 0));

@@ -48,12 +48,18 @@ impl LatencyStats {
 
     /// Maximum sample in seconds.
     pub fn max_secs(&self) -> f64 {
-        self.samples_ms.iter().max().map_or(0.0, |&x| x as f64 / 1000.0)
+        self.samples_ms
+            .iter()
+            .max()
+            .map_or(0.0, |&x| x as f64 / 1000.0)
     }
 
     /// Minimum sample in seconds.
     pub fn min_secs(&self) -> f64 {
-        self.samples_ms.iter().min().map_or(0.0, |&x| x as f64 / 1000.0)
+        self.samples_ms
+            .iter()
+            .min()
+            .map_or(0.0, |&x| x as f64 / 1000.0)
     }
 
     /// Merges another collector's samples into this one.

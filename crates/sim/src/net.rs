@@ -53,8 +53,7 @@ impl NetworkModel {
     /// leader serializes each copy sequentially (bandwidth-bound), then the
     /// last copy still propagates for Δ.
     pub fn leader_broadcast(&self, n: usize, bytes: usize) -> SimDuration {
-        self.transmit_time(bytes).saturating_mul(n as u64)
-            + SimDuration::from_millis(self.delta_ms)
+        self.transmit_time(bytes).saturating_mul(n as u64) + SimDuration::from_millis(self.delta_ms)
     }
 
     /// Vote collection: `n` senders each push `bytes` into the leader's
@@ -62,8 +61,7 @@ impl NetworkModel {
     /// and per-message processing at the leader.
     pub fn collect_at_leader(&self, n: usize, bytes: usize) -> SimDuration {
         let serialize = self.transmit_time(bytes).saturating_mul(n as u64);
-        let processing =
-            SimDuration::from_millis(self.per_message_overhead_us * n as u64 / 1000);
+        let processing = SimDuration::from_millis(self.per_message_overhead_us * n as u64 / 1000);
         serialize + processing + SimDuration::from_millis(self.delta_ms)
     }
 }

@@ -26,7 +26,10 @@ fn drill(name: &str, faults: FaultPlan) {
         report.avg_payout_latency_secs,
     );
     assert_eq!(report.leftover_queue, 0, "liveness: queue drained");
-    assert!(report.syncs_confirmed > 0, "liveness: state reached the mainchain");
+    assert!(
+        report.syncs_confirmed > 0,
+        "liveness: state reached the mainchain"
+    );
 }
 
 fn main() {
@@ -69,7 +72,6 @@ fn main() {
             invalid_proposal_epochs: [3].into(),
             invalid_sync_epochs: [2].into(),
             rollback_epochs: [3].into(),
-            ..FaultPlan::default()
         },
     );
 

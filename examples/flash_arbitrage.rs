@@ -45,7 +45,10 @@ fn main() {
     let qc = QuorumCertificate::assemble(1, &payload, &partials, 4).unwrap();
     bank.sync(&input, &qc, &mut token0, &mut token1)
         .expect("sync seeds reserves");
-    println!("pool reserves: {:?}", bank.pool_reserves(&PoolId(0)).unwrap());
+    println!(
+        "pool reserves: {:?}",
+        bank.pool_reserves(&PoolId(0)).unwrap()
+    );
 
     // profitable arbitrage: borrow 500K token0, "sell it elsewhere" for
     // 502K, repay 500K + 0.3% fee (1,500), pocket 500
@@ -62,7 +65,10 @@ fn main() {
         "flash succeeded: pool earned {fees:?} in fees ({} gas)",
         meter.total()
     );
-    println!("reserves after: {:?}", bank.pool_reserves(&PoolId(0)).unwrap());
+    println!(
+        "reserves after: {:?}",
+        bank.pool_reserves(&PoolId(0)).unwrap()
+    );
 
     // unprofitable arbitrage: repayment short of principal + fee — the
     // whole loan inverts, nothing moves

@@ -34,7 +34,10 @@ fn main() {
         "payout latency         : {:.2} s (submission -> sync confirmed)",
         report.avg_payout_latency_secs
     );
-    println!("mainchain gas          : {} (deposits + syncs)", report.mainchain_gas);
+    println!(
+        "mainchain gas          : {} (deposits + syncs)",
+        report.mainchain_gas
+    );
     println!(
         "mainchain growth       : {} bytes",
         report.mainchain_growth_bytes

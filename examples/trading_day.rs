@@ -28,7 +28,10 @@ fn main() {
         .expect("bob mint");
     println!("alice: {alice_liq} liquidity for {alice_paid}");
     println!("bob:   {bob_liq} liquidity for {bob_paid} (same budget, ~10x tighter range)");
-    assert!(bob_liq > alice_liq * 5, "concentration multiplies liquidity");
+    assert!(
+        bob_liq > alice_liq * 5,
+        "concentration multiplies liquidity"
+    );
 
     // A day of traders: 2000 random swaps.
     let mut rng = DetRng::new(42);

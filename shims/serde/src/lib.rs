@@ -1,0 +1,25 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the minimal surface the sources use: the two marker traits plus the
+//! derive macros (which expand to nothing — the seed code derives the
+//! traits but never serializes at runtime). Swap this path dependency for
+//! the real `serde` in `[workspace.dependencies]` once the registry is
+//! reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for `serde::de` so qualified paths keep compiling.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the minimal surface the sources use. The seed code only ever
+//! *derives* `Serialize`/`Deserialize` as markers (nothing serializes at
+//! runtime yet), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -41,7 +41,10 @@ fn token_bank_is_the_single_source_of_truth() {
     assert!(sys.ledger().summaries().len() as u64 >= report.epochs);
     // all temporary meta-blocks of synced epochs were pruned
     assert!(report.sidechain_pruned_bytes > 0);
-    assert!(sys.ledger().meta_block_count() < 10, "stale meta-blocks kept");
+    assert!(
+        sys.ledger().meta_block_count() < 10,
+        "stale meta-blocks kept"
+    );
 }
 
 #[test]

@@ -60,8 +60,18 @@ fn sidechain_and_baseline_agree_on_pool_state() {
     }
     token0.mint(genesis, u128::MAX >> 16);
     token1.mint(genesis, u128::MAX >> 16);
-    token0.approve(genesis, baseline.address, u128::MAX >> 17, &mut GasMeter::new());
-    token1.approve(genesis, baseline.address, u128::MAX >> 17, &mut GasMeter::new());
+    token0.approve(
+        genesis,
+        baseline.address,
+        u128::MAX >> 17,
+        &mut GasMeter::new(),
+    );
+    token1.approve(
+        genesis,
+        baseline.address,
+        u128::MAX >> 17,
+        &mut GasMeter::new(),
+    );
     baseline
         .mint(
             &MintTx {
@@ -168,8 +178,7 @@ fn mint_amounts_agree_between_deployments() {
         } => (liquidity, amount0, amount1),
         other => panic!("expected mint, got {other:?}"),
     };
-    let (_, base_liq, base_amounts, _) =
-        baseline.mint(&mint, &mut token0, &mut token1).unwrap();
+    let (_, base_liq, base_amounts, _) = baseline.mint(&mint, &mut token0, &mut token1).unwrap();
     assert_eq!(side_liq, base_liq, "liquidity calculation diverged");
     assert_eq!(side_a0, base_amounts.amount0);
     assert_eq!(side_a1, base_amounts.amount1);
@@ -237,10 +246,7 @@ fn exact_output_swaps_agree() {
     assert_eq!(side_out, 123_456);
     assert_eq!(side_in, base_res.amount_in);
     assert_eq!(side_out, base_res.amount_out);
-    assert_eq!(
-        processor.pool().sqrt_price(),
-        baseline.pool().sqrt_price()
-    );
+    assert_eq!(processor.pool().sqrt_price(), baseline.pool().sqrt_price());
 }
 
 // make PositionId's import used in helper signature styles (silence lint

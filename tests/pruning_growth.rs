@@ -44,8 +44,7 @@ fn permanent_growth_is_bounded_by_population_not_traffic() {
     let high_report = System::new(high).run();
 
     assert!(high_report.accepted > low_report.accepted * 5);
-    let ratio =
-        high_report.max_summary_bytes as f64 / low_report.max_summary_bytes.max(1) as f64;
+    let ratio = high_report.max_summary_bytes as f64 / low_report.max_summary_bytes.max(1) as f64;
     assert!(
         ratio < 3.0,
         "permanent growth scaled with traffic: {} -> {}",

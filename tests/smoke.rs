@@ -1,0 +1,15 @@
+//! Workspace-level smoke test: the one-liner from the `ammboost` crate
+//! docs must work exactly as advertised. If this fails, the README and
+//! rustdoc examples are lying.
+
+use ammboost::core::config::SystemConfig;
+use ammboost::core::system::System;
+
+#[test]
+fn doc_example_small_test_run_confirms_syncs() {
+    let report = System::new(SystemConfig::small_test()).run();
+    assert!(
+        report.syncs_confirmed > 0,
+        "small_test run confirmed no syncs: {report:?}"
+    );
+}
