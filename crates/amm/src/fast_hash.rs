@@ -1,0 +1,134 @@
+//! A tiny multiply-mix hasher for small integer keys (ticks, bitmap word
+//! indices).
+//!
+//! The swap loop probes hash maps keyed by `i16`/`i32` several times per
+//! step; SipHash's per-call setup dominates such lookups. This hasher is
+//! the fxhash construction (rotate, xor, multiply by a Fibonacci-golden
+//! constant): two or three instructions per write, good avalanche in the
+//! high bits where `std::collections::HashMap` takes its control bytes.
+//! It is *not* DoS-resistant — use it only for maps whose keys come from
+//! the engine itself, never for attacker-controlled input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier: `floor(2^64 / golden_ratio)`, the usual Fibonacci-hashing
+/// constant.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The hasher state. One `u64`, mixed on every write.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastIntHasher(u64);
+
+impl FastIntHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastIntHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback for composite keys: mix 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastIntHasher`] maps.
+pub type FastIntBuildHasher = BuildHasherDefault<FastIntHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        let hash = |v: i32| {
+            let mut h = FastIntHasher::default();
+            h.write_i32(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+        assert_ne!(hash(-1), hash(1));
+    }
+
+    #[test]
+    fn no_collisions_on_tick_domain() {
+        // every spacing-60 tick in the full range hashes distinctly
+        let mut seen = HashSet::new();
+        for t in (-887_220..=887_220).step_by(60) {
+            let mut h = FastIntHasher::default();
+            h.write_i32(t);
+            assert!(seen.insert(h.finish()), "collision at tick {t}");
+        }
+    }
+
+    #[test]
+    fn works_as_hashmap_hasher() {
+        let mut m: HashMap<i16, u64, FastIntBuildHasher> = HashMap::default();
+        for i in -500i16..500 {
+            m.insert(i, i as u64 ^ 0xABCD);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in -500i16..500 {
+            assert_eq!(m.get(&i), Some(&(i as u64 ^ 0xABCD)), "key {i}");
+        }
+    }
+}

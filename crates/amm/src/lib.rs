@@ -14,6 +14,8 @@
 //! - [`sqrt_price_math`] — amount deltas and price movement.
 //! - [`liquidity_math`] — amounts → liquidity conversions.
 //! - [`swap_math`] — the single-range swap step.
+//! - [`tick_bitmap`] — word-packed next-initialized-tick index.
+//! - [`fast_hash`] — multiply-mix hashing for integer-keyed hot maps.
 //! - [`pool`] — the pool: multi-range swaps, positions, fees, flash loans.
 //! - [`tx`] — the transaction vocabulary + paper-calibrated size models.
 //!
@@ -34,14 +36,17 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fast_hash;
 pub mod liquidity_math;
 pub mod pool;
 pub mod sqrt_price_math;
 pub mod swap_math;
+pub mod tick_bitmap;
 pub mod tick_math;
 pub mod tx;
 pub mod types;
 
 pub use error::AmmError;
-pub use pool::{Pool, Position, SwapKind, SwapResult};
+pub use pool::{Pool, Position, SwapKind, SwapResult, TickSearch};
+pub use tick_bitmap::TickBitmap;
 pub use types::{Amount, AmountPair, Liquidity, PoolId, PositionId, Tick};

@@ -10,6 +10,7 @@ use ammboost_crypto::U256;
 ///
 /// # Errors
 /// Fails on under/overflow.
+#[inline]
 pub fn add_delta(liquidity: Liquidity, delta: i128) -> Result<Liquidity, PriceMathError> {
     if delta >= 0 {
         liquidity
@@ -22,6 +23,7 @@ pub fn add_delta(liquidity: Liquidity, delta: i128) -> Result<Liquidity, PriceMa
     }
 }
 
+#[inline]
 fn q96() -> U256 {
     U256::pow2(96)
 }
@@ -76,6 +78,7 @@ pub fn liquidity_for_amounts(
     }
 }
 
+#[inline]
 fn sort(a: U256, b: U256) -> (U256, U256) {
     if a <= b {
         (a, b)

@@ -8,9 +8,11 @@
 //! by the AMM" to layer 2 (§IV-B).
 
 use crate::error::AmmError;
+use crate::fast_hash::FastIntBuildHasher;
 use crate::liquidity_math::{add_delta, liquidity_for_amounts};
 use crate::sqrt_price_math::{amount0_delta, amount1_delta};
 use crate::swap_math::{compute_swap_step, Remaining, SwapStep};
+use crate::tick_bitmap::TickBitmap;
 use crate::tick_math::{
     max_sqrt_ratio, min_sqrt_ratio, sqrt_ratio_at_tick, tick_at_sqrt_ratio, MAX_TICK, MIN_TICK,
 };
@@ -79,6 +81,28 @@ pub enum SwapKind {
     ExactOutput(Amount),
 }
 
+/// Which next-initialized-tick search the swap loop uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TickSearch {
+    /// Word-packed tick bitmap with cached boundary prices — the
+    /// production path.
+    #[default]
+    Bitmap,
+    /// The seed's `BTreeMap::range` scan with per-step boundary-price
+    /// recomputation, retained as the differential-testing and
+    /// benchmarking oracle. Produces bit-identical results.
+    BTreeOracle,
+}
+
+/// Hot-path mirror of one initialized tick: its boundary sqrt price
+/// (immutable once computed) and its net liquidity delta, so a crossing
+/// touches neither `sqrt_ratio_at_tick` nor the ordered tick table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct TickCache {
+    sqrt_price: U256,
+    liquidity_net: i128,
+}
+
 /// A concentrated-liquidity pool for one token pair.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Pool {
@@ -95,6 +119,16 @@ pub struct Pool {
     fee_growth_global1: U256,
     balance0: Amount,
     balance1: Amount,
+    /// Word-packed index over initialized ticks, kept in lockstep with
+    /// `ticks`. Derived data: rebuildable via [`Pool::rebuild_tick_index`].
+    tick_bitmap: TickBitmap,
+    /// Per-initialized-tick cache (boundary price + net liquidity), kept
+    /// in lockstep with `ticks`; the swap loop reads only this.
+    tick_cache: HashMap<Tick, TickCache, FastIntBuildHasher>,
+    tick_search: TickSearch,
+    /// Reusable crossing journal: cleared and refilled by each swap so the
+    /// hot loop does not allocate.
+    crossings_buf: Vec<(Tick, U256, U256)>,
 }
 
 impl Pool {
@@ -125,6 +159,10 @@ impl Pool {
             fee_growth_global1: U256::ZERO,
             balance0: 0,
             balance1: 0,
+            tick_bitmap: TickBitmap::new(tick_spacing),
+            tick_cache: HashMap::default(),
+            tick_search: TickSearch::default(),
+            crossings_buf: Vec::with_capacity(16),
         })
     }
 
@@ -178,6 +216,50 @@ impl Pool {
     /// Number of initialized ticks.
     pub fn initialized_tick_count(&self) -> usize {
         self.ticks.len()
+    }
+
+    /// The swap loop's next-tick search strategy.
+    pub fn tick_search(&self) -> TickSearch {
+        self.tick_search
+    }
+
+    /// Selects the next-tick search strategy. [`TickSearch::BTreeOracle`]
+    /// re-enables the seed scan for differential tests and benchmark
+    /// baselines; swap results are bit-identical under either engine.
+    pub fn set_tick_search(&mut self, search: TickSearch) {
+        self.tick_search = search;
+    }
+
+    /// Read access to the bitmap index (tests assert it stays in lockstep
+    /// with the tick table).
+    pub fn tick_bitmap(&self) -> &TickBitmap {
+        &self.tick_bitmap
+    }
+
+    /// Rebuilds the tick bitmap and the boundary-price cache from the tick
+    /// table. The accelerating structures are derived data; a pool state
+    /// restored from an external snapshot calls this once instead of
+    /// shipping them.
+    ///
+    /// # Errors
+    /// Fails only if a stored tick is out of tick-math range (corrupt
+    /// snapshot).
+    pub fn rebuild_tick_index(&mut self) -> Result<(), AmmError> {
+        let mut bitmap = TickBitmap::new(self.tick_spacing);
+        let mut cache = HashMap::with_capacity_and_hasher(self.ticks.len(), Default::default());
+        for (t, info) in &self.ticks {
+            bitmap.set(*t);
+            cache.insert(
+                *t,
+                TickCache {
+                    sqrt_price: sqrt_ratio_at_tick(*t)?,
+                    liquidity_net: info.liquidity_net,
+                },
+            );
+        }
+        self.tick_bitmap = bitmap;
+        self.tick_cache = cache;
+        Ok(())
     }
 
     fn check_ticks(&self, lower: Tick, upper: Tick) -> Result<(), AmmError> {
@@ -427,6 +509,8 @@ impl Pool {
                     .unwrap_or(false)
                 {
                     self.ticks.remove(&t);
+                    self.tick_bitmap.clear(t);
+                    self.tick_cache.remove(&t);
                 }
             }
         }
@@ -477,17 +561,29 @@ impl Pool {
         let info = self.ticks.entry(tick).or_default();
         let was_initialized = info.liquidity_gross > 0;
         info.liquidity_gross = add_delta(info.liquidity_gross, delta)?;
-        if !was_initialized && info.liquidity_gross > 0 {
+        let newly_initialized = !was_initialized && info.liquidity_gross > 0;
+        if newly_initialized && tick <= current_tick {
             // by convention, assume all prior fee growth happened below
-            if tick <= current_tick {
-                info.fee_growth_outside0 = g0;
-                info.fee_growth_outside1 = g1;
-            }
+            info.fee_growth_outside0 = g0;
+            info.fee_growth_outside1 = g1;
         }
         if is_upper {
             info.liquidity_net -= delta;
         } else {
             info.liquidity_net += delta;
+        }
+        let net_after = info.liquidity_net;
+        if newly_initialized {
+            self.tick_bitmap.set(tick);
+            self.tick_cache.insert(
+                tick,
+                TickCache {
+                    sqrt_price: sqrt_ratio_at_tick(tick)?,
+                    liquidity_net: net_after,
+                },
+            );
+        } else if let Some(cached) = self.tick_cache.get_mut(&tick) {
+            cached.liquidity_net = net_after;
         }
         // NOTE: ticks whose gross liquidity drops to zero are *not*
         // removed here; `modify_position` clears them after the position's
@@ -546,6 +642,39 @@ impl Pool {
         self.swap_with_protection(zero_for_one, kind, sqrt_price_limit, 0, Amount::MAX)
     }
 
+    /// Crossing bookkeeping shared by the glide and trade branches of the
+    /// swap loop: journals the crossing, applies the tick's net liquidity
+    /// (from the cache on the bitmap path, from the tick table on the
+    /// oracle path) and steps the staged tick past the boundary.
+    fn cross_tick(
+        &mut self,
+        boundary_tick: Tick,
+        cached: Option<TickCache>,
+        zero_for_one: bool,
+        fee_growth0: U256,
+        fee_growth1: U256,
+        liquidity: &mut Liquidity,
+        tick: &mut Tick,
+    ) -> Result<(), AmmError> {
+        self.crossings_buf
+            .push((boundary_tick, fee_growth0, fee_growth1));
+        let net = match cached {
+            Some(c) => c.liquidity_net,
+            None => self
+                .ticks
+                .get(&boundary_tick)
+                .map(|i| i.liquidity_net)
+                .unwrap_or(0),
+        };
+        *liquidity = add_delta(*liquidity, if zero_for_one { -net } else { net })?;
+        *tick = if zero_for_one {
+            boundary_tick - 1
+        } else {
+            boundary_tick
+        };
+        Ok(())
+    }
+
     /// Like [`Pool::swap`], but additionally enforces the trader's
     /// slippage bounds *before committing*: the swap fails atomically when
     /// the output falls below `min_amount_out` or the input exceeds
@@ -598,18 +727,45 @@ impl Pool {
         let mut liquidity = self.liquidity;
         let mut fee_growth0 = self.fee_growth_global0;
         let mut fee_growth1 = self.fee_growth_global1;
-        // (tick, fee growth at crossing time)
-        let mut crossings: Vec<(Tick, U256, U256)> = Vec::new();
+        // (tick, fee growth at crossing time) — the journal buffer is
+        // reused across swaps so the hot loop never allocates. After a
+        // failed swap it holds stale entries; the clear below discards
+        // them before each run.
+        self.crossings_buf.clear();
 
         while remaining > 0 && sqrt_price != limit {
-            // next initialized tick in the direction of travel
-            let next_tick = if zero_for_one {
-                self.ticks.range(..=tick).next_back().map(|(t, _)| *t)
-            } else {
-                self.ticks.range(tick + 1..).next().map(|(t, _)| *t)
+            // Next initialized tick in the direction of travel. The bitmap
+            // answers with a masked bit scan plus at most one jump through
+            // the occupied-word index; the oracle path retains the seed's
+            // ordered-map range scan for differential testing.
+            let next_tick = match self.tick_search {
+                TickSearch::Bitmap => self.tick_bitmap.next_initialized_tick(tick, zero_for_one),
+                TickSearch::BTreeOracle => {
+                    if zero_for_one {
+                        self.ticks.range(..=tick).next_back().map(|(t, _)| *t)
+                    } else {
+                        self.ticks.range(tick + 1..).next().map(|(t, _)| *t)
+                    }
+                }
             };
             let boundary_tick = next_tick.unwrap_or(if zero_for_one { MIN_TICK } else { MAX_TICK });
-            let boundary_price = sqrt_ratio_at_tick(boundary_tick)?;
+            // Boundary price and net liquidity: served from the per-tick
+            // cache on the bitmap path (populated at tick initialization),
+            // recomputed/re-fetched on the oracle path exactly as the seed
+            // did.
+            let cached: Option<TickCache> = match self.tick_search {
+                TickSearch::Bitmap => next_tick.and_then(|t| self.tick_cache.get(&t).copied()),
+                TickSearch::BTreeOracle => None,
+            };
+            let boundary_price = match self.tick_search {
+                TickSearch::Bitmap => match (cached, next_tick) {
+                    (Some(c), _) => c.sqrt_price,
+                    (None, Some(t)) => sqrt_ratio_at_tick(t)?,
+                    (None, None) if zero_for_one => min_sqrt_ratio(),
+                    (None, None) => max_sqrt_ratio(),
+                },
+                TickSearch::BTreeOracle => sqrt_ratio_at_tick(boundary_tick)?,
+            };
             let target = if zero_for_one {
                 boundary_price.max(limit)
             } else {
@@ -624,20 +780,15 @@ impl Pool {
                 }
                 sqrt_price = target;
                 if target == boundary_price {
-                    crossings.push((boundary_tick, fee_growth0, fee_growth1));
-                    if let Some(info) = self.ticks.get(&boundary_tick) {
-                        let net = if zero_for_one {
-                            -info.liquidity_net
-                        } else {
-                            info.liquidity_net
-                        };
-                        liquidity = add_delta(liquidity, net)?;
-                    }
-                    tick = if zero_for_one {
-                        boundary_tick - 1
-                    } else {
-                        boundary_tick
-                    };
+                    self.cross_tick(
+                        boundary_tick,
+                        cached,
+                        zero_for_one,
+                        fee_growth0,
+                        fee_growth1,
+                        &mut liquidity,
+                        &mut tick,
+                    )?;
                 } else {
                     tick = tick_at_sqrt_ratio(target)?;
                     break; // hit the price limit
@@ -684,20 +835,15 @@ impl Pool {
 
             sqrt_price = step.sqrt_price_next;
             if step.sqrt_price_next == boundary_price && next_tick.is_some() {
-                crossings.push((boundary_tick, fee_growth0, fee_growth1));
-                if let Some(info) = self.ticks.get(&boundary_tick) {
-                    let net = if zero_for_one {
-                        -info.liquidity_net
-                    } else {
-                        info.liquidity_net
-                    };
-                    liquidity = add_delta(liquidity, net)?;
-                }
-                tick = if zero_for_one {
-                    boundary_tick - 1
-                } else {
-                    boundary_tick
-                };
+                self.cross_tick(
+                    boundary_tick,
+                    cached,
+                    zero_for_one,
+                    fee_growth0,
+                    fee_growth1,
+                    &mut liquidity,
+                    &mut tick,
+                )?;
             } else if step.sqrt_price_next != boundary_price {
                 tick = tick_at_sqrt_ratio(step.sqrt_price_next)?;
             }
@@ -743,12 +889,13 @@ impl Pool {
         self.liquidity = liquidity;
         self.fee_growth_global0 = fee_growth0;
         self.fee_growth_global1 = fee_growth1;
-        for (t, g0, g1) in crossings.iter() {
+        for (t, g0, g1) in self.crossings_buf.iter() {
             if let Some(info) = self.ticks.get_mut(t) {
                 info.fee_growth_outside0 = g0.wrapping_sub(info.fee_growth_outside0);
                 info.fee_growth_outside1 = g1.wrapping_sub(info.fee_growth_outside1);
             }
         }
+        let ticks_crossed = self.crossings_buf.len() as u32;
 
         Ok(SwapResult {
             amount_in: amount_in_total,
@@ -756,7 +903,7 @@ impl Pool {
             fee_paid: fee_total,
             sqrt_price_after: self.sqrt_price,
             tick_after: self.tick,
-            ticks_crossed: crossings.len() as u32,
+            ticks_crossed,
         })
     }
 
@@ -1200,6 +1347,70 @@ mod tests {
         let lost = start - r2.amount_out;
         let lost_frac = lost as f64 / start as f64;
         assert!(lost_frac > 0.005 && lost_frac < 0.02, "lost {lost_frac}");
+    }
+
+    #[test]
+    fn bitmap_stays_in_lockstep_with_tick_table() {
+        let mut pool = Pool::new_standard();
+        pool.mint(pid(1), addr(1), -600, 600, 10_000_000, 10_000_000)
+            .unwrap();
+        pool.mint(pid(2), addr(2), -120, 120, 10_000_000, 10_000_000)
+            .unwrap();
+        assert_eq!(pool.tick_bitmap().initialized_count(), 4);
+        assert!(pool.tick_bitmap().is_initialized(-600));
+        assert!(pool.tick_bitmap().is_initialized(120));
+        // burning the inner position removes exactly its two ticks
+        let liq = pool.position(&pid(2)).unwrap().liquidity;
+        pool.burn(pid(2), addr(2), liq).unwrap();
+        pool.collect(pid(2), addr(2), Amount::MAX, Amount::MAX)
+            .unwrap();
+        assert_eq!(pool.tick_bitmap().initialized_count(), 2);
+        assert!(!pool.tick_bitmap().is_initialized(-120));
+        assert!(!pool.tick_bitmap().is_initialized(120));
+        assert_eq!(
+            pool.tick_bitmap().initialized_count(),
+            pool.initialized_tick_count()
+        );
+    }
+
+    #[test]
+    fn rebuild_tick_index_matches_incremental() {
+        let mut pool = pool_with_liquidity();
+        pool.mint(pid(2), addr(2), -1200, -600, 5_000_000, 5_000_000)
+            .unwrap();
+        pool.swap(true, SwapKind::ExactInput(5_000_000), None)
+            .unwrap();
+        let mut rebuilt = pool.clone();
+        rebuilt.rebuild_tick_index().unwrap();
+        assert_eq!(rebuilt.tick_bitmap(), pool.tick_bitmap());
+        // and swaps behave identically afterwards
+        let a = pool.swap(false, SwapKind::ExactInput(1_000_000), None);
+        let b = rebuilt.swap(false, SwapKind::ExactInput(1_000_000), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_and_bitmap_engines_agree_across_crossings() {
+        let build = |search: TickSearch| {
+            let mut pool = Pool::new_standard();
+            pool.set_tick_search(search);
+            pool.mint(pid(1), addr(1), -600, 600, 10_000_000, 10_000_000)
+                .unwrap();
+            pool.mint(pid(2), addr(2), -120, 120, 50_000_000, 50_000_000)
+                .unwrap();
+            pool
+        };
+        let mut bitmap = build(TickSearch::Bitmap);
+        let mut oracle = build(TickSearch::BTreeOracle);
+        for (dir, amt) in [(true, 40_000_000u128), (false, 25_000_000), (true, 777)] {
+            let a = bitmap.swap(dir, SwapKind::ExactInput(amt), None).unwrap();
+            let b = oracle.swap(dir, SwapKind::ExactInput(amt), None).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(bitmap.sqrt_price(), oracle.sqrt_price());
+            assert_eq!(bitmap.tick(), oracle.tick());
+            assert_eq!(bitmap.liquidity(), oracle.liquidity());
+            assert_eq!(bitmap.fee_growth_global(), oracle.fee_growth_global());
+        }
     }
 
     #[test]

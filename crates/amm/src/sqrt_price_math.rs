@@ -33,6 +33,7 @@ impl std::fmt::Display for PriceMathError {
 
 impl std::error::Error for PriceMathError {}
 
+#[inline]
 fn q96() -> U256 {
     U256::pow2(96)
 }
@@ -46,6 +47,7 @@ fn div_rounding_up(a: U256, b: U256) -> U256 {
     }
 }
 
+#[inline]
 fn to_amount(v: U256) -> Result<Amount, PriceMathError> {
     v.to_u128().ok_or(PriceMathError::AmountOverflow)
 }

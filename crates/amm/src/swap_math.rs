@@ -55,13 +55,7 @@ pub fn compute_swap_step(
 
     match remaining {
         Remaining::Input(budget) => {
-            let budget_less_fee = U256::from_u128(budget)
-                .mul_div(
-                    U256::from_u64((PIPS_DENOMINATOR - fee_pips) as u64),
-                    U256::from_u64(PIPS_DENOMINATOR as u64),
-                )
-                .to_u128()
-                .expect("budget shrank");
+            let budget_less_fee = mul_div_floor_u128(budget, PIPS_DENOMINATOR - fee_pips);
             amount_in = if zero_for_one {
                 amount0_delta(sqrt_price_target, sqrt_price_current, liquidity, true)?
             } else {
@@ -144,15 +138,34 @@ pub fn compute_swap_step(
     }
 }
 
+/// `floor(amount * num / 1e6)` — exact and overflow-free in native
+/// arithmetic via the decomposition `amount = q·1e6 + r`:
+/// `floor(amount·num/1e6) = q·num + floor(r·num/1e6)`. With
+/// `num < 1e6`, `q·num` cannot exceed 128 bits and `r·num` fits 64,
+/// so no 256-bit intermediate is ever needed.
+#[inline]
+fn mul_div_floor_u128(amount: Amount, num: u32) -> Amount {
+    const D: u128 = PIPS_DENOMINATOR as u128;
+    debug_assert!((num as u128) <= D);
+    let q = amount / D;
+    let r = amount % D;
+    q * num as u128 + r * num as u128 / D
+}
+
 /// `ceil(amount * fee / (1e6 - fee))` — the fee on top of a net input.
+#[inline]
 fn mul_div_rounding_up_u128(amount: Amount, fee_pips: u32) -> Amount {
-    U256::from_u128(amount)
-        .mul_div_rounding_up(
-            U256::from_u64(fee_pips as u64),
-            U256::from_u64((PIPS_DENOMINATOR - fee_pips) as u64),
-        )
-        .to_u128()
-        .expect("fee fits in 128 bits")
+    let den = (PIPS_DENOMINATOR - fee_pips) as u128;
+    match amount.checked_mul(fee_pips as u128) {
+        Some(p) => p.div_ceil(den),
+        None => U256::from_u128(amount)
+            .mul_div_rounding_up(
+                U256::from_u64(fee_pips as u64),
+                U256::from_u64((PIPS_DENOMINATOR - fee_pips) as u64),
+            )
+            .to_u128()
+            .expect("fee fits in 128 bits"),
+    }
 }
 
 #[cfg(test)]

@@ -113,12 +113,14 @@ pub fn sqrt_ratio_at_tick(tick: Tick) -> Result<U256, TickMathError> {
 }
 
 /// The smallest valid sqrt price, `sqrt_ratio_at_tick(MIN_TICK)`.
+#[inline]
 pub fn min_sqrt_ratio() -> U256 {
     static MIN: OnceLock<U256> = OnceLock::new();
     *MIN.get_or_init(|| sqrt_ratio_at_tick(MIN_TICK).expect("MIN_TICK is in range"))
 }
 
 /// The largest valid sqrt price, `sqrt_ratio_at_tick(MAX_TICK)`.
+#[inline]
 pub fn max_sqrt_ratio() -> U256 {
     static MAX: OnceLock<U256> = OnceLock::new();
     *MAX.get_or_init(|| sqrt_ratio_at_tick(MAX_TICK).expect("MAX_TICK is in range"))

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// `2^96`, the fixed-point scale of sqrt prices (Q64.96).
+#[inline]
 pub fn q96() -> U256 {
     U256::pow2(96)
 }
@@ -41,6 +42,7 @@ pub enum TokenSide {
 
 impl TokenSide {
     /// The opposite side.
+    #[inline]
     pub fn other(self) -> TokenSide {
         match self {
             TokenSide::Token0 => TokenSide::Token1,
@@ -66,6 +68,7 @@ impl AmountPair {
     };
 
     /// Creates a pair.
+    #[inline]
     pub fn new(amount0: Amount, amount1: Amount) -> AmountPair {
         AmountPair { amount0, amount1 }
     }
@@ -79,6 +82,7 @@ impl AmountPair {
     }
 
     /// Checked elementwise addition.
+    #[inline]
     pub fn checked_add(self, other: AmountPair) -> Option<AmountPair> {
         Some(AmountPair {
             amount0: self.amount0.checked_add(other.amount0)?,
@@ -87,6 +91,7 @@ impl AmountPair {
     }
 
     /// Checked elementwise subtraction.
+    #[inline]
     pub fn checked_sub(self, other: AmountPair) -> Option<AmountPair> {
         Some(AmountPair {
             amount0: self.amount0.checked_sub(other.amount0)?,
@@ -95,6 +100,7 @@ impl AmountPair {
     }
 
     /// `true` when both components are zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.amount0 == 0 && self.amount1 == 0
     }

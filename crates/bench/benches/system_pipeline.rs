@@ -8,7 +8,7 @@ use ammboost_core::config::SystemConfig;
 use ammboost_core::processor::EpochProcessor;
 use ammboost_core::system::System;
 use ammboost_crypto::{Address, H256};
-use ammboost_workload::{GeneratorConfig, TrafficGenerator};
+use ammboost_workload::{GeneratorConfig, LiquidityStyle, TrafficGenerator};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -49,6 +49,52 @@ fn bench_processor_throughput(c: &mut Criterion) {
     });
 }
 
+/// The tick-dense workload: fragmented liquidity tiles hundreds of
+/// initialized ticks, so swap execution is dominated by tick crossings —
+/// the scenario the bitmap engine exists for.
+fn bench_processor_fragmented_liquidity(c: &mut Criterion) {
+    let mut generator = TrafficGenerator::new(GeneratorConfig {
+        daily_volume: 25_000_000,
+        users: 400,
+        max_positions_per_user: 4,
+        liquidity_style: LiquidityStyle::Fragmented,
+        mix: ammboost_workload::TrafficMix::from_tuple((70.0, 30.0, 0.0, 0.0)),
+        ..GeneratorConfig::default()
+    });
+    // warm-up batch populates the fragmented tick ladder via mints
+    let warmup: Vec<_> = (0..2000).map(|_| generator.next_tx(0)).collect();
+    let batch: Vec<_> = (0..1000).map(|_| generator.next_tx(1)).collect();
+    let mut base = EpochProcessor::new(PoolId(0));
+    base.seed_liquidity(
+        Address::from_index(999),
+        -120_000,
+        120_000,
+        10u128.pow(13),
+        10u128.pow(13),
+    );
+    let snapshot: std::collections::HashMap<_, _> = generator
+        .users()
+        .into_iter()
+        .map(|u| (u, (10u128.pow(13), 10u128.pow(13))))
+        .collect();
+    base.begin_epoch(snapshot);
+    for (i, gtx) in warmup.iter().enumerate() {
+        base.execute(&gtx.tx, gtx.wire_size, i as u64);
+    }
+    c.bench_function("processor/execute_1000_txs_fragmented_ticks", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut p| {
+                for (i, gtx) in batch.iter().enumerate() {
+                    black_box(p.execute(&gtx.tx, gtx.wire_size, i as u64));
+                }
+                p
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
 fn bench_pbft(c: &mut Criterion) {
     c.bench_function("pbft/agreement_n14_honest", |b| {
         let behaviors = vec![Behavior::Honest; 14];
@@ -73,6 +119,7 @@ fn bench_small_system(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_processor_throughput,
+    bench_processor_fragmented_liquidity,
     bench_pbft,
     bench_small_system
 );

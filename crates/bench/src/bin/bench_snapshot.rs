@@ -1,0 +1,172 @@
+//! Machine-readable performance snapshot: measures the hot-path
+//! operations the sidechain's throughput is bounded by and writes
+//! `BENCH_pool.json` at the repo root, giving the perf trajectory a
+//! committed data point per machine/commit.
+//!
+//! Measured (median ns/op):
+//! - single-range swap (no tick crossing),
+//! - 64-tick-crossing ladder sweep under the bitmap engine *and* under
+//!   the retained seed `BTreeMap` oracle (the speedup ratio between the
+//!   two is the tentpole number),
+//! - mint + burn + collect position cycle,
+//! - 1024-leaf Merkle transaction-root build.
+//!
+//! Usage: `bench_snapshot [--smoke] [--out PATH]`. `--smoke` cuts sample
+//! counts for CI; the JSON records which mode produced it.
+
+use ammboost_amm::pool::{Pool, SwapKind, TickSearch};
+use ammboost_amm::types::PositionId;
+use ammboost_bench::{fragmented_ladder_pool, ladder_pool, ladder_sweep, wide_pool};
+use ammboost_crypto::merkle::{leaf_hash, MerkleTree};
+use ammboost_crypto::Address;
+use std::hint::black_box;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Times `samples` runs of `routine` on fresh inputs from `setup`
+/// (setup cost excluded) and returns the median ns/op.
+fn median_ns<I, O>(
+    samples: usize,
+    mut setup: impl FnMut() -> I,
+    mut routine: impl FnMut(I) -> O,
+) -> f64 {
+    // warm-up: populate caches and let the allocator settle
+    for _ in 0..3 {
+        black_box(routine(setup()));
+    }
+    let mut times: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        times.push(t.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    let mid = times.len() / 2;
+    if times.len() % 2 == 0 {
+        (times[mid - 1] + times[mid]) as f64 / 2.0
+    } else {
+        times[mid] as f64
+    }
+}
+
+fn single_range_pool() -> Pool {
+    let mut pool = Pool::new_standard();
+    pool.mint(
+        PositionId::derive(&[b"snap"]),
+        Address::from_index(1),
+        -6000,
+        6000,
+        10u128.pow(14),
+        10u128.pow(14),
+    )
+    .expect("seed mint");
+    pool
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pool.json".to_string());
+    if let Some(unknown) = args.iter().enumerate().find_map(|(i, a)| {
+        let is_out_value = i > 0 && args[i - 1] == "--out";
+        (a != "--smoke" && a != "--out" && !is_out_value).then_some(a)
+    }) {
+        eprintln!("unknown argument: {unknown}");
+        eprintln!("usage: bench_snapshot [--smoke] [--out PATH]");
+        std::process::exit(2);
+    }
+    let samples = if smoke { 51 } else { 501 };
+
+    ammboost_bench::header("Bench snapshot (pool hot paths)");
+
+    // -- single-range swap: alternate directions so price stays centred --
+    let base = single_range_pool();
+    let mut dir = false;
+    let mut persistent = base.clone();
+    let swap_single = median_ns(
+        samples,
+        || (),
+        |()| {
+            dir = !dir;
+            persistent
+                .swap(dir, SwapKind::ExactInput(50_000), None)
+                .expect("swap")
+        },
+    );
+    ammboost_bench::line("pool/swap_single_range", format!("{swap_single:.0} ns"));
+
+    // -- 64-tick-crossing sweep over fragmented liquidity (32 scattered
+    // positions → 64 initialized ticks): bitmap engine vs seed oracle --
+    let frag_bitmap = fragmented_ladder_pool(32, TickSearch::Bitmap);
+    let swap_cross64_bitmap = median_ns(
+        samples,
+        || frag_bitmap.clone(),
+        |mut p| ladder_sweep(&mut p, 63),
+    );
+    ammboost_bench::line(
+        "pool/swap_cross64_bitmap",
+        format!("{swap_cross64_bitmap:.0} ns"),
+    );
+    let frag_oracle = fragmented_ladder_pool(32, TickSearch::BTreeOracle);
+    let swap_cross64_oracle = median_ns(
+        samples,
+        || frag_oracle.clone(),
+        |mut p| ladder_sweep(&mut p, 63),
+    );
+    ammboost_bench::line(
+        "pool/swap_cross64_oracle",
+        format!("{swap_cross64_oracle:.0} ns"),
+    );
+    let speedup = swap_cross64_oracle / swap_cross64_bitmap;
+    ammboost_bench::line("pool/cross64_speedup", format!("{speedup:.2}x"));
+
+    // -- dense (contiguous ladder) and sparse (one wide range) bands --
+    let dense = ladder_pool(64, TickSearch::Bitmap);
+    let swap_dense = median_ns(samples, || dense.clone(), |mut p| ladder_sweep(&mut p, 64));
+    ammboost_bench::line("pool/swap_dense_band", format!("{swap_dense:.0} ns"));
+    let sparse = wide_pool(64, TickSearch::Bitmap);
+    let swap_sparse = median_ns(samples, || sparse.clone(), |mut p| ladder_sweep(&mut p, 64));
+    ammboost_bench::line("pool/swap_sparse_band", format!("{swap_sparse:.0} ns"));
+
+    // -- mint/burn/collect cycle --
+    let lp = Address::from_index(9);
+    let mut i = 0u64;
+    let mint_burn = median_ns(
+        samples,
+        || base.clone(),
+        |mut p| {
+            i += 1;
+            let id = PositionId::derive(&[b"mb", &i.to_be_bytes()]);
+            p.mint(id, lp, -1200, 1200, 1_000_000, 1_000_000).unwrap();
+            let liq = p.position(&id).unwrap().liquidity;
+            p.burn(id, lp, liq).unwrap();
+            p.collect(id, lp, u128::MAX, u128::MAX).unwrap()
+        },
+    );
+    ammboost_bench::line("pool/mint_burn_collect", format!("{mint_burn:.0} ns"));
+
+    // -- Merkle root over a block's worth of tx leaves --
+    let leaves: Vec<_> = (0..1024u32).map(|i| leaf_hash(&i.to_be_bytes())).collect();
+    let merkle_root = median_ns(
+        samples,
+        || leaves.clone(),
+        |l| MerkleTree::from_leaves(l).root(),
+    );
+    ammboost_bench::line("merkle/root_1024_leaves", format!("{merkle_root:.0} ns"));
+
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"schema\": \"ammboost-bench-snapshot/v1\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!();
+    println!("wrote {out_path}");
+}

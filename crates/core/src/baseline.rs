@@ -11,7 +11,7 @@ use ammboost_mainchain::contracts::Erc20;
 use ammboost_mainchain::gas::{GasMeter, TX_BASE};
 use ammboost_sim::metrics::LatencyStats;
 use ammboost_sim::time::{SimDuration, SimTime};
-use ammboost_workload::{GeneratorConfig, TrafficGenerator};
+use ammboost_workload::{GeneratorConfig, LiquidityStyle, TrafficGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -28,6 +28,8 @@ pub struct BaselineConfig {
     pub duration: SimDuration,
     /// Mainchain parameters.
     pub mainchain: ammboost_mainchain::chain::ChainConfig,
+    /// Mint range shape for generated liquidity.
+    pub liquidity_style: LiquidityStyle,
     /// Seed.
     pub seed: u64,
 }
@@ -40,6 +42,7 @@ impl Default for BaselineConfig {
             users: 100,
             duration: SimDuration::from_secs(11 * 210),
             mainchain: ammboost_mainchain::chain::ChainConfig::default(),
+            liquidity_style: LiquidityStyle::default(),
             seed: 7,
         }
     }
@@ -105,6 +108,7 @@ impl BaselineRunner {
             pool: PoolId(0),
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
+            liquidity_style: cfg.liquidity_style,
             seed: cfg.seed ^ 0x7AFF,
         });
         for user in generator.users() {

@@ -3,7 +3,7 @@
 
 use ammboost_mainchain::chain::ChainConfig;
 use ammboost_sim::time::SimDuration;
-use ammboost_workload::TrafficMix;
+use ammboost_workload::{LiquidityStyle, TrafficMix};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -42,6 +42,10 @@ pub struct SystemConfig {
     pub mix: TrafficMix,
     /// Simulated user count (paper: 100).
     pub users: u64,
+    /// Mint range shape for generated liquidity (default: the paper's
+    /// spread; `Fragmented` tiles many single-spacing ranges, producing a
+    /// tick-dense pool for swap-engine stress runs).
+    pub liquidity_style: LiquidityStyle,
     /// Deposit cadence.
     pub deposit_policy: DepositPolicy,
     /// Deposit size per user per token, per deposit event.
@@ -77,6 +81,7 @@ impl Default for SystemConfig {
             daily_volume: 25_000_000,
             mix: TrafficMix::uniswap_2023(),
             users: 100,
+            liquidity_style: LiquidityStyle::default(),
             deposit_policy: DepositPolicy::OncePerRun,
             deposit_amount: 2_000_000_000_000,
             mainchain: ChainConfig::default(),

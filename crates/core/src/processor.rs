@@ -7,7 +7,7 @@
 //! coverage, newly accrued tokens are immediately tradable, and the final
 //! deposit map becomes the epoch's payout list (Fig. 4).
 
-use ammboost_amm::pool::{Pool, SwapKind};
+use ammboost_amm::pool::{Pool, SwapKind, TickSearch};
 use ammboost_amm::tx::{AmmTx, BurnTx, CollectTx, MintTx, SwapIntent, SwapTx};
 use ammboost_amm::types::{Amount, PoolId, PositionId};
 use ammboost_crypto::Address;
@@ -61,6 +61,14 @@ impl EpochProcessor {
     /// Read access to the pool.
     pub fn pool(&self) -> &Pool {
         &self.pool
+    }
+
+    /// Selects the AMM engine's next-tick search strategy for this
+    /// processor's pool. Pinning [`TickSearch::BTreeOracle`] makes the
+    /// sidechain replay epochs on the seed scan — a system-level
+    /// differential check against the bitmap engine.
+    pub fn set_tick_search(&mut self, search: TickSearch) {
+        self.pool.set_tick_search(search);
     }
 
     /// Read access to the deposit ledger.
@@ -455,6 +463,36 @@ mod tests {
         assert_eq!(d0, 500_000);
         assert!(d1 > 400_000, "received token1: {d1}");
         assert_eq!(p.stats().accepted, 1);
+    }
+
+    #[test]
+    fn epoch_replays_identically_on_oracle_engine() {
+        // System-level differential: the same epoch executed on the bitmap
+        // engine and on the seed BTreeMap oracle must produce identical
+        // effects, deposits and pool state.
+        let run = |search: TickSearch| {
+            let mut p = processor_with_liquidity();
+            p.set_tick_search(search);
+            p.begin_epoch(snapshot(&[
+                (user(1), (2_000_000, 2_000_000)),
+                (user(2), (500_000, 500_000)),
+            ]));
+            let effects = vec![
+                p.execute(&swap_tx(user(1), 900_000, true), 1008, 0),
+                p.execute(&AmmTx::Mint(mint_tx(user(2), 1)), 1008, 0),
+                p.execute(&swap_tx(user(1), 700_000, false), 1008, 1),
+                p.execute(&swap_tx(user(2), 300_000, true), 1008, 2),
+            ];
+            let end = p.end_epoch();
+            (effects, end)
+        };
+        let (fx_bitmap, end_bitmap) = run(TickSearch::Bitmap);
+        let (fx_oracle, end_oracle) = run(TickSearch::BTreeOracle);
+        assert_eq!(fx_bitmap.len(), fx_oracle.len());
+        for (a, b) in fx_bitmap.iter().zip(fx_oracle.iter()) {
+            assert_eq!(a.effect, b.effect);
+        }
+        assert_eq!(end_bitmap, end_oracle);
     }
 
     #[test]

@@ -168,6 +168,7 @@ impl System {
             pool: PoolId(0),
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
+            liquidity_style: cfg.liquidity_style,
             seed: cfg.seed ^ 0x7AFF,
         });
 

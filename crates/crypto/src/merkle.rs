@@ -42,7 +42,16 @@ impl MerkleTree {
                 levels: vec![vec![H256::ZERO]],
             };
         }
-        let mut levels = vec![leaves];
+        // depth = ceil(log2(n)); the tree has depth + 1 levels, so the
+        // outer vector never reallocates while levels are pushed (this
+        // builds every block's tx root — it runs constantly).
+        let depth = if leaves.len() <= 1 {
+            0
+        } else {
+            (usize::BITS - (leaves.len() - 1).leading_zeros()) as usize
+        };
+        let mut levels = Vec::with_capacity(depth + 1);
+        levels.push(leaves);
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
@@ -53,6 +62,7 @@ impl MerkleTree {
             }
             levels.push(next);
         }
+        debug_assert_eq!(levels.len(), depth + 1, "depth formula exact");
         MerkleTree { levels }
     }
 

@@ -83,6 +83,7 @@ impl U256 {
     ///
     /// # Panics
     /// Panics if `exp >= 256`.
+    #[inline]
     pub fn pow2(exp: u32) -> Self {
         assert!(exp < 256, "pow2 exponent out of range");
         let mut out = [0u64; 4];
@@ -118,6 +119,7 @@ impl U256 {
     }
 
     /// Converts to `u64` if the value fits.
+    #[inline]
     pub fn to_u64(&self) -> Option<u64> {
         if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
             Some(self.0[0])
@@ -127,6 +129,7 @@ impl U256 {
     }
 
     /// Number of significant bits (`0` for zero).
+    #[inline]
     pub fn bits(&self) -> u32 {
         for i in (0..4).rev() {
             if self.0[i] != 0 {
@@ -137,6 +140,7 @@ impl U256 {
     }
 
     /// Returns bit `i` (little-endian numbering).
+    #[inline]
     pub fn bit(&self, i: u32) -> bool {
         if i >= 256 {
             return false;
@@ -145,6 +149,7 @@ impl U256 {
     }
 
     /// Addition returning `(wrapped, carried)`.
+    #[inline]
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
@@ -158,6 +163,7 @@ impl U256 {
     }
 
     /// Subtraction returning `(wrapped, borrowed)`.
+    #[inline]
     pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
@@ -171,6 +177,7 @@ impl U256 {
     }
 
     /// Checked addition.
+    #[inline]
     pub fn checked_add(self, rhs: U256) -> Option<U256> {
         match self.overflowing_add(rhs) {
             (v, false) => Some(v),
@@ -179,6 +186,7 @@ impl U256 {
     }
 
     /// Checked subtraction.
+    #[inline]
     pub fn checked_sub(self, rhs: U256) -> Option<U256> {
         match self.overflowing_sub(rhs) {
             (v, false) => Some(v),
@@ -187,6 +195,7 @@ impl U256 {
     }
 
     /// Wrapping (mod `2^256`) addition.
+    #[inline]
     pub fn wrapping_add(self, rhs: U256) -> U256 {
         self.overflowing_add(rhs).0
     }
@@ -197,6 +206,7 @@ impl U256 {
     }
 
     /// Saturating addition.
+    #[inline]
     pub fn saturating_add(self, rhs: U256) -> U256 {
         self.checked_add(rhs).unwrap_or(U256::MAX)
     }
@@ -207,21 +217,28 @@ impl U256 {
     }
 
     /// Full-width multiplication producing a 512-bit result.
+    ///
+    /// Loops only over significant limbs: fixed-point operands are
+    /// usually 1–2 limbs, so this runs 1–4 hardware multiplies instead of
+    /// a fixed 16.
     pub fn full_mul(self, rhs: U256) -> U512 {
+        let na = self.0.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+        let nb = rhs.0.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
         let mut out = [0u64; 8];
-        for i in 0..4 {
+        for i in 0..na {
             let mut carry: u128 = 0;
-            for j in 0..4 {
+            for j in 0..nb {
                 let cur = (self.0[i] as u128) * (rhs.0[j] as u128) + (out[i + j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
-            out[i + 4] = carry as u64;
+            out[i + nb] = carry as u64;
         }
         U512(out)
     }
 
     /// Checked multiplication.
+    #[inline]
     pub fn checked_mul(self, rhs: U256) -> Option<U256> {
         let full = self.full_mul(rhs);
         if full.0[4..].iter().all(|&l| l == 0) {
@@ -232,6 +249,7 @@ impl U256 {
     }
 
     /// Wrapping (mod `2^256`) multiplication.
+    #[inline]
     pub fn wrapping_mul(self, rhs: U256) -> U256 {
         let full = self.full_mul(rhs);
         U256([full.0[0], full.0[1], full.0[2], full.0[3]])
@@ -246,8 +264,8 @@ impl U256 {
         if self < divisor {
             return (U256::ZERO, self);
         }
-        let (q, r) = div_rem_slices(&self.0, &divisor.0);
-        (U256(slice_to_4(&q)), U256(slice_to_4(&r)))
+        let (q, r) = div_rem_limbs(&self.0, &divisor.0);
+        (U256(first4(q)), U256(first4(r)))
     }
 
     /// Checked division (`None` when dividing by zero).
@@ -256,6 +274,34 @@ impl U256 {
             None
         } else {
             Some(self.div_rem(divisor).0)
+        }
+    }
+
+    /// `Some(k)` iff `self == 2^k` — the hot-path detector behind the
+    /// shift fast paths in the `mul_div` family (fixed-point code divides
+    /// by `2^96`/`2^128` constantly; a shift beats a long division by an
+    /// order of magnitude).
+    #[inline]
+    fn pow2_exp(self) -> Option<u32> {
+        let mut exp = None;
+        for (i, &l) in self.0.iter().enumerate() {
+            if l != 0 {
+                if l.count_ones() != 1 || exp.is_some() {
+                    return None;
+                }
+                exp = Some(64 * i as u32 + l.trailing_zeros());
+            }
+        }
+        exp
+    }
+
+    /// The 512-bit product `self * mul`, via a shift when `mul` is a
+    /// power of two.
+    #[inline]
+    fn widening_mul(self, mul: U256) -> U512 {
+        match mul.pow2_exp() {
+            Some(k) => U512::from_u256(self) << k,
+            None => self.full_mul(mul),
         }
     }
 
@@ -275,10 +321,16 @@ impl U256 {
     /// # Panics
     /// Panics if `div` is zero or the result does not fit in 256 bits.
     pub fn mul_div_rounding_up(self, mul: U256, div: U256) -> U256 {
-        let prod = self.full_mul(mul);
-        let (q, r) = prod.div_rem_u256(div);
+        let prod = self.widening_mul(mul);
+        let (q, round_up) = match div.pow2_exp() {
+            Some(k) => (prod >> k, prod.low_bits_nonzero(k)),
+            None => {
+                let (q, r) = prod.div_rem_u256(div);
+                (q, !r.is_zero())
+            }
+        };
         let mut out = q.to_u256().expect("mul_div_rounding_up overflow");
-        if !r.is_zero() {
+        if round_up {
             out = out
                 .checked_add(U256::ONE)
                 .expect("mul_div_rounding_up overflow");
@@ -293,8 +345,11 @@ impl U256 {
         if div.is_zero() {
             return None;
         }
-        let prod = self.full_mul(mul);
-        let (q, _r) = prod.div_rem_u256(div);
+        let prod = self.widening_mul(mul);
+        let q = match div.pow2_exp() {
+            Some(k) => prod >> k,
+            None => prod.div_rem_u256(div).0,
+        };
         q.to_u256()
     }
 
@@ -373,62 +428,59 @@ impl U256 {
     }
 }
 
-fn slice_to_4(s: &[u64]) -> [u64; 4] {
-    let mut out = [0u64; 4];
-    for (i, &l) in s.iter().enumerate().take(4) {
-        out[i] = l;
-    }
-    debug_assert!(s.iter().skip(4).all(|&l| l == 0));
-    out
-}
-
-fn slice_to_8(s: &[u64]) -> [u64; 8] {
-    let mut out = [0u64; 8];
-    for (i, &l) in s.iter().enumerate().take(8) {
-        out[i] = l;
-    }
-    debug_assert!(s.iter().skip(8).all(|&l| l == 0));
-    out
+/// The low 4 limbs of an 8-limb result whose high half is known zero.
+#[inline]
+fn first4(l: [u64; 8]) -> [u64; 4] {
+    debug_assert!(l[4..].iter().all(|&x| x == 0));
+    [l[0], l[1], l[2], l[3]]
 }
 
 /// Knuth Algorithm D long division over little-endian `u64` limb slices.
 ///
-/// Returns `(quotient, remainder)` with all leading zeros preserved away.
-fn div_rem_slices(num: &[u64], div: &[u64]) -> (Vec<u64>, Vec<u64>) {
+/// Returns `(quotient, remainder)` as fixed 8-limb arrays. Entirely
+/// allocation-free: this runs several times per swap step (amount deltas,
+/// fee accounting), where the former `Vec`-based scratch buffers were the
+/// single largest cost.
+fn div_rem_limbs(num: &[u64], div: &[u64]) -> ([u64; 8], [u64; 8]) {
+    debug_assert!(num.len() <= 8 && div.len() <= 8);
     // Strip leading (most-significant) zeros.
     let n_len = num.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
     let d_len = div.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
     assert!(d_len > 0, "division by zero");
-    let num = &num[..n_len];
-    let div = &div[..d_len];
+
+    let mut q = [0u64; 8];
+    let mut r = [0u64; 8];
 
     if n_len < d_len {
-        return (vec![0], num.to_vec());
+        r[..n_len].copy_from_slice(&num[..n_len]);
+        return (q, r);
     }
 
     // Single-limb divisor: simple schoolbook division.
     if d_len == 1 {
         let d = div[0] as u128;
-        let mut q = vec![0u64; n_len];
         let mut rem: u128 = 0;
         for i in (0..n_len).rev() {
             let cur = (rem << 64) | num[i] as u128;
             q[i] = (cur / d) as u64;
             rem = cur % d;
         }
-        return (q, vec![rem as u64]);
+        r[0] = rem as u64;
+        return (q, r);
     }
 
-    // D1: normalize so the top divisor limb has its high bit set.
+    // D1: normalize so the top divisor limb has its high bit set. The
+    // scratch buffers live on the stack with one limb of headroom each
+    // for the normalization shift (`v`'s spill limb is always written as
+    // zero — the top divisor limb has exactly `shift` leading zeros).
     let shift = div[d_len - 1].leading_zeros();
-    let mut v = shl_limbs(div, shift);
-    v.truncate(d_len); // shift cannot push the divisor into a new limb
-    let mut u = shl_limbs(num, shift);
-    u.resize(n_len + 1, 0);
+    let mut v = [0u64; 9];
+    shl_into(&mut v, &div[..d_len], shift);
+    let mut u = [0u64; 9];
+    shl_into(&mut u, &num[..n_len], shift);
 
     let n = d_len;
     let m = n_len - d_len;
-    let mut q = vec![0u64; m + 1];
     let b: u128 = 1u128 << 64;
 
     // D2..D7: main loop.
@@ -474,39 +526,38 @@ fn div_rem_slices(num: &[u64], div: &[u64]) -> (Vec<u64>, Vec<u64>) {
     }
 
     // D8: denormalize the remainder.
-    let rem = shr_limbs(&u[..n], shift);
-    (q, rem)
+    shr_into(&mut r, &u[..n], shift);
+    (q, r)
 }
 
-fn shl_limbs(x: &[u64], shift: u32) -> Vec<u64> {
-    debug_assert!(shift < 64);
+/// `out[..] = x << shift` (shift < 64), writing `x.len() + 1` limbs.
+#[inline]
+fn shl_into(out: &mut [u64], x: &[u64], shift: u32) {
+    debug_assert!(shift < 64 && out.len() > x.len());
     if shift == 0 {
-        return x.to_vec();
+        out[..x.len()].copy_from_slice(x);
+        return;
     }
-    let mut out = vec![0u64; x.len() + 1];
     for (i, &l) in x.iter().enumerate() {
         out[i] |= l << shift;
         out[i + 1] = l >> (64 - shift);
     }
-    if out.last() == Some(&0) {
-        out.pop();
-    }
-    out
 }
 
-fn shr_limbs(x: &[u64], shift: u32) -> Vec<u64> {
-    debug_assert!(shift < 64);
+/// `out[..x.len()] = x >> shift` (shift < 64).
+#[inline]
+fn shr_into(out: &mut [u64], x: &[u64], shift: u32) {
+    debug_assert!(shift < 64 && out.len() >= x.len());
     if shift == 0 {
-        return x.to_vec();
+        out[..x.len()].copy_from_slice(x);
+        return;
     }
-    let mut out = vec![0u64; x.len()];
     for i in 0..x.len() {
         out[i] = x[i] >> shift;
         if i + 1 < x.len() {
             out[i] |= x[i + 1] << (64 - shift);
         }
     }
-    out
 }
 
 impl U512 {
@@ -521,6 +572,7 @@ impl U512 {
     }
 
     /// Widens a [`U256`].
+    #[inline]
     pub const fn from_u256(v: U256) -> Self {
         U512([v.0[0], v.0[1], v.0[2], v.0[3], 0, 0, 0, 0])
     }
@@ -552,12 +604,25 @@ impl U512 {
     }
 
     /// Narrows to [`U256`] when the value fits.
+    #[inline]
     pub fn to_u256(&self) -> Option<U256> {
         if self.0[4..].iter().all(|&l| l == 0) {
             Some(U256([self.0[0], self.0[1], self.0[2], self.0[3]]))
         } else {
             None
         }
+    }
+
+    /// `true` when any of the lowest `k` bits is set — the remainder
+    /// check behind the power-of-two divisor fast path.
+    #[inline]
+    pub fn low_bits_nonzero(&self, k: u32) -> bool {
+        let full = ((k / 64) as usize).min(8);
+        if self.0[..full].iter().any(|&l| l != 0) {
+            return true;
+        }
+        let rem = k % 64;
+        rem != 0 && full < 8 && self.0[full] & ((1u64 << rem) - 1) != 0
     }
 
     /// Addition returning `(wrapped, carried)`.
@@ -608,8 +673,8 @@ impl U512 {
     /// Panics if `divisor` is zero.
     pub fn div_rem_u256(self, divisor: U256) -> (U512, U256) {
         assert!(!divisor.is_zero(), "division by zero");
-        let (q, r) = div_rem_slices(&self.0, &divisor.0);
-        (U512(slice_to_8(&q)), U256(slice_to_4(&r)))
+        let (q, r) = div_rem_limbs(&self.0, &divisor.0);
+        (U512(q), U256(first4(r)))
     }
 
     /// Division with remainder by a 512-bit divisor.
@@ -618,8 +683,8 @@ impl U512 {
     /// Panics if `divisor` is zero.
     pub fn div_rem(self, divisor: U512) -> (U512, U512) {
         assert!(!divisor.is_zero(), "division by zero");
-        let (q, r) = div_rem_slices(&self.0, &divisor.0);
-        (U512(slice_to_8(&q)), U512(slice_to_8(&r)))
+        let (q, r) = div_rem_limbs(&self.0, &divisor.0);
+        (U512(q), U512(r))
     }
 
     /// Integer square root: largest `r` with `r * r <= self`.
@@ -924,6 +989,129 @@ mod tests {
 
     fn u(v: u64) -> U256 {
         U256::from_u64(v)
+    }
+
+    /// Deterministic xorshift for the fast-path differential checks.
+    fn rng(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    #[test]
+    fn pow2_exp_detects_exact_powers_only() {
+        for k in [0u32, 1, 63, 64, 96, 128, 255] {
+            assert_eq!(U256::pow2(k).pow2_exp(), Some(k), "2^{k}");
+        }
+        assert_eq!(U256::ZERO.pow2_exp(), None);
+        assert_eq!(u(3).pow2_exp(), None);
+        assert_eq!((U256::pow2(96) + U256::ONE).pow2_exp(), None);
+        assert_eq!((U256::pow2(200) + U256::pow2(10)).pow2_exp(), None);
+    }
+
+    #[test]
+    fn mul_div_pow2_fast_paths_match_generic() {
+        // shift fast paths (pow2 multiplier / divisor) must agree with the
+        // long-division route bit for bit, including the ceil carry
+        let mut seed = 0xDEADBEEFu64;
+        for _ in 0..2000 {
+            let a = U256([rng(&mut seed), rng(&mut seed), 0, 0]);
+            let odd = U256::from_u64(rng(&mut seed) | 1);
+            for k in [1u32, 64, 96, 128] {
+                let p2 = U256::pow2(k);
+                // divisor = 2^k: floor and ceil against plain shift math
+                let prod = a.full_mul(odd);
+                let expect_floor = (prod >> k).to_u256().unwrap();
+                assert_eq!(a.mul_div(odd, p2), expect_floor);
+                let expect_ceil = if prod.low_bits_nonzero(k) {
+                    expect_floor + U256::ONE
+                } else {
+                    expect_floor
+                };
+                assert_eq!(a.mul_div_rounding_up(odd, p2), expect_ceil);
+                // multiplier = 2^k: against the explicit widening product
+                assert_eq!(
+                    a.mul_div(p2, odd),
+                    (U512::from_u256(a) << k)
+                        .div_rem_u256(odd)
+                        .0
+                        .to_u256()
+                        .unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_divisor_with_unset_top_bit() {
+        // regression: an 8-limb divisor whose top limb needs a
+        // normalization shift must not overrun the scratch buffer
+        let (q, r) = U512::pow2(500).div_rem(U512::pow2(450));
+        assert_eq!(q, U512::pow2(50));
+        assert!(r.is_zero());
+        // d = 3·2^448 (8 limbs, top limb 3 → shift 62):
+        // 2^511 = d·⌊(2^63−2)/3⌋ + 2^449
+        let d = U512::pow2(449).checked_add(U512::pow2(448)).unwrap();
+        let (q, r) = U512::pow2(511).div_rem(d);
+        assert_eq!(
+            q,
+            U512::from_limbs([3_074_457_345_618_258_602, 0, 0, 0, 0, 0, 0, 0])
+        );
+        assert_eq!(r, U512::pow2(449));
+    }
+
+    #[test]
+    fn low_bits_nonzero_boundaries() {
+        let v = U512::pow2(100);
+        assert!(!v.low_bits_nonzero(100));
+        assert!(v.low_bits_nonzero(101));
+        assert!(!U512::ZERO.low_bits_nonzero(512));
+        assert!(U512::ONE.low_bits_nonzero(1));
+        assert!(!U512::ONE.low_bits_nonzero(0));
+    }
+
+    #[test]
+    fn division_matches_u128_reference() {
+        // the allocation-free Knuth core against native 128-bit division
+        let mut seed = 0xC0FFEEu64;
+        for _ in 0..5000 {
+            let a = ((rng(&mut seed) as u128) << 64) | rng(&mut seed) as u128;
+            let b = ((rng(&mut seed) as u128) << (rng(&mut seed) % 64)) | 1;
+            let (q, r) = U256::from_u128(a).div_rem(U256::from_u128(b));
+            assert_eq!(q.to_u128().unwrap(), a / b, "{a} / {b}");
+            assert_eq!(r.to_u128().unwrap(), a % b, "{a} % {b}");
+        }
+    }
+
+    #[test]
+    fn division_recovers_constructed_quotients() {
+        // build num = q·d + r with r < d, then check div_rem_u256 returns
+        // exactly (q, r) across random operand shapes
+        let mut seed = 0xFEED5EEDu64;
+        for _ in 0..2000 {
+            let q_limbs = 1 + (rng(&mut seed) % 4) as usize;
+            let mut ql = [0u64; 4];
+            for l in ql.iter_mut().take(q_limbs) {
+                *l = rng(&mut seed);
+            }
+            let q = U256(ql);
+            let d_limbs = 1 + (rng(&mut seed) % 4) as usize;
+            let mut dl = [0u64; 4];
+            for l in dl.iter_mut().take(d_limbs) {
+                *l = rng(&mut seed);
+            }
+            dl[0] |= 1;
+            let d = U256(dl);
+            let r = U256([rng(&mut seed), 0, 0, 0]).div_rem(d).1;
+            let num = q
+                .full_mul(d)
+                .checked_add(U512::from_u256(r))
+                .expect("fits 512 bits");
+            let (got_q, got_r) = num.div_rem_u256(d);
+            assert_eq!(got_q, U512::from_u256(q));
+            assert_eq!(got_r, r);
+        }
     }
 
     #[test]

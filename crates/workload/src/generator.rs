@@ -13,6 +13,20 @@ use ammboost_sim::rng::DetRng;
 use ammboost_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// How generated mints fragment liquidity across ticks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LiquidityStyle {
+    /// The paper's setup: a modest number of wide ranges centred near the
+    /// price (default).
+    #[default]
+    PaperSpread,
+    /// Many narrow single-spacing ranges tiled across a wide band — a
+    /// tick-dense pool in which swaps cross initialized ticks constantly
+    /// (the regime-switching rebalancing pattern of impulse-control LPs).
+    /// This is the workload that makes next-tick lookup the hot path.
+    Fragmented,
+}
+
 /// Generator configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GeneratorConfig {
@@ -37,6 +51,8 @@ pub struct GeneratorConfig {
     /// not with traffic volume) and keeps sync transactions within the
     /// mainchain block gas limit.
     pub max_positions_per_user: usize,
+    /// Mint range shape (default: the paper's spread).
+    pub liquidity_style: LiquidityStyle,
     /// RNG seed.
     pub seed: u64,
 }
@@ -51,6 +67,7 @@ impl Default for GeneratorConfig {
             pool: PoolId(0),
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
+            liquidity_style: LiquidityStyle::default(),
             seed: 7,
         }
     }
@@ -203,17 +220,29 @@ impl TrafficGenerator {
             };
             return self.wrap(AmmTx::Mint(tx));
         }
-        // ranges aligned to the standard 60-tick spacing, centred near the
-        // current price region
-        let center = (self.rng.range_u64(0, 40) as i32 - 20) * 60;
-        let half_width = (1 + self.rng.range_u64(0, 20) as i32) * 60;
+        let (tick_lower, tick_upper) = match self.config.liquidity_style {
+            // ranges aligned to the standard 60-tick spacing, centred near
+            // the current price region
+            LiquidityStyle::PaperSpread => {
+                let center = (self.rng.range_u64(0, 40) as i32 - 20) * 60;
+                let half_width = (1 + self.rng.range_u64(0, 20) as i32) * 60;
+                (center - half_width, center + half_width)
+            }
+            // one-spacing-wide rungs tiled over ±128 spacings: every mint
+            // initializes (up to) two fresh ticks, so the pool's tick set
+            // grows dense and swaps cross constantly
+            LiquidityStyle::Fragmented => {
+                let rung = self.rng.range_u64(0, 256) as i32 - 128;
+                (rung * 60, (rung + 1) * 60)
+            }
+        };
         self.nonces[ui as usize] += 1;
         let tx = MintTx {
             user,
             pool: self.config.pool,
             position: None,
-            tick_lower: center - half_width,
-            tick_upper: center + half_width,
+            tick_lower,
+            tick_upper,
             amount0_desired: self.rng.range_u128(100_000, 4_000_000),
             amount1_desired: self.rng.range_u128(100_000, 4_000_000),
             nonce: self.nonces[ui as usize],
@@ -275,6 +304,7 @@ impl TrafficGenerator {
 mod tests {
     use super::*;
     use ammboost_amm::tx::AmmTxKind;
+    use std::collections::HashSet;
 
     fn config(daily: u64, seed: u64) -> GeneratorConfig {
         GeneratorConfig {
@@ -357,6 +387,30 @@ mod tests {
             }
         }
         assert!(g.tracked_positions() > 0);
+    }
+
+    #[test]
+    fn fragmented_style_tiles_many_distinct_ticks() {
+        let mut g = TrafficGenerator::new(GeneratorConfig {
+            mix: TrafficMix::from_tuple((0.0, 100.0, 0.0, 0.0)),
+            users: 200,
+            max_positions_per_user: 4,
+            liquidity_style: LiquidityStyle::Fragmented,
+            ..config(100_000, 11)
+        });
+        let mut ticks = HashSet::new();
+        for _ in 0..400 {
+            if let AmmTx::Mint(m) = g.next_tx(0).tx {
+                if m.position.is_none() {
+                    assert_eq!(m.tick_upper - m.tick_lower, 60, "one spacing wide");
+                    assert_eq!(m.tick_lower % 60, 0);
+                    ticks.insert(m.tick_lower);
+                    ticks.insert(m.tick_upper);
+                }
+            }
+        }
+        // a dense tick population, far beyond the paper-spread handful
+        assert!(ticks.len() > 100, "only {} distinct ticks", ticks.len());
     }
 
     #[test]
