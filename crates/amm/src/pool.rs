@@ -103,6 +103,37 @@ struct TickCache {
     liquidity_net: i128,
 }
 
+/// The persistent state of a [`Pool`] — every field that must survive a
+/// snapshot/restore cycle, **excluding** derived data (`tick_bitmap`,
+/// `tick_cache`, swap scratch buffers), which [`Pool::from_state`]
+/// regenerates via [`Pool::rebuild_tick_index`]. Collections are sorted so
+/// the same pool always exports the same byte-identical state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolState {
+    /// Swap fee in pips.
+    pub fee_pips: u32,
+    /// Tick granularity.
+    pub tick_spacing: i32,
+    /// Current sqrt price (Q64.96).
+    pub sqrt_price: U256,
+    /// Current tick.
+    pub tick: Tick,
+    /// In-range liquidity.
+    pub liquidity: Liquidity,
+    /// Global fee growth, token0 (Q128).
+    pub fee_growth_global0: U256,
+    /// Global fee growth, token1 (Q128).
+    pub fee_growth_global1: U256,
+    /// Token0 balance.
+    pub balance0: Amount,
+    /// Token1 balance.
+    pub balance1: Amount,
+    /// Initialized ticks, ascending by tick.
+    pub ticks: Vec<(Tick, TickInfo)>,
+    /// Live positions, ascending by id.
+    pub positions: Vec<(PositionId, Position)>,
+}
+
 /// A concentrated-liquidity pool for one token pair.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Pool {
@@ -248,11 +279,14 @@ impl Pool {
         let mut bitmap = TickBitmap::new(self.tick_spacing);
         let mut cache = HashMap::with_capacity_and_hasher(self.ticks.len(), Default::default());
         for (t, info) in &self.ticks {
+            // compute the boundary price first: it is the range check, and
+            // must fail (not panic in the bitmap) on a corrupt tick
+            let sqrt_price = sqrt_ratio_at_tick(*t)?;
             bitmap.set(*t);
             cache.insert(
                 *t,
                 TickCache {
-                    sqrt_price: sqrt_ratio_at_tick(*t)?,
+                    sqrt_price,
                     liquidity_net: info.liquidity_net,
                 },
             );
@@ -260,6 +294,85 @@ impl Pool {
         self.tick_bitmap = bitmap;
         self.tick_cache = cache;
         Ok(())
+    }
+
+    /// Exports the pool's persistent state (derived structures excluded)
+    /// in a deterministic order, for snapshotting.
+    pub fn export_state(&self) -> PoolState {
+        let mut positions: Vec<(PositionId, Position)> = self
+            .positions
+            .iter()
+            .map(|(id, p)| (*id, p.clone()))
+            .collect();
+        positions.sort_by_key(|(id, _)| *id);
+        PoolState {
+            fee_pips: self.fee_pips,
+            tick_spacing: self.tick_spacing,
+            sqrt_price: self.sqrt_price,
+            tick: self.tick,
+            liquidity: self.liquidity,
+            fee_growth_global0: self.fee_growth_global0,
+            fee_growth_global1: self.fee_growth_global1,
+            balance0: self.balance0,
+            balance1: self.balance1,
+            ticks: self.ticks.iter().map(|(t, i)| (*t, i.clone())).collect(),
+            positions,
+        }
+    }
+
+    /// Reconstructs a pool from snapshotted state, regenerating all
+    /// derived structures ([`Pool::rebuild_tick_index`]). The restored
+    /// pool behaves bit-identically to the one that was exported.
+    ///
+    /// # Errors
+    /// Fails when the state carries an invalid fee/spacing or a tick
+    /// outside tick-math range (corrupt snapshot).
+    pub fn from_state(state: PoolState) -> Result<Pool, AmmError> {
+        if state.fee_pips >= crate::types::PIPS_DENOMINATOR {
+            return Err(AmmError::InvalidFee(state.fee_pips));
+        }
+        if state.tick_spacing <= 0 {
+            return Err(AmmError::InvalidTickRange {
+                lower: 0,
+                upper: state.tick_spacing,
+            });
+        }
+        if !(MIN_TICK..=MAX_TICK).contains(&state.tick) {
+            return Err(AmmError::InvalidTickRange {
+                lower: state.tick,
+                upper: state.tick,
+            });
+        }
+        // every stored tick must be spacing-aligned: an unaligned tick
+        // would land on the wrong bitmap bit and silently diverge (or
+        // panic in debug) instead of failing closed on a corrupt snapshot
+        for (t, _) in &state.ticks {
+            if *t % state.tick_spacing != 0 || !(MIN_TICK..=MAX_TICK).contains(t) {
+                return Err(AmmError::InvalidTickRange {
+                    lower: *t,
+                    upper: *t,
+                });
+            }
+        }
+        let mut pool = Pool {
+            fee_pips: state.fee_pips,
+            tick_spacing: state.tick_spacing,
+            sqrt_price: state.sqrt_price,
+            tick: state.tick,
+            liquidity: state.liquidity,
+            ticks: state.ticks.into_iter().collect(),
+            positions: state.positions.into_iter().collect(),
+            fee_growth_global0: state.fee_growth_global0,
+            fee_growth_global1: state.fee_growth_global1,
+            balance0: state.balance0,
+            balance1: state.balance1,
+            tick_bitmap: TickBitmap::new(state.tick_spacing),
+            tick_cache: HashMap::default(),
+            tick_search: TickSearch::default(),
+            crossings_buf: Vec::with_capacity(16),
+        };
+        pool.rebuild_tick_index()?;
+        Ok(pool)
     }
 
     fn check_ticks(&self, lower: Tick, upper: Tick) -> Result<(), AmmError> {
@@ -727,11 +840,40 @@ impl Pool {
         let mut liquidity = self.liquidity;
         let mut fee_growth0 = self.fee_growth_global0;
         let mut fee_growth1 = self.fee_growth_global1;
+        // Fees accrued since in-range liquidity last changed. Liquidity is
+        // constant between crossings, so the `(fee << 128) / liquidity`
+        // growth division is paid once per segment (flushed before every
+        // crossing and at loop exit) instead of once per step.
+        let mut seg_fee: Amount = 0;
         // (tick, fee growth at crossing time) — the journal buffer is
         // reused across swaps so the hot loop never allocates. After a
         // failed swap it holds stale entries; the clear below discards
         // them before each run.
         self.crossings_buf.clear();
+
+        /// Folds a segment's accumulated fee into the growth accumulator
+        /// for the segment's (constant) liquidity.
+        #[inline]
+        fn flush_seg_fee(
+            seg_fee: &mut Amount,
+            liquidity: Liquidity,
+            zero_for_one: bool,
+            fee_growth0: &mut U256,
+            fee_growth1: &mut U256,
+        ) {
+            if *seg_fee == 0 {
+                return;
+            }
+            debug_assert!(liquidity > 0, "fees only accrue with in-range liquidity");
+            let growth =
+                U256::from_u128(*seg_fee).mul_div(U256::pow2(128), U256::from_u128(liquidity));
+            if zero_for_one {
+                *fee_growth0 = fee_growth0.wrapping_add(growth);
+            } else {
+                *fee_growth1 = fee_growth1.wrapping_add(growth);
+            }
+            *seg_fee = 0;
+        }
 
         while remaining > 0 && sqrt_price != limit {
             // Next initialized tick in the direction of travel. The bitmap
@@ -775,6 +917,9 @@ impl Pool {
             if liquidity == 0 {
                 // No liquidity in this range: glide to the boundary without
                 // trading; stop entirely if there is nothing beyond it.
+                // (Nothing to flush — fees cannot have accrued since the
+                // segment has no liquidity.)
+                debug_assert_eq!(seg_fee, 0);
                 if next_tick.is_none() {
                     break;
                 }
@@ -822,19 +967,19 @@ impl Pool {
             amount_out_total += step.amount_out;
             fee_total += step.fee_amount;
 
-            // distribute fee to in-range LPs
-            if step.fee_amount > 0 && liquidity > 0 {
-                let growth = U256::from_u128(step.fee_amount)
-                    .mul_div(U256::pow2(128), U256::from_u128(liquidity));
-                if zero_for_one {
-                    fee_growth0 = fee_growth0.wrapping_add(growth);
-                } else {
-                    fee_growth1 = fee_growth1.wrapping_add(growth);
-                }
-            }
+            // fees owed to in-range LPs accumulate per segment; the growth
+            // division happens at the next crossing or at loop exit
+            seg_fee += step.fee_amount;
 
             sqrt_price = step.sqrt_price_next;
             if step.sqrt_price_next == boundary_price && next_tick.is_some() {
+                flush_seg_fee(
+                    &mut seg_fee,
+                    liquidity,
+                    zero_for_one,
+                    &mut fee_growth0,
+                    &mut fee_growth1,
+                );
                 self.cross_tick(
                     boundary_tick,
                     cached,
@@ -848,6 +993,13 @@ impl Pool {
                 tick = tick_at_sqrt_ratio(step.sqrt_price_next)?;
             }
         }
+        flush_seg_fee(
+            &mut seg_fee,
+            liquidity,
+            zero_for_one,
+            &mut fee_growth0,
+            &mut fee_growth1,
+        );
 
         if matches!(kind, SwapKind::ExactOutput(_)) && remaining > 0 {
             return Err(AmmError::InsufficientLiquidity {
@@ -1387,6 +1539,55 @@ mod tests {
         let a = pool.swap(false, SwapKind::ExactInput(1_000_000), None);
         let b = rebuilt.swap(false, SwapKind::ExactInput(1_000_000), None);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_bit_identical() {
+        let mut pool = pool_with_liquidity();
+        pool.mint(pid(2), addr(2), -1200, -600, 5_000_000, 5_000_000)
+            .unwrap();
+        pool.swap(true, SwapKind::ExactInput(7_000_000), None)
+            .unwrap();
+        let state = pool.export_state();
+        // export is deterministic
+        assert_eq!(state, pool.export_state());
+        let mut restored = Pool::from_state(state.clone()).unwrap();
+        // derived structures regenerated in lockstep
+        assert_eq!(restored.tick_bitmap(), pool.tick_bitmap());
+        assert_eq!(restored.export_state(), state);
+        // identical behaviour afterwards
+        for (dir, amt) in [(false, 3_000_000u128), (true, 123_456)] {
+            let a = pool.swap(dir, SwapKind::ExactInput(amt), None);
+            let b = restored.swap(dir, SwapKind::ExactInput(amt), None);
+            assert_eq!(a, b);
+        }
+        assert_eq!(restored.export_state(), pool.export_state());
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_snapshots() {
+        let pool = pool_with_liquidity();
+        let good = pool.export_state();
+        let mut bad_fee = good.clone();
+        bad_fee.fee_pips = crate::types::PIPS_DENOMINATOR;
+        assert!(Pool::from_state(bad_fee).is_err());
+        let mut bad_spacing = good.clone();
+        bad_spacing.tick_spacing = 0;
+        assert!(Pool::from_state(bad_spacing).is_err());
+        let mut bad_tick = good.clone();
+        bad_tick.ticks.push((MAX_TICK + 60, TickInfo::default()));
+        assert!(Pool::from_state(bad_tick).is_err());
+        // in-range but unaligned to the pool's spacing: must fail closed,
+        // not land on the wrong bitmap bit
+        let mut misaligned = good;
+        misaligned.ticks.push((90, TickInfo::default()));
+        assert!(matches!(
+            Pool::from_state(misaligned),
+            Err(AmmError::InvalidTickRange {
+                lower: 90,
+                upper: 90
+            })
+        ));
     }
 
     #[test]

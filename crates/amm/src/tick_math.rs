@@ -126,8 +126,15 @@ pub fn max_sqrt_ratio() -> U256 {
     *MAX.get_or_init(|| sqrt_ratio_at_tick(MAX_TICK).expect("MAX_TICK is in range"))
 }
 
-/// Returns the greatest tick whose sqrt ratio is `<= sqrt_price`
-/// (binary search over [`sqrt_ratio_at_tick`]).
+/// Returns the greatest tick whose sqrt ratio is `<= sqrt_price`.
+///
+/// A floating-point log₂ estimate built from `sqrt_price.bits()` and the
+/// top mantissa bits lands within a tick or two of the answer; a short
+/// bracketed binary search then makes the result exact, so the usual cost
+/// is ~3 `sqrt_ratio_at_tick` evaluations instead of the ~41 a full-domain
+/// bisection pays. The estimate only steers the search — correctness never
+/// depends on float behaviour, and in debug builds the result is asserted
+/// against the full bisection oracle.
 ///
 /// # Errors
 /// Fails when the price is outside the valid range.
@@ -135,8 +142,43 @@ pub fn tick_at_sqrt_ratio(sqrt_price: U256) -> Result<Tick, TickMathError> {
     if sqrt_price < min_sqrt_ratio() || sqrt_price > max_sqrt_ratio() {
         return Err(TickMathError::SqrtPriceOutOfRange);
     }
-    let (mut lo, mut hi) = (MIN_TICK, MAX_TICK);
-    // invariant: ratio(lo) <= sqrt_price < ratio(hi + 1)
+    const SLACK: Tick = 2;
+    let est = estimate_tick(sqrt_price);
+    let lo = est.saturating_sub(SLACK).max(MIN_TICK);
+    let hi = est.saturating_add(SLACK).min(MAX_TICK);
+    // The bracket is valid iff ratio(lo) <= sqrt_price < ratio(hi + 1);
+    // fall back to the full-domain bisection when the estimate missed.
+    let bracket_ok = sqrt_ratio_at_tick(lo).expect("lo in range") <= sqrt_price
+        && (hi == MAX_TICK || sqrt_ratio_at_tick(hi + 1).expect("hi + 1 in range") > sqrt_price);
+    let result = if bracket_ok {
+        bisect_tick(lo, hi, sqrt_price)
+    } else {
+        bisect_tick(MIN_TICK, MAX_TICK, sqrt_price)
+    };
+    debug_assert_eq!(
+        result,
+        bisect_tick(MIN_TICK, MAX_TICK, sqrt_price),
+        "estimate-guided search disagrees with the bisection oracle"
+    );
+    Ok(result)
+}
+
+/// Estimated tick for an in-range sqrt price: `2·log₂(sqrt_price / 2^96) /
+/// log₂(1.0001)`, with log₂ taken from the price's bit length plus the top
+/// 53 mantissa bits. Accurate to well under one tick across the domain.
+fn estimate_tick(sqrt_price: U256) -> Tick {
+    let bits = sqrt_price.bits(); // >= 33 for in-range prices
+    let shift = bits.saturating_sub(53);
+    let mantissa = (sqrt_price >> shift).low_u128() as u64;
+    let log2 = (mantissa as f64).log2() + shift as f64 - 96.0;
+    let ticks_per_log2 = 2.0 / 1.0001f64.log2();
+    (log2 * ticks_per_log2).round() as Tick
+}
+
+/// Binary search for the greatest tick with `ratio(tick) <= sqrt_price`,
+/// assuming `ratio(lo) <= sqrt_price` (and `sqrt_price < ratio(hi + 1)`
+/// when `hi < MAX_TICK`).
+fn bisect_tick(mut lo: Tick, mut hi: Tick, sqrt_price: U256) -> Tick {
     while lo < hi {
         let mid = lo + (hi - lo + 1) / 2; // upper mid so the loop shrinks
         let r = sqrt_ratio_at_tick(mid).expect("mid in range");
@@ -146,7 +188,7 @@ pub fn tick_at_sqrt_ratio(sqrt_price: U256) -> Result<Tick, TickMathError> {
             hi = mid - 1;
         }
     }
-    Ok(lo)
+    lo
 }
 
 #[cfg(test)]
@@ -231,6 +273,41 @@ mod tests {
     fn price_out_of_bounds_rejected() {
         assert!(tick_at_sqrt_ratio(min_sqrt_ratio() - U256::ONE).is_err());
         assert!(tick_at_sqrt_ratio(max_sqrt_ratio() + U256::ONE).is_err());
+    }
+
+    #[test]
+    fn estimate_lands_within_bracket_across_domain() {
+        // The f64 estimate must stay within the ±2-tick bracket for the
+        // fast path to engage; sweep a spread of magnitudes plus both
+        // extremes. (Correctness is already guaranteed by the fallback +
+        // debug oracle; this pins the *speed* contract.)
+        for t in [
+            MIN_TICK, -800000, -123457, -30001, -601, -59, -1, 0, 1, 59, 601, 30001, 123457,
+            800000, MAX_TICK,
+        ] {
+            let r = sqrt_ratio_at_tick(t).unwrap();
+            let est = estimate_tick(r);
+            assert!((est - t).abs() <= 2, "tick {t}: estimate {est}");
+            assert_eq!(tick_at_sqrt_ratio(r).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_oracle_between_ticks() {
+        // prices strictly between tick boundaries, where rounding in the
+        // estimate is most likely to straddle the wrong side
+        for t in [-700000, -33333, -2, 0, 2, 33333, 700000] {
+            let a = sqrt_ratio_at_tick(t).unwrap();
+            let b = sqrt_ratio_at_tick(t + 1).unwrap();
+            for num in 1u64..4 {
+                let p = a + (b - a).mul_div(U256::from_u64(num), U256::from_u64(4));
+                assert_eq!(
+                    tick_at_sqrt_ratio(p).unwrap(),
+                    bisect_tick(MIN_TICK, MAX_TICK, p),
+                    "tick {t} frac {num}/4"
+                );
+            }
+        }
     }
 
     #[test]

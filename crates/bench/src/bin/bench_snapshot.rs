@@ -1,9 +1,9 @@
 //! Machine-readable performance snapshot: measures the hot-path
 //! operations the sidechain's throughput is bounded by and writes
-//! `BENCH_pool.json` at the repo root, giving the perf trajectory a
-//! committed data point per machine/commit.
+//! `BENCH_pool.json` plus `BENCH_state.json` at the repo root, giving the
+//! perf trajectory a committed data point per machine/commit.
 //!
-//! Measured (median ns/op):
+//! `BENCH_pool.json` (median ns/op):
 //! - single-range swap (no tick crossing),
 //! - 64-tick-crossing ladder sweep under the bitmap engine *and* under
 //!   the retained seed `BTreeMap` oracle (the speedup ratio between the
@@ -11,14 +11,25 @@
 //! - mint + burn + collect position cycle,
 //! - 1024-leaf Merkle transaction-root build.
 //!
-//! Usage: `bench_snapshot [--smoke] [--out PATH]`. `--smoke` cuts sample
-//! counts for CI; the JSON records which mode produced it.
+//! `BENCH_state.json` (the `ammboost-state` subsystem): snapshot encode
+//! and decode+restore timings, serialized snapshot size, and the
+//! sidechain's pruned-vs-unpruned bytes-on-disk for two workload ladders
+//! (50K and 500K daily volume — the paper's state-growth-control curve
+//! endpoints).
+//!
+//! Usage: `bench_snapshot [--smoke] [--out PATH] [--state-out PATH]`.
+//! `--smoke` cuts sample counts for CI; the JSON records which mode
+//! produced it.
 
 use ammboost_amm::pool::{Pool, SwapKind, TickSearch};
 use ammboost_amm::types::PositionId;
 use ammboost_bench::{fragmented_ladder_pool, ladder_pool, ladder_sweep, wide_pool};
+use ammboost_core::checkpoint::restore_node;
+use ammboost_core::config::{SnapshotPolicy, SystemConfig};
+use ammboost_core::system::System;
 use ammboost_crypto::merkle::{leaf_hash, MerkleTree};
 use ammboost_crypto::Address;
+use ammboost_state::Snapshot;
 use std::hint::black_box;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -63,6 +74,65 @@ fn single_range_pool() -> Pool {
     pool
 }
 
+/// One workload ladder's state-subsystem measurements.
+struct StateLadder {
+    name: &'static str,
+    accepted: u64,
+    snapshot_bytes: u64,
+    encode_ns: f64,
+    restore_ns: f64,
+    state_root: String,
+    sidechain_bytes_pruned: u64,
+    sidechain_peak_pruned: u64,
+    sidechain_bytes_unpruned: u64,
+    sidechain_peak_unpruned: u64,
+}
+
+/// Runs one ladder twice (snapshot-pruned vs pruning disabled), then
+/// times snapshot encode and decode+restore on the final node state.
+fn state_ladder(name: &'static str, daily_volume: u64, samples: usize) -> StateLadder {
+    let mut cfg = SystemConfig::small_test();
+    cfg.daily_volume = daily_volume;
+    cfg.snapshot = SnapshotPolicy::every_epoch();
+    let mut pruned_sys = System::new(cfg.clone());
+    let pruned = pruned_sys.run();
+
+    let mut unpruned_cfg = cfg.clone();
+    unpruned_cfg.disable_pruning = true;
+    unpruned_cfg.snapshot = SnapshotPolicy::default();
+    let unpruned = System::new(unpruned_cfg).run();
+
+    // final on-demand checkpoint covering the drain epoch
+    let stats = pruned_sys.checkpoint(pruned.epochs + 1);
+    let snapshot = pruned_sys
+        .last_snapshot()
+        .expect("checkpoint taken")
+        .clone();
+    let encode_ns = median_ns(samples, || (), |()| snapshot.encode());
+    let wire = snapshot.encode();
+    let restore_ns = median_ns(
+        samples,
+        || wire.clone(),
+        |bytes| {
+            let decoded = Snapshot::decode(&bytes).expect("root verifies");
+            restore_node(&decoded).expect("snapshot restores")
+        },
+    );
+
+    StateLadder {
+        name,
+        accepted: pruned.accepted,
+        snapshot_bytes: stats.snapshot_bytes,
+        encode_ns,
+        restore_ns,
+        state_root: format!("{}", stats.root),
+        sidechain_bytes_pruned: pruned.sidechain_bytes,
+        sidechain_peak_pruned: pruned.sidechain_peak_bytes,
+        sidechain_bytes_unpruned: unpruned.sidechain_bytes,
+        sidechain_peak_unpruned: unpruned.sidechain_peak_bytes,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -72,12 +142,18 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pool.json".to_string());
+    let state_out_path = args
+        .iter()
+        .position(|a| a == "--state-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_state.json".to_string());
     if let Some(unknown) = args.iter().enumerate().find_map(|(i, a)| {
-        let is_out_value = i > 0 && args[i - 1] == "--out";
-        (a != "--smoke" && a != "--out" && !is_out_value).then_some(a)
+        let is_value = i > 0 && (args[i - 1] == "--out" || args[i - 1] == "--state-out");
+        (a != "--smoke" && a != "--out" && a != "--state-out" && !is_value).then_some(a)
     }) {
         eprintln!("unknown argument: {unknown}");
-        eprintln!("usage: bench_snapshot [--smoke] [--out PATH]");
+        eprintln!("usage: bench_snapshot [--smoke] [--out PATH] [--state-out PATH]");
         std::process::exit(2);
     }
     let samples = if smoke { 51 } else { 501 };
@@ -169,4 +245,60 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!();
     println!("wrote {out_path}");
+
+    // ---- the state subsystem: snapshot encode/restore + growth control ----
+    ammboost_bench::header("Bench snapshot (state subsystem)");
+    let state_samples = if smoke { 11 } else { 101 };
+    let ladders = [
+        state_ladder("volume_50k", 50_000, state_samples),
+        state_ladder("volume_500k", 500_000, state_samples),
+    ];
+    for l in &ladders {
+        ammboost_bench::line(
+            &format!("state/{}/snapshot_bytes", l.name),
+            ammboost_bench::fmt_bytes(l.snapshot_bytes),
+        );
+        ammboost_bench::line(
+            &format!("state/{}/encode", l.name),
+            format!("{:.0} ns", l.encode_ns),
+        );
+        ammboost_bench::line(
+            &format!("state/{}/decode_restore", l.name),
+            format!("{:.0} ns", l.restore_ns),
+        );
+        ammboost_bench::line(
+            &format!("state/{}/sidechain_pruned", l.name),
+            ammboost_bench::fmt_bytes(l.sidechain_bytes_pruned),
+        );
+        ammboost_bench::line(
+            &format!("state/{}/sidechain_unpruned", l.name),
+            ammboost_bench::fmt_bytes(l.sidechain_bytes_unpruned),
+        );
+    }
+    let ladder_json: Vec<String> = ladders
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"{}\": {{\n      \"accepted_txs\": {},\n      \"snapshot_bytes\": {},\n      \"snapshot_encode_ns\": {:.1},\n      \"snapshot_decode_restore_ns\": {:.1},\n      \"state_root\": \"{}\",\n      \"sidechain_bytes_pruned\": {},\n      \"sidechain_peak_bytes_pruned\": {},\n      \"sidechain_bytes_unpruned\": {},\n      \"sidechain_peak_bytes_unpruned\": {}\n    }}",
+                l.name,
+                l.accepted,
+                l.snapshot_bytes,
+                l.encode_ns,
+                l.restore_ns,
+                l.state_root,
+                l.sidechain_bytes_pruned,
+                l.sidechain_peak_pruned,
+                l.sidechain_bytes_unpruned,
+                l.sidechain_peak_unpruned,
+            )
+        })
+        .collect();
+    let state_json = format!(
+        "{{\n  \"schema\": \"ammboost-state-snapshot/v1\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {state_samples},\n  \"unix_time_secs\": {unix_secs},\n  \"ladders\": {{\n{}\n  }}\n}}\n",
+        ladder_json.join(",\n")
+    );
+    std::fs::write(&state_out_path, &state_json)
+        .unwrap_or_else(|e| panic!("write {state_out_path}: {e}"));
+    println!();
+    println!("wrote {state_out_path}");
 }

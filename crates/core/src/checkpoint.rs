@@ -1,0 +1,448 @@
+//! Node-level checkpoint, restore and fast-sync catch-up.
+//!
+//! A sidechain node's durable state is its [`EpochProcessor`] (pool +
+//! deposit tracking + epoch bookkeeping) and its [`Ledger`]. This module
+//! maps that state onto the `ammboost-state` snapshot format:
+//!
+//! - [`checkpoint_node`] — builds a Merkle-committed [`Snapshot`] through
+//!   a [`Checkpointer`] (clean pools reuse their cached encoding);
+//! - [`restore_node`] — rebuilds a working processor + ledger from a
+//!   snapshot, with the pool's derived tick index regenerated;
+//! - [`catch_up`] — fast-sync: a node restored at epoch *k* re-executes
+//!   the meta-blocks sealed after *k* from a peer's ledger and verifies
+//!   each recorded effect and each summary block against its own
+//!   re-execution, ending byte-identical to a node that replayed full
+//!   history.
+
+use crate::processor::EpochProcessor;
+use ammboost_amm::types::{PoolId, PositionId};
+use ammboost_crypto::Address;
+use ammboost_sidechain::block::SummaryBlock;
+use ammboost_sidechain::ledger::Ledger;
+use ammboost_state::codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+use ammboost_state::snapshot::{SectionKind, Snapshot};
+use ammboost_state::sync::RestoreError;
+use ammboost_state::{CheckpointStats, Checkpointer};
+use std::fmt;
+
+/// Aux-section tag carrying the processor's epoch bookkeeping (the parts
+/// of [`ProcessorState`] not already covered by the pool and deposits
+/// sections).
+pub const AUX_PROCESSOR_META: u8 = 1;
+
+/// The epoch bookkeeping that rides next to the pool/deposits sections.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ProcessorMeta {
+    pool_id: PoolId,
+    touched: Vec<PositionId>,
+    deleted: Vec<(PositionId, Address)>,
+    preexisting: Vec<PositionId>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Encode for ProcessorMeta {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.pool_id.encode(w);
+        self.touched.encode(w);
+        self.deleted.encode(w);
+        self.preexisting.encode(w);
+        w.put_u64(self.accepted);
+        w.put_u64(self.rejected);
+    }
+}
+
+impl Decode for ProcessorMeta {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(ProcessorMeta {
+            pool_id: r.get()?,
+            touched: r.get()?,
+            deleted: r.get()?,
+            preexisting: r.get()?,
+            accepted: r.take_u64()?,
+            rejected: r.take_u64()?,
+        })
+    }
+}
+
+/// Why a node restore or catch-up failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRestoreError {
+    /// The snapshot failed to restore.
+    Restore(RestoreError),
+    /// The snapshot has no pool section for the processor's pool.
+    MissingPool(PoolId),
+    /// A replayed transaction's effect diverged from the one recorded in
+    /// the meta-block — the snapshot or the block stream is inconsistent.
+    EffectMismatch {
+        /// Epoch of the divergent block.
+        epoch: u64,
+        /// Round of the divergent block.
+        round: u64,
+    },
+    /// A replayed epoch's summary diverged from the sealed summary block.
+    SummaryMismatch {
+        /// The divergent epoch.
+        epoch: u64,
+    },
+    /// A block did not chain onto the restored ledger.
+    BadChain(String),
+}
+
+impl fmt::Display for NodeRestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRestoreError::Restore(e) => write!(f, "{e}"),
+            NodeRestoreError::MissingPool(id) => {
+                write!(f, "snapshot has no section for {id}")
+            }
+            NodeRestoreError::EffectMismatch { epoch, round } => {
+                write!(f, "replayed effect diverges in epoch {epoch} round {round}")
+            }
+            NodeRestoreError::SummaryMismatch { epoch } => {
+                write!(f, "replayed summary diverges in epoch {epoch}")
+            }
+            NodeRestoreError::BadChain(detail) => write!(f, "block does not chain: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeRestoreError {}
+
+impl From<RestoreError> for NodeRestoreError {
+    fn from(e: RestoreError) -> Self {
+        NodeRestoreError::Restore(e)
+    }
+}
+
+impl From<CodecError> for NodeRestoreError {
+    fn from(e: CodecError) -> Self {
+        NodeRestoreError::Restore(RestoreError::Codec(e))
+    }
+}
+
+/// A node rebuilt from a snapshot, ready to catch up or to serve the next
+/// epoch.
+#[derive(Debug)]
+pub struct NodeRestore {
+    /// The epoch the snapshot covered.
+    pub epoch: u64,
+    /// The restored execution engine.
+    pub processor: EpochProcessor,
+    /// The restored ledger.
+    pub ledger: Ledger,
+    /// The verified state root the node was restored from.
+    pub root: ammboost_crypto::H256,
+}
+
+/// Takes a Merkle-committed checkpoint of a node (processor + ledger) at
+/// `epoch`. The pool section is re-encoded only when the processor
+/// reports it dirty; otherwise the checkpointer's cached bytes are
+/// reused.
+pub fn checkpoint_node(
+    checkpointer: &mut Checkpointer,
+    epoch: u64,
+    processor: &mut EpochProcessor,
+    ledger: &Ledger,
+) -> (Snapshot, CheckpointStats) {
+    if processor.take_pool_dirty() {
+        checkpointer.mark_dirty(processor.pool_id());
+    }
+    let state = processor.export_state();
+    let meta = ProcessorMeta {
+        pool_id: state.pool_id,
+        touched: state.touched,
+        deleted: state.deleted,
+        preexisting: state.preexisting,
+        accepted: state.stats.accepted,
+        rejected: state.stats.rejected,
+    };
+    checkpointer.checkpoint(
+        epoch,
+        &[(processor.pool_id(), processor.pool())],
+        ledger,
+        processor.deposits(),
+        vec![(AUX_PROCESSOR_META, meta.encode_to_vec())],
+    )
+}
+
+/// Rebuilds a node from a snapshot: pool (tick index regenerated via
+/// `Pool::rebuild_tick_index`), deposits, epoch bookkeeping, ledger.
+///
+/// # Errors
+/// Fails on missing/malformed sections or invalid pool state.
+pub fn restore_node(snapshot: &Snapshot) -> Result<NodeRestore, NodeRestoreError> {
+    let meta_section = snapshot
+        .section(SectionKind::Aux(AUX_PROCESSOR_META))
+        .ok_or(NodeRestoreError::Restore(RestoreError::MissingSection(
+            "processor meta",
+        )))?;
+    let meta = ProcessorMeta::decode_all(&meta_section.bytes)?;
+
+    // the state subsystem owns section decoding, validation (including
+    // sorted-key checks) and pool reconstruction — one restore path
+    let restored = ammboost_state::sync::restore(snapshot)?;
+    let pool = restored
+        .pools
+        .into_iter()
+        .find(|(id, _)| *id == meta.pool_id)
+        .map(|(_, pool)| pool)
+        .ok_or(NodeRestoreError::MissingPool(meta.pool_id))?;
+
+    let processor = EpochProcessor::from_restored(
+        pool,
+        meta.pool_id,
+        restored.deposits,
+        meta.touched,
+        meta.deleted,
+        meta.preexisting,
+        crate::processor::ProcessorStats {
+            accepted: meta.accepted,
+            rejected: meta.rejected,
+        },
+    );
+
+    Ok(NodeRestore {
+        epoch: restored.epoch,
+        processor,
+        ledger: restored.ledger,
+        root: restored.root,
+    })
+}
+
+/// Fast-sync catch-up: re-executes every epoch sealed after the node's
+/// snapshot epoch from `source`'s retained blocks, verifying each
+/// recorded transaction effect and each summary block against the node's
+/// own re-execution, and appending the blocks to the node's ledger.
+///
+/// `rounds_per_epoch` reproduces the global round numbers transactions
+/// were originally executed at (deadline checks depend on them).
+///
+/// Returns the number of epochs applied.
+///
+/// # Errors
+/// Fails when a block does not chain, when the source pruned an epoch the
+/// node still needs, or when re-execution diverges from the recorded
+/// effects (inconsistent snapshot/stream).
+pub fn catch_up(
+    node: &mut NodeRestore,
+    source: &Ledger,
+    rounds_per_epoch: u64,
+) -> Result<u64, NodeRestoreError> {
+    let mut applied = 0u64;
+    let last_sealed = source.last_summary_epoch();
+    for epoch in (node.epoch + 1)..=last_sealed {
+        // A new committee takes over without a fresh TokenBank snapshot:
+        // deposit tracking carries forward exactly as in a mass-sync epoch.
+        node.processor.carry_over_epoch();
+        let metas = source.meta_blocks(epoch);
+        if metas.is_empty() {
+            return Err(NodeRestoreError::BadChain(format!(
+                "source pruned epoch {epoch} before the node could sync it"
+            )));
+        }
+        for block in metas {
+            for executed in &block.txs {
+                let global_round = (epoch - 1) * rounds_per_epoch + block.round;
+                let replayed =
+                    node.processor
+                        .execute(&executed.tx, executed.wire_size, global_round);
+                if replayed.effect != executed.effect {
+                    return Err(NodeRestoreError::EffectMismatch {
+                        epoch,
+                        round: block.round,
+                    });
+                }
+            }
+            node.ledger
+                .append_meta(block.clone())
+                .map_err(|e| NodeRestoreError::BadChain(e.to_string()))?;
+        }
+        let sealed: &SummaryBlock = source
+            .summaries()
+            .iter()
+            .find(|s| s.epoch == epoch)
+            .expect("epoch <= last_summary_epoch has a summary");
+        // the node's own summary rules must reproduce the sealed block
+        let (payouts, positions, pool) = node.processor.end_epoch();
+        if payouts != sealed.payouts || positions != sealed.positions || pool != sealed.pool {
+            return Err(NodeRestoreError::SummaryMismatch { epoch });
+        }
+        node.ledger
+            .append_summary(sealed.clone())
+            .map_err(|e| NodeRestoreError::BadChain(e.to_string()))?;
+        node.epoch = epoch;
+        applied += 1;
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ammboost_amm::tx::{AmmTx, SwapIntent, SwapTx};
+    use ammboost_crypto::H256;
+    use ammboost_sidechain::block::MetaBlock;
+    use std::collections::HashMap;
+
+    fn user(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn swap_tx(u: Address, amount: u128, zero_for_one: bool) -> AmmTx {
+        AmmTx::Swap(SwapTx {
+            user: u,
+            pool: PoolId(0),
+            zero_for_one,
+            intent: SwapIntent::ExactInput {
+                amount_in: amount,
+                min_amount_out: 0,
+            },
+            sqrt_price_limit: None,
+            deadline_round: 1_000_000,
+        })
+    }
+
+    /// A tiny single-node driver: executes rounds of swaps into
+    /// meta-blocks and seals each epoch with a summary block.
+    struct Node {
+        processor: EpochProcessor,
+        ledger: Ledger,
+    }
+
+    const ROUNDS: u64 = 3;
+
+    impl Node {
+        fn new() -> Node {
+            let mut processor = EpochProcessor::new(PoolId(0));
+            processor.seed_liquidity(user(99), -60_000, 60_000, 10u128.pow(13), 10u128.pow(13));
+            let mut snapshot = HashMap::new();
+            snapshot.insert(user(1), (5_000_000_000u128, 5_000_000_000u128));
+            snapshot.insert(user(2), (5_000_000_000u128, 5_000_000_000u128));
+            processor.begin_epoch(snapshot);
+            Node {
+                processor,
+                ledger: Ledger::new(H256::hash(b"genesis")),
+            }
+        }
+
+        fn run_epoch(&mut self, epoch: u64) {
+            if epoch > 1 {
+                self.processor.carry_over_epoch();
+            }
+            for round in 0..ROUNDS {
+                let global = (epoch - 1) * ROUNDS + round;
+                let mut txs = Vec::new();
+                for i in 0..4u64 {
+                    let u = user(1 + (global + i) % 2);
+                    let amt = 1_000_000 + global * 1000 + i * 7;
+                    let dir = (global + i) % 2 == 0;
+                    txs.push(
+                        self.processor
+                            .execute(&swap_tx(u, amt as u128, dir), 1008, global),
+                    );
+                }
+                let block = MetaBlock::new(epoch, round, self.ledger.tip(), txs);
+                self.ledger.append_meta(block).unwrap();
+            }
+            let (payouts, positions, pool) = self.processor.end_epoch();
+            let summary = SummaryBlock {
+                epoch,
+                parent: self.ledger.tip(),
+                meta_refs: self
+                    .ledger
+                    .meta_blocks(epoch)
+                    .iter()
+                    .map(|m| m.id())
+                    .collect(),
+                payouts,
+                positions,
+                pool,
+            };
+            self.ledger.append_summary(summary).unwrap();
+        }
+    }
+
+    #[test]
+    fn restored_node_catches_up_byte_identically() {
+        // full-history node: 5 epochs, checkpoint after epoch 2
+        let mut full = Node::new();
+        let mut cp = Checkpointer::new();
+        let mut mid_snapshot = None;
+        for epoch in 1..=5 {
+            full.run_epoch(epoch);
+            if epoch == 2 {
+                let (snap, stats) =
+                    checkpoint_node(&mut cp, epoch, &mut full.processor, &full.ledger);
+                assert_eq!(stats.pools_reencoded, 1);
+                mid_snapshot = Some(snap);
+            }
+        }
+
+        // late joiner: restore at epoch 2, fast-sync epochs 3..=5
+        let snap = mid_snapshot.unwrap();
+        let mut node = restore_node(&Snapshot::decode(&snap.encode()).unwrap()).unwrap();
+        assert_eq!(node.epoch, 2);
+        let applied = catch_up(&mut node, &full.ledger, ROUNDS).unwrap();
+        assert_eq!(applied, 3);
+
+        // byte-identical: same ledger state, same processor state, same
+        // state root as the uninterrupted node
+        assert_eq!(node.ledger.export_state(), full.ledger.export_state());
+        assert_eq!(node.processor.export_state(), full.processor.export_state());
+        let (_, a) = checkpoint_node(
+            &mut Checkpointer::new(),
+            5,
+            &mut node.processor,
+            &node.ledger,
+        );
+        let (_, b) = checkpoint_node(
+            &mut Checkpointer::new(),
+            5,
+            &mut full.processor,
+            &full.ledger,
+        );
+        assert_eq!(a.root, b.root, "state roots diverge");
+    }
+
+    #[test]
+    fn catch_up_rejects_overpruned_source() {
+        let mut full = Node::new();
+        let mut cp = Checkpointer::new();
+        full.run_epoch(1);
+        let (snap, _) = checkpoint_node(&mut cp, 1, &mut full.processor, &full.ledger);
+        full.run_epoch(2);
+        full.run_epoch(3);
+        // the source drops epoch 2's raw history before the node synced
+        full.ledger.prune_epoch(2).unwrap();
+        let mut node = restore_node(&snap).unwrap();
+        assert!(matches!(
+            catch_up(&mut node, &full.ledger, ROUNDS),
+            Err(NodeRestoreError::BadChain(_))
+        ));
+    }
+
+    #[test]
+    fn clean_epoch_reuses_cached_pool_section() {
+        let mut node = Node::new();
+        let mut cp = Checkpointer::new();
+        node.run_epoch(1);
+        let (_, s1) = checkpoint_node(&mut cp, 1, &mut node.processor, &node.ledger);
+        assert_eq!(s1.pools_reencoded, 1);
+        // an epoch with no accepted transactions leaves the pool clean
+        node.processor.carry_over_epoch();
+        let (payouts, positions, pool) = node.processor.end_epoch();
+        let summary = SummaryBlock {
+            epoch: 2,
+            parent: node.ledger.tip(),
+            meta_refs: vec![],
+            payouts,
+            positions,
+            pool,
+        };
+        node.ledger.append_summary(summary).unwrap();
+        let (_, s2) = checkpoint_node(&mut cp, 2, &mut node.processor, &node.ledger);
+        assert_eq!(s2.pools_reencoded, 0);
+        assert_eq!(s2.pools_reused, 1);
+    }
+}

@@ -19,6 +19,34 @@ pub enum DepositPolicy {
     PerEpoch,
 }
 
+/// Checkpointing and snapshot-aware retention knobs (the
+/// `ammboost-state` subsystem).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotPolicy {
+    /// Take a Merkle-committed node checkpoint every N epochs; `0`
+    /// disables checkpointing (the default — the paper's runs measure the
+    /// sync-confirmation pruning path alone).
+    pub interval_epochs: u64,
+    /// Retention margin: how many checkpoint-covered epochs keep their
+    /// raw meta-blocks anyway (see `ammboost_state::RetentionPolicy`).
+    pub keep_epochs: u64,
+}
+
+impl SnapshotPolicy {
+    /// Checkpoint at every epoch boundary, prune everything covered.
+    pub fn every_epoch() -> SnapshotPolicy {
+        SnapshotPolicy {
+            interval_epochs: 1,
+            keep_epochs: 0,
+        }
+    }
+
+    /// `true` when checkpointing is on.
+    pub fn enabled(&self) -> bool {
+        self.interval_epochs > 0
+    }
+}
+
 /// Full configuration of an ammBoost system run (defaults = the paper's
 /// §VI-A experiment setup).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -62,7 +90,10 @@ pub struct SystemConfig {
     pub crypto_committee_faults: usize,
     /// Disables meta-block pruning (ablation: quantifies how much of the
     /// paper's state-growth control comes from block suppression).
+    /// Also gates the snapshot-driven retention pruning.
     pub disable_pruning: bool,
+    /// Checkpoint cadence + retention for the snapshot subsystem.
+    pub snapshot: SnapshotPolicy,
     /// Fault-injection plan.
     pub faults: FaultPlan,
     /// Root seed for all randomness.
@@ -88,6 +119,7 @@ impl Default for SystemConfig {
             sign_transactions: false,
             crypto_committee_faults: 4,
             disable_pruning: false,
+            snapshot: SnapshotPolicy::default(),
             faults: FaultPlan::default(),
             seed: 7,
         }

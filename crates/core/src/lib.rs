@@ -11,6 +11,8 @@
 //! - [`system`] — the full runner: election → DKG → rounds of meta-blocks
 //!   → summary → TSQC-authenticated sync → pruning, plus interruption
 //!   recovery (view change, mass-sync, rollbacks; §IV-C).
+//! - [`checkpoint`] — node-level snapshot / restore / fast-sync catch-up
+//!   over the `ammboost-state` subsystem.
 //! - [`baseline`] — the all-on-mainchain Uniswap baseline for comparison.
 //! - [`api`] — the paper's §III functionality list (`SystemSetup` …
 //!   `Prune`) as concrete entry points.
@@ -27,13 +29,15 @@
 
 pub mod api;
 pub mod baseline;
+pub mod checkpoint;
 pub mod config;
 pub mod processor;
 pub mod system;
 pub mod txenv;
 
 pub use baseline::{BaselineConfig, BaselineReport, BaselineRunner};
+pub use checkpoint::{catch_up, checkpoint_node, restore_node, NodeRestore};
 pub use config::{DepositPolicy, FaultPlan, SystemConfig};
-pub use processor::EpochProcessor;
+pub use processor::{EpochProcessor, ProcessorState};
 pub use system::{System, SystemReport};
 pub use txenv::{create_tx, verify_tx, SignedTx};

@@ -7,7 +7,8 @@
 //! coverage, newly accrued tokens are immediately tradable, and the final
 //! deposit map becomes the epoch's payout list (Fig. 4).
 
-use ammboost_amm::pool::{Pool, SwapKind, TickSearch};
+use ammboost_amm::error::AmmError;
+use ammboost_amm::pool::{Pool, PoolState, SwapKind, TickSearch};
 use ammboost_amm::tx::{AmmTx, BurnTx, CollectTx, MintTx, SwapIntent, SwapTx};
 use ammboost_amm::types::{Amount, PoolId, PositionId};
 use ammboost_crypto::Address;
@@ -23,6 +24,29 @@ pub struct ProcessorStats {
     pub accepted: u64,
     /// Rejected transactions (insufficient deposit, slippage, deadline…).
     pub rejected: u64,
+}
+
+/// The persistent state of an [`EpochProcessor`] — everything a restored
+/// node needs to continue the epoch bit-identically. Collections are
+/// sorted for deterministic encoding. Excluded by design: the cumulative
+/// `reject_reasons` monitoring map (a debugging aid with no effect on
+/// execution) and the pool's derived tick index (regenerated on restore).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessorState {
+    /// The pool's persistent state.
+    pub pool: PoolState,
+    /// The pool's id.
+    pub pool_id: PoolId,
+    /// Deposit ledger entries, sorted by address.
+    pub deposits: Vec<(Address, (u128, u128))>,
+    /// Positions touched this epoch, ascending.
+    pub touched: Vec<PositionId>,
+    /// Positions deleted this epoch with their last owner, ascending.
+    pub deleted: Vec<(PositionId, Address)>,
+    /// Positions that existed at epoch start, ascending.
+    pub preexisting: Vec<PositionId>,
+    /// Epoch accept/reject counters.
+    pub stats: ProcessorStats,
 }
 
 /// The per-epoch sidechain execution engine. The AMM pool state persists
@@ -41,6 +65,9 @@ pub struct EpochProcessor {
     preexisting: BTreeSet<PositionId>,
     stats: ProcessorStats,
     reject_reasons: HashMap<String, u64>,
+    /// Set when an accepted transaction (or a liquidity seed) mutated the
+    /// pool; consumed by the checkpointer's dirty-pool tracking.
+    pool_dirty: bool,
 }
 
 impl EpochProcessor {
@@ -55,6 +82,75 @@ impl EpochProcessor {
             preexisting: BTreeSet::new(),
             stats: ProcessorStats::default(),
             reject_reasons: HashMap::new(),
+            pool_dirty: false,
+        }
+    }
+
+    /// The id of the pool this processor executes against.
+    pub fn pool_id(&self) -> PoolId {
+        self.pool_id
+    }
+
+    /// Returns and clears the pool-dirty flag: `true` when the pool was
+    /// mutated since the flag was last taken. Feeds the checkpointer's
+    /// dirty-pool tracking so clean pools are not re-encoded.
+    pub fn take_pool_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.pool_dirty)
+    }
+
+    /// Exports the processor's persistent state for checkpointing.
+    pub fn export_state(&self) -> ProcessorState {
+        ProcessorState {
+            pool: self.pool.export_state(),
+            pool_id: self.pool_id,
+            deposits: self.deposits.to_sorted_entries(),
+            touched: self.touched.iter().copied().collect(),
+            deleted: self.deleted.iter().map(|(id, a)| (*id, *a)).collect(),
+            preexisting: self.preexisting.iter().copied().collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Reconstructs a processor from checkpointed state, regenerating the
+    /// pool's derived tick index. The restored processor executes
+    /// subsequent transactions bit-identically to the exported one.
+    ///
+    /// # Errors
+    /// Propagates pool-state validation failures (corrupt snapshot).
+    pub fn from_state(state: ProcessorState) -> Result<EpochProcessor, AmmError> {
+        Ok(Self::from_restored(
+            Pool::from_state(state.pool)?,
+            state.pool_id,
+            Deposits::from_sorted_entries(state.deposits),
+            state.touched,
+            state.deleted,
+            state.preexisting,
+            state.stats,
+        ))
+    }
+
+    /// Reassembles a processor from parts the state subsystem already
+    /// validated and rebuilt (the `restore_node` path, where the pool
+    /// comes out of `ammboost_state::sync::restore`).
+    pub fn from_restored(
+        pool: Pool,
+        pool_id: PoolId,
+        deposits: Deposits,
+        touched: Vec<PositionId>,
+        deleted: Vec<(PositionId, Address)>,
+        preexisting: Vec<PositionId>,
+        stats: ProcessorStats,
+    ) -> EpochProcessor {
+        EpochProcessor {
+            pool,
+            pool_id,
+            deposits,
+            touched: touched.into_iter().collect(),
+            deleted: deleted.into_iter().collect(),
+            preexisting: preexisting.into_iter().collect(),
+            stats,
+            reject_reasons: HashMap::new(),
+            pool_dirty: false,
         }
     }
 
@@ -110,6 +206,7 @@ impl EpochProcessor {
         self.pool
             .mint(id, owner, tick_lower, tick_upper, amount0, amount1)
             .expect("genesis liquidity mint must be valid");
+        self.pool_dirty = true;
         id
     }
 
@@ -151,7 +248,10 @@ impl EpochProcessor {
                 self.stats.rejected += 1;
                 *self.reject_reasons.entry(reason.clone()).or_insert(0) += 1;
             }
-            _ => self.stats.accepted += 1,
+            _ => {
+                self.stats.accepted += 1;
+                self.pool_dirty = true;
+            }
         }
         ExecutedTx {
             tx: tx.clone(),

@@ -15,6 +15,7 @@
 //! 14 members, threshold 10) so that multi-million-transaction runs remain
 //! tractable. Every cryptographic check TokenBank performs is genuine.
 
+use crate::checkpoint::checkpoint_node;
 use crate::config::{DepositPolicy, SystemConfig};
 use crate::processor::EpochProcessor;
 use ammboost_amm::types::PoolId;
@@ -35,6 +36,8 @@ use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
 use ammboost_sim::metrics::LatencyStats;
 use ammboost_sim::rng::DetRng;
 use ammboost_sim::time::{SimDuration, SimTime};
+use ammboost_state::snapshot::Snapshot;
+use ammboost_state::{prune_to_snapshot, CheckpointStats, Checkpointer, RetentionPolicy};
 use ammboost_workload::{GeneratorConfig, TrafficGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -87,6 +90,13 @@ pub struct SystemReport {
     pub max_summary_bytes: u64,
     /// Epochs executed.
     pub epochs: u64,
+    /// Merkle-committed node checkpoints taken (0 when the snapshot
+    /// policy is disabled).
+    pub snapshots_taken: u64,
+    /// Serialized size of the last checkpoint, in bytes.
+    pub last_snapshot_bytes: u64,
+    /// State root of the last checkpoint.
+    pub last_state_root: Option<H256>,
 }
 
 enum PendingOp {
@@ -142,6 +152,11 @@ pub struct System {
     sync_gas: u64,
     deposit_gas: u64,
     max_summary_bytes: u64,
+    checkpointer: Checkpointer,
+    snapshots_taken: u64,
+    last_checkpoint: Option<CheckpointStats>,
+    /// The most recent node snapshot (kept for restart/fast-sync drills).
+    last_snapshot: Option<Snapshot>,
     /// The most recent sync receipt (itemization source for Table II).
     pub last_sync_receipt: Option<SyncReceipt>,
 }
@@ -240,6 +255,10 @@ impl System {
             sync_gas: 0,
             deposit_gas: 0,
             max_summary_bytes: 0,
+            checkpointer: Checkpointer::new(),
+            snapshots_taken: 0,
+            last_checkpoint: None,
+            last_snapshot: None,
             last_sync_receipt: None,
             cfg,
         }
@@ -332,7 +351,36 @@ impl System {
                 .as_secs_f64(),
             max_summary_bytes: self.max_summary_bytes,
             epochs: self.cfg.epochs,
+            snapshots_taken: self.snapshots_taken,
+            last_snapshot_bytes: self.last_checkpoint.map(|c| c.snapshot_bytes).unwrap_or(0),
+            last_state_root: self.last_checkpoint.map(|c| c.root),
         }
+    }
+
+    /// Takes an on-demand Merkle-committed checkpoint of the sidechain
+    /// node state (processor + ledger) and returns its stats. The
+    /// snapshot itself stays retrievable via [`System::last_snapshot`].
+    pub fn checkpoint(&mut self, epoch: u64) -> CheckpointStats {
+        let (snapshot, stats) = checkpoint_node(
+            &mut self.checkpointer,
+            epoch,
+            &mut self.processor,
+            &self.ledger,
+        );
+        self.snapshots_taken += 1;
+        self.last_checkpoint = Some(stats);
+        self.last_snapshot = Some(snapshot);
+        stats
+    }
+
+    /// The most recent node snapshot, if any checkpoint was taken.
+    pub fn last_snapshot(&self) -> Option<&Snapshot> {
+        self.last_snapshot.as_ref()
+    }
+
+    /// Stats of the most recent checkpoint.
+    pub fn last_checkpoint(&self) -> Option<&CheckpointStats> {
+        self.last_checkpoint.as_ref()
     }
 
     fn run_epoch(&mut self, epoch: u64, epoch_start: SimTime) {
@@ -483,14 +531,38 @@ impl System {
 
         if self.cfg.faults.invalid_sync_epochs.contains(&epoch) {
             // the leader proposed invalid Sync inputs; the committee
-            // refuses to certify — no sync this epoch, mass-sync next
+            // refuses to certify — no sync this epoch, mass-sync next.
+            // Checkpointing is node-local and proceeds regardless.
             self.unsynced.push((epoch, payouts, positions, pool_update));
+            self.maybe_checkpoint(epoch);
             return;
         }
 
         self.unsynced.push((epoch, payouts, positions, pool_update));
         let rollback = self.cfg.faults.rollback_epochs.contains(&epoch);
         self.submit_sync(epoch, epoch_end, rollback);
+        self.maybe_checkpoint(epoch);
+    }
+
+    /// Checkpoints the node per the snapshot policy and applies
+    /// snapshot-aware retention pruning: once an epoch is covered by both
+    /// a sealed summary and a committed snapshot, its raw meta-blocks can
+    /// be dropped without waiting for the sync confirmation (a restarting
+    /// node restores from the snapshot instead of replaying).
+    fn maybe_checkpoint(&mut self, epoch: u64) {
+        if !self.cfg.snapshot.enabled() || epoch % self.cfg.snapshot.interval_epochs != 0 {
+            return;
+        }
+        self.checkpoint(epoch);
+        if !self.cfg.disable_pruning {
+            prune_to_snapshot(
+                &mut self.ledger,
+                epoch,
+                RetentionPolicy {
+                    keep_epochs: self.cfg.snapshot.keep_epochs,
+                },
+            );
+        }
     }
 
     /// Builds and submits a (mass-)sync covering all unsynced epochs.
@@ -867,6 +939,62 @@ mod tests {
             per_epoch.deposit_gas,
             once.deposit_gas
         );
+    }
+
+    #[test]
+    fn checkpoints_taken_per_policy_and_deterministic() {
+        let mut cfg = small();
+        cfg.snapshot = crate::config::SnapshotPolicy::every_epoch();
+        let a = System::new(cfg.clone()).run();
+        assert_eq!(a.snapshots_taken, cfg.epochs);
+        assert!(a.last_snapshot_bytes > 0);
+        assert!(a.last_state_root.is_some());
+        // the state commitment is reproducible bit-for-bit
+        let b = System::new(cfg).run();
+        assert_eq!(a.last_state_root, b.last_state_root);
+        assert_eq!(a.last_snapshot_bytes, b.last_snapshot_bytes);
+    }
+
+    #[test]
+    fn retention_pruning_matches_sync_pruning_outcome() {
+        // snapshot-driven retention pruning reclaims the same raw history
+        // the sync-confirmation path would, just earlier
+        let baseline = System::new(small()).run();
+        let mut cfg = small();
+        cfg.snapshot = crate::config::SnapshotPolicy::every_epoch();
+        let snapshotting = System::new(cfg).run();
+        assert_eq!(
+            snapshotting.sidechain_pruned_bytes,
+            baseline.sidechain_pruned_bytes
+        );
+        assert_eq!(snapshotting.sidechain_bytes, baseline.sidechain_bytes);
+        // pruning earlier bounds the peak at or below the baseline's
+        assert!(snapshotting.sidechain_peak_bytes <= baseline.sidechain_peak_bytes);
+    }
+
+    #[test]
+    fn snapshot_restores_into_working_node() {
+        let mut cfg = small();
+        cfg.snapshot = crate::config::SnapshotPolicy {
+            interval_epochs: 1,
+            // keep all raw history so the restored node could also catch up
+            keep_epochs: u64::MAX,
+        };
+        let mut sys = System::new(cfg);
+        let report = sys.run();
+        assert!(report.snapshots_taken >= 3);
+        // the drain epoch ran after the last scheduled checkpoint; take a
+        // final on-demand one so the snapshot covers the end state
+        let stats = sys.checkpoint(report.epochs + 1);
+        let snapshot = sys.last_snapshot().expect("checkpoints taken");
+        let node = crate::checkpoint::restore_node(snapshot).unwrap();
+        assert_eq!(node.root, stats.root);
+        // the restored processor carries the live pool state
+        assert_eq!(
+            node.processor.pool().export_state(),
+            sys.processor().pool().export_state()
+        );
+        assert_eq!(node.ledger.export_state(), sys.ledger().export_state());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! inclusion proofs (used to audit pruned meta-blocks against their
 //! summary-block commitments).
 
+use crate::keccak::{keccak_f1600, KECCAK256_RATE};
 use crate::types::H256;
 use serde::{Deserialize, Serialize};
 
@@ -9,13 +10,57 @@ use serde::{Deserialize, Serialize};
 const LEAF_TAG: &[u8] = &[0x00];
 const NODE_TAG: &[u8] = &[0x01];
 
+/// Byte length of a node preimage: tag ‖ left ‖ right.
+const NODE_PREIMAGE_BYTES: usize = 1 + 32 + 32;
+
 /// Hashes a leaf payload.
 pub fn leaf_hash(data: &[u8]) -> H256 {
     H256::hash_concat(&[LEAF_TAG, data])
 }
 
+/// Reusable sponge block for node hashes. A node preimage (65 bytes) fits
+/// a single Keccak rate block, so the domain tag and the Keccak padding
+/// bytes are written once at construction and only the two child digests
+/// change between calls — a level's worth of `node_hash` invocations
+/// shares one preconfigured block instead of re-running the streaming
+/// hasher's buffer bookkeeping per node.
+struct NodeSponge {
+    block: [u8; KECCAK256_RATE],
+}
+
+impl NodeSponge {
+    fn new() -> NodeSponge {
+        let mut block = [0u8; KECCAK256_RATE];
+        block[0] = NODE_TAG[0];
+        // Keccak padding for a 65-byte message: 0x01 right after the
+        // payload, 0x80 in the last rate byte.
+        block[NODE_PREIMAGE_BYTES] = 0x01;
+        block[KECCAK256_RATE - 1] = 0x80;
+        NodeSponge { block }
+    }
+
+    fn hash(&mut self, l: &H256, r: &H256) -> H256 {
+        self.block[1..33].copy_from_slice(&l.0);
+        self.block[33..65].copy_from_slice(&r.0);
+        // Absorbing into the all-zero state is a plain load; one
+        // permutation finishes the (single-block) message.
+        let mut state = [0u64; 25];
+        for (i, lane) in state.iter_mut().take(KECCAK256_RATE / 8).enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&self.block[8 * i..8 * (i + 1)]);
+            *lane = u64::from_le_bytes(bytes);
+        }
+        keccak_f1600(&mut state);
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[8 * i..8 * (i + 1)].copy_from_slice(&state[i].to_le_bytes());
+        }
+        H256(out)
+    }
+}
+
 fn node_hash(l: &H256, r: &H256) -> H256 {
-    H256::hash_concat(&[NODE_TAG, &l.0, &r.0])
+    NodeSponge::new().hash(l, r)
 }
 
 /// A Merkle tree with all levels retained for proof generation.
@@ -52,13 +97,14 @@ impl MerkleTree {
         };
         let mut levels = Vec::with_capacity(depth + 1);
         levels.push(leaves);
+        let mut sponge = NodeSponge::new();
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
                 let l = &pair[0];
                 let r = pair.get(1).unwrap_or(l);
-                next.push(node_hash(l, r));
+                next.push(sponge.hash(l, r));
             }
             levels.push(next);
         }
@@ -191,6 +237,19 @@ mod tests {
         data[5] = b"tx-5-mutated".to_vec();
         let b = MerkleTree::from_items(&data).root();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn node_sponge_matches_streaming_hasher() {
+        // The preconfigured single-block sponge must produce exactly the
+        // digest the generic streaming hasher yields for tag ‖ l ‖ r.
+        let mut sponge = NodeSponge::new();
+        for i in 0..10u8 {
+            let l = H256::hash(&[i]);
+            let r = H256::hash(&[i, i]);
+            let expect = H256::hash_concat(&[NODE_TAG, &l.0, &r.0]);
+            assert_eq!(sponge.hash(&l, &r), expect, "node {i}");
+        }
     }
 
     #[test]

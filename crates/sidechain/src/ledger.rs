@@ -50,6 +50,29 @@ impl std::fmt::Display for BlockError {
 
 impl std::error::Error for BlockError {}
 
+/// The persistent state of a [`Ledger`], exported for snapshotting and
+/// re-imported on restore. Meta-blocks are keyed by epoch in sorted order
+/// so the same ledger always exports byte-identical state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LedgerState {
+    /// Unpruned meta-blocks, `(epoch, blocks)` ascending by epoch.
+    pub meta: Vec<(u64, Vec<MetaBlock>)>,
+    /// Permanent summary blocks, in epoch order.
+    pub summaries: Vec<SummaryBlock>,
+    /// Current tip id.
+    pub tip: H256,
+    /// Epoch the tip belongs to.
+    pub tip_epoch: u64,
+    /// Round of the tip meta-block (`None` right after a summary).
+    pub tip_round: Option<u64>,
+    /// Current (unpruned) size in bytes.
+    pub current_bytes: u64,
+    /// Peak size ever reached.
+    pub peak_bytes: u64,
+    /// Total bytes reclaimed by pruning.
+    pub pruned_bytes_total: u64,
+}
+
 /// The sidechain ledger.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Ledger {
@@ -111,6 +134,50 @@ impl Ledger {
     /// Unpruned meta-blocks of an epoch.
     pub fn meta_blocks(&self, epoch: u64) -> &[MetaBlock] {
         self.meta.get(&epoch).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Epochs that still hold unpruned meta-blocks, ascending.
+    pub fn meta_epochs(&self) -> Vec<u64> {
+        self.meta.keys().copied().collect()
+    }
+
+    /// `true` when `epoch` has a sealed summary block.
+    pub fn has_summary(&self, epoch: u64) -> bool {
+        self.summaries.iter().any(|s| s.epoch == epoch)
+    }
+
+    /// Epoch of the latest sealed summary (0 when none).
+    pub fn last_summary_epoch(&self) -> u64 {
+        self.summaries.last().map(|s| s.epoch).unwrap_or(0)
+    }
+
+    /// Exports the ledger's full state for snapshotting.
+    pub fn export_state(&self) -> LedgerState {
+        LedgerState {
+            meta: self.meta.iter().map(|(e, b)| (*e, b.clone())).collect(),
+            summaries: self.summaries.clone(),
+            tip: self.tip,
+            tip_epoch: self.tip_epoch,
+            tip_round: self.tip_round,
+            current_bytes: self.current_bytes,
+            peak_bytes: self.peak_bytes,
+            pruned_bytes_total: self.pruned_bytes_total,
+        }
+    }
+
+    /// Reconstructs a ledger from exported state. The restored ledger
+    /// accepts exactly the blocks the exported one would have.
+    pub fn from_state(state: LedgerState) -> Ledger {
+        Ledger {
+            meta: state.meta.into_iter().collect(),
+            summaries: state.summaries,
+            tip: state.tip,
+            tip_epoch: state.tip_epoch,
+            tip_round: state.tip_round,
+            current_bytes: state.current_bytes,
+            peak_bytes: state.peak_bytes,
+            pruned_bytes_total: state.pruned_bytes_total,
+        }
     }
 
     /// Validates a meta-block against the tip (the `VerifyBlock` predicate
@@ -359,6 +426,38 @@ mod tests {
         assert_eq!(l.pruned_bytes(), freed);
         // summaries survive pruning
         assert_eq!(l.summaries().len(), 1);
+    }
+
+    #[test]
+    fn export_restore_roundtrip() {
+        let mut l = ledger_with_epoch();
+        let s = summary_for(&l, 1);
+        l.append_summary(s).unwrap();
+        let state = l.export_state();
+        assert_eq!(state, l.export_state(), "export is deterministic");
+        let mut restored = Ledger::from_state(state);
+        assert_eq!(restored.tip(), l.tip());
+        assert_eq!(restored.size_bytes(), l.size_bytes());
+        assert_eq!(restored.meta_epochs(), l.meta_epochs());
+        // both ledgers accept the same continuation
+        let next = MetaBlock::new(2, 0, l.tip(), vec![tx(5)]);
+        l.append_meta(next.clone()).unwrap();
+        restored.append_meta(next).unwrap();
+        assert_eq!(restored.export_state(), l.export_state());
+    }
+
+    #[test]
+    fn summary_bookkeeping_accessors() {
+        let mut l = ledger_with_epoch();
+        assert!(!l.has_summary(1));
+        assert_eq!(l.last_summary_epoch(), 0);
+        let s = summary_for(&l, 1);
+        l.append_summary(s).unwrap();
+        assert!(l.has_summary(1));
+        assert_eq!(l.last_summary_epoch(), 1);
+        assert_eq!(l.meta_epochs(), vec![1]);
+        l.prune_epoch(1).unwrap();
+        assert!(l.meta_epochs().is_empty());
     }
 
     #[test]

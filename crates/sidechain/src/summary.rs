@@ -191,6 +191,23 @@ impl Deposits {
         Ok(())
     }
 
+    /// The ledger's entries sorted by address — the deterministic export
+    /// used by the snapshot codec. Restore with
+    /// [`Deposits::from_sorted_entries`].
+    pub fn to_sorted_entries(&self) -> Vec<(Address, (u128, u128))> {
+        let mut out: Vec<(Address, (u128, u128))> =
+            self.balances.iter().map(|(a, b)| (*a, *b)).collect();
+        out.sort_by_key(|(a, _)| *a);
+        out
+    }
+
+    /// Rebuilds a ledger from exported entries.
+    pub fn from_sorted_entries(entries: Vec<(Address, (u128, u128))>) -> Deposits {
+        Deposits {
+            balances: entries.into_iter().collect(),
+        }
+    }
+
     /// Emits the payout list: every user's final balance, sorted by
     /// address for determinism. This is Fig. 4's `sumPayouts = Deposits`.
     /// Zero-balance entries are retained — their inclusion clears the
@@ -287,6 +304,19 @@ mod tests {
         let p = d.to_payouts();
         assert_eq!(p.len(), 3);
         assert!(p.windows(2).all(|w| w[0].user < w[1].user));
+    }
+
+    #[test]
+    fn sorted_entries_roundtrip() {
+        let mut d = Deposits::new();
+        d.credit(a(5), 50, 5).unwrap();
+        d.credit(a(1), 10, 1).unwrap();
+        d.credit(a(3), 30, 3).unwrap();
+        let entries = d.to_sorted_entries();
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let restored = Deposits::from_sorted_entries(entries.clone());
+        assert_eq!(restored, d);
+        assert_eq!(restored.to_sorted_entries(), entries);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! # ammboost-state
+//!
+//! The state snapshot, pruning and fast-sync subsystem — what turns the
+//! sidechain's epoch summaries into actual state-size reduction (paper
+//! §IV-B/C: committed state, not history, is the unit of persistence).
+//!
+//! - [`codec`] — a deterministic, versioned, hand-rolled binary codec
+//!   ([`Encode`]/[`Decode`] over [`ByteWriter`]/[`ByteReader`]) extending
+//!   the sidechain's field-packing style; exhaustive error handling, no
+//!   serde dependency.
+//! - [`records`] — codec implementations for every snapshot record type
+//!   (pool state, positions, ticks, blocks, ledger, deposits).
+//! - [`snapshot`] — Merkle-committed [`Snapshot`]s whose root is a single
+//!   32-byte commitment to the full system state; tamper-evident wire
+//!   encoding.
+//! - [`checkpoint`] — incremental checkpointing with dirty-pool tracking:
+//!   per-epoch snapshots re-encode only touched pools.
+//! - [`prune`] — snapshot-aware retention pruning of raw meta-block
+//!   history, reporting reclaimed bytes.
+//! - [`sync`] — fast-sync restore: snapshot → working pools (derived tick
+//!   indexes regenerated, never serialized) + ledger + deposits.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod prune;
+pub mod records;
+pub mod snapshot;
+pub mod sync;
+
+pub use checkpoint::{CheckpointStats, Checkpointer};
+pub use codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+pub use prune::{prune_to_snapshot, PruneReport, RetentionPolicy};
+pub use snapshot::{Section, SectionKind, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use sync::{restore, restore_from_bytes, RestoreError, RestoredState};

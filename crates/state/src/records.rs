@@ -1,0 +1,552 @@
+//! [`Encode`]/[`Decode`] implementations for every snapshot record type:
+//! the crypto value types, the AMM pool state, the transaction vocabulary
+//! (delegating to the sidechain wire format of `AmmTx::encode_into` so a
+//! decoded transaction re-hashes to the same `tx_id`), and the sidechain
+//! blocks and ledger.
+
+use crate::codec::{ensure_sorted_keys, ByteReader, ByteWriter, CodecError, Decode, Encode};
+use ammboost_amm::pool::{PoolState, Position, TickInfo};
+use ammboost_amm::tx::{AmmTx, BurnTx, CollectTx, MintTx, SwapIntent, SwapTx};
+use ammboost_amm::types::{PoolId, PositionId};
+use ammboost_crypto::{Address, H256, U256};
+use ammboost_sidechain::block::{ExecutedTx, MetaBlock, SummaryBlock, TxEffect};
+use ammboost_sidechain::ledger::LedgerState;
+use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
+
+// ---- crypto value types ----------------------------------------------------
+
+impl Encode for H256 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(&self.0);
+    }
+}
+
+impl Decode for H256 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut out = [0u8; 32];
+        out.copy_from_slice(r.take(32)?);
+        Ok(H256(out))
+    }
+}
+
+impl Encode for Address {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(&self.0);
+    }
+}
+
+impl Decode for Address {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut out = [0u8; 20];
+        out.copy_from_slice(r.take(20)?);
+        Ok(Address(out))
+    }
+}
+
+impl Encode for U256 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bytes(&self.to_be_bytes());
+    }
+}
+
+impl Decode for U256 {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut out = [0u8; 32];
+        out.copy_from_slice(r.take(32)?);
+        Ok(U256::from_be_bytes(out))
+    }
+}
+
+impl Encode for PoolId {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for PoolId {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PoolId(r.take_u32()?))
+    }
+}
+
+impl Encode for PositionId {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+    }
+}
+
+impl Decode for PositionId {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PositionId(H256::decode(r)?))
+    }
+}
+
+// ---- AMM pool state --------------------------------------------------------
+
+impl Encode for TickInfo {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u128(self.liquidity_gross);
+        w.put_i128(self.liquidity_net);
+        self.fee_growth_outside0.encode(w);
+        self.fee_growth_outside1.encode(w);
+    }
+}
+
+impl Decode for TickInfo {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(TickInfo {
+            liquidity_gross: r.take_u128()?,
+            liquidity_net: r.take_i128()?,
+            fee_growth_outside0: r.get()?,
+            fee_growth_outside1: r.get()?,
+        })
+    }
+}
+
+impl Encode for Position {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.owner.encode(w);
+        w.put_i32(self.tick_lower);
+        w.put_i32(self.tick_upper);
+        w.put_u128(self.liquidity);
+        self.fee_growth_inside0_last.encode(w);
+        self.fee_growth_inside1_last.encode(w);
+        w.put_u128(self.tokens_owed0);
+        w.put_u128(self.tokens_owed1);
+    }
+}
+
+impl Decode for Position {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Position {
+            owner: r.get()?,
+            tick_lower: r.take_i32()?,
+            tick_upper: r.take_i32()?,
+            liquidity: r.take_u128()?,
+            fee_growth_inside0_last: r.get()?,
+            fee_growth_inside1_last: r.get()?,
+            tokens_owed0: r.take_u128()?,
+            tokens_owed1: r.take_u128()?,
+        })
+    }
+}
+
+impl Encode for PoolState {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.fee_pips);
+        w.put_i32(self.tick_spacing);
+        self.sqrt_price.encode(w);
+        w.put_i32(self.tick);
+        w.put_u128(self.liquidity);
+        self.fee_growth_global0.encode(w);
+        self.fee_growth_global1.encode(w);
+        w.put_u128(self.balance0);
+        w.put_u128(self.balance1);
+        self.ticks.encode(w);
+        self.positions.encode(w);
+    }
+}
+
+impl Decode for PoolState {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let state = PoolState {
+            fee_pips: r.take_u32()?,
+            tick_spacing: r.take_i32()?,
+            sqrt_price: r.get()?,
+            tick: r.take_i32()?,
+            liquidity: r.take_u128()?,
+            fee_growth_global0: r.get()?,
+            fee_growth_global1: r.get()?,
+            balance0: r.take_u128()?,
+            balance1: r.take_u128()?,
+            ticks: r.get()?,
+            positions: r.get()?,
+        };
+        ensure_sorted_keys(&state.ticks)?;
+        ensure_sorted_keys(&state.positions)?;
+        Ok(state)
+    }
+}
+
+// ---- transactions (sidechain wire format) ----------------------------------
+
+/// `AmmTx` reuses the sidechain wire format (`AmmTx::encode_into`), so a
+/// decoded transaction re-encodes — and therefore re-hashes to a
+/// `tx_id` — byte-identically.
+impl Encode for AmmTx {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_with(|buf| self.encode_into(buf));
+    }
+}
+
+impl Decode for AmmTx {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let kind = r.take_u8()?;
+        let user: Address = r.get()?;
+        let pool: PoolId = r.get()?;
+        match kind {
+            0 => {
+                let zero_for_one = r.take_bool()?;
+                let intent = match r.take_u8()? {
+                    0 => SwapIntent::ExactInput {
+                        amount_in: r.take_u128()?,
+                        min_amount_out: r.take_u128()?,
+                    },
+                    1 => SwapIntent::ExactOutput {
+                        amount_out: r.take_u128()?,
+                        max_amount_in: r.take_u128()?,
+                    },
+                    tag => {
+                        return Err(CodecError::InvalidTag {
+                            what: "SwapIntent",
+                            tag,
+                        })
+                    }
+                };
+                let sqrt_price_limit: Option<U256> = r.get()?;
+                let deadline_round = r.take_u64()?;
+                Ok(AmmTx::Swap(SwapTx {
+                    user,
+                    pool,
+                    zero_for_one,
+                    intent,
+                    sqrt_price_limit,
+                    deadline_round,
+                }))
+            }
+            1 => Ok(AmmTx::Mint(MintTx {
+                user,
+                pool,
+                position: r.get()?,
+                tick_lower: r.take_i32()?,
+                tick_upper: r.take_i32()?,
+                amount0_desired: r.take_u128()?,
+                amount1_desired: r.take_u128()?,
+                nonce: r.take_u64()?,
+            })),
+            2 => Ok(AmmTx::Burn(BurnTx {
+                user,
+                pool,
+                position: r.get()?,
+                liquidity: r.get()?,
+            })),
+            3 => Ok(AmmTx::Collect(CollectTx {
+                user,
+                pool,
+                position: r.get()?,
+                amount0: r.take_u128()?,
+                amount1: r.take_u128()?,
+            })),
+            tag => Err(CodecError::InvalidTag { what: "AmmTx", tag }),
+        }
+    }
+}
+
+impl Encode for TxEffect {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            TxEffect::Swap {
+                amount_in,
+                amount_out,
+                zero_for_one,
+            } => {
+                w.put_u8(0);
+                w.put_u128(*amount_in);
+                w.put_u128(*amount_out);
+                w.put_bool(*zero_for_one);
+            }
+            TxEffect::Mint {
+                position,
+                liquidity,
+                amount0,
+                amount1,
+                created,
+            } => {
+                w.put_u8(1);
+                position.encode(w);
+                w.put_u128(*liquidity);
+                w.put_u128(*amount0);
+                w.put_u128(*amount1);
+                w.put_bool(*created);
+            }
+            TxEffect::Burn {
+                position,
+                liquidity,
+                amount0,
+                amount1,
+                deleted,
+            } => {
+                w.put_u8(2);
+                position.encode(w);
+                w.put_u128(*liquidity);
+                w.put_u128(*amount0);
+                w.put_u128(*amount1);
+                w.put_bool(*deleted);
+            }
+            TxEffect::Collect {
+                position,
+                amount0,
+                amount1,
+            } => {
+                w.put_u8(3);
+                position.encode(w);
+                w.put_u128(*amount0);
+                w.put_u128(*amount1);
+            }
+            TxEffect::Rejected { reason } => {
+                w.put_u8(4);
+                reason.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for TxEffect {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            0 => Ok(TxEffect::Swap {
+                amount_in: r.take_u128()?,
+                amount_out: r.take_u128()?,
+                zero_for_one: r.take_bool()?,
+            }),
+            1 => Ok(TxEffect::Mint {
+                position: r.get()?,
+                liquidity: r.take_u128()?,
+                amount0: r.take_u128()?,
+                amount1: r.take_u128()?,
+                created: r.take_bool()?,
+            }),
+            2 => Ok(TxEffect::Burn {
+                position: r.get()?,
+                liquidity: r.take_u128()?,
+                amount0: r.take_u128()?,
+                amount1: r.take_u128()?,
+                deleted: r.take_bool()?,
+            }),
+            3 => Ok(TxEffect::Collect {
+                position: r.get()?,
+                amount0: r.take_u128()?,
+                amount1: r.take_u128()?,
+            }),
+            4 => Ok(TxEffect::Rejected { reason: r.get()? }),
+            tag => Err(CodecError::InvalidTag {
+                what: "TxEffect",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Encode for ExecutedTx {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.tx.encode(w);
+        w.put_u64(self.wire_size as u64);
+        self.effect.encode(w);
+    }
+}
+
+impl Decode for ExecutedTx {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(ExecutedTx {
+            tx: r.get()?,
+            wire_size: r.take_u64()? as usize,
+            effect: r.get()?,
+        })
+    }
+}
+
+// ---- sidechain blocks, summary entries, ledger -----------------------------
+
+impl Encode for MetaBlock {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.epoch);
+        w.put_u64(self.round);
+        self.parent.encode(w);
+        self.txs.encode(w);
+        self.tx_root.encode(w);
+    }
+}
+
+impl Decode for MetaBlock {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(MetaBlock {
+            epoch: r.take_u64()?,
+            round: r.take_u64()?,
+            parent: r.get()?,
+            txs: r.get()?,
+            tx_root: r.get()?,
+        })
+    }
+}
+
+impl Encode for PayoutEntry {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.user.encode(w);
+        w.put_u128(self.amount0);
+        w.put_u128(self.amount1);
+    }
+}
+
+impl Decode for PayoutEntry {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PayoutEntry {
+            user: r.get()?,
+            amount0: r.take_u128()?,
+            amount1: r.take_u128()?,
+        })
+    }
+}
+
+impl Encode for PositionEntry {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.id.encode(w);
+        self.owner.encode(w);
+        w.put_u128(self.liquidity);
+        w.put_u128(self.amount0);
+        w.put_u128(self.amount1);
+        w.put_u128(self.fees0);
+        w.put_u128(self.fees1);
+        w.put_u128(self.fee_growth_inside0);
+        w.put_u128(self.fee_growth_inside1);
+        w.put_i32(self.tick_lower);
+        w.put_i32(self.tick_upper);
+        w.put_bool(self.deleted);
+    }
+}
+
+impl Decode for PositionEntry {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PositionEntry {
+            id: r.get()?,
+            owner: r.get()?,
+            liquidity: r.take_u128()?,
+            amount0: r.take_u128()?,
+            amount1: r.take_u128()?,
+            fees0: r.take_u128()?,
+            fees1: r.take_u128()?,
+            fee_growth_inside0: r.take_u128()?,
+            fee_growth_inside1: r.take_u128()?,
+            tick_lower: r.take_i32()?,
+            tick_upper: r.take_i32()?,
+            deleted: r.take_bool()?,
+        })
+    }
+}
+
+impl Encode for PoolUpdate {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.pool.encode(w);
+        w.put_u128(self.reserve0);
+        w.put_u128(self.reserve1);
+    }
+}
+
+impl Decode for PoolUpdate {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(PoolUpdate {
+            pool: r.get()?,
+            reserve0: r.take_u128()?,
+            reserve1: r.take_u128()?,
+        })
+    }
+}
+
+impl Encode for SummaryBlock {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.epoch);
+        self.parent.encode(w);
+        self.meta_refs.encode(w);
+        self.payouts.encode(w);
+        self.positions.encode(w);
+        self.pool.encode(w);
+    }
+}
+
+impl Decode for SummaryBlock {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(SummaryBlock {
+            epoch: r.take_u64()?,
+            parent: r.get()?,
+            meta_refs: r.get()?,
+            payouts: r.get()?,
+            positions: r.get()?,
+            pool: r.get()?,
+        })
+    }
+}
+
+impl Encode for LedgerState {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.meta.encode(w);
+        self.summaries.encode(w);
+        self.tip.encode(w);
+        w.put_u64(self.tip_epoch);
+        self.tip_round.encode(w);
+        w.put_u64(self.current_bytes);
+        w.put_u64(self.peak_bytes);
+        w.put_u64(self.pruned_bytes_total);
+    }
+}
+
+impl Decode for LedgerState {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let state = LedgerState {
+            meta: r.get()?,
+            summaries: r.get()?,
+            tip: r.get()?,
+            tip_epoch: r.take_u64()?,
+            tip_round: r.get()?,
+            current_bytes: r.take_u64()?,
+            peak_bytes: r.take_u64()?,
+            pruned_bytes_total: r.take_u64()?,
+        };
+        ensure_sorted_keys(&state.meta)?;
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amm_tx_decode_inverts_wire_format() {
+        let tx = AmmTx::Swap(SwapTx {
+            user: Address::from_index(3),
+            pool: PoolId(0),
+            zero_for_one: false,
+            intent: SwapIntent::ExactOutput {
+                amount_out: u128::MAX,
+                max_amount_in: 12345,
+            },
+            sqrt_price_limit: Some(U256::pow2(97)),
+            deadline_round: 99,
+        });
+        let bytes = tx.encode_to_vec();
+        // identical to the sidechain wire format
+        let mut wire = Vec::new();
+        tx.encode_into(&mut wire);
+        assert_eq!(bytes, wire);
+        let back = AmmTx::decode_all(&bytes).unwrap();
+        assert_eq!(back, tx);
+        assert_eq!(back.tx_id(), tx.tx_id(), "tx id survives the roundtrip");
+    }
+
+    #[test]
+    fn unsorted_pool_state_rejected() {
+        let mut pool = ammboost_amm::pool::Pool::new_standard();
+        pool.mint(
+            PositionId::derive(&[b"r"]),
+            Address::from_index(1),
+            -600,
+            600,
+            1_000_000,
+            1_000_000,
+        )
+        .unwrap();
+        let mut state = pool.export_state();
+        state.ticks.reverse();
+        let bytes = state.encode_to_vec();
+        assert_eq!(PoolState::decode_all(&bytes), Err(CodecError::UnsortedKeys));
+    }
+}

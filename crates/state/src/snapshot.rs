@@ -1,0 +1,286 @@
+//! Merkle-committed state snapshots.
+//!
+//! A [`Snapshot`] is a versioned container of independently encoded
+//! [`Section`]s (one per pool, one for the ledger, one for the deposit
+//! map, plus caller-defined auxiliary sections). Each section is
+//! domain-hashed and the snapshot's [`Snapshot::root`] is the Keccak
+//! Merkle root over a header leaf and the section hashes — a single
+//! 32-byte commitment to the entire system state. The wire encoding
+//! embeds the root, and [`Snapshot::decode`] recomputes and checks it, so
+//! a corrupt or tampered snapshot fails loud instead of restoring wrong
+//! state.
+
+use crate::codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+use ammboost_crypto::merkle::MerkleTree;
+use ammboost_crypto::H256;
+
+/// Snapshot file magic.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ABSS";
+
+/// Current snapshot format version. Decoders reject anything newer.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// What a section holds. The ordering (pools ascending, then ledger,
+/// deposits, aux by tag) is the canonical section order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SectionKind {
+    /// One pool's persistent state, keyed by pool id.
+    Pool(u32),
+    /// The sidechain ledger.
+    Ledger,
+    /// The deposit map.
+    Deposits,
+    /// A caller-defined section (e.g. processor bookkeeping), keyed by a
+    /// small tag.
+    Aux(u8),
+}
+
+impl Encode for SectionKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            SectionKind::Pool(id) => {
+                w.put_u8(0);
+                w.put_u32(*id);
+            }
+            SectionKind::Ledger => w.put_u8(1),
+            SectionKind::Deposits => w.put_u8(2),
+            SectionKind::Aux(tag) => {
+                w.put_u8(3);
+                w.put_u8(*tag);
+            }
+        }
+    }
+}
+
+impl Decode for SectionKind {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.take_u8()? {
+            0 => Ok(SectionKind::Pool(r.take_u32()?)),
+            1 => Ok(SectionKind::Ledger),
+            2 => Ok(SectionKind::Deposits),
+            3 => Ok(SectionKind::Aux(r.take_u8()?)),
+            tag => Err(CodecError::InvalidTag {
+                what: "SectionKind",
+                tag,
+            }),
+        }
+    }
+}
+
+/// One independently encoded, independently hashed unit of state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// What the bytes hold.
+    pub kind: SectionKind,
+    /// The section's canonical encoding.
+    pub bytes: Vec<u8>,
+}
+
+impl Section {
+    /// Domain-separated hash committing to both kind and content.
+    pub fn hash(&self) -> H256 {
+        H256::hash_concat(&[
+            b"ammboost-snapshot-section",
+            &self.kind.encode_to_vec(),
+            &self.bytes,
+        ])
+    }
+}
+
+impl Encode for Section {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.kind.encode(w);
+        w.put_len(self.bytes.len());
+        w.put_bytes(&self.bytes);
+    }
+}
+
+impl Decode for Section {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let kind = SectionKind::decode(r)?;
+        let len = r.take_len()?;
+        let bytes = r.take(len)?.to_vec();
+        Ok(Section { kind, bytes })
+    }
+}
+
+/// A full-state checkpoint at an epoch boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The epoch the snapshot was taken at (state *after* this epoch's
+    /// summary was sealed).
+    pub epoch: u64,
+    /// The state sections, in canonical order.
+    pub sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// The 32-byte state commitment: the Merkle root over a header leaf
+    /// (version + epoch) and every section hash.
+    pub fn root(&self) -> H256 {
+        let mut leaves = Vec::with_capacity(self.sections.len() + 1);
+        leaves.push(H256::hash_concat(&[
+            b"ammboost-snapshot-header",
+            &SNAPSHOT_VERSION.to_be_bytes(),
+            &self.epoch.to_be_bytes(),
+        ]));
+        leaves.extend(self.sections.iter().map(Section::hash));
+        MerkleTree::from_leaves(leaves).root()
+    }
+
+    /// Finds a section by kind.
+    pub fn section(&self, kind: SectionKind) -> Option<&Section> {
+        self.sections.iter().find(|s| s.kind == kind)
+    }
+
+    /// All pool sections, `(pool id, bytes)`, in canonical order.
+    pub fn pool_sections(&self) -> impl Iterator<Item = (u32, &Section)> {
+        self.sections.iter().filter_map(|s| match s.kind {
+            SectionKind::Pool(id) => Some((id, s)),
+            _ => None,
+        })
+    }
+
+    /// Total payload bytes across sections (the dominant part of the
+    /// on-disk size).
+    pub fn payload_bytes(&self) -> u64 {
+        self.sections.iter().map(|s| s.bytes.len() as u64).sum()
+    }
+
+    /// Exact size of [`Snapshot::encode`]'s output, computed without
+    /// serializing (and without the Merkle build `encode` performs for
+    /// the embedded root).
+    pub fn encoded_len(&self) -> usize {
+        let sections: usize = self
+            .sections
+            .iter()
+            .map(|s| s.kind.encode_to_vec().len() + 4 + s.bytes.len())
+            .sum();
+        // magic + version + epoch + root + section count + sections
+        4 + 2 + 8 + 32 + 4 + sections
+    }
+
+    /// Serializes the snapshot: magic, version, epoch, root, sections.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(self.payload_bytes() as usize + 64);
+        w.put_bytes(&SNAPSHOT_MAGIC);
+        w.put_u16(SNAPSHOT_VERSION);
+        w.put_u64(self.epoch);
+        self.root().encode(&mut w);
+        self.sections.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Deserializes and *verifies* a snapshot: magic, version, and the
+    /// embedded state root against a recomputation over the decoded
+    /// sections.
+    ///
+    /// # Errors
+    /// Any [`CodecError`]; notably [`CodecError::RootMismatch`] when the
+    /// content does not hash to the declared root.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(r.take(4)?);
+        if magic != SNAPSHOT_MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        let version = r.take_u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let epoch = r.take_u64()?;
+        let declared_root: H256 = r.get()?;
+        let sections: Vec<Section> = r.get()?;
+        r.finish()?;
+        let snapshot = Snapshot { epoch, sections };
+        if snapshot.root() != declared_root {
+            return Err(CodecError::RootMismatch);
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            epoch: 7,
+            sections: vec![
+                Section {
+                    kind: SectionKind::Pool(0),
+                    bytes: vec![1, 2, 3],
+                },
+                Section {
+                    kind: SectionKind::Ledger,
+                    bytes: vec![4, 5],
+                },
+                Section {
+                    kind: SectionKind::Aux(9),
+                    bytes: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        let bytes = snap.encode();
+        assert_eq!(Snapshot::decode(&bytes).unwrap(), snap);
+        assert_eq!(snap.encoded_len(), bytes.len(), "size formula exact");
+    }
+
+    #[test]
+    fn root_commits_to_every_field() {
+        let base = sample();
+        let mut diff_epoch = base.clone();
+        diff_epoch.epoch += 1;
+        assert_ne!(base.root(), diff_epoch.root());
+        let mut diff_bytes = base.clone();
+        diff_bytes.sections[0].bytes[0] ^= 1;
+        assert_ne!(base.root(), diff_bytes.root());
+        let mut diff_kind = base.clone();
+        diff_kind.sections[0].kind = SectionKind::Pool(1);
+        assert_ne!(base.root(), diff_kind.root());
+    }
+
+    #[test]
+    fn tampering_detected_on_decode() {
+        let mut bytes = sample().encode();
+        // flip a payload byte deep in the section area
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CodecError::RootMismatch) | Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CodecError::BadMagic(_))
+        ));
+        let mut bytes = sample().encode();
+        bytes[5] = 99;
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CodecError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn section_lookup() {
+        let snap = sample();
+        assert!(snap.section(SectionKind::Ledger).is_some());
+        assert!(snap.section(SectionKind::Deposits).is_none());
+        assert_eq!(snap.pool_sections().count(), 1);
+        assert_eq!(snap.payload_bytes(), 5);
+    }
+}

@@ -1,0 +1,185 @@
+//! Fast-sync: rebuilding a live node from a snapshot.
+//!
+//! [`restore`] decodes a verified [`Snapshot`] back into working state:
+//! every pool is reconstructed through [`Pool::from_state`] — which
+//! regenerates the derived acceleration structures (`tick_bitmap`,
+//! `tick_cache`, swap scratch buffers) via `Pool::rebuild_tick_index`
+//! instead of shipping them — plus the ledger and the deposit map. The
+//! caller then catches up by applying the blocks sealed after the
+//! snapshot epoch; the result is byte-identical to a node that replayed
+//! full history.
+
+use crate::codec::{CodecError, Decode};
+use crate::snapshot::{SectionKind, Snapshot};
+use ammboost_amm::error::AmmError;
+use ammboost_amm::pool::{Pool, PoolState};
+use ammboost_amm::types::PoolId;
+use ammboost_crypto::Address;
+use ammboost_crypto::H256;
+use ammboost_sidechain::ledger::{Ledger, LedgerState};
+use ammboost_sidechain::summary::Deposits;
+use std::fmt;
+
+/// Why a restore failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// A section failed to decode.
+    Codec(CodecError),
+    /// A required section is missing from the snapshot.
+    MissingSection(&'static str),
+    /// A decoded pool state failed the AMM engine's validation.
+    InvalidPool(AmmError),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Codec(e) => write!(f, "snapshot decode failed: {e}"),
+            RestoreError::MissingSection(s) => write!(f, "snapshot missing section: {s}"),
+            RestoreError::InvalidPool(e) => write!(f, "restored pool state invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<CodecError> for RestoreError {
+    fn from(e: CodecError) -> Self {
+        RestoreError::Codec(e)
+    }
+}
+
+impl From<AmmError> for RestoreError {
+    fn from(e: AmmError) -> Self {
+        RestoreError::InvalidPool(e)
+    }
+}
+
+/// A node state rebuilt from a snapshot, ready to catch up.
+#[derive(Debug)]
+pub struct RestoredState {
+    /// The epoch the snapshot covered.
+    pub epoch: u64,
+    /// Restored pools with regenerated tick indexes, ascending by id.
+    pub pools: Vec<(PoolId, Pool)>,
+    /// The restored ledger (tip, summaries, unpruned meta-blocks).
+    pub ledger: Ledger,
+    /// The restored deposit map.
+    pub deposits: Deposits,
+    /// The snapshot's state root, re-derived from the restored content.
+    pub root: H256,
+}
+
+/// Rebuilds working node state from a snapshot.
+///
+/// # Errors
+/// Fails when a required section is missing, malformed, or carries pool
+/// state the AMM engine rejects.
+pub fn restore(snapshot: &Snapshot) -> Result<RestoredState, RestoreError> {
+    let mut pools = Vec::new();
+    for (id, section) in snapshot.pool_sections() {
+        let state = PoolState::decode_all(&section.bytes)?;
+        pools.push((PoolId(id), Pool::from_state(state)?));
+    }
+
+    let ledger_section = snapshot
+        .section(SectionKind::Ledger)
+        .ok_or(RestoreError::MissingSection("ledger"))?;
+    let ledger = Ledger::from_state(LedgerState::decode_all(&ledger_section.bytes)?);
+
+    let deposits_section = snapshot
+        .section(SectionKind::Deposits)
+        .ok_or(RestoreError::MissingSection("deposits"))?;
+    let entries = Vec::<(Address, (u128, u128))>::decode_all(&deposits_section.bytes)?;
+    crate::codec::ensure_sorted_keys(&entries)?;
+    let deposits = Deposits::from_sorted_entries(entries);
+
+    Ok(RestoredState {
+        epoch: snapshot.epoch,
+        pools,
+        ledger,
+        deposits,
+        root: snapshot.root(),
+    })
+}
+
+/// Convenience: decodes the serialized form (verifying magic, version and
+/// state root) and restores in one step.
+///
+/// # Errors
+/// Propagates decode/verification and restore failures.
+pub fn restore_from_bytes(bytes: &[u8]) -> Result<RestoredState, RestoreError> {
+    let snapshot = Snapshot::decode(bytes)?;
+    restore(&snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Checkpointer;
+    use ammboost_amm::pool::SwapKind;
+    use ammboost_amm::types::PositionId;
+
+    fn traded_pool() -> Pool {
+        let mut p = Pool::new_standard();
+        p.mint(
+            PositionId::derive(&[b"sync"]),
+            Address::from_index(1),
+            -1200,
+            1200,
+            50_000_000,
+            50_000_000,
+        )
+        .unwrap();
+        p.swap(true, SwapKind::ExactInput(5_000_000), None).unwrap();
+        p
+    }
+
+    fn node_snapshot(pool: &Pool) -> Snapshot {
+        let ledger = Ledger::new(H256::hash(b"genesis"));
+        let mut deposits = Deposits::new();
+        deposits.credit(Address::from_index(1), 100, 200).unwrap();
+        let (snapshot, _) =
+            Checkpointer::new().checkpoint(3, &[(PoolId(0), pool)], &ledger, &deposits, vec![]);
+        snapshot
+    }
+
+    #[test]
+    fn restore_roundtrips_through_serialized_form() {
+        let mut pool = traded_pool();
+        let snapshot = node_snapshot(&pool);
+        let mut restored = restore_from_bytes(&snapshot.encode()).unwrap();
+        assert_eq!(restored.epoch, 3);
+        assert_eq!(restored.root, snapshot.root());
+        assert_eq!(restored.deposits.get(&Address::from_index(1)), (100, 200));
+        let (_, rpool) = &mut restored.pools[0];
+        // derived structures regenerated, behaviour bit-identical
+        assert_eq!(rpool.tick_bitmap(), pool.tick_bitmap());
+        let a = pool.swap(false, SwapKind::ExactInput(777_777), None);
+        let b = rpool.swap(false, SwapKind::ExactInput(777_777), None);
+        assert_eq!(a, b);
+        assert_eq!(rpool.export_state(), pool.export_state());
+    }
+
+    #[test]
+    fn missing_sections_reported() {
+        let pool = traded_pool();
+        let mut snapshot = node_snapshot(&pool);
+        snapshot.sections.retain(|s| s.kind != SectionKind::Ledger);
+        assert!(matches!(
+            restore(&snapshot),
+            Err(RestoreError::MissingSection("ledger"))
+        ));
+    }
+
+    #[test]
+    fn corrupt_pool_section_fails_closed() {
+        let pool = traded_pool();
+        let mut snapshot = node_snapshot(&pool);
+        snapshot.sections[0].bytes.truncate(10);
+        assert!(matches!(
+            restore(&snapshot),
+            Err(RestoreError::Codec(CodecError::UnexpectedEof { .. }))
+        ));
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`amm`] | `ammboost-amm` | the concentrated-liquidity AMM engine |
 //! | [`mainchain`] | `ammboost-mainchain` | simulated L1, gas schedule, TokenBank, baseline |
 //! | [`sidechain`] | `ammboost-sidechain` | meta/summary blocks, summary rules, pruning |
+//! | [`state`] | `ammboost-state` | snapshot codec, Merkle checkpoints, retention pruning, fast-sync |
 //! | [`consensus`] | `ammboost-consensus` | PBFT, sortition election, latency model |
 //! | [`core`] | `ammboost-core` | the ammBoost system + baseline runners |
 //! | [`workload`] | `ammboost-workload` | Uniswap-2023-calibrated traffic |
@@ -34,4 +35,5 @@ pub use ammboost_mainchain as mainchain;
 pub use ammboost_rollup as rollup;
 pub use ammboost_sidechain as sidechain;
 pub use ammboost_sim as sim;
+pub use ammboost_state as state;
 pub use ammboost_workload as workload;

@@ -1,0 +1,221 @@
+//! Fast-sync differential — the snapshot subsystem's acceptance test:
+//! a node restored from a mid-run snapshot and caught up from a peer's
+//! retained blocks must be **byte-identical** to the peer that replayed
+//! full history — same processor state, same ledger state, same Merkle
+//! state root — and must execute subsequent traffic identically.
+
+use ammboost::amm::types::PoolId;
+use ammboost::core::checkpoint::{catch_up, checkpoint_node, restore_node};
+use ammboost::core::processor::EpochProcessor;
+use ammboost::crypto::Address;
+use ammboost::crypto::H256;
+use ammboost::sidechain::block::{MetaBlock, SummaryBlock, TxEffect};
+use ammboost::sidechain::ledger::Ledger;
+use ammboost::sim::time::SimDuration;
+use ammboost::state::{Checkpointer, Snapshot};
+use ammboost::workload::{GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficMix};
+use std::collections::HashMap;
+
+const ROUNDS_PER_EPOCH: u64 = 5;
+
+/// A standalone sidechain node fed by the Uniswap-2023-calibrated traffic
+/// generator: executes rounds into meta-blocks, seals epochs with
+/// summaries — the restart-and-catch-up scenario harness.
+struct Node {
+    processor: EpochProcessor,
+    ledger: Ledger,
+    generator: TrafficGenerator,
+}
+
+impl Node {
+    fn new(seed: u64) -> Node {
+        let mut processor = EpochProcessor::new(PoolId(0));
+        processor.seed_liquidity(
+            Address::from_pubkey_bytes(b"drill-genesis-lp"),
+            -120_000,
+            120_000,
+            4_000_000_000_000_000,
+            4_000_000_000_000_000,
+        );
+        let generator = TrafficGenerator::new(GeneratorConfig {
+            daily_volume: 200_000,
+            mix: TrafficMix::uniswap_2023(),
+            users: 8,
+            round_duration: SimDuration::from_secs(7),
+            pool: PoolId(0),
+            deadline_slack_rounds: 1_000_000,
+            max_positions_per_user: 1,
+            liquidity_style: LiquidityStyle::default(),
+            seed,
+        });
+        let mut deposits = HashMap::new();
+        for user in generator.users() {
+            deposits.insert(user, (2_000_000_000_000u128, 2_000_000_000_000u128));
+        }
+        processor.begin_epoch(deposits);
+        Node {
+            processor,
+            ledger: Ledger::new(H256::hash(b"fast-sync-genesis")),
+            generator,
+        }
+    }
+
+    fn run_epoch(&mut self, epoch: u64) {
+        if epoch > 1 {
+            self.processor.carry_over_epoch();
+        }
+        for round in 0..ROUNDS_PER_EPOCH {
+            let global = (epoch - 1) * ROUNDS_PER_EPOCH + round;
+            let mut txs = Vec::new();
+            for gtx in self.generator.next_round(global) {
+                let out = self.processor.execute(&gtx.tx, gtx.wire_size, global);
+                if let TxEffect::Burn {
+                    position, deleted, ..
+                } = &out.effect
+                {
+                    if *deleted {
+                        self.generator.forget_position(*position);
+                    }
+                }
+                txs.push(out);
+            }
+            let block = MetaBlock::new(epoch, round, self.ledger.tip(), txs);
+            self.ledger
+                .append_meta(block)
+                .expect("locally mined block chains");
+        }
+        let (payouts, positions, pool) = self.processor.end_epoch();
+        let summary = SummaryBlock {
+            epoch,
+            parent: self.ledger.tip(),
+            meta_refs: self
+                .ledger
+                .meta_blocks(epoch)
+                .iter()
+                .map(|m| m.id())
+                .collect(),
+            payouts,
+            positions,
+            pool,
+        };
+        self.ledger.append_summary(summary).expect("summary chains");
+    }
+}
+
+#[test]
+fn restored_node_is_byte_identical_to_full_replay() {
+    // the uninterrupted node runs 6 epochs, checkpointing after epoch 3
+    let mut full = Node::new(42);
+    let mut cp = Checkpointer::new();
+    let mut snapshot_bytes = None;
+    for epoch in 1..=6 {
+        full.run_epoch(epoch);
+        if epoch == 3 {
+            let (snapshot, stats) =
+                checkpoint_node(&mut cp, epoch, &mut full.processor, &full.ledger);
+            assert!(stats.snapshot_bytes > 0);
+            // ship the snapshot through its serialized (verified) form
+            snapshot_bytes = Some(snapshot.encode());
+        }
+    }
+    assert!(full.processor.stats().accepted > 0, "traffic must flow");
+
+    // the late joiner restores from the wire snapshot…
+    let snapshot = Snapshot::decode(&snapshot_bytes.unwrap()).expect("root verifies");
+    let mut node = restore_node(&snapshot).expect("snapshot restores");
+    assert_eq!(node.epoch, 3);
+    // …and fast-syncs the remaining epochs from the peer's blocks
+    let applied = catch_up(&mut node, &full.ledger, ROUNDS_PER_EPOCH).expect("catch-up verifies");
+    assert_eq!(applied, 3);
+
+    // byte-identical state
+    assert_eq!(node.processor.export_state(), full.processor.export_state());
+    assert_eq!(node.ledger.export_state(), full.ledger.export_state());
+
+    // identical state roots
+    let (_, restored_root) = root_of(&mut node.processor, &node.ledger);
+    let (_, full_root) = root_of(&mut full.processor, &full.ledger);
+    assert_eq!(restored_root, full_root, "state roots diverge");
+
+    // identical behaviour for the *next* epoch's traffic
+    let mut tail = TrafficGenerator::new(GeneratorConfig {
+        daily_volume: 200_000,
+        mix: TrafficMix::uniswap_2023(),
+        users: 8,
+        round_duration: SimDuration::from_secs(7),
+        pool: PoolId(0),
+        deadline_slack_rounds: 1_000_000,
+        max_positions_per_user: 1,
+        liquidity_style: LiquidityStyle::default(),
+        seed: 1234,
+    });
+    node.processor.carry_over_epoch();
+    full.processor.carry_over_epoch();
+    for gtx in tail.next_round(6 * ROUNDS_PER_EPOCH) {
+        let a = node
+            .processor
+            .execute(&gtx.tx, gtx.wire_size, 6 * ROUNDS_PER_EPOCH);
+        let b = full
+            .processor
+            .execute(&gtx.tx, gtx.wire_size, 6 * ROUNDS_PER_EPOCH);
+        assert_eq!(a.effect, b.effect);
+    }
+    assert_eq!(node.processor.export_state(), full.processor.export_state());
+}
+
+#[test]
+fn snapshot_plus_pruned_peer_still_serves_recent_epochs() {
+    // the peer prunes everything its epoch-4 snapshot covers; a node
+    // restored from that same snapshot needs only epochs > 4, which the
+    // peer still has
+    let mut full = Node::new(7);
+    let mut cp = Checkpointer::new();
+    let mut snapshot = None;
+    for epoch in 1..=5 {
+        full.run_epoch(epoch);
+        if epoch == 4 {
+            let (snap, _) = checkpoint_node(&mut cp, epoch, &mut full.processor, &full.ledger);
+            let report = ammboost::state::prune_to_snapshot(
+                &mut full.ledger,
+                epoch,
+                ammboost::state::RetentionPolicy::default(),
+            );
+            assert_eq!(report.epochs_pruned, 4);
+            assert!(report.reclaimed_bytes > 0);
+            snapshot = Some(snap);
+        }
+    }
+    let mut node = restore_node(&snapshot.unwrap()).unwrap();
+    let applied = catch_up(&mut node, &full.ledger, ROUNDS_PER_EPOCH).unwrap();
+    assert_eq!(applied, 1);
+    assert_eq!(node.processor.export_state(), full.processor.export_state());
+}
+
+/// Convenience: a fresh checkpoint's (bytes, root) for comparison.
+fn root_of(processor: &mut EpochProcessor, ledger: &Ledger) -> (u64, H256) {
+    let (_, stats) = checkpoint_node(&mut Checkpointer::new(), 0, processor, ledger);
+    (stats.snapshot_bytes, stats.root)
+}
+
+#[test]
+fn positions_survive_restore() {
+    // positions created by workload mints exist in the restored pool with
+    // identical fee accounting
+    let mut full = Node::new(99);
+    for epoch in 1..=3 {
+        full.run_epoch(epoch);
+    }
+    let (snapshot, _) = checkpoint_node(
+        &mut Checkpointer::new(),
+        3,
+        &mut full.processor,
+        &full.ledger,
+    );
+    let node = restore_node(&snapshot).unwrap();
+    let full_pool = full.processor.pool();
+    let restored_pool = node.processor.pool();
+    assert_eq!(restored_pool.position_count(), full_pool.position_count());
+    for (id, pos) in full_pool.positions() {
+        assert_eq!(restored_pool.position(id), Some(pos), "position {id}");
+    }
+}
