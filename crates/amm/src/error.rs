@@ -50,6 +50,9 @@ pub enum AmmError {
     BalanceOverflow,
     /// Internal accounting would drive a pool balance negative.
     PoolInsolvent,
+    /// A restored snapshot's persisted tick→sqrt-price table is corrupt
+    /// (wrong length, non-monotonic, or outside the sqrt-price domain).
+    CorruptTickPriceTable,
     /// Tick-math failure.
     TickMath(TickMathError),
     /// Price-math failure.
@@ -86,6 +89,9 @@ impl std::fmt::Display for AmmError {
             AmmError::FlashNotRepaid => write!(f, "flash loan not repaid with fee"),
             AmmError::BalanceOverflow => write!(f, "balance overflow"),
             AmmError::PoolInsolvent => write!(f, "pool accounting would go negative"),
+            AmmError::CorruptTickPriceTable => {
+                write!(f, "persisted tick-price table is corrupt")
+            }
             AmmError::TickMath(e) => write!(f, "tick math: {e}"),
             AmmError::PriceMath(e) => write!(f, "price math: {e}"),
         }

@@ -17,19 +17,36 @@
 //! (50K and 500K daily volume — the paper's state-growth-control curve
 //! endpoints).
 //!
+//! New in v2: a `pool_count × skew` ladder timing one epoch of
+//! cross-pool traffic under sequential vs scoped-thread shard execution
+//! (plus the size of the all-shards checkpoint), and a
+//! restore-throughput ladder (up to 10⁶ positions) comparing
+//! tick-table-fed restores against full `sqrt_ratio_at_tick`
+//! recomputation.
+//!
 //! Usage: `bench_snapshot [--smoke] [--out PATH] [--state-out PATH]`.
 //! `--smoke` cuts sample counts for CI; the JSON records which mode
-//! produced it.
+//! produced it, and `hardware_threads` so parallel-epoch numbers are
+//! interpretable (on a single-hardware-thread host the parallel column
+//! measures pure scheduling overhead).
 
-use ammboost_amm::pool::{Pool, SwapKind, TickSearch};
-use ammboost_amm::types::PositionId;
+use ammboost_amm::pool::{Pool, PoolState, SwapKind, TickSearch};
+use ammboost_amm::tx::AmmTx;
+use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_bench::{fragmented_ladder_pool, ladder_pool, ladder_sweep, wide_pool};
-use ammboost_core::checkpoint::restore_node;
+use ammboost_core::checkpoint::{checkpoint_node, restore_node};
 use ammboost_core::config::{SnapshotPolicy, SystemConfig};
+use ammboost_core::shard::{ExecMode, ShardMap};
 use ammboost_core::system::System;
 use ammboost_crypto::merkle::{leaf_hash, MerkleTree};
 use ammboost_crypto::Address;
-use ammboost_state::Snapshot;
+use ammboost_sidechain::ledger::Ledger;
+use ammboost_state::codec::{Decode, Encode};
+use ammboost_state::{Checkpointer, Snapshot};
+use ammboost_workload::{
+    GeneratedTx, GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficMix, TrafficSkew,
+};
+use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -130,6 +147,168 @@ fn state_ladder(name: &'static str, daily_volume: u64, samples: usize) -> StateL
         sidechain_peak_pruned: pruned.sidechain_peak_bytes,
         sidechain_bytes_unpruned: unpruned.sidechain_bytes,
         sidechain_peak_unpruned: unpruned.sidechain_peak_bytes,
+    }
+}
+
+/// One `pool_count × skew` rung of the sharded-epoch ladder.
+struct PoolCountLadder {
+    pools: u32,
+    skew: &'static str,
+    txs_per_epoch: usize,
+    sequential_ns: f64,
+    parallel_ns: f64,
+    speedup: f64,
+    snapshot_bytes: u64,
+    max_pool_section_bytes: u64,
+}
+
+/// Times one epoch of Zipf/uniform cross-pool traffic executed
+/// sequentially vs with scoped-thread shard parallelism, and sizes the
+/// all-shards checkpoint the epoch produces.
+fn pool_count_ladder(
+    pools: u32,
+    skew: TrafficSkew,
+    skew_name: &'static str,
+    samples: usize,
+    rounds: u64,
+) -> PoolCountLadder {
+    let users = (4 * pools as u64).max(16);
+    let mut gen = TrafficGenerator::new(GeneratorConfig {
+        daily_volume: 25_000_000, // ρ ≈ 2026 txs/round at bt = 7 s
+        mix: TrafficMix::uniswap_2023(),
+        users,
+        round_duration: ammboost_sim::time::SimDuration::from_secs(7),
+        pools: (0..pools).map(PoolId).collect(),
+        skew,
+        deadline_slack_rounds: 1_000_000,
+        max_positions_per_user: 1,
+        liquidity_style: LiquidityStyle::default(),
+        seed: 0xB0057 + pools as u64,
+    });
+    let traffic: Vec<Vec<GeneratedTx>> = (0..rounds).map(|r| gen.next_round(r)).collect();
+    let txs_per_epoch: usize = traffic.iter().map(|r| r.len()).sum();
+
+    // a ready shard map: seeded liquidity + routed deposits
+    let mut ready = ShardMap::new((0..pools).map(PoolId));
+    for p in 0..pools {
+        ready.seed_liquidity(
+            PoolId(p),
+            Address::from_pubkey_bytes(b"bench-genesis-lp"),
+            -120_000,
+            120_000,
+            4_000_000_000_000_000,
+            4_000_000_000_000_000,
+        );
+    }
+    let route_gen = &gen;
+    let deposits: HashMap<Address, (u128, u128)> = route_gen
+        .users()
+        .into_iter()
+        .map(|u| (u, (2_000_000_000_000u128, 2_000_000_000_000u128)))
+        .collect();
+    ready.begin_epoch(deposits, |u| route_gen.pool_for(u));
+
+    let run_epoch = |mode: ExecMode| {
+        median_ns(
+            samples,
+            || ready.clone(),
+            |mut shards| {
+                for (round, txs) in traffic.iter().enumerate() {
+                    let batch: Vec<(&AmmTx, usize)> =
+                        txs.iter().map(|g| (&g.tx, g.wire_size)).collect();
+                    black_box(shards.execute_batch(&batch, round as u64, mode));
+                }
+                shards
+            },
+        )
+    };
+    let sequential_ns = run_epoch(ExecMode::Sequential);
+    let parallel_ns = run_epoch(ExecMode::Parallel);
+
+    // checkpoint the executed epoch: one snapshot covering all shards
+    let mut executed = ready.clone();
+    for (round, txs) in traffic.iter().enumerate() {
+        let batch: Vec<(&AmmTx, usize)> = txs.iter().map(|g| (&g.tx, g.wire_size)).collect();
+        executed.execute_batch(&batch, round as u64, ExecMode::Sequential);
+    }
+    let ledger = Ledger::new(ammboost_crypto::H256::hash(b"bench-ladder"));
+    let (snapshot, stats) = checkpoint_node(&mut Checkpointer::new(), 1, &mut executed, &ledger);
+    let max_pool_section_bytes = snapshot
+        .pool_sections()
+        .map(|(_, s)| s.bytes.len() as u64)
+        .max()
+        .unwrap_or(0);
+
+    PoolCountLadder {
+        pools,
+        skew: skew_name,
+        txs_per_epoch,
+        sequential_ns,
+        parallel_ns,
+        speedup: sequential_ns / parallel_ns,
+        snapshot_bytes: stats.snapshot_bytes,
+        max_pool_section_bytes,
+    }
+}
+
+/// One rung of the restore-throughput ladder: a tick-dense pool with
+/// `positions` positions, decoded + restored with and without the
+/// persisted tick→sqrt-price table.
+struct RestoreLadder {
+    name: String,
+    positions: usize,
+    ticks: usize,
+    encoded_bytes: usize,
+    restore_with_table_ns: f64,
+    restore_recompute_ns: f64,
+}
+
+fn restore_ladder(positions: usize, samples: usize) -> RestoreLadder {
+    // one-spacing rungs tiled over a wide band: positions/35 distinct
+    // rungs ⇒ tick count grows with the ladder, the regime where
+    // rebuild_tick_index dominates restore
+    let mut pool = Pool::new_standard();
+    let half_rungs = (positions as i32 / 70).clamp(128, 14_000);
+    for i in 0..positions {
+        let rung = (i as i32 % (2 * half_rungs)) - half_rungs;
+        let id = PositionId::derive(&[b"restore-ladder", &(i as u64).to_be_bytes()]);
+        pool.mint(
+            id,
+            Address::from_index(i as u64 % 1024),
+            rung * 60,
+            (rung + 1) * 60,
+            1_000_000,
+            1_000_000,
+        )
+        .expect("ladder mint");
+    }
+    let state = pool.export_state();
+    let ticks = state.ticks.len();
+    let with_table = state.encode_to_vec();
+    let mut stripped_state = state;
+    stripped_state.tick_prices.clear();
+    let stripped = stripped_state.encode_to_vec();
+
+    let time_restore = |bytes: &[u8]| {
+        median_ns(
+            samples,
+            || bytes.to_vec(),
+            |b| {
+                let decoded = PoolState::decode_all(&b).expect("ladder state decodes");
+                Pool::from_state(decoded).expect("ladder state restores")
+            },
+        )
+    };
+    let restore_with_table_ns = time_restore(&with_table);
+    let restore_recompute_ns = time_restore(&stripped);
+
+    RestoreLadder {
+        name: format!("positions_{positions}"),
+        positions,
+        ticks,
+        encoded_bytes: with_table.len(),
+        restore_with_table_ns,
+        restore_recompute_ns,
     }
 }
 
@@ -235,12 +414,75 @@ fn main() {
     );
     ammboost_bench::line("merkle/root_1024_leaves", format!("{merkle_root:.0} ns"));
 
+    // ---- the pool_count × skew ladder: sharded epoch execution ----
+    ammboost_bench::header("Bench snapshot (sharded multi-pool epochs)");
+    let ladder_samples = if smoke { 5 } else { 21 };
+    let ladder_rounds = if smoke { 2 } else { 4 };
+    let rungs = [
+        (1u32, TrafficSkew::Uniform, "uniform"),
+        (4, TrafficSkew::Zipf { exponent: 1.0 }, "zipf1.0"),
+        (8, TrafficSkew::Uniform, "uniform"),
+        (8, TrafficSkew::Zipf { exponent: 1.0 }, "zipf1.0"),
+        (16, TrafficSkew::Zipf { exponent: 1.0 }, "zipf1.0"),
+    ];
+    let pool_ladders: Vec<PoolCountLadder> = rungs
+        .iter()
+        .map(|&(pools, skew, name)| {
+            let l = pool_count_ladder(pools, skew, name, ladder_samples, ladder_rounds);
+            ammboost_bench::line(
+                &format!("shard/{}pools_{}/sequential", l.pools, l.skew),
+                format!("{:.0} ns/epoch ({} txs)", l.sequential_ns, l.txs_per_epoch),
+            );
+            ammboost_bench::line(
+                &format!("shard/{}pools_{}/parallel", l.pools, l.skew),
+                format!("{:.0} ns/epoch ({:.2}x)", l.parallel_ns, l.speedup),
+            );
+            ammboost_bench::line(
+                &format!("shard/{}pools_{}/snapshot", l.pools, l.skew),
+                format!(
+                    "{} (max section {})",
+                    ammboost_bench::fmt_bytes(l.snapshot_bytes),
+                    ammboost_bench::fmt_bytes(l.max_pool_section_bytes)
+                ),
+            );
+            l
+        })
+        .collect();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if hardware_threads == 1 {
+        ammboost_bench::line(
+            "shard/note",
+            "1 hardware thread: parallel column = scheduling overhead only",
+        );
+    }
+    let pool_ladder_json: Vec<String> = pool_ladders
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"{}pools_{}\": {{\n      \"pool_count\": {},\n      \"skew\": \"{}\",\n      \"txs_per_epoch\": {},\n      \"epoch_sequential_ns\": {:.1},\n      \"epoch_parallel_ns\": {:.1},\n      \"parallel_speedup\": {:.3},\n      \"snapshot_bytes\": {},\n      \"max_pool_section_bytes\": {}\n    }}",
+                l.pools,
+                l.skew,
+                l.pools,
+                l.skew,
+                l.txs_per_epoch,
+                l.sequential_ns,
+                l.parallel_ns,
+                l.speedup,
+                l.snapshot_bytes,
+                l.max_pool_section_bytes,
+            )
+        })
+        .collect();
+
     let unix_secs = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"ammboost-bench-snapshot/v1\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }}\n}}\n"
+        "{{\n  \"schema\": \"ammboost-bench-snapshot/v2\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }}\n}}\n",
+        pool_ladder_json.join(",\n")
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!();
@@ -293,9 +535,57 @@ fn main() {
             )
         })
         .collect();
+    // ---- restore-throughput ladder: tick-dense pools at position scale ----
+    ammboost_bench::header("Bench snapshot (restore throughput)");
+    let restore_sizes: &[usize] = if smoke {
+        &[20_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let restore_samples = if smoke { 3 } else { 5 };
+    let restore_ladders: Vec<RestoreLadder> = restore_sizes
+        .iter()
+        .map(|&n| {
+            let l = restore_ladder(n, restore_samples);
+            ammboost_bench::line(
+                &format!("restore/{}/bytes", l.name),
+                ammboost_bench::fmt_bytes(l.encoded_bytes as u64),
+            );
+            ammboost_bench::line(
+                &format!("restore/{}/with_tick_table", l.name),
+                format!("{:.0} ns", l.restore_with_table_ns),
+            );
+            ammboost_bench::line(
+                &format!("restore/{}/recompute", l.name),
+                format!(
+                    "{:.0} ns ({:.2}x slower)",
+                    l.restore_recompute_ns,
+                    l.restore_recompute_ns / l.restore_with_table_ns
+                ),
+            );
+            l
+        })
+        .collect();
+    let restore_json: Vec<String> = restore_ladders
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"{}\": {{\n      \"positions\": {},\n      \"initialized_ticks\": {},\n      \"encoded_bytes\": {},\n      \"decode_restore_with_tick_table_ns\": {:.1},\n      \"decode_restore_recompute_ns\": {:.1},\n      \"tick_table_speedup\": {:.3}\n    }}",
+                l.name,
+                l.positions,
+                l.ticks,
+                l.encoded_bytes,
+                l.restore_with_table_ns,
+                l.restore_recompute_ns,
+                l.restore_recompute_ns / l.restore_with_table_ns,
+            )
+        })
+        .collect();
+
     let state_json = format!(
-        "{{\n  \"schema\": \"ammboost-state-snapshot/v1\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {state_samples},\n  \"unix_time_secs\": {unix_secs},\n  \"ladders\": {{\n{}\n  }}\n}}\n",
-        ladder_json.join(",\n")
+        "{{\n  \"schema\": \"ammboost-state-snapshot/v2\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {state_samples},\n  \"unix_time_secs\": {unix_secs},\n  \"ladders\": {{\n{}\n  }},\n  \"restore_ladders\": {{\n{}\n  }}\n}}\n",
+        ladder_json.join(",\n"),
+        restore_json.join(",\n")
     );
     std::fs::write(&state_out_path, &state_json)
         .unwrap_or_else(|e| panic!("write {state_out_path}: {e}"));

@@ -1,15 +1,18 @@
-//! CI smoke drill for the `ammboost-state` subsystem: run a small system,
-//! **checkpoint** it, **prune** the raw history the snapshot covers,
-//! **restore** a fresh node from the serialized snapshot, and
-//! **re-verify** the Merkle state root plus byte-identical node state.
+//! CI smoke drill for the `ammboost-state` subsystem, multi-pool
+//! edition: run a **sharded** system (default: 8 pools under
+//! Zipf-skewed traffic), **checkpoint** all shards into one
+//! Merkle-committed snapshot, **prune** the raw history the snapshot
+//! covers, **restore** a fresh node from the serialized snapshot, and
+//! **re-verify** the state root plus byte-identical per-shard state.
 //! Exits non-zero on any divergence.
 //!
-//! Usage: `state_drill [--seed N]`
+//! Usage: `state_drill [--seed N] [--pools N] [--uniform]`
 
 use ammboost_core::checkpoint::{checkpoint_node, restore_node};
 use ammboost_core::config::{SnapshotPolicy, SystemConfig};
 use ammboost_core::system::System;
 use ammboost_state::{prune_to_snapshot, Checkpointer, RetentionPolicy, Snapshot};
+use ammboost_workload::TrafficSkew;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,11 +22,27 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(7u64);
+    let pools: u32 = args
+        .iter()
+        .position(|a| a == "--pools")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let uniform = args.iter().any(|a| a == "--uniform");
 
     ammboost_bench::header("State drill: checkpoint → prune → restore → verify");
+    ammboost_bench::line("config/pools", pools);
+    ammboost_bench::line("config/skew", if uniform { "uniform" } else { "zipf(1.0)" });
 
     let mut cfg = SystemConfig::small_test();
     cfg.seed = seed;
+    cfg.pools = pools;
+    cfg.users = cfg.users.max(2 * pools as u64);
+    cfg.traffic_skew = if uniform {
+        TrafficSkew::Uniform
+    } else {
+        TrafficSkew::Zipf { exponent: 1.0 }
+    };
     // checkpoint every epoch but keep all raw history during the run
     // (both pruning paths off) so the drill's explicit prune phase below
     // demonstrates real reclamation
@@ -45,10 +64,15 @@ fn main() {
     // -- checkpoint: a final snapshot covering the drain epoch ------------
     let epoch = report.epochs + 1;
     let stats = sys.checkpoint(epoch);
+    assert_eq!(
+        stats.pools_total, pools as usize,
+        "snapshot must cover every shard"
+    );
     ammboost_bench::line(
         "checkpoint/bytes",
         ammboost_bench::fmt_bytes(stats.snapshot_bytes),
     );
+    ammboost_bench::line("checkpoint/pools", stats.pools_total);
     ammboost_bench::line("checkpoint/root", stats.root);
     let wire = sys.last_snapshot().expect("checkpoint taken").encode();
 
@@ -56,17 +80,18 @@ fn main() {
     let decoded = Snapshot::decode(&wire).expect("snapshot root verifies");
     let mut node = restore_node(&decoded).expect("snapshot restores");
     assert_eq!(node.root, stats.root, "restored root diverges");
+    assert_eq!(node.shards.len(), pools as usize, "shard count diverges");
     assert_eq!(
-        node.processor.export_state(),
-        sys.processor().export_state(),
-        "restored processor diverges"
+        node.shards.export_states(),
+        sys.shards().export_states(),
+        "restored shards diverge"
     );
     assert_eq!(
         node.ledger.export_state(),
         sys.ledger().export_state(),
         "restored ledger diverges"
     );
-    ammboost_bench::line("restore/state", "byte-identical");
+    ammboost_bench::line("restore/state", "byte-identical across all shards");
 
     // -- prune: drop the raw history the snapshot covers ------------------
     let before = node.ledger.size_bytes();
@@ -91,19 +116,19 @@ fn main() {
     let (snap2, stats2) = checkpoint_node(
         &mut Checkpointer::new(),
         epoch,
-        &mut node.processor,
+        &mut node.shards,
         &node.ledger,
     );
     let node2 = restore_node(&Snapshot::decode(&snap2.encode()).expect("root verifies"))
         .expect("post-prune snapshot restores");
     assert_eq!(node2.root, stats2.root);
     assert_eq!(
-        node2.processor.export_state(),
-        node.processor.export_state(),
+        node2.shards.export_states(),
+        node.shards.export_states(),
         "post-prune restore diverges"
     );
     ammboost_bench::line("reverify/root", stats2.root);
 
     println!();
-    println!("state drill PASS");
+    println!("state drill PASS ({pools} pools)");
 }

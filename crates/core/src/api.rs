@@ -157,7 +157,7 @@ pub fn update_state_summary(
         meta_refs: ledger.meta_blocks(epoch).iter().map(|m| m.id()).collect(),
         payouts,
         positions,
-        pool,
+        pools: vec![pool],
     };
     let id = summary.id();
     ledger.append_summary(summary)?;

@@ -105,7 +105,8 @@ impl BaselineRunner {
             mix: cfg.mix,
             users: cfg.users,
             round_duration: SimDuration::from_secs(7),
-            pool: PoolId(0),
+            pools: vec![PoolId(0)],
+            skew: ammboost_workload::TrafficSkew::default(),
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: cfg.liquidity_style,

@@ -1,39 +1,51 @@
 //! Node-level checkpoint, restore and fast-sync catch-up.
 //!
-//! A sidechain node's durable state is its [`EpochProcessor`] (pool +
-//! deposit tracking + epoch bookkeeping) and its [`Ledger`]. This module
-//! maps that state onto the `ammboost-state` snapshot format:
+//! A sidechain node's durable state is its [`ShardMap`] (one pool +
+//! deposit ledger + epoch bookkeeping per shard) and its [`Ledger`]. This
+//! module maps that state onto the `ammboost-state` snapshot format:
 //!
-//! - [`checkpoint_node`] — builds a Merkle-committed [`Snapshot`] through
-//!   a [`Checkpointer`] (clean pools reuse their cached encoding);
-//! - [`restore_node`] — rebuilds a working processor + ledger from a
-//!   snapshot, with the pool's derived tick index regenerated;
+//! - [`checkpoint_node`] — builds one Merkle-committed [`Snapshot`]
+//!   covering **all shards** through a [`Checkpointer`] (clean pools
+//!   reuse their cached encoding; only dirty shards are re-encoded);
+//! - [`restore_node`] — rebuilds a working shard map + ledger from a
+//!   snapshot, with each pool's derived tick index regenerated (from the
+//!   persisted tick-price table when present);
 //! - [`catch_up`] — fast-sync: a node restored at epoch *k* re-executes
-//!   the meta-blocks sealed after *k* from a peer's ledger and verifies
-//!   each recorded effect and each summary block against its own
-//!   re-execution, ending byte-identical to a node that replayed full
-//!   history.
+//!   the meta-blocks sealed after *k* from a peer's ledger — routing each
+//!   transaction to its shard — and verifies each recorded effect and
+//!   each summary block against its own re-execution, ending
+//!   byte-identical to a node that replayed full history.
 
 use crate::processor::EpochProcessor;
+use crate::shard::ShardMap;
 use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_crypto::Address;
 use ammboost_sidechain::block::SummaryBlock;
 use ammboost_sidechain::ledger::Ledger;
+use ammboost_sidechain::summary::Deposits;
 use ammboost_state::codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use ammboost_state::snapshot::{SectionKind, Snapshot};
 use ammboost_state::sync::RestoreError;
 use ammboost_state::{CheckpointStats, Checkpointer};
 use std::fmt;
 
-/// Aux-section tag carrying the processor's epoch bookkeeping (the parts
-/// of [`ProcessorState`] not already covered by the pool and deposits
-/// sections).
+/// Aux-section tag carrying the per-shard epoch bookkeeping (everything
+/// in a shard's [`crate::processor::ProcessorState`] not already covered
+/// by the pool and deposits sections, plus each shard's deposit *user
+/// list* — the routing that splits the global deposits section back
+/// across shards on restore).
 pub const AUX_PROCESSOR_META: u8 = 1;
 
-/// The epoch bookkeeping that rides next to the pool/deposits sections.
+/// One shard's epoch bookkeeping, riding next to the pool sections. The
+/// aux section holds one record per shard, ascending by pool id.
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct ProcessorMeta {
+struct ShardMeta {
     pool_id: PoolId,
+    /// The addresses whose deposits this shard owns, ascending. Balances
+    /// live only in the snapshot's global deposits section; restore
+    /// pulls each listed user's entry out of it, so the two can never
+    /// drift and the table is stored once.
+    users: Vec<Address>,
     touched: Vec<PositionId>,
     deleted: Vec<(PositionId, Address)>,
     preexisting: Vec<PositionId>,
@@ -41,9 +53,10 @@ struct ProcessorMeta {
     rejected: u64,
 }
 
-impl Encode for ProcessorMeta {
+impl Encode for ShardMeta {
     fn encode(&self, w: &mut ByteWriter) {
         self.pool_id.encode(w);
+        self.users.encode(w);
         self.touched.encode(w);
         self.deleted.encode(w);
         self.preexisting.encode(w);
@@ -52,10 +65,11 @@ impl Encode for ProcessorMeta {
     }
 }
 
-impl Decode for ProcessorMeta {
+impl Decode for ShardMeta {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
-        Ok(ProcessorMeta {
+        Ok(ShardMeta {
             pool_id: r.get()?,
+            users: r.get()?,
             touched: r.get()?,
             deleted: r.get()?,
             preexisting: r.get()?,
@@ -70,8 +84,19 @@ impl Decode for ProcessorMeta {
 pub enum NodeRestoreError {
     /// The snapshot failed to restore.
     Restore(RestoreError),
-    /// The snapshot has no pool section for the processor's pool.
+    /// The snapshot has no pool section for a shard named in the
+    /// processor meta.
     MissingPool(PoolId),
+    /// The shard metas and the global deposits section disagree about
+    /// which users hold deposits — the snapshot is internally
+    /// inconsistent.
+    InconsistentDeposits {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The snapshot carries a pool section no shard meta claims —
+    /// restoring would silently drop that pool's state.
+    UnclaimedPool(PoolId),
     /// A replayed transaction's effect diverged from the one recorded in
     /// the meta-block — the snapshot or the block stream is inconsistent.
     EffectMismatch {
@@ -95,6 +120,12 @@ impl fmt::Display for NodeRestoreError {
             NodeRestoreError::Restore(e) => write!(f, "{e}"),
             NodeRestoreError::MissingPool(id) => {
                 write!(f, "snapshot has no section for {id}")
+            }
+            NodeRestoreError::InconsistentDeposits { detail } => {
+                write!(f, "shard metas disagree with deposits section: {detail}")
+            }
+            NodeRestoreError::UnclaimedPool(id) => {
+                write!(f, "snapshot section for {id} is claimed by no shard")
             }
             NodeRestoreError::EffectMismatch { epoch, round } => {
                 write!(f, "replayed effect diverges in epoch {epoch} round {round}")
@@ -127,47 +158,63 @@ impl From<CodecError> for NodeRestoreError {
 pub struct NodeRestore {
     /// The epoch the snapshot covered.
     pub epoch: u64,
-    /// The restored execution engine.
-    pub processor: EpochProcessor,
+    /// The restored execution shards (all pools).
+    pub shards: ShardMap,
     /// The restored ledger.
     pub ledger: Ledger,
     /// The verified state root the node was restored from.
     pub root: ammboost_crypto::H256,
 }
 
-/// Takes a Merkle-committed checkpoint of a node (processor + ledger) at
-/// `epoch`. The pool section is re-encoded only when the processor
-/// reports it dirty; otherwise the checkpointer's cached bytes are
-/// reused.
+/// Takes one Merkle-committed checkpoint of a node (all shards + ledger)
+/// at `epoch`. Each shard's pool section is re-encoded only when that
+/// shard reports its pool dirty; clean shards reuse the checkpointer's
+/// cached bytes, so the per-epoch snapshot cost scales with the *touched*
+/// shards, not the fleet size.
 pub fn checkpoint_node(
     checkpointer: &mut Checkpointer,
     epoch: u64,
-    processor: &mut EpochProcessor,
+    shards: &mut ShardMap,
     ledger: &Ledger,
 ) -> (Snapshot, CheckpointStats) {
-    if processor.take_pool_dirty() {
-        checkpointer.mark_dirty(processor.pool_id());
+    for shard in shards.iter_mut() {
+        if shard.take_pool_dirty() {
+            checkpointer.mark_dirty(shard.pool_id());
+        }
     }
-    let state = processor.export_state();
-    let meta = ProcessorMeta {
-        pool_id: state.pool_id,
-        touched: state.touched,
-        deleted: state.deleted,
-        preexisting: state.preexisting,
-        accepted: state.stats.accepted,
-        rejected: state.stats.rejected,
-    };
+    // bookkeeping only — no pool clone, so a clean shard's checkpoint
+    // cost stays proportional to its (small) epoch metadata; the shard
+    // user lists and the global deposits section come from one pass
+    let (per_shard_entries, deposits) = shards.deposit_export();
+    let metas: Vec<ShardMeta> = shards
+        .iter()
+        .zip(per_shard_entries)
+        .map(|(shard, entries)| ShardMeta {
+            pool_id: shard.pool_id(),
+            users: entries.into_iter().map(|(user, _)| user).collect(),
+            touched: shard.touched_positions(),
+            deleted: shard.deleted_positions(),
+            preexisting: shard.preexisting_positions(),
+            accepted: shard.stats().accepted,
+            rejected: shard.stats().rejected,
+        })
+        .collect();
+    let pools: Vec<(PoolId, &ammboost_amm::pool::Pool)> = shards
+        .iter()
+        .map(|shard| (shard.pool_id(), shard.pool()))
+        .collect();
     checkpointer.checkpoint(
         epoch,
-        &[(processor.pool_id(), processor.pool())],
+        &pools,
         ledger,
-        processor.deposits(),
-        vec![(AUX_PROCESSOR_META, meta.encode_to_vec())],
+        &deposits,
+        vec![(AUX_PROCESSOR_META, metas.encode_to_vec())],
     )
 }
 
-/// Rebuilds a node from a snapshot: pool (tick index regenerated via
-/// `Pool::rebuild_tick_index`), deposits, epoch bookkeeping, ledger.
+/// Rebuilds a node from a snapshot: every pool (tick index regenerated,
+/// via the persisted tick-price table when present), per-shard deposits
+/// and epoch bookkeeping, and the ledger.
 ///
 /// # Errors
 /// Fails on missing/malformed sections or invalid pool state.
@@ -177,43 +224,81 @@ pub fn restore_node(snapshot: &Snapshot) -> Result<NodeRestore, NodeRestoreError
         .ok_or(NodeRestoreError::Restore(RestoreError::MissingSection(
             "processor meta",
         )))?;
-    let meta = ProcessorMeta::decode_all(&meta_section.bytes)?;
+    let metas = Vec::<ShardMeta>::decode_all(&meta_section.bytes)?;
+    if metas.is_empty() {
+        return Err(NodeRestoreError::Restore(RestoreError::MissingSection(
+            "shard meta records",
+        )));
+    }
 
     // the state subsystem owns section decoding, validation (including
     // sorted-key checks) and pool reconstruction — one restore path
     let restored = ammboost_state::sync::restore(snapshot)?;
-    let pool = restored
+    let mut pools: Vec<(PoolId, Option<ammboost_amm::pool::Pool>)> = restored
         .pools
         .into_iter()
-        .find(|(id, _)| *id == meta.pool_id)
-        .map(|(_, pool)| pool)
-        .ok_or(NodeRestoreError::MissingPool(meta.pool_id))?;
+        .map(|(id, pool)| (id, Some(pool)))
+        .collect();
 
-    let processor = EpochProcessor::from_restored(
-        pool,
-        meta.pool_id,
-        restored.deposits,
-        meta.touched,
-        meta.deleted,
-        meta.preexisting,
-        crate::processor::ProcessorStats {
-            accepted: meta.accepted,
-            rejected: meta.rejected,
-        },
-    );
+    // split the global deposits section across shards by each meta's
+    // user list; every listed user must exist and no entry may be left
+    // unclaimed — anything else marks an internally inconsistent snapshot
+    let mut unclaimed: std::collections::HashMap<Address, (u128, u128)> =
+        restored.deposits.to_sorted_entries().into_iter().collect();
+    let mut processors = Vec::with_capacity(metas.len());
+    for meta in metas {
+        let pool = pools
+            .iter_mut()
+            .find(|(id, pool)| *id == meta.pool_id && pool.is_some())
+            .and_then(|(_, pool)| pool.take())
+            .ok_or(NodeRestoreError::MissingPool(meta.pool_id))?;
+        let mut entries = Vec::with_capacity(meta.users.len());
+        for user in meta.users {
+            let balance =
+                unclaimed
+                    .remove(&user)
+                    .ok_or_else(|| NodeRestoreError::InconsistentDeposits {
+                        detail: format!("{} claims {user} twice or without an entry", meta.pool_id),
+                    })?;
+            entries.push((user, balance));
+        }
+        processors.push(EpochProcessor::from_restored(
+            pool,
+            meta.pool_id,
+            Deposits::from_sorted_entries(entries),
+            meta.touched,
+            meta.deleted,
+            meta.preexisting,
+            crate::processor::ProcessorStats {
+                accepted: meta.accepted,
+                rejected: meta.rejected,
+            },
+        ));
+    }
+    if !unclaimed.is_empty() {
+        return Err(NodeRestoreError::InconsistentDeposits {
+            detail: format!("{} deposit entries claimed by no shard", unclaimed.len()),
+        });
+    }
+    // every pool section must belong to a shard — a leftover section
+    // means shard state would be silently dropped
+    if let Some((id, _)) = pools.iter().find(|(_, pool)| pool.is_some()) {
+        return Err(NodeRestoreError::UnclaimedPool(*id));
+    }
 
     Ok(NodeRestore {
         epoch: restored.epoch,
-        processor,
+        shards: ShardMap::from_processors(processors),
         ledger: restored.ledger,
         root: restored.root,
     })
 }
 
 /// Fast-sync catch-up: re-executes every epoch sealed after the node's
-/// snapshot epoch from `source`'s retained blocks, verifying each
-/// recorded transaction effect and each summary block against the node's
-/// own re-execution, and appending the blocks to the node's ledger.
+/// snapshot epoch from `source`'s retained blocks — routing every
+/// transaction to its shard — verifying each recorded transaction effect
+/// and each summary block against the node's own re-execution, and
+/// appending the blocks to the node's ledger.
 ///
 /// `rounds_per_epoch` reproduces the global round numbers transactions
 /// were originally executed at (deadline checks depend on them).
@@ -234,7 +319,7 @@ pub fn catch_up(
     for epoch in (node.epoch + 1)..=last_sealed {
         // A new committee takes over without a fresh TokenBank snapshot:
         // deposit tracking carries forward exactly as in a mass-sync epoch.
-        node.processor.carry_over_epoch();
+        node.shards.carry_over_epoch();
         let metas = source.meta_blocks(epoch);
         if metas.is_empty() {
             return Err(NodeRestoreError::BadChain(format!(
@@ -244,9 +329,9 @@ pub fn catch_up(
         for block in metas {
             for executed in &block.txs {
                 let global_round = (epoch - 1) * rounds_per_epoch + block.round;
-                let replayed =
-                    node.processor
-                        .execute(&executed.tx, executed.wire_size, global_round);
+                let replayed = node
+                    .shards
+                    .execute(&executed.tx, executed.wire_size, global_round);
                 if replayed.effect != executed.effect {
                     return Err(NodeRestoreError::EffectMismatch {
                         epoch,
@@ -264,8 +349,8 @@ pub fn catch_up(
             .find(|s| s.epoch == epoch)
             .expect("epoch <= last_summary_epoch has a summary");
         // the node's own summary rules must reproduce the sealed block
-        let (payouts, positions, pool) = node.processor.end_epoch();
-        if payouts != sealed.payouts || positions != sealed.positions || pool != sealed.pool {
+        let (payouts, positions, pools) = node.shards.end_epoch();
+        if payouts != sealed.payouts || positions != sealed.positions || pools != sealed.pools {
             return Err(NodeRestoreError::SummaryMismatch { epoch });
         }
         node.ledger
@@ -289,10 +374,10 @@ mod tests {
         Address::from_index(i)
     }
 
-    fn swap_tx(u: Address, amount: u128, zero_for_one: bool) -> AmmTx {
+    fn swap_tx(u: Address, pool: u32, amount: u128, zero_for_one: bool) -> AmmTx {
         AmmTx::Swap(SwapTx {
             user: u,
-            pool: PoolId(0),
+            pool: PoolId(pool),
             zero_for_one,
             intent: SwapIntent::ExactInput {
                 amount_in: amount,
@@ -303,49 +388,68 @@ mod tests {
         })
     }
 
-    /// A tiny single-node driver: executes rounds of swaps into
-    /// meta-blocks and seals each epoch with a summary block.
+    /// A tiny sharded node driver: executes rounds of swaps into
+    /// meta-blocks and seals each epoch with a summary block. Users
+    /// 1..=2·pools are homed round-robin on the pool set.
     struct Node {
-        processor: EpochProcessor,
+        shards: ShardMap,
         ledger: Ledger,
+        pools: u32,
     }
 
     const ROUNDS: u64 = 3;
 
     impl Node {
-        fn new() -> Node {
-            let mut processor = EpochProcessor::new(PoolId(0));
-            processor.seed_liquidity(user(99), -60_000, 60_000, 10u128.pow(13), 10u128.pow(13));
+        fn new(pools: u32) -> Node {
+            let mut shards = ShardMap::new((0..pools).map(PoolId));
+            for p in 0..pools {
+                shards.seed_liquidity(
+                    PoolId(p),
+                    user(99),
+                    -60_000,
+                    60_000,
+                    10u128.pow(13),
+                    10u128.pow(13),
+                );
+            }
             let mut snapshot = HashMap::new();
-            snapshot.insert(user(1), (5_000_000_000u128, 5_000_000_000u128));
-            snapshot.insert(user(2), (5_000_000_000u128, 5_000_000_000u128));
-            processor.begin_epoch(snapshot);
+            for i in 1..=(2 * pools as u64) {
+                snapshot.insert(user(i), (5_000_000_000u128, 5_000_000_000u128));
+            }
+            shards.begin_epoch(snapshot, |a| {
+                (1..=2 * pools as u64)
+                    .find(|i| user(*i) == *a)
+                    .map(|i| PoolId(((i - 1) % pools as u64) as u32))
+            });
             Node {
-                processor,
+                shards,
                 ledger: Ledger::new(H256::hash(b"genesis")),
+                pools,
             }
         }
 
         fn run_epoch(&mut self, epoch: u64) {
             if epoch > 1 {
-                self.processor.carry_over_epoch();
+                self.shards.carry_over_epoch();
             }
             for round in 0..ROUNDS {
                 let global = (epoch - 1) * ROUNDS + round;
                 let mut txs = Vec::new();
                 for i in 0..4u64 {
-                    let u = user(1 + (global + i) % 2);
+                    let ui = 1 + (global + i) % (2 * self.pools as u64);
+                    let pool = ((ui - 1) % self.pools as u64) as u32;
                     let amt = 1_000_000 + global * 1000 + i * 7;
                     let dir = (global + i) % 2 == 0;
-                    txs.push(
-                        self.processor
-                            .execute(&swap_tx(u, amt as u128, dir), 1008, global),
-                    );
+                    txs.push(self.shards.execute(
+                        &swap_tx(user(ui), pool, amt as u128, dir),
+                        1008,
+                        global,
+                    ));
                 }
                 let block = MetaBlock::new(epoch, round, self.ledger.tip(), txs);
                 self.ledger.append_meta(block).unwrap();
             }
-            let (payouts, positions, pool) = self.processor.end_epoch();
+            let (payouts, positions, pools) = self.shards.end_epoch();
             let summary = SummaryBlock {
                 epoch,
                 parent: self.ledger.tip(),
@@ -357,7 +461,7 @@ mod tests {
                     .collect(),
                 payouts,
                 positions,
-                pool,
+                pools,
             };
             self.ledger.append_summary(summary).unwrap();
         }
@@ -366,14 +470,13 @@ mod tests {
     #[test]
     fn restored_node_catches_up_byte_identically() {
         // full-history node: 5 epochs, checkpoint after epoch 2
-        let mut full = Node::new();
+        let mut full = Node::new(1);
         let mut cp = Checkpointer::new();
         let mut mid_snapshot = None;
         for epoch in 1..=5 {
             full.run_epoch(epoch);
             if epoch == 2 {
-                let (snap, stats) =
-                    checkpoint_node(&mut cp, epoch, &mut full.processor, &full.ledger);
+                let (snap, stats) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
                 assert_eq!(stats.pools_reencoded, 1);
                 mid_snapshot = Some(snap);
             }
@@ -386,31 +489,44 @@ mod tests {
         let applied = catch_up(&mut node, &full.ledger, ROUNDS).unwrap();
         assert_eq!(applied, 3);
 
-        // byte-identical: same ledger state, same processor state, same
+        // byte-identical: same ledger state, same shard states, same
         // state root as the uninterrupted node
         assert_eq!(node.ledger.export_state(), full.ledger.export_state());
-        assert_eq!(node.processor.export_state(), full.processor.export_state());
-        let (_, a) = checkpoint_node(
-            &mut Checkpointer::new(),
-            5,
-            &mut node.processor,
-            &node.ledger,
-        );
-        let (_, b) = checkpoint_node(
-            &mut Checkpointer::new(),
-            5,
-            &mut full.processor,
-            &full.ledger,
-        );
+        assert_eq!(node.shards.export_states(), full.shards.export_states());
+        let (_, a) = checkpoint_node(&mut Checkpointer::new(), 5, &mut node.shards, &node.ledger);
+        let (_, b) = checkpoint_node(&mut Checkpointer::new(), 5, &mut full.shards, &full.ledger);
         assert_eq!(a.root, b.root, "state roots diverge");
     }
 
     #[test]
+    fn multi_pool_node_checkpoints_and_catches_up() {
+        // the same drill across 4 shards: one snapshot covers all pools
+        let mut full = Node::new(4);
+        let mut cp = Checkpointer::new();
+        let mut mid = None;
+        for epoch in 1..=4 {
+            full.run_epoch(epoch);
+            if epoch == 2 {
+                let (snap, stats) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+                assert_eq!(stats.pools_total, 4);
+                assert_eq!(snap.pool_sections().count(), 4);
+                mid = Some(snap);
+            }
+        }
+        let mut node = restore_node(&Snapshot::decode(&mid.unwrap().encode()).unwrap()).unwrap();
+        assert_eq!(node.shards.len(), 4);
+        let applied = catch_up(&mut node, &full.ledger, ROUNDS).unwrap();
+        assert_eq!(applied, 2);
+        assert_eq!(node.shards.export_states(), full.shards.export_states());
+        assert_eq!(node.ledger.export_state(), full.ledger.export_state());
+    }
+
+    #[test]
     fn catch_up_rejects_overpruned_source() {
-        let mut full = Node::new();
+        let mut full = Node::new(1);
         let mut cp = Checkpointer::new();
         full.run_epoch(1);
-        let (snap, _) = checkpoint_node(&mut cp, 1, &mut full.processor, &full.ledger);
+        let (snap, _) = checkpoint_node(&mut cp, 1, &mut full.shards, &full.ledger);
         full.run_epoch(2);
         full.run_epoch(3);
         // the source drops epoch 2's raw history before the node synced
@@ -423,26 +539,75 @@ mod tests {
     }
 
     #[test]
-    fn clean_epoch_reuses_cached_pool_section() {
-        let mut node = Node::new();
+    fn clean_shards_reuse_cached_pool_sections() {
+        // 3 shards; only pool 1 trades after the first checkpoint — the
+        // next checkpoint re-encodes exactly that shard
+        let mut node = Node::new(3);
         let mut cp = Checkpointer::new();
         node.run_epoch(1);
-        let (_, s1) = checkpoint_node(&mut cp, 1, &mut node.processor, &node.ledger);
-        assert_eq!(s1.pools_reencoded, 1);
-        // an epoch with no accepted transactions leaves the pool clean
-        node.processor.carry_over_epoch();
-        let (payouts, positions, pool) = node.processor.end_epoch();
+        let (_, s1) = checkpoint_node(&mut cp, 1, &mut node.shards, &node.ledger);
+        assert_eq!(s1.pools_reencoded, 3, "first checkpoint encodes all");
+
+        node.shards.carry_over_epoch();
+        let out = node
+            .shards
+            .execute(&swap_tx(user(2), 1, 1_000_000, true), 1008, 99);
+        assert!(out.accepted());
+        let (payouts, positions, pools) = node.shards.end_epoch();
         let summary = SummaryBlock {
             epoch: 2,
             parent: node.ledger.tip(),
             meta_refs: vec![],
             payouts,
             positions,
-            pool,
+            pools,
         };
         node.ledger.append_summary(summary).unwrap();
-        let (_, s2) = checkpoint_node(&mut cp, 2, &mut node.processor, &node.ledger);
-        assert_eq!(s2.pools_reencoded, 0);
-        assert_eq!(s2.pools_reused, 1);
+        let (_, s2) = checkpoint_node(&mut cp, 2, &mut node.shards, &node.ledger);
+        assert_eq!(s2.pools_reencoded, 1, "only the traded shard re-encodes");
+        assert_eq!(s2.pools_reused, 2);
+    }
+
+    #[test]
+    fn restore_rejects_pool_section_claimed_by_no_shard() {
+        // shards {0, 1}, all deposits routed to pool 0; stripping pool
+        // 1's meta leaves its section unclaimed — restore must fail
+        // closed instead of silently dropping the shard's state
+        let mut shards = ShardMap::new([PoolId(0), PoolId(1)]);
+        let mut snapshot = HashMap::new();
+        snapshot.insert(user(1), (1_000u128, 1_000u128));
+        shards.begin_epoch(snapshot, |_| Some(PoolId(0)));
+        let ledger = Ledger::new(H256::hash(b"unclaimed"));
+        let (mut snap, _) = checkpoint_node(&mut Checkpointer::new(), 1, &mut shards, &ledger);
+        let metas = Vec::<ShardMeta>::decode_all(
+            &snap
+                .section(SectionKind::Aux(AUX_PROCESSOR_META))
+                .unwrap()
+                .bytes,
+        )
+        .unwrap();
+        let stripped = vec![metas[0].clone()];
+        for section in &mut snap.sections {
+            if section.kind == SectionKind::Aux(AUX_PROCESSOR_META) {
+                section.bytes = stripped.encode_to_vec();
+            }
+        }
+        assert!(matches!(
+            restore_node(&snap),
+            Err(NodeRestoreError::UnclaimedPool(PoolId(1)))
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_missing_shard_pool_section() {
+        let mut node = Node::new(2);
+        node.run_epoch(1);
+        let (mut snap, _) =
+            checkpoint_node(&mut Checkpointer::new(), 1, &mut node.shards, &node.ledger);
+        snap.sections.retain(|s| s.kind != SectionKind::Pool(1));
+        assert!(matches!(
+            restore_node(&snap),
+            Err(NodeRestoreError::MissingPool(PoolId(1)))
+        ));
     }
 }

@@ -3,7 +3,7 @@
 
 use ammboost_mainchain::chain::ChainConfig;
 use ammboost_sim::time::SimDuration;
-use ammboost_workload::{LiquidityStyle, TrafficMix};
+use ammboost_workload::{LiquidityStyle, TrafficMix, TrafficSkew};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -68,8 +68,15 @@ pub struct SystemConfig {
     pub daily_volume: u64,
     /// Traffic mix.
     pub mix: TrafficMix,
-    /// Simulated user count (paper: 100).
+    /// Simulated user count (paper: 100). Must be at least `pools`.
     pub users: u64,
+    /// Number of pools the node serves (the paper's experiments use 1;
+    /// real deployments serve fleets). TokenBank creates `PoolId(0..pools)`
+    /// at deployment and the sidechain executes one shard per pool.
+    pub pools: u32,
+    /// How per-transaction traffic distributes across the pool set
+    /// (uniform, or Zipf-skewed as real AMM fleets are).
+    pub traffic_skew: TrafficSkew,
     /// Mint range shape for generated liquidity (default: the paper's
     /// spread; `Fragmented` tiles many single-spacing ranges, producing a
     /// tick-dense pool for swap-engine stress runs).
@@ -112,6 +119,8 @@ impl Default for SystemConfig {
             daily_volume: 25_000_000,
             mix: TrafficMix::uniswap_2023(),
             users: 100,
+            pools: 1,
+            traffic_skew: TrafficSkew::default(),
             liquidity_style: LiquidityStyle::default(),
             deposit_policy: DepositPolicy::OncePerRun,
             deposit_amount: 2_000_000_000_000,

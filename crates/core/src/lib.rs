@@ -8,6 +8,8 @@
 //! - [`txenv`] — the `CreateTx` / `VerifyTx` API of §III.
 //! - [`processor`] — pool-snapshot-based, delayed-token-payout execution
 //!   with epoch deposits (§IV-B, Fig. 4).
+//! - [`shard`] — `PoolId` as a routing key: one processor per pool,
+//!   parallel per-pool batch execution, deterministic effect merging.
 //! - [`system`] — the full runner: election → DKG → rounds of meta-blocks
 //!   → summary → TSQC-authenticated sync → pruning, plus interruption
 //!   recovery (view change, mass-sync, rollbacks; §IV-C).
@@ -32,6 +34,7 @@ pub mod baseline;
 pub mod checkpoint;
 pub mod config;
 pub mod processor;
+pub mod shard;
 pub mod system;
 pub mod txenv;
 
@@ -39,5 +42,6 @@ pub use baseline::{BaselineConfig, BaselineReport, BaselineRunner};
 pub use checkpoint::{catch_up, checkpoint_node, restore_node, NodeRestore};
 pub use config::{DepositPolicy, FaultPlan, SystemConfig};
 pub use processor::{EpochProcessor, ProcessorState};
+pub use shard::{ExecMode, ShardMap};
 pub use system::{System, SystemReport};
 pub use txenv::{create_tx, verify_tx, SignedTx};

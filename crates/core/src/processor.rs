@@ -172,6 +172,22 @@ impl EpochProcessor {
         &self.deposits
     }
 
+    /// Positions touched this epoch, ascending — checkpoint metadata,
+    /// exported without cloning the pool.
+    pub fn touched_positions(&self) -> Vec<PositionId> {
+        self.touched.iter().copied().collect()
+    }
+
+    /// Positions deleted this epoch with their last owner, ascending.
+    pub fn deleted_positions(&self) -> Vec<(PositionId, Address)> {
+        self.deleted.iter().map(|(id, a)| (*id, *a)).collect()
+    }
+
+    /// Positions that existed at epoch start, ascending.
+    pub fn preexisting_positions(&self) -> Vec<PositionId> {
+        self.preexisting.iter().copied().collect()
+    }
+
     /// Current epoch statistics.
     pub fn stats(&self) -> ProcessorStats {
         self.stats

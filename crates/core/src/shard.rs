@@ -1,0 +1,506 @@
+//! Sharded multi-pool execution: `PoolId` as a routing key.
+//!
+//! A [`ShardMap`] owns one [`EpochProcessor`] per pool and routes every
+//! [`AmmTx`] by its `pool` field. Because the system's traffic model pins
+//! each user to a home pool (deposits are routed the same way at epoch
+//! start), the shards share no mutable state — an epoch's per-pool
+//! batches can execute on independent threads (`std::thread::scope`) and
+//! still produce results bit-identical to sequential execution. Per-pool
+//! effects are merged deterministically (shards iterate ascending by
+//! `PoolId`; payouts re-sorted by user) into one epoch summary, one
+//! ledger entry and one Merkle-committed checkpoint covering all shards.
+
+use crate::processor::{EpochProcessor, ProcessorState, ProcessorStats};
+use ammboost_amm::pool::TickSearch;
+use ammboost_amm::tx::AmmTx;
+use ammboost_amm::types::{Amount, PoolId, PositionId};
+use ammboost_crypto::Address;
+use ammboost_sidechain::block::{ExecutedTx, TxEffect};
+use ammboost_sidechain::summary::{Deposits, PayoutEntry, PoolUpdate, PositionEntry};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// One shard's sorted deposit entries, as exported for checkpointing.
+pub type DepositEntries = Vec<(Address, (u128, u128))>;
+
+/// Below this batch size the scheduling overhead of scoped threads
+/// outweighs the per-shard work; such rounds execute sequentially even in
+/// [`ExecMode::Auto`].
+const PARALLEL_MIN_BATCH: usize = 64;
+
+/// How a batch is scheduled across shards. Results are bit-identical in
+/// every mode — scheduling is a pure performance choice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Parallelize when more than one shard has work, the batch is large
+    /// enough to amortize thread startup, and the host has more than one
+    /// hardware thread.
+    #[default]
+    Auto,
+    /// Always execute shard-by-shard on the calling thread.
+    Sequential,
+    /// Spawn a scoped worker per busy shard whenever at least two shards
+    /// have work (benchmarking knob; ignores the batch-size gate).
+    Parallel,
+}
+
+fn hardware_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// A routing map of per-pool epoch processors, ascending by [`PoolId`].
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    shards: Vec<EpochProcessor>,
+}
+
+impl ShardMap {
+    /// Builds a shard map with a fresh standard pool per id.
+    ///
+    /// # Panics
+    /// Panics on an empty or duplicate-carrying pool set — a
+    /// configuration error.
+    pub fn new(pool_ids: impl IntoIterator<Item = PoolId>) -> ShardMap {
+        let mut ids: Vec<PoolId> = pool_ids.into_iter().collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert!(!ids.is_empty(), "shard map needs at least one pool");
+        assert_eq!(before, ids.len(), "duplicate pool ids in shard map");
+        ShardMap {
+            shards: ids.into_iter().map(EpochProcessor::new).collect(),
+        }
+    }
+
+    /// Reassembles a shard map from restored processors (the snapshot
+    /// path); sorts by pool id.
+    ///
+    /// # Panics
+    /// Panics on an empty or duplicate-carrying processor set.
+    pub fn from_processors(mut processors: Vec<EpochProcessor>) -> ShardMap {
+        assert!(!processors.is_empty(), "shard map needs at least one pool");
+        processors.sort_by_key(|p| p.pool_id());
+        assert!(
+            processors
+                .windows(2)
+                .all(|w| w[0].pool_id() < w[1].pool_id()),
+            "duplicate pool ids in shard map"
+        );
+        ShardMap { shards: processors }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` when the map holds no shards (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The pool ids, ascending.
+    pub fn pool_ids(&self) -> Vec<PoolId> {
+        self.shards.iter().map(|s| s.pool_id()).collect()
+    }
+
+    /// The shard executing `pool`.
+    pub fn get(&self, pool: PoolId) -> Option<&EpochProcessor> {
+        self.index_of(pool).map(|i| &self.shards[i])
+    }
+
+    /// Mutable access to the shard executing `pool`.
+    pub fn get_mut(&mut self, pool: PoolId) -> Option<&mut EpochProcessor> {
+        self.index_of(pool).map(move |i| &mut self.shards[i])
+    }
+
+    /// The first shard (lowest pool id) — the single-pool accessor legacy
+    /// callers keep using.
+    pub fn first(&self) -> &EpochProcessor {
+        &self.shards[0]
+    }
+
+    /// Iterates shards ascending by pool id.
+    pub fn iter(&self) -> impl Iterator<Item = &EpochProcessor> {
+        self.shards.iter()
+    }
+
+    /// Mutably iterates shards ascending by pool id.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut EpochProcessor> {
+        self.shards.iter_mut()
+    }
+
+    fn index_of(&self, pool: PoolId) -> Option<usize> {
+        self.shards
+            .binary_search_by_key(&pool, |s| s.pool_id())
+            .ok()
+    }
+
+    /// Selects the tick-search engine on every shard (differential
+    /// replays).
+    pub fn set_tick_search(&mut self, search: TickSearch) {
+        for s in &mut self.shards {
+            s.set_tick_search(search);
+        }
+    }
+
+    /// Seeds standing liquidity on `pool`'s shard.
+    ///
+    /// # Panics
+    /// Panics on an unknown pool — a configuration error.
+    pub fn seed_liquidity(
+        &mut self,
+        pool: PoolId,
+        owner: Address,
+        tick_lower: i32,
+        tick_upper: i32,
+        amount0: Amount,
+        amount1: Amount,
+    ) -> PositionId {
+        self.get_mut(pool)
+            .unwrap_or_else(|| panic!("seeding liquidity on unknown {pool}"))
+            .seed_liquidity(owner, tick_lower, tick_upper, amount0, amount1)
+    }
+
+    /// `SnapshotBank` across shards: routes every deposit entry to its
+    /// owner's shard via `route` and begins the epoch on all shards.
+    /// Entries whose route is unknown (or names a pool outside the map)
+    /// land on the first shard so no deposit silently disappears.
+    ///
+    /// `route` must assign each user to exactly one pool — the
+    /// disjointness that makes parallel shard execution and the payout
+    /// merge exact.
+    pub fn begin_epoch(
+        &mut self,
+        snapshot: HashMap<Address, (u128, u128)>,
+        route: impl Fn(&Address) -> Option<PoolId>,
+    ) {
+        let mut per_shard: Vec<HashMap<Address, (u128, u128)>> =
+            (0..self.shards.len()).map(|_| HashMap::new()).collect();
+        for (user, balance) in snapshot {
+            let idx = route(&user)
+                .and_then(|pool| self.index_of(pool))
+                .unwrap_or(0);
+            per_shard[idx].insert(user, balance);
+        }
+        for (shard, deposits) in self.shards.iter_mut().zip(per_shard) {
+            shard.begin_epoch(deposits);
+        }
+    }
+
+    /// Begins an epoch on every shard without re-snapshotting deposits
+    /// (the mass-sync carry-over path).
+    pub fn carry_over_epoch(&mut self) {
+        for s in &mut self.shards {
+            s.carry_over_epoch();
+        }
+    }
+
+    /// Executes one transaction on the shard its `pool` field routes to.
+    /// Transactions addressing a pool outside the map are rejected
+    /// without touching any shard.
+    pub fn execute(&mut self, tx: &AmmTx, wire_size: usize, round: u64) -> ExecutedTx {
+        match self.get_mut(tx.pool()) {
+            Some(shard) => shard.execute(tx, wire_size, round),
+            None => ExecutedTx {
+                tx: tx.clone(),
+                wire_size,
+                effect: TxEffect::Rejected {
+                    reason: format!("unknown pool {}", tx.pool()),
+                },
+            },
+        }
+    }
+
+    /// Executes a round's batch, routing each transaction by pool and
+    /// preserving per-pool submission order. Under [`ExecMode::Auto`] /
+    /// [`ExecMode::Parallel`] the busy shards run on scoped threads; the
+    /// returned effects are in the batch's original order and
+    /// bit-identical to sequential execution regardless of mode.
+    pub fn execute_batch(
+        &mut self,
+        batch: &[(&AmmTx, usize)],
+        round: u64,
+        mode: ExecMode,
+    ) -> Vec<ExecutedTx> {
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut unroutable: Vec<usize> = Vec::new();
+        for (i, (tx, _)) in batch.iter().enumerate() {
+            match self.index_of(tx.pool()) {
+                Some(s) => per_shard[s].push(i),
+                None => unroutable.push(i),
+            }
+        }
+        let busy = per_shard.iter().filter(|v| !v.is_empty()).count();
+        let parallel = match mode {
+            ExecMode::Sequential => false,
+            ExecMode::Parallel => busy > 1,
+            ExecMode::Auto => {
+                busy > 1 && batch.len() >= PARALLEL_MIN_BATCH && hardware_threads() > 1
+            }
+        };
+
+        let mut out: Vec<Option<ExecutedTx>> = batch.iter().map(|_| None).collect();
+        if parallel {
+            let chunks: Vec<Vec<(usize, ExecutedTx)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(&per_shard)
+                    .filter(|(_, indices)| !indices.is_empty())
+                    .map(|(shard, indices): (&mut EpochProcessor, &Vec<usize>)| {
+                        scope.spawn(move || {
+                            indices
+                                .iter()
+                                .map(|&i| {
+                                    let (tx, size) = batch[i];
+                                    (i, shard.execute(tx, size, round))
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            for chunk in chunks {
+                for (i, executed) in chunk {
+                    out[i] = Some(executed);
+                }
+            }
+        } else {
+            for (shard, indices) in self.shards.iter_mut().zip(&per_shard) {
+                for &i in indices {
+                    let (tx, size) = batch[i];
+                    out[i] = Some(shard.execute(tx, size, round));
+                }
+            }
+        }
+        for i in unroutable {
+            let (tx, size) = batch[i];
+            out[i] = Some(ExecutedTx {
+                tx: tx.clone(),
+                wire_size: size,
+                effect: TxEffect::Rejected {
+                    reason: format!("unknown pool {}", tx.pool()),
+                },
+            });
+        }
+        out.into_iter()
+            .map(|o| o.expect("every transaction executed"))
+            .collect()
+    }
+
+    /// Ends the epoch on every shard and merges the per-pool effects
+    /// deterministically: payouts re-sorted by user (shard user sets are
+    /// disjoint, so this is a pure merge), positions concatenated in pool
+    /// order, and one [`PoolUpdate`] per shard ascending by pool id.
+    pub fn end_epoch(&mut self) -> (Vec<PayoutEntry>, Vec<PositionEntry>, Vec<PoolUpdate>) {
+        let mut payouts = Vec::new();
+        let mut positions = Vec::new();
+        let mut pools = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            let (p, pos, update) = shard.end_epoch();
+            payouts.extend(p);
+            positions.extend(pos);
+            pools.push(update);
+        }
+        payouts.sort_by_key(|p| p.user);
+        (payouts, positions, pools)
+    }
+
+    /// One pass over every shard's deposit ledger: the per-shard sorted
+    /// entry lists (ascending by pool id) plus their global union —
+    /// the checkpoint's shard user lists and deposits section come from
+    /// the same computation, so the two can never disagree.
+    pub fn deposit_export(&self) -> (Vec<DepositEntries>, Deposits) {
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut merged: DepositEntries = Vec::new();
+        for shard in &self.shards {
+            let entries = shard.deposits().to_sorted_entries();
+            merged.extend(entries.iter().copied());
+            per_shard.push(entries);
+        }
+        merged.sort_by_key(|(user, _)| *user);
+        (per_shard, Deposits::from_sorted_entries(merged))
+    }
+
+    /// The union of all shards' deposit ledgers (user sets are disjoint
+    /// by routing), for the snapshot's global deposits section.
+    pub fn merged_deposits(&self) -> Deposits {
+        self.deposit_export().1
+    }
+
+    /// Exports every shard's persistent state, ascending by pool id.
+    pub fn export_states(&self) -> Vec<ProcessorState> {
+        self.shards.iter().map(|s| s.export_state()).collect()
+    }
+
+    /// Aggregated accept/reject counters across shards (current epoch).
+    pub fn stats(&self) -> ProcessorStats {
+        let mut total = ProcessorStats::default();
+        for s in &self.shards {
+            total.accepted += s.stats().accepted;
+            total.rejected += s.stats().rejected;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ammboost_amm::tx::{SwapIntent, SwapTx};
+
+    fn user(i: u64) -> Address {
+        Address::from_index(i)
+    }
+
+    fn shard_map(pools: u32) -> ShardMap {
+        let mut shards = ShardMap::new((0..pools).map(PoolId));
+        for p in 0..pools {
+            shards.seed_liquidity(
+                PoolId(p),
+                user(900 + p as u64),
+                -60_000,
+                60_000,
+                10u128.pow(13),
+                10u128.pow(13),
+            );
+        }
+        shards
+    }
+
+    fn swap(u: Address, pool: u32, amount: u128, dir: bool) -> AmmTx {
+        AmmTx::Swap(SwapTx {
+            user: u,
+            pool: PoolId(pool),
+            zero_for_one: dir,
+            intent: SwapIntent::ExactInput {
+                amount_in: amount,
+                min_amount_out: 0,
+            },
+            sqrt_price_limit: None,
+            deadline_round: 1_000_000,
+        })
+    }
+
+    /// Deposits for users 0..n, user i routed to pool i % pools.
+    fn begin(shards: &mut ShardMap, users: u64, pools: u32) {
+        let snapshot: HashMap<Address, (u128, u128)> = (0..users)
+            .map(|i| (user(i), (1_000_000_000u128, 1_000_000_000u128)))
+            .collect();
+        shards.begin_epoch(snapshot, |a| {
+            (0..users)
+                .find(|i| user(*i) == *a)
+                .map(|i| PoolId((i % pools as u64) as u32))
+        });
+    }
+
+    fn batch_for(users: u64, pools: u32, n: usize) -> Vec<AmmTx> {
+        (0..n as u64)
+            .map(|i| {
+                let u = i % users;
+                swap(
+                    user(u),
+                    (u % pools as u64) as u32,
+                    10_000 + i as u128,
+                    i % 2 == 0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_by_pool_id() {
+        let mut shards = shard_map(4);
+        begin(&mut shards, 8, 4);
+        let tx = swap(user(2), 2, 50_000, true);
+        let out = shards.execute(&tx, 1008, 0);
+        assert!(out.accepted());
+        assert_eq!(shards.get(PoolId(2)).unwrap().stats().accepted, 1);
+        for p in [0u32, 1, 3] {
+            assert_eq!(shards.get(PoolId(p)).unwrap().stats().accepted, 0);
+        }
+    }
+
+    #[test]
+    fn unknown_pool_rejected_without_state_change() {
+        let mut shards = shard_map(2);
+        begin(&mut shards, 4, 2);
+        let tx = swap(user(1), 9, 50_000, true);
+        let out = shards.execute(&tx, 1008, 0);
+        assert!(!out.accepted());
+        assert_eq!(shards.stats().accepted, 0);
+        assert_eq!(shards.stats().rejected, 0, "no shard touched");
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_bit_for_bit() {
+        let txs = batch_for(16, 4, 300);
+        let batch: Vec<(&AmmTx, usize)> = txs.iter().map(|t| (t, 1008)).collect();
+
+        let mut seq = shard_map(4);
+        begin(&mut seq, 16, 4);
+        let a = seq.execute_batch(&batch, 0, ExecMode::Sequential);
+
+        let mut par = shard_map(4);
+        begin(&mut par, 16, 4);
+        let b = par.execute_batch(&batch, 0, ExecMode::Parallel);
+
+        assert_eq!(a, b, "scheduling changed results");
+        assert_eq!(seq.end_epoch(), par.end_epoch());
+        assert_eq!(seq.export_states(), par.export_states());
+    }
+
+    #[test]
+    fn batch_preserves_submission_order_per_pool() {
+        let mut shards = shard_map(2);
+        begin(&mut shards, 4, 2);
+        let txs = batch_for(4, 2, 10);
+        let batch: Vec<(&AmmTx, usize)> = txs.iter().map(|t| (t, 1008)).collect();
+        let out = shards.execute_batch(&batch, 0, ExecMode::Parallel);
+        assert_eq!(out.len(), txs.len());
+        for (i, executed) in out.iter().enumerate() {
+            assert_eq!(&executed.tx, &txs[i], "order scrambled at {i}");
+        }
+    }
+
+    #[test]
+    fn end_epoch_merges_sorted_payouts_and_pool_updates() {
+        let mut shards = shard_map(3);
+        begin(&mut shards, 9, 3);
+        for tx in batch_for(9, 3, 30) {
+            assert!(shards.execute(&tx, 1008, 0).accepted());
+        }
+        let (payouts, _, pools) = shards.end_epoch();
+        assert_eq!(payouts.len(), 9, "one payout per depositor");
+        assert!(payouts.windows(2).all(|w| w[0].user < w[1].user));
+        assert_eq!(pools.len(), 3, "one update per shard");
+        assert!(pools.windows(2).all(|w| w[0].pool < w[1].pool));
+    }
+
+    #[test]
+    fn merged_deposits_union_all_shards() {
+        let mut shards = shard_map(2);
+        begin(&mut shards, 6, 2);
+        let merged = shards.merged_deposits();
+        assert_eq!(merged.len(), 6);
+        for i in 0..6 {
+            assert_eq!(merged.get(&user(i)), (1_000_000_000, 1_000_000_000));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pool ids")]
+    fn duplicate_pools_rejected() {
+        ShardMap::new([PoolId(1), PoolId(1)]);
+    }
+}

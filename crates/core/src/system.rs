@@ -17,7 +17,8 @@
 
 use crate::checkpoint::checkpoint_node;
 use crate::config::{DepositPolicy, SystemConfig};
-use crate::processor::EpochProcessor;
+use crate::shard::{ExecMode, ShardMap};
+use ammboost_amm::tx::AmmTx;
 use ammboost_amm::types::PoolId;
 use ammboost_consensus::election::{draw_ticket, elect_committee, Committee, MinerRecord};
 use ammboost_consensus::latency::AgreementModel;
@@ -30,7 +31,7 @@ use ammboost_mainchain::chain::{Mainchain, TxId, TxSpec};
 use ammboost_mainchain::contracts::token_bank::{SyncInput, SyncReceipt};
 use ammboost_mainchain::contracts::{Erc20, TokenBank};
 use ammboost_mainchain::gas::GasMeter;
-use ammboost_sidechain::block::{ExecutedTx, MetaBlock, SummaryBlock};
+use ammboost_sidechain::block::{MetaBlock, SummaryBlock};
 use ammboost_sidechain::ledger::Ledger;
 use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
 use ammboost_sim::metrics::LatencyStats;
@@ -99,6 +100,10 @@ pub struct SystemReport {
     pub last_state_root: Option<H256>,
 }
 
+/// One epoch's not-yet-synced summary material: epoch number, payout
+/// list, position entries, per-pool reserve sections.
+type UnsyncedEpoch = (u64, Vec<PayoutEntry>, Vec<PositionEntry>, Vec<PoolUpdate>);
+
 enum PendingOp {
     /// A sync covering every epoch up to and including `through_epoch`;
     /// `rollback` marks the planned fork-loss fault.
@@ -122,7 +127,7 @@ pub struct System {
     bank: TokenBank,
     token0: Erc20,
     token1: Erc20,
-    processor: EpochProcessor,
+    shards: ShardMap,
     ledger: Ledger,
     generator: TrafficGenerator,
     miners: Vec<MinerRecord>,
@@ -135,7 +140,7 @@ pub struct System {
     committees: Vec<Committee>,
     queue: VecDeque<(SimTime, ammboost_amm::tx::AmmTx, usize)>,
     awaiting_payout: BTreeMap<u64, Vec<SimTime>>,
-    unsynced: Vec<(u64, Vec<PayoutEntry>, Vec<PositionEntry>, PoolUpdate)>,
+    unsynced: Vec<UnsyncedEpoch>,
     pending_ops: Vec<(TxId, PendingOp)>,
     rollback_backup: Option<RollbackBackup>,
     /// Highest epoch covered by a submitted (not reverted) sync.
@@ -173,14 +178,19 @@ impl System {
         let mut bank = TokenBank::deploy(genesis_dkg.group_public_key);
         let mut token0 = Erc20::new("TKA");
         let mut token1 = Erc20::new("TKB");
-        bank.create_pool(PoolId(0), &mut GasMeter::new());
+        assert!(cfg.pools >= 1, "a system needs at least one pool");
+        let pool_ids: Vec<PoolId> = (0..cfg.pools).map(PoolId).collect();
+        for pool in &pool_ids {
+            bank.create_pool(*pool, &mut GasMeter::new());
+        }
 
         let generator = TrafficGenerator::new(GeneratorConfig {
             daily_volume: cfg.daily_volume,
             mix: cfg.mix,
             users: cfg.users,
             round_duration: cfg.round_duration,
-            pool: PoolId(0),
+            pools: pool_ids.clone(),
+            skew: cfg.traffic_skew,
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: cfg.liquidity_style,
@@ -198,17 +208,20 @@ impl System {
             token1.mint(user, per_user);
         }
         let seed_liquidity: u128 = 4_000_000_000_000_000;
-        token0.mint(bank.address, seed_liquidity * 2);
-        token1.mint(bank.address, seed_liquidity * 2);
+        token0.mint(bank.address, seed_liquidity * 2 * cfg.pools as u128);
+        token1.mint(bank.address, seed_liquidity * 2 * cfg.pools as u128);
 
-        let mut processor = EpochProcessor::new(PoolId(0));
-        processor.seed_liquidity(
-            Address::from_pubkey_bytes(b"genesis-lp"),
-            -120_000,
-            120_000,
-            seed_liquidity,
-            seed_liquidity,
-        );
+        let mut shards = ShardMap::new(pool_ids.iter().copied());
+        for pool in &pool_ids {
+            shards.seed_liquidity(
+                *pool,
+                Address::from_pubkey_bytes(b"genesis-lp"),
+                -120_000,
+                120_000,
+                seed_liquidity,
+                seed_liquidity,
+            );
+        }
 
         // sidechain miner population with VRF identities
         let mut miners = Vec::with_capacity(cfg.miner_population);
@@ -229,7 +242,7 @@ impl System {
             bank,
             token0,
             token1,
-            processor,
+            shards,
             ledger: Ledger::new(genesis_ref),
             generator,
             miners,
@@ -284,9 +297,10 @@ impl System {
         &self.chain
     }
 
-    /// Read access to the sidechain processor (pool + deposits).
-    pub fn processor(&self) -> &EpochProcessor {
-        &self.processor
+    /// Read access to the execution shards (one processor per pool; for
+    /// single-pool configurations, `shards().first()` is the processor).
+    pub fn shards(&self) -> &ShardMap {
+        &self.shards
     }
 
     /// Read access to the traffic generator.
@@ -364,7 +378,7 @@ impl System {
         let (snapshot, stats) = checkpoint_node(
             &mut self.checkpointer,
             epoch,
-            &mut self.processor,
+            &mut self.shards,
             &self.ledger,
         );
         self.snapshots_taken += 1;
@@ -405,9 +419,11 @@ impl System {
         // is missing and a mass-sync is owed, paper §IV-C) ---
         if self.synced_through >= epoch - 1 {
             let snapshot = self.bank.snapshot_deposits(epoch);
-            self.processor.begin_epoch(snapshot);
+            let generator = &self.generator;
+            self.shards
+                .begin_epoch(snapshot, |user| generator.pool_for(user));
         } else {
-            self.processor.carry_over_epoch();
+            self.shards.carry_over_epoch();
         }
 
         // --- per-epoch deposits for the next epoch ---
@@ -473,36 +489,61 @@ impl System {
         self.close_epoch(epoch, epoch_end);
     }
 
-    fn mine_meta_block(&mut self, epoch: u64, round: u64, global_round: u64, round_end: SimTime) {
-        let mut executed: Vec<ExecutedTx> = Vec::new();
+    /// Pops queued transactions under the meta-block byte budget — and,
+    /// when `arrival_cutoff` is given, arriving before it — executes the
+    /// batch across the shards (per-pool sub-batches on scoped threads,
+    /// effects back in submission order) and applies acceptance
+    /// bookkeeping against `payout_epoch`. Shared by in-run rounds and
+    /// the end-of-run drain so their accounting can never drift apart.
+    fn execute_queued_batch(
+        &mut self,
+        arrival_cutoff: Option<SimTime>,
+        round_end: SimTime,
+        global_round: u64,
+        payout_epoch: u64,
+    ) -> Vec<ammboost_sidechain::block::ExecutedTx> {
+        let mut popped: Vec<(SimTime, AmmTx, usize)> = Vec::new();
         let mut bytes = 0usize;
         while let Some((arrival, _, size)) = self.queue.front() {
-            if *arrival >= round_end || bytes + size > self.cfg.meta_block_bytes {
+            let past_cutoff = arrival_cutoff.is_some_and(|cutoff| *arrival >= cutoff);
+            if past_cutoff || bytes + size > self.cfg.meta_block_bytes {
                 break;
             }
-            let (arrival, tx, size) = self.queue.pop_front().expect("front checked");
-            bytes += size;
-            let out = self.processor.execute(&tx, size, global_round);
+            let entry = self.queue.pop_front().expect("front checked");
+            bytes += entry.2;
+            popped.push(entry);
+        }
+        let batch: Vec<(&AmmTx, usize)> = popped.iter().map(|(_, tx, size)| (tx, *size)).collect();
+        let executed = self
+            .shards
+            .execute_batch(&batch, global_round, ExecMode::Auto);
+        for ((arrival, _, _), out) in popped.iter().zip(&executed) {
             if out.accepted() {
                 self.accepted += 1;
-                self.sc_latency.record(round_end.since(arrival));
-                self.awaiting_payout.entry(epoch).or_default().push(arrival);
-                // feed back created/deleted positions so traffic can
-                // reference them
-                match &out.effect {
-                    ammboost_sidechain::block::TxEffect::Mint { .. } => {}
-                    ammboost_sidechain::block::TxEffect::Burn {
-                        position, deleted, ..
-                    } if *deleted => {
+                self.sc_latency.record(round_end.since(*arrival));
+                self.awaiting_payout
+                    .entry(payout_epoch)
+                    .or_default()
+                    .push(*arrival);
+                // feed back deleted positions so traffic stops
+                // referencing them
+                if let ammboost_sidechain::block::TxEffect::Burn {
+                    position, deleted, ..
+                } = &out.effect
+                {
+                    if *deleted {
                         self.generator.forget_position(*position);
                     }
-                    _ => {}
                 }
             } else {
                 self.rejected += 1;
             }
-            executed.push(out);
         }
+        executed
+    }
+
+    fn mine_meta_block(&mut self, epoch: u64, round: u64, global_round: u64, round_end: SimTime) {
+        let executed = self.execute_queued_batch(Some(round_end), round_end, global_round, epoch);
         let block = MetaBlock::new(epoch, round, self.ledger.tip(), executed);
         self.ledger
             .append_meta(block)
@@ -510,7 +551,7 @@ impl System {
     }
 
     fn close_epoch(&mut self, epoch: u64, epoch_end: SimTime) {
-        let (payouts, positions, pool_update) = self.processor.end_epoch();
+        let (payouts, positions, pool_updates) = self.shards.end_epoch();
         let summary = SummaryBlock {
             epoch,
             parent: self.ledger.tip(),
@@ -522,7 +563,7 @@ impl System {
                 .collect(),
             payouts: payouts.clone(),
             positions: positions.clone(),
-            pool: pool_update,
+            pools: pool_updates.clone(),
         };
         self.max_summary_bytes = self.max_summary_bytes.max(summary.size_bytes() as u64);
         self.ledger
@@ -533,12 +574,14 @@ impl System {
             // the leader proposed invalid Sync inputs; the committee
             // refuses to certify — no sync this epoch, mass-sync next.
             // Checkpointing is node-local and proceeds regardless.
-            self.unsynced.push((epoch, payouts, positions, pool_update));
+            self.unsynced
+                .push((epoch, payouts, positions, pool_updates));
             self.maybe_checkpoint(epoch);
             return;
         }
 
-        self.unsynced.push((epoch, payouts, positions, pool_update));
+        self.unsynced
+            .push((epoch, payouts, positions, pool_updates));
         let rollback = self.cfg.faults.rollback_epochs.contains(&epoch);
         self.submit_sync(epoch, epoch_end, rollback);
         self.maybe_checkpoint(epoch);
@@ -573,7 +616,8 @@ impl System {
             self.mass_syncs += 1;
         }
         // merge: latest payouts (deposits are cumulative on the
-        // sidechain), union of positions (later entries win), last pool
+        // sidechain), union of positions (later entries win), latest
+        // per-pool sections (every epoch reports all pools)
         let payouts = self.unsynced.last().expect("non-empty").1.clone();
         let mut merged: BTreeMap<_, PositionEntry> = BTreeMap::new();
         for (_, _, positions, _) in &self.unsynced {
@@ -581,12 +625,12 @@ impl System {
                 merged.insert(p.id, *p);
             }
         }
-        let pool = self.unsynced.last().expect("non-empty").3;
+        let pools = self.unsynced.last().expect("non-empty").3.clone();
         let input = SyncInput {
             epoch: through_epoch,
             payouts,
             positions: merged.into_values().collect(),
-            pool,
+            pools,
             next_vk: self.next_dkg.group_public_key,
         };
 
@@ -789,35 +833,21 @@ impl System {
         // deposits) so payouts stay backed by locked tokens; carry over
         // when the final epochs are still awaiting a mass-sync
         if self.synced_through >= self.cfg.epochs {
-            self.processor
-                .begin_epoch(self.bank.snapshot_deposits(drain_epoch));
+            let snapshot = self.bank.snapshot_deposits(drain_epoch);
+            let generator = &self.generator;
+            self.shards
+                .begin_epoch(snapshot, |user| generator.pool_for(user));
         } else {
-            self.processor.carry_over_epoch();
+            self.shards.carry_over_epoch();
         }
 
         let mut t = run_end;
         let mut round = self.cfg.epochs * self.cfg.rounds_per_epoch;
         while !self.queue.is_empty() {
             let round_end = t + self.cfg.round_duration;
-            let mut bytes = 0usize;
-            while let Some((_, _, size)) = self.queue.front() {
-                if bytes + size > self.cfg.meta_block_bytes {
-                    break;
-                }
-                let (arrival, tx, size) = self.queue.pop_front().expect("front checked");
-                bytes += size;
-                let out = self.processor.execute(&tx, size, round);
-                if out.accepted() {
-                    self.accepted += 1;
-                    self.sc_latency.record(round_end.since(arrival));
-                    self.awaiting_payout
-                        .entry(drain_epoch)
-                        .or_default()
-                        .push(arrival);
-                } else {
-                    self.rejected += 1;
-                }
-            }
+            // drained rounds take everything under the byte budget — the
+            // run is over, so there is no arrival cutoff
+            self.execute_queued_batch(None, round_end, round, drain_epoch);
             round += 1;
             t = round_end;
         }
@@ -825,9 +855,9 @@ impl System {
         // confirm first, then submit the drain epoch's sync
         self.chain.advance_to(t + SimDuration::from_secs(60));
         self.handle_confirmations();
-        let (payouts, positions, pool_update) = self.processor.end_epoch();
+        let (payouts, positions, pool_updates) = self.shards.end_epoch();
         self.unsynced
-            .push((drain_epoch, payouts, positions, pool_update));
+            .push((drain_epoch, payouts, positions, pool_updates));
         self.submit_sync(drain_epoch, t + SimDuration::from_secs(60), false);
         self.chain.advance_to(t + SimDuration::from_secs(120));
         self.handle_confirmations();
@@ -989,11 +1019,8 @@ mod tests {
         let snapshot = sys.last_snapshot().expect("checkpoints taken");
         let node = crate::checkpoint::restore_node(snapshot).unwrap();
         assert_eq!(node.root, stats.root);
-        // the restored processor carries the live pool state
-        assert_eq!(
-            node.processor.pool().export_state(),
-            sys.processor().pool().export_state()
-        );
+        // the restored shards carry the live pool state
+        assert_eq!(node.shards.export_states(), sys.shards().export_states());
         assert_eq!(node.ledger.export_state(), sys.ledger().export_state());
     }
 

@@ -435,12 +435,19 @@ fn first4(l: [u64; 8]) -> [u64; 4] {
     [l[0], l[1], l[2], l[3]]
 }
 
-/// Knuth Algorithm D long division over little-endian `u64` limb slices.
+/// Long division dispatch over little-endian `u64` limb slices.
 ///
 /// Returns `(quotient, remainder)` as fixed 8-limb arrays. Entirely
 /// allocation-free: this runs several times per swap step (amount deltas,
 /// fee accounting), where the former `Vec`-based scratch buffers were the
 /// single largest cost.
+///
+/// Divisor shapes take specialized paths: 1 limb → schoolbook with
+/// native `u128` division; 2 limbs → Möller–Granlund reciprocal 3-by-2
+/// division (the Q64.96 sqrt prices the swap loop divides by are 2-limb
+/// until |tick| ≈ 443k, so this is the AMM hot path — roughly halving
+/// the per-division cost vs the Knuth core, which stays as the general
+/// path and as the differential oracle under `debug_assert`).
 fn div_rem_limbs(num: &[u64], div: &[u64]) -> ([u64; 8], [u64; 8]) {
     debug_assert!(num.len() <= 8 && div.len() <= 8);
     // Strip leading (most-significant) zeros.
@@ -468,6 +475,134 @@ fn div_rem_limbs(num: &[u64], div: &[u64]) -> ([u64; 8], [u64; 8]) {
         r[0] = rem as u64;
         return (q, r);
     }
+
+    // Two-limb divisor: reciprocal division, with the Knuth core as the
+    // differential oracle in debug builds.
+    if d_len == 2 {
+        let out = div_rem_by_2_limbs(&num[..n_len], div[0], div[1]);
+        debug_assert_eq!(
+            out,
+            div_rem_knuth(num, div, n_len, d_len),
+            "reciprocal division diverges from Knuth oracle"
+        );
+        return out;
+    }
+
+    div_rem_knuth(num, div, n_len, d_len)
+}
+
+/// Möller–Granlund reciprocal of a normalized (high-bit-set) single
+/// limb: `floor((2^128 - 1) / d) - 2^64`.
+#[inline]
+fn reciprocal_u64(d: u64) -> u64 {
+    debug_assert!(d >= 1 << 63, "reciprocal of unnormalized divisor");
+    // (2^128 - 1) - d·2^64 = (!d)·2^64 + (2^64 - 1)
+    let num = ((!d as u128) << 64) | u64::MAX as u128;
+    (num / d as u128) as u64
+}
+
+/// Möller–Granlund reciprocal of a normalized 2-limb divisor
+/// `d = d1·2^64 + d0` (with `d1`'s high bit set):
+/// `floor((2^192 - 1) / d) - 2^64`. Algorithm 6 of "Improved division by
+/// invariant integers" (Möller & Granlund, IEEE ToC 2011).
+#[inline]
+fn reciprocal_2_limbs(d1: u64, d0: u64) -> u64 {
+    let mut v = reciprocal_u64(d1);
+    let mut p = d1.wrapping_mul(v).wrapping_add(d0);
+    if p < d0 {
+        v = v.wrapping_sub(1);
+        if p >= d1 {
+            v = v.wrapping_sub(1);
+            p = p.wrapping_sub(d1);
+        }
+        p = p.wrapping_sub(d1);
+    }
+    let t = (v as u128) * (d0 as u128);
+    let t_hi = (t >> 64) as u64;
+    let p2 = p.wrapping_add(t_hi);
+    if p2 < t_hi {
+        v = v.wrapping_sub(1);
+        let d = ((d1 as u128) << 64) | d0 as u128;
+        let candidate = ((p2 as u128) << 64) | (t as u64 as u128);
+        if candidate >= d {
+            v = v.wrapping_sub(1);
+        }
+    }
+    v
+}
+
+/// One 3-by-2 division step (Möller–Granlund Algorithm 4): divides
+/// `⟨u2, u1, u0⟩` by the normalized divisor `⟨d1, d0⟩` using its
+/// precomputed reciprocal `v`, returning the quotient limb and the
+/// 2-limb remainder. Requires `⟨u2, u1⟩ < ⟨d1, d0⟩`.
+#[inline]
+fn div_3by2(u2: u64, u1: u64, u0: u64, d1: u64, d0: u64, v: u64) -> (u64, u128) {
+    let d = ((d1 as u128) << 64) | d0 as u128;
+    let q = (v as u128) * (u2 as u128);
+    let q = q.wrapping_add(((u2 as u128) << 64) | u1 as u128);
+    let mut q1 = (q >> 64) as u64;
+    let q0 = q as u64;
+    let r1 = u1.wrapping_sub(q1.wrapping_mul(d1));
+    let t = (d0 as u128) * (q1 as u128);
+    let mut r = (((r1 as u128) << 64) | u0 as u128)
+        .wrapping_sub(t)
+        .wrapping_sub(d);
+    q1 = q1.wrapping_add(1);
+    if (r >> 64) as u64 >= q0 {
+        q1 = q1.wrapping_sub(1);
+        r = r.wrapping_add(d);
+    }
+    if r >= d {
+        q1 = q1.wrapping_add(1);
+        r = r.wrapping_sub(d);
+    }
+    (q1, r)
+}
+
+/// Division by a 2-limb divisor via reciprocal 3-by-2 steps: normalize,
+/// precompute the reciprocal once, then one `div_3by2` per quotient limb
+/// — no per-step estimate/correct loop, no multiword subtract-and-addback.
+fn div_rem_by_2_limbs(num: &[u64], d0: u64, d1: u64) -> ([u64; 8], [u64; 8]) {
+    debug_assert!(d1 != 0 && num.len() >= 2 && num.len() <= 8);
+    let shift = d1.leading_zeros();
+    // normalized divisor ⟨nd1, nd0⟩ (top bit of nd1 set)
+    let (nd1, nd0) = if shift == 0 {
+        (d1, d0)
+    } else {
+        (d1 << shift | d0 >> (64 - shift), d0 << shift)
+    };
+    let v = reciprocal_2_limbs(nd1, nd0);
+
+    // normalized numerator with one spill limb of headroom
+    let n_len = num.len();
+    let mut u = [0u64; 9];
+    shl_into(&mut u, num, shift);
+
+    let mut q = [0u64; 8];
+    // remainder window ⟨r1, r0⟩, seeded from the numerator's top limbs;
+    // the seed is < d because u[n_len] (the spill limb) holds the top
+    // `shift` bits and is always < nd1
+    let mut rem = ((u[n_len] as u128) << 64) | u[n_len - 1] as u128;
+    for j in (0..n_len - 1).rev() {
+        let (qj, r) = div_3by2((rem >> 64) as u64, rem as u64, u[j], nd1, nd0, v);
+        q[j] = qj;
+        rem = r;
+    }
+
+    // denormalize the remainder
+    let mut r = [0u64; 8];
+    let rem = rem >> shift;
+    r[0] = rem as u64;
+    r[1] = (rem >> 64) as u64;
+    (q, r)
+}
+
+/// Knuth Algorithm D long division over little-endian `u64` limb slices
+/// — the general-divisor core, also serving as the differential oracle
+/// for the reciprocal path.
+fn div_rem_knuth(num: &[u64], div: &[u64], n_len: usize, d_len: usize) -> ([u64; 8], [u64; 8]) {
+    let mut q = [0u64; 8];
+    let mut r = [0u64; 8];
 
     // D1: normalize so the top divisor limb has its high bit set. The
     // scratch buffers live on the stack with one limb of headroom each
@@ -1069,6 +1204,98 @@ mod tests {
         assert!(!U512::ZERO.low_bits_nonzero(512));
         assert!(U512::ONE.low_bits_nonzero(1));
         assert!(!U512::ONE.low_bits_nonzero(0));
+    }
+
+    #[test]
+    fn reciprocal_matches_definition() {
+        // v = floor((2^128 - 1) / d) - 2^64 for normalized d
+        let mut seed = 0xBEEF_CAFE_u64;
+        for _ in 0..2000 {
+            let d = rng(&mut seed) | (1 << 63);
+            let v = reciprocal_u64(d);
+            let expect = (u128::MAX / d as u128) - (1u128 << 64);
+            assert_eq!(v as u128, expect, "d = {d:#x}");
+        }
+    }
+
+    #[test]
+    fn two_limb_reciprocal_matches_definition() {
+        // v = floor((2^192 - 1) / d) - 2^64 for normalized 2-limb d,
+        // checked against the Knuth core computing the same quotient
+        let mut seed = 0x2B1B_D1D0_u64 ^ 0x5555;
+        for _ in 0..500 {
+            let d1 = rng(&mut seed) | (1 << 63);
+            let d0 = rng(&mut seed);
+            let v = reciprocal_2_limbs(d1, d0);
+            // (2^192 - 1) / d via the oracle
+            let num = [u64::MAX, u64::MAX, u64::MAX, 0, 0, 0, 0, 0];
+            let div = [d0, d1, 0, 0, 0, 0, 0, 0];
+            let (q, _) = div_rem_knuth(&num, &div, 3, 2);
+            let expect = q[0];
+            assert_eq!(q[1], 1, "quotient of 3-limb max by normalized 2-limb");
+            assert_eq!(v, expect, "d = ({d1:#x}, {d0:#x})");
+        }
+    }
+
+    #[test]
+    fn two_limb_divisor_division_reconstructs() {
+        // q·d + r == num and r < d across random shapes that exercise the
+        // reciprocal path (2-limb divisors, numerators of 2..8 limbs)
+        let mut seed = 0x0DD5_EED5u64;
+        for _ in 0..3000 {
+            let d = U256([rng(&mut seed), rng(&mut seed) | 1, 0, 0]);
+            let n_limbs = 2 + (rng(&mut seed) % 7) as usize;
+            let mut nl = [0u64; 8];
+            for l in nl.iter_mut().take(n_limbs) {
+                *l = rng(&mut seed);
+            }
+            let num = U512(nl);
+            let (q, r) = num.div_rem_u256(d);
+            assert!(r < d, "remainder not reduced");
+            let back = q
+                .to_u256()
+                .map(|q256| q256.full_mul(d))
+                .unwrap_or_else(|| {
+                    // quotient wider than 256 bits: multiply limb-wise
+                    let mut acc = U512::ZERO;
+                    for (i, &l) in q.0.iter().enumerate() {
+                        let part = d.full_mul(U256::from_u64(l));
+                        let mut shifted = part;
+                        for _ in 0..i {
+                            shifted = shifted << 64;
+                        }
+                        acc = acc.checked_add(shifted).expect("no overflow by invariant");
+                    }
+                    acc
+                })
+                .checked_add(U512::from_u256(r))
+                .expect("q*d + r fits");
+            assert_eq!(back, num);
+        }
+    }
+
+    #[test]
+    fn sqrt_price_shaped_divisors_agree_with_oracle() {
+        // Q64.96 sqrt prices are ~97–128-bit (2-limb) values: the exact
+        // shape the mul_div hot path divides by
+        let mut seed = 0x5117_BEEF_u64;
+        for _ in 0..2000 {
+            let price = U256::pow2(96) + U256::from_u128(rng(&mut seed) as u128);
+            let a = U256([rng(&mut seed), rng(&mut seed), rng(&mut seed), 0]);
+            let b = U256::from_u128(((rng(&mut seed) as u128) << 64) | rng(&mut seed) as u128);
+            let (q, r) = a.full_mul(b).div_rem_u256(price);
+            let back = {
+                let mut acc = U512::from_u256(r);
+                for (i, &l) in q.0.iter().enumerate() {
+                    let part = price.full_mul(U256::from_u64(l));
+                    acc = acc
+                        .checked_add(part << (64 * i as u32))
+                        .expect("reconstruction fits");
+                }
+                acc
+            };
+            assert_eq!(back, a.full_mul(b));
+        }
     }
 
     #[test]

@@ -37,8 +37,9 @@ pub struct SyncInput {
     pub payouts: Vec<PayoutEntry>,
     /// Updated liquidity positions.
     pub positions: Vec<PositionEntry>,
-    /// Updated pool reserves.
-    pub pool: PoolUpdate,
+    /// Updated per-pool reserve sections (one entry per pool the
+    /// sidechain executes, ascending by pool id).
+    pub pools: Vec<PoolUpdate>,
     /// The verification key of the *next* epoch committee, agreed via DKG
     /// and recorded here so the next sync can be authenticated.
     pub next_vk: PublicKey,
@@ -58,9 +59,12 @@ impl SyncInput {
         for p in &self.positions {
             encode_position(&mut enc, p);
         }
-        enc.word_u64(self.pool.pool.0 as u64);
-        enc.word_u128(self.pool.reserve0);
-        enc.word_u128(self.pool.reserve1);
+        enc.dynamic_header(0, self.pools.len());
+        for u in &self.pools {
+            enc.word_u64(u.pool.0 as u64);
+            enc.word_u128(u.reserve0);
+            enc.word_u128(u.reserve1);
+        }
         enc.bytes_padded(&self.next_vk.to_bytes());
         enc.into_bytes()
     }
@@ -185,6 +189,9 @@ pub enum TokenBankError {
     Token(Erc20Error),
     /// Unknown pool.
     UnknownPool(PoolId),
+    /// The sync's per-pool sections are empty, unsorted or carry
+    /// duplicate pool ids.
+    InvalidPoolSections,
     /// Flash loan not repaid with fee inside the callback.
     FlashNotRepaid,
     /// Flash loan exceeds pool reserves.
@@ -201,6 +208,9 @@ impl std::fmt::Display for TokenBankError {
             TokenBankError::NoCommitteeKey => write!(f, "no committee key registered"),
             TokenBankError::Token(e) => write!(f, "token: {e}"),
             TokenBankError::UnknownPool(p) => write!(f, "unknown pool {p}"),
+            TokenBankError::InvalidPoolSections => {
+                write!(f, "pool sections empty, unsorted or duplicated")
+            }
             TokenBankError::FlashNotRepaid => write!(f, "flash loan not repaid"),
             TokenBankError::InsufficientReserves => write!(f, "insufficient reserves"),
         }
@@ -384,6 +394,11 @@ impl TokenBank {
                 expected: self.expected_epoch,
             });
         }
+        // exactly one section per pool, ascending — the shape the
+        // sidechain's summary rules emit and the gas model assumes
+        if input.pools.is_empty() || !input.pools.windows(2).all(|w| w[0].pool < w[1].pool) {
+            return Err(TokenBankError::InvalidPoolSections);
+        }
         let vk = self
             .vk_current
             .as_ref()
@@ -413,18 +428,20 @@ impl TokenBank {
             self.apply_position(entry, &mut meter);
         }
 
-        // --- pool balances (one packed word per pool) ---
-        let fresh_pool = !self.pools.contains_key(&input.pool.pool);
-        self.pools
-            .insert(input.pool.pool, (input.pool.reserve0, input.pool.reserve1));
-        meter.charge(
-            "pool_balance.storage",
-            if fresh_pool {
-                gas::SSTORE_NEW_WORD
-            } else {
-                gas::SSTORE_UPDATE_COLD
-            },
-        );
+        // --- pool balances (one packed word per pool section) ---
+        for update in &input.pools {
+            let fresh_pool = !self.pools.contains_key(&update.pool);
+            self.pools
+                .insert(update.pool, (update.reserve0, update.reserve1));
+            meter.charge(
+                "pool_balance.storage",
+                if fresh_pool {
+                    gas::SSTORE_NEW_WORD
+                } else {
+                    gas::SSTORE_UPDATE_COLD
+                },
+            );
+        }
 
         // --- next committee key (128 B = 4 words) ---
         self.vk_current = Some(input.next_vk);
@@ -665,11 +682,11 @@ mod tests {
             epoch,
             payouts: vec![],
             positions: vec![],
-            pool: PoolUpdate {
+            pools: vec![PoolUpdate {
                 pool: PoolId(0),
                 reserve0: 100,
                 reserve1: 100,
-            },
+            }],
             next_vk: w.dkg.group_public_key,
         }
     }
@@ -920,5 +937,66 @@ mod tests {
     fn abi_entry_sizes_match_paper_table_iv() {
         assert_eq!(SyncInput::abi_payout_entry_size(), 352);
         assert_eq!(SyncInput::abi_position_entry_size(), 416);
+    }
+
+    #[test]
+    fn sync_applies_every_pool_section() {
+        let mut w = setup();
+        w.bank.create_pool(PoolId(1), &mut GasMeter::new());
+        w.bank.create_pool(PoolId(2), &mut GasMeter::new());
+        let mut input = empty_sync(&w, 1);
+        input.pools = (0..3u32)
+            .map(|p| PoolUpdate {
+                pool: PoolId(p),
+                reserve0: 100 + p as u128,
+                reserve1: 200 + p as u128,
+            })
+            .collect();
+        let qc = signed_sync(&w, &input);
+        let receipt = w
+            .bank
+            .sync(&input, &qc, &mut w.token0, &mut w.token1)
+            .unwrap();
+        for p in 0..3u32 {
+            assert_eq!(
+                w.bank.pool_reserves(&PoolId(p)),
+                Some((100 + p as u128, 200 + p as u128))
+            );
+        }
+        // one packed-word update per section
+        assert_eq!(
+            receipt.meter.total_for("pool_balance.storage"),
+            3 * gas::SSTORE_UPDATE_COLD
+        );
+    }
+
+    #[test]
+    fn sync_rejects_malformed_pool_sections() {
+        let mut w = setup();
+        let run = |w: &mut World, pools: Vec<PoolUpdate>| {
+            let mut input = empty_sync(w, 1);
+            input.pools = pools;
+            let qc = signed_sync(w, &input);
+            w.bank.sync(&input, &qc, &mut w.token0, &mut w.token1)
+        };
+        let update = |p: u32| PoolUpdate {
+            pool: PoolId(p),
+            reserve0: 1,
+            reserve1: 1,
+        };
+        // empty, duplicated and unsorted section lists all fail closed
+        assert_eq!(
+            run(&mut w, vec![]).unwrap_err(),
+            TokenBankError::InvalidPoolSections
+        );
+        assert_eq!(
+            run(&mut w, vec![update(0), update(0)]).unwrap_err(),
+            TokenBankError::InvalidPoolSections
+        );
+        assert_eq!(
+            run(&mut w, vec![update(1), update(0)]).unwrap_err(),
+            TokenBankError::InvalidPoolSections
+        );
+        assert_eq!(w.bank.expected_epoch(), 1, "state untouched");
     }
 }

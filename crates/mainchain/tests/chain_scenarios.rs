@@ -136,11 +136,11 @@ fn mass_sync_clears_all_covered_deposit_buckets() {
             amount1: 0,
         }],
         positions: vec![],
-        pool: PoolUpdate {
+        pools: vec![PoolUpdate {
             pool: PoolId(0),
             reserve0: 1,
             reserve1: 1,
-        },
+        }],
         next_vk: dkg.group_public_key,
     };
     let qc = signed(&dkg, &input);
@@ -160,11 +160,11 @@ fn sync_replay_is_rejected() {
         epoch: 1,
         payouts: vec![],
         positions: vec![],
-        pool: PoolUpdate {
+        pools: vec![PoolUpdate {
             pool: PoolId(0),
             reserve0: 1,
             reserve1: 1,
-        },
+        }],
         next_vk: dkg.group_public_key,
     };
     let qc = signed(&dkg, &input);

@@ -143,9 +143,9 @@ impl MetaBlock {
 }
 
 /// A permanent summary-block: mined in the epoch's last round, it carries
-/// the state changes (payouts + positions + pool reserves) and commits to
-/// the meta-blocks it summarizes, serving as the epoch checkpoint anyone
-/// can verify TokenBank state against.
+/// the state changes (payouts + positions + per-pool reserve sections)
+/// and commits to the meta-blocks it summarizes, serving as the epoch
+/// checkpoint anyone can verify TokenBank state against.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SummaryBlock {
     /// Epoch covered.
@@ -154,12 +154,13 @@ pub struct SummaryBlock {
     pub parent: H256,
     /// Ids of the summarized meta-blocks, in order.
     pub meta_refs: Vec<H256>,
-    /// The payout list.
+    /// The payout list (merged across all pools, sorted by user).
     pub payouts: Vec<PayoutEntry>,
-    /// The updated positions.
+    /// The updated positions (all pools).
     pub positions: Vec<PositionEntry>,
-    /// Updated pool reserves.
-    pub pool: PoolUpdate,
+    /// Per-pool reserve sections, ascending by pool id — one entry per
+    /// pool the node executes, whether or not it traded this epoch.
+    pub pools: Vec<PoolUpdate>,
 }
 
 impl SummaryBlock {
@@ -258,11 +259,11 @@ mod tests {
             meta_refs: vec![H256::hash(b"m0")],
             payouts: vec![],
             positions: vec![],
-            pool: PoolUpdate {
+            pools: vec![PoolUpdate {
                 pool: PoolId(0),
                 reserve0: 1,
                 reserve1: 2,
-            },
+            }],
         };
         let mut with_payout = base.clone();
         with_payout.payouts.push(PayoutEntry {

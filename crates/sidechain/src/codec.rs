@@ -13,8 +13,9 @@ use crate::summary::{PayoutEntry, PositionEntry};
 /// tx root (32) + tx count (4).
 pub const META_HEADER_BYTES: usize = 84;
 
-/// Summary-block header size: epoch (8) + parent (32) + counts (3 × 4).
-pub const SUMMARY_HEADER_BYTES: usize = 52;
+/// Summary-block header size: epoch (8) + parent (32) + counts (3 × 4,
+/// meta refs / payouts / positions) + pool-section count (4).
+pub const SUMMARY_HEADER_BYTES: usize = 56;
 
 /// Packed size of a pool update: pool id (4) + two u128 reserves.
 pub const POOL_UPDATE_BYTES: usize = 4 + 16 + 16;
@@ -67,7 +68,8 @@ pub fn position_entry_size() -> usize {
     217
 }
 
-/// Encodes the body of a summary block (payouts ‖ positions ‖ pool).
+/// Encodes the body of a summary block
+/// (payouts ‖ positions ‖ per-pool sections).
 pub fn encode_summary_body(b: &SummaryBlock) -> Vec<u8> {
     let mut out = Vec::new();
     for p in &b.payouts {
@@ -76,9 +78,11 @@ pub fn encode_summary_body(b: &SummaryBlock) -> Vec<u8> {
     for p in &b.positions {
         out.extend_from_slice(&encode_position(p));
     }
-    out.extend_from_slice(&(b.pool.pool.0).to_be_bytes());
-    out.extend_from_slice(&b.pool.reserve0.to_be_bytes());
-    out.extend_from_slice(&b.pool.reserve1.to_be_bytes());
+    for u in &b.pools {
+        out.extend_from_slice(&(u.pool.0).to_be_bytes());
+        out.extend_from_slice(&u.reserve0.to_be_bytes());
+        out.extend_from_slice(&u.reserve1.to_be_bytes());
+    }
     out
 }
 
@@ -88,7 +92,7 @@ pub fn summary_block_size(b: &SummaryBlock) -> usize {
         + b.meta_refs.len() * 32
         + b.payouts.len() * payout_entry_size()
         + b.positions.len() * position_entry_size()
-        + POOL_UPDATE_BYTES
+        + b.pools.len() * POOL_UPDATE_BYTES
 }
 
 #[cfg(test)]
@@ -150,13 +154,20 @@ mod tests {
             meta_refs: vec![H256::ZERO; 30],
             payouts: vec![payout(); 100],
             positions: vec![position(); 10],
-            pool: PoolUpdate {
-                pool: PoolId(0),
-                reserve0: 0,
-                reserve1: 0,
-            },
+            pools: vec![
+                PoolUpdate {
+                    pool: PoolId(0),
+                    reserve0: 0,
+                    reserve1: 0,
+                },
+                PoolUpdate {
+                    pool: PoolId(1),
+                    reserve0: 7,
+                    reserve1: 8,
+                },
+            ],
         };
-        let expect = SUMMARY_HEADER_BYTES + 30 * 32 + 100 * 97 + 10 * 217 + POOL_UPDATE_BYTES;
+        let expect = SUMMARY_HEADER_BYTES + 30 * 32 + 100 * 97 + 10 * 217 + 2 * POOL_UPDATE_BYTES;
         assert_eq!(summary_block_size(&b), expect);
     }
 

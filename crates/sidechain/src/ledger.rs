@@ -341,11 +341,11 @@ mod tests {
                 amount1: 2,
             }],
             positions: vec![],
-            pool: PoolUpdate {
+            pools: vec![PoolUpdate {
                 pool: PoolId(0),
                 reserve0: 0,
                 reserve1: 0,
-            },
+            }],
         }
     }
 

@@ -56,11 +56,11 @@ fn build_history(epochs: &[(usize, usize)]) -> (Ledger, Vec<u64>) {
                 amount1: 0,
             }],
             positions: vec![],
-            pool: PoolUpdate {
+            pools: vec![PoolUpdate {
                 pool: PoolId(0),
                 reserve0: 0,
                 reserve1: 0,
-            },
+            }],
         };
         ledger.append_summary(summary).expect("valid summary");
     }
@@ -144,7 +144,7 @@ proptest! {
             meta_refs: refs.clone(),
             payouts: vec![],
             positions: vec![],
-            pool: PoolUpdate { pool: PoolId(0), reserve0: 0, reserve1: 0 },
+            pools: vec![PoolUpdate { pool: PoolId(0), reserve0: 0, reserve1: 0 }],
         };
         let result = ledger.append_summary(summary);
         if drop && rounds > 0 {

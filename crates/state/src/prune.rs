@@ -105,11 +105,11 @@ mod tests {
                 meta_refs: l.meta_blocks(e).iter().map(|m| m.id()).collect(),
                 payouts: vec![],
                 positions: vec![],
-                pool: PoolUpdate {
+                pools: vec![PoolUpdate {
                     pool: PoolId(0),
                     reserve0: 0,
                     reserve1: 0,
-                },
+                }],
             };
             l.append_summary(s).unwrap();
         }

@@ -144,6 +144,7 @@ impl Encode for PoolState {
         w.put_u128(self.balance1);
         self.ticks.encode(w);
         self.positions.encode(w);
+        self.tick_prices.encode(w);
     }
 }
 
@@ -161,6 +162,7 @@ impl Decode for PoolState {
             balance1: r.take_u128()?,
             ticks: r.get()?,
             positions: r.get()?,
+            tick_prices: r.get()?,
         };
         ensure_sorted_keys(&state.ticks)?;
         ensure_sorted_keys(&state.positions)?;
@@ -458,7 +460,7 @@ impl Encode for SummaryBlock {
         self.meta_refs.encode(w);
         self.payouts.encode(w);
         self.positions.encode(w);
-        self.pool.encode(w);
+        self.pools.encode(w);
     }
 }
 
@@ -470,7 +472,7 @@ impl Decode for SummaryBlock {
             meta_refs: r.get()?,
             payouts: r.get()?,
             positions: r.get()?,
-            pool: r.get()?,
+            pools: r.get()?,
         })
     }
 }

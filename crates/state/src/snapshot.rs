@@ -18,7 +18,9 @@ use ammboost_crypto::H256;
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ABSS";
 
 /// Current snapshot format version. Decoders reject anything newer.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Version 2: pool sections carry the tick→sqrt-price table; the
+/// processor-meta aux section holds one record per shard (multi-pool).
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// What a section holds. The ordering (pools ascending, then ledger,
 /// deposits, aux by tag) is the canonical section order.

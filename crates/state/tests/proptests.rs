@@ -289,16 +289,16 @@ fn arb_summary_block() -> impl Strategy<Value = SummaryBlock> {
         vec(arb_h256(), 0..4),
         vec(arb_payout(), 0..4),
         vec(arb_position_entry(), 0..4),
-        arb_pool_update(),
+        vec(arb_pool_update(), 1..4),
     )
         .prop_map(
-            |(epoch, parent, meta_refs, payouts, positions, pool)| SummaryBlock {
+            |(epoch, parent, meta_refs, payouts, positions, pools)| SummaryBlock {
                 epoch,
                 parent,
                 meta_refs,
                 payouts,
                 positions,
-                pool,
+                pools,
             },
         )
 }

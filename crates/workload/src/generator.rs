@@ -3,6 +3,12 @@
 //! issues swaps, mints, burns and collects at a constant arrival rate
 //! `ρ = ⌈V_D · bt / 86400⌉` per sidechain round, following a configurable
 //! mix (default: Table VII).
+//!
+//! Traffic can span a *set* of pools: each user has a home pool (fixed
+//! round-robin assignment), per-transaction pool choice follows a
+//! configurable skew ([`TrafficSkew`] — uniform, or Zipf-distributed as
+//! real AMM fleets are), and every transaction a user issues targets
+//! their home pool, so per-pool traffic streams are independent.
 
 use crate::mix::TrafficMix;
 use crate::uniswap2023;
@@ -12,6 +18,7 @@ use ammboost_crypto::Address;
 use ammboost_sim::rng::DetRng;
 use ammboost_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// How generated mints fragment liquidity across ticks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,6 +34,35 @@ pub enum LiquidityStyle {
     Fragmented,
 }
 
+/// How per-transaction traffic distributes across the configured pool
+/// set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum TrafficSkew {
+    /// Every pool receives the same expected share (default).
+    #[default]
+    Uniform,
+    /// Pool `k` (by position in the pool set) receives a share
+    /// proportional to `1 / (k+1)^exponent` — the skewed popularity
+    /// profile real AMM deployments exhibit, where a few pools carry most
+    /// of the volume.
+    Zipf {
+        /// The Zipf exponent `s` (1.0 is the classic rank-frequency law).
+        exponent: f64,
+    },
+}
+
+impl TrafficSkew {
+    /// The (unnormalized) per-pool weights for a pool set of size `n`.
+    pub fn weights(&self, n: usize) -> Vec<f64> {
+        match self {
+            TrafficSkew::Uniform => vec![1.0; n],
+            TrafficSkew::Zipf { exponent } => (0..n)
+                .map(|k| 1.0 / ((k + 1) as f64).powf(*exponent))
+                .collect(),
+        }
+    }
+}
+
 /// Generator configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GeneratorConfig {
@@ -34,12 +70,18 @@ pub struct GeneratorConfig {
     pub daily_volume: u64,
     /// Traffic mix (default: Table VII).
     pub mix: TrafficMix,
-    /// Number of simulated users (paper: 100).
+    /// Number of simulated users (paper: 100). Must be at least the pool
+    /// count so every pool has a user population.
     pub users: u64,
     /// Sidechain round duration `bt` (paper default: 7 s).
     pub round_duration: SimDuration,
-    /// The single pool under test.
-    pub pool: PoolId,
+    /// The pool set under test. User `i` is homed on
+    /// `pools[i % pools.len()]` and only ever transacts there, so the
+    /// per-pool traffic streams are independent (the property the
+    /// sharded-vs-independent differential test relies on).
+    pub pools: Vec<PoolId>,
+    /// How per-transaction traffic distributes across the pool set.
+    pub skew: TrafficSkew,
     /// Rounds after submission before a swap's deadline expires. Large by
     /// default so congested runs measure queueing latency rather than
     /// deadline drops (set small to exercise expiry).
@@ -64,7 +106,8 @@ impl Default for GeneratorConfig {
             mix: TrafficMix::uniswap_2023(),
             users: 100,
             round_duration: SimDuration::from_secs(7),
-            pool: PoolId(0),
+            pools: vec![PoolId(0)],
+            skew: TrafficSkew::default(),
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: LiquidityStyle::default(),
@@ -89,21 +132,56 @@ pub struct TrafficGenerator {
     pub config: GeneratorConfig,
     rng: DetRng,
     nonces: Vec<u64>,
-    /// Positions owned per user, fed back from mints so burns/collects
-    /// reference real positions.
-    positions: Vec<(Address, PositionId)>,
+    /// Positions fed back from mints, indexed by pool so burns/collects
+    /// draw from the right pool in O(1) without scanning the fleet.
+    positions: HashMap<PoolId, Vec<(Address, PositionId)>>,
+    /// Cumulative, normalized pool-choice weights (one entry per pool).
+    cumulative_weights: Vec<f64>,
+    /// Reverse map address → home pool, for deposit routing.
+    home_pools: HashMap<Address, PoolId>,
 }
 
 impl TrafficGenerator {
     /// Creates a generator.
+    ///
+    /// # Panics
+    /// Panics when the pool set is empty or larger than the user
+    /// population (every pool needs at least one user).
     pub fn new(config: GeneratorConfig) -> TrafficGenerator {
+        assert!(!config.pools.is_empty(), "pool set must not be empty");
+        assert!(
+            config.users >= config.pools.len() as u64,
+            "need at least one user per pool ({} users, {} pools)",
+            config.users,
+            config.pools.len()
+        );
         let rng = DetRng::new(config.seed);
         let nonces = vec![0u64; config.users as usize];
+        let weights = config.skew.weights(config.pools.len());
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative_weights = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        let home_pools = (0..config.users)
+            .map(|i| {
+                (
+                    Self::user_address(i),
+                    config.pools[(i % config.pools.len() as u64) as usize],
+                )
+            })
+            .collect();
         TrafficGenerator {
             config,
             rng,
             nonces,
-            positions: Vec::new(),
+            positions: HashMap::new(),
+            cumulative_weights,
+            home_pools,
         }
     }
 
@@ -117,6 +195,18 @@ impl TrafficGenerator {
         Address::from_index(0xA110_0000 + i)
     }
 
+    /// The home pool of user index `i`.
+    pub fn pool_of_index(&self, i: u64) -> PoolId {
+        self.config.pools[(i % self.config.pools.len() as u64) as usize]
+    }
+
+    /// The home pool of a user address (`None` for addresses outside the
+    /// simulated population). This is the deposit-routing map the system
+    /// uses to split a TokenBank snapshot across shards.
+    pub fn pool_for(&self, user: &Address) -> Option<PoolId> {
+        self.home_pools.get(user).copied()
+    }
+
     /// The constant per-round arrival count
     /// `ρ = ⌈V_D · bt / (3600 · 24)⌉` (paper §VI-A).
     pub fn txs_per_round(&self) -> u64 {
@@ -126,18 +216,20 @@ impl TrafficGenerator {
 
     /// Number of positions currently known to the generator.
     pub fn tracked_positions(&self) -> usize {
-        self.positions.len()
+        self.positions.values().map(|v| v.len()).sum()
     }
 
     /// Informs the generator that a position exists (e.g. pre-seeded
     /// liquidity), so burns/collects can target it.
-    pub fn register_position(&mut self, owner: Address, id: PositionId) {
-        self.positions.push((owner, id));
+    pub fn register_position(&mut self, owner: Address, id: PositionId, pool: PoolId) {
+        self.positions.entry(pool).or_default().push((owner, id));
     }
 
     /// Removes a position (after a full burn).
     pub fn forget_position(&mut self, id: PositionId) {
-        self.positions.retain(|(_, p)| *p != id);
+        for tracked in self.positions.values_mut() {
+            tracked.retain(|(_, p)| *p != id);
+        }
     }
 
     /// Generates the transaction batch arriving during `round`.
@@ -150,25 +242,50 @@ impl TrafficGenerator {
         out
     }
 
-    /// Generates one transaction with the configured mix.
+    /// Generates one transaction with the configured mix and pool skew.
     pub fn next_tx(&mut self, round: u64) -> GeneratedTx {
+        let pool_index = self.pick_pool();
         let weights = self.config.mix.weights();
         let kind = self.rng.weighted_index(&weights);
         match kind {
-            0 => self.gen_swap(round),
-            1 => self.gen_mint(),
-            2 => self.gen_burn(),
-            _ => self.gen_collect(),
+            0 => self.gen_swap(round, pool_index),
+            1 => self.gen_mint(pool_index),
+            2 => self.gen_burn(pool_index),
+            _ => self.gen_collect(pool_index),
         }
     }
 
-    fn pick_user(&mut self) -> (u64, Address) {
-        let i = self.rng.range_u64(0, self.config.users);
+    /// Draws a pool index following the configured skew. A single-pool
+    /// set consumes no randomness.
+    fn pick_pool(&mut self) -> usize {
+        if self.config.pools.len() == 1 {
+            return 0;
+        }
+        let draw = self.rng.unit();
+        self.cumulative_weights
+            .iter()
+            .position(|&c| draw < c)
+            .unwrap_or(self.config.pools.len() - 1)
+    }
+
+    /// Number of users homed on pool index `pi`.
+    fn users_in_pool(&self, pi: usize) -> u64 {
+        let p = self.config.pools.len() as u64;
+        let users = self.config.users;
+        // users pi, pi+P, pi+2P, … below `users`
+        (users - pi as u64).div_ceil(p)
+    }
+
+    /// Picks a user homed on pool index `pi`.
+    fn pick_user_in(&mut self, pi: usize) -> (u64, Address) {
+        let p = self.config.pools.len() as u64;
+        let k = self.rng.range_u64(0, self.users_in_pool(pi));
+        let i = pi as u64 + k * p;
         (i, Self::user_address(i))
     }
 
-    fn gen_swap(&mut self, round: u64) -> GeneratedTx {
-        let (_, user) = self.pick_user();
+    fn gen_swap(&mut self, round: u64, pi: usize) -> GeneratedTx {
+        let (_, user) = self.pick_user_in(pi);
         let zero_for_one = self.rng.unit() < 0.5;
         let amount_in = self.rng.range_u128(1_000, 120_000);
         let exact_input = self.rng.unit() < 0.8;
@@ -185,7 +302,7 @@ impl TrafficGenerator {
         };
         let tx = AmmTx::Swap(SwapTx {
             user,
-            pool: self.config.pool,
+            pool: self.config.pools[pi],
             zero_for_one,
             intent,
             sqrt_price_limit: None,
@@ -194,21 +311,28 @@ impl TrafficGenerator {
         self.wrap(tx)
     }
 
-    fn gen_mint(&mut self) -> GeneratedTx {
-        let (ui, user) = self.pick_user();
-        // past the per-user cap, mints top up an existing position
+    fn gen_mint(&mut self, pi: usize) -> GeneratedTx {
+        let (ui, user) = self.pick_user_in(pi);
+        let pool = self.config.pools[pi];
+        // past the per-user cap, mints top up an existing position (a
+        // user's positions all live on their home pool)
         let owned: Vec<PositionId> = self
             .positions
-            .iter()
-            .filter(|(o, _)| *o == user)
-            .map(|(_, id)| *id)
-            .collect();
+            .get(&pool)
+            .map(|tracked| {
+                tracked
+                    .iter()
+                    .filter(|(o, _)| *o == user)
+                    .map(|(_, id)| *id)
+                    .collect()
+            })
+            .unwrap_or_default();
         if owned.len() >= self.config.max_positions_per_user {
             let pick = owned[self.rng.range_u64(0, owned.len() as u64) as usize];
             self.nonces[ui as usize] += 1;
             let tx = MintTx {
                 user,
-                pool: self.config.pool,
+                pool,
                 position: Some(pick),
                 // top-ups must match the existing range; the processor
                 // looks it up by position id, so ticks here are advisory
@@ -239,7 +363,7 @@ impl TrafficGenerator {
         self.nonces[ui as usize] += 1;
         let tx = MintTx {
             user,
-            pool: self.config.pool,
+            pool,
             position: None,
             tick_lower,
             tick_upper,
@@ -249,12 +373,12 @@ impl TrafficGenerator {
         };
         // track the would-be position so later burns/collects can hit it
         let id = tx.derived_position_id();
-        self.positions.push((user, id));
+        self.positions.entry(pool).or_default().push((user, id));
         self.wrap(AmmTx::Mint(tx))
     }
 
-    fn gen_burn(&mut self) -> GeneratedTx {
-        match self.pick_position() {
+    fn gen_burn(&mut self, pi: usize) -> GeneratedTx {
+        match self.pick_position(self.config.pools[pi]) {
             Some((owner, id)) => {
                 let full = self.rng.unit() < 0.5;
                 if full {
@@ -262,36 +386,39 @@ impl TrafficGenerator {
                 }
                 self.wrap(AmmTx::Burn(BurnTx {
                     user: owner,
-                    pool: self.config.pool,
+                    pool: self.config.pools[pi],
                     position: id,
                     liquidity: if full { None } else { Some(1) },
                 }))
             }
-            // no live position yet: fall back to a mint so the mix keeps
-            // its liquidity-management share
-            None => self.gen_mint(),
+            // no live position on this pool yet: fall back to a mint so
+            // the mix keeps its liquidity-management share
+            None => self.gen_mint(pi),
         }
     }
 
-    fn gen_collect(&mut self) -> GeneratedTx {
-        match self.pick_position() {
+    fn gen_collect(&mut self, pi: usize) -> GeneratedTx {
+        match self.pick_position(self.config.pools[pi]) {
             Some((owner, id)) => self.wrap(AmmTx::Collect(CollectTx {
                 user: owner,
-                pool: self.config.pool,
+                pool: self.config.pools[pi],
                 position: id,
                 amount0: u128::MAX,
                 amount1: u128::MAX,
             })),
-            None => self.gen_mint(),
+            None => self.gen_mint(pi),
         }
     }
 
-    fn pick_position(&mut self) -> Option<(Address, PositionId)> {
-        if self.positions.is_empty() {
+    /// Picks a tracked position on `pool` (burns/collects must reference
+    /// positions of the pool the transaction targets).
+    fn pick_position(&mut self, pool: PoolId) -> Option<(Address, PositionId)> {
+        let tracked = self.positions.get(&pool)?;
+        if tracked.is_empty() {
             return None;
         }
-        let i = self.rng.range_u64(0, self.positions.len() as u64) as usize;
-        Some(self.positions[i])
+        let i = self.rng.range_u64(0, tracked.len() as u64) as usize;
+        Some(tracked[i])
     }
 
     fn wrap(&self, tx: AmmTx) -> GeneratedTx {
@@ -304,7 +431,7 @@ impl TrafficGenerator {
 mod tests {
     use super::*;
     use ammboost_amm::tx::AmmTxKind;
-    use std::collections::HashSet;
+    use std::collections::{HashMap, HashSet};
 
     fn config(daily: u64, seed: u64) -> GeneratorConfig {
         GeneratorConfig {
@@ -312,6 +439,10 @@ mod tests {
             seed,
             ..GeneratorConfig::default()
         }
+    }
+
+    fn pool_set(n: u32) -> Vec<PoolId> {
+        (0..n).map(PoolId).collect()
     }
 
     #[test]
@@ -336,7 +467,7 @@ mod tests {
     #[test]
     fn mix_fractions_respected() {
         let mut g = TrafficGenerator::new(config(1_000_000, 3));
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = HashMap::new();
         for _ in 0..20_000 {
             let t = g.next_tx(0);
             *counts.entry(t.tx.kind()).or_insert(0usize) += 1;
@@ -426,5 +557,84 @@ mod tests {
         let mut g = TrafficGenerator::new(config(500_000, 8));
         let batch = g.next_round(0);
         assert_eq!(batch.len() as u64, g.txs_per_round());
+    }
+
+    #[test]
+    fn every_tx_targets_its_users_home_pool() {
+        // cross-pool mixes preserve the user→pool affinity invariant:
+        // burns/collects included (they must hit positions of the pool)
+        let mut g = TrafficGenerator::new(GeneratorConfig {
+            pools: pool_set(8),
+            users: 64,
+            ..config(1_000_000, 21)
+        });
+        for _ in 0..5_000 {
+            let t = g.next_tx(0);
+            let home = g.pool_for(&t.tx.user()).expect("simulated user");
+            assert_eq!(t.tx.pool(), home, "tx strays off its user's pool");
+        }
+    }
+
+    #[test]
+    fn uniform_skew_spreads_and_zipf_concentrates() {
+        let count_per_pool = |skew: TrafficSkew, seed: u64| {
+            let mut g = TrafficGenerator::new(GeneratorConfig {
+                pools: pool_set(8),
+                users: 64,
+                skew,
+                ..config(1_000_000, seed)
+            });
+            let mut counts = vec![0u64; 8];
+            for _ in 0..20_000 {
+                counts[g.next_tx(0).tx.pool().0 as usize] += 1;
+            }
+            counts
+        };
+        let uniform = count_per_pool(TrafficSkew::Uniform, 31);
+        for c in &uniform {
+            let frac = *c as f64 / 20_000.0;
+            assert!((frac - 0.125).abs() < 0.02, "uniform share {frac}");
+        }
+        let zipf = count_per_pool(TrafficSkew::Zipf { exponent: 1.0 }, 31);
+        // rank 0 carries the Zipf head: 1 / H_8 ≈ 36.8%
+        let head = zipf[0] as f64 / 20_000.0;
+        assert!((head - 0.368).abs() < 0.03, "zipf head share {head}");
+        assert!(zipf[0] > 2 * zipf[7], "tail not thinner than head");
+    }
+
+    #[test]
+    fn home_pool_assignment_is_round_robin() {
+        let g = TrafficGenerator::new(GeneratorConfig {
+            pools: pool_set(4),
+            users: 10,
+            ..config(50_000, 3)
+        });
+        for i in 0..10u64 {
+            assert_eq!(g.pool_of_index(i), PoolId((i % 4) as u32));
+            assert_eq!(
+                g.pool_for(&TrafficGenerator::user_address(i)),
+                Some(PoolId((i % 4) as u32))
+            );
+        }
+        assert_eq!(g.pool_for(&Address::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user per pool")]
+    fn more_pools_than_users_rejected() {
+        TrafficGenerator::new(GeneratorConfig {
+            pools: pool_set(16),
+            users: 8,
+            ..config(50_000, 1)
+        });
+    }
+
+    #[test]
+    fn zipf_weights_normalize() {
+        let w = TrafficSkew::Zipf { exponent: 1.0 }.weights(4);
+        assert_eq!(w.len(), 4);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[3] - 0.25).abs() < 1e-12);
+        assert_eq!(TrafficSkew::Uniform.weights(3), vec![1.0; 3]);
     }
 }

@@ -16,5 +16,5 @@ pub mod generator;
 pub mod mix;
 pub mod uniswap2023;
 
-pub use generator::{GeneratedTx, GeneratorConfig, LiquidityStyle, TrafficGenerator};
+pub use generator::{GeneratedTx, GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficSkew};
 pub use mix::TrafficMix;

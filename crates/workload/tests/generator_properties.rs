@@ -3,8 +3,9 @@
 //! arbitrary configurations.
 
 use ammboost_amm::tx::{AmmTx, AmmTxKind};
+use ammboost_amm::types::PoolId;
 use ammboost_sim::time::SimDuration;
-use ammboost_workload::{GeneratorConfig, TrafficGenerator, TrafficMix};
+use ammboost_workload::{GeneratorConfig, TrafficGenerator, TrafficMix, TrafficSkew};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
@@ -136,6 +137,32 @@ proptest! {
             (measured - swap_pct).abs() < 5.0,
             "swap mix {measured:.1}% vs configured {swap_pct:.1}%"
         );
+    }
+
+    #[test]
+    fn cross_pool_traffic_keeps_user_affinity(
+        pool_count in 1u32..12,
+        zipf in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // every transaction (including burn/collect fallbacks) targets the
+        // issuing user's home pool, and every configured pool eventually
+        // receives traffic under both skews
+        let mut config = cfg(2_000_000, 7, 48, seed, TrafficMix::uniswap_2023());
+        config.pools = (0..pool_count).map(PoolId).collect();
+        config.skew = if zipf {
+            TrafficSkew::Zipf { exponent: 1.0 }
+        } else {
+            TrafficSkew::Uniform
+        };
+        let mut g = TrafficGenerator::new(config);
+        let mut hit: HashSet<PoolId> = HashSet::new();
+        for _ in 0..2_000 {
+            let t = g.next_tx(0);
+            prop_assert_eq!(Some(t.tx.pool()), g.pool_for(&t.tx.user()));
+            hit.insert(t.tx.pool());
+        }
+        prop_assert_eq!(hit.len(), pool_count as usize, "a pool never saw traffic");
     }
 
     #[test]

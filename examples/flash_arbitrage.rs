@@ -30,11 +30,11 @@ fn main() {
         epoch: 1,
         payouts: vec![],
         positions: vec![],
-        pool: PoolUpdate {
+        pools: vec![PoolUpdate {
             pool: PoolId(0),
             reserve0: 1_000_000,
             reserve1: 1_000_000,
-        },
+        }],
         next_vk: dkg.group_public_key,
     };
     let payload = input.abi_payload();

@@ -1,12 +1,12 @@
 //! Fast-sync differential — the snapshot subsystem's acceptance test:
 //! a node restored from a mid-run snapshot and caught up from a peer's
 //! retained blocks must be **byte-identical** to the peer that replayed
-//! full history — same processor state, same ledger state, same Merkle
+//! full history — same shard states, same ledger state, same Merkle
 //! state root — and must execute subsequent traffic identically.
 
 use ammboost::amm::types::PoolId;
 use ammboost::core::checkpoint::{catch_up, checkpoint_node, restore_node};
-use ammboost::core::processor::EpochProcessor;
+use ammboost::core::shard::ShardMap;
 use ammboost::crypto::Address;
 use ammboost::crypto::H256;
 use ammboost::sidechain::block::{MetaBlock, SummaryBlock, TxEffect};
@@ -18,43 +18,50 @@ use std::collections::HashMap;
 
 const ROUNDS_PER_EPOCH: u64 = 5;
 
+fn generator_config(seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        daily_volume: 200_000,
+        mix: TrafficMix::uniswap_2023(),
+        users: 8,
+        round_duration: SimDuration::from_secs(7),
+        pools: vec![PoolId(0)],
+        skew: ammboost::workload::TrafficSkew::default(),
+        deadline_slack_rounds: 1_000_000,
+        max_positions_per_user: 1,
+        liquidity_style: LiquidityStyle::default(),
+        seed,
+    }
+}
+
 /// A standalone sidechain node fed by the Uniswap-2023-calibrated traffic
 /// generator: executes rounds into meta-blocks, seals epochs with
 /// summaries — the restart-and-catch-up scenario harness.
 struct Node {
-    processor: EpochProcessor,
+    shards: ShardMap,
     ledger: Ledger,
     generator: TrafficGenerator,
 }
 
 impl Node {
     fn new(seed: u64) -> Node {
-        let mut processor = EpochProcessor::new(PoolId(0));
-        processor.seed_liquidity(
+        let mut shards = ShardMap::new([PoolId(0)]);
+        shards.seed_liquidity(
+            PoolId(0),
             Address::from_pubkey_bytes(b"drill-genesis-lp"),
             -120_000,
             120_000,
             4_000_000_000_000_000,
             4_000_000_000_000_000,
         );
-        let generator = TrafficGenerator::new(GeneratorConfig {
-            daily_volume: 200_000,
-            mix: TrafficMix::uniswap_2023(),
-            users: 8,
-            round_duration: SimDuration::from_secs(7),
-            pool: PoolId(0),
-            deadline_slack_rounds: 1_000_000,
-            max_positions_per_user: 1,
-            liquidity_style: LiquidityStyle::default(),
-            seed,
-        });
+        let generator = TrafficGenerator::new(generator_config(seed));
         let mut deposits = HashMap::new();
         for user in generator.users() {
             deposits.insert(user, (2_000_000_000_000u128, 2_000_000_000_000u128));
         }
-        processor.begin_epoch(deposits);
+        let route = |user: &Address| generator.pool_for(user);
+        shards.begin_epoch(deposits, route);
         Node {
-            processor,
+            shards,
             ledger: Ledger::new(H256::hash(b"fast-sync-genesis")),
             generator,
         }
@@ -62,13 +69,13 @@ impl Node {
 
     fn run_epoch(&mut self, epoch: u64) {
         if epoch > 1 {
-            self.processor.carry_over_epoch();
+            self.shards.carry_over_epoch();
         }
         for round in 0..ROUNDS_PER_EPOCH {
             let global = (epoch - 1) * ROUNDS_PER_EPOCH + round;
             let mut txs = Vec::new();
             for gtx in self.generator.next_round(global) {
-                let out = self.processor.execute(&gtx.tx, gtx.wire_size, global);
+                let out = self.shards.execute(&gtx.tx, gtx.wire_size, global);
                 if let TxEffect::Burn {
                     position, deleted, ..
                 } = &out.effect
@@ -84,7 +91,7 @@ impl Node {
                 .append_meta(block)
                 .expect("locally mined block chains");
         }
-        let (payouts, positions, pool) = self.processor.end_epoch();
+        let (payouts, positions, pools) = self.shards.end_epoch();
         let summary = SummaryBlock {
             epoch,
             parent: self.ledger.tip(),
@@ -96,7 +103,7 @@ impl Node {
                 .collect(),
             payouts,
             positions,
-            pool,
+            pools,
         };
         self.ledger.append_summary(summary).expect("summary chains");
     }
@@ -111,14 +118,13 @@ fn restored_node_is_byte_identical_to_full_replay() {
     for epoch in 1..=6 {
         full.run_epoch(epoch);
         if epoch == 3 {
-            let (snapshot, stats) =
-                checkpoint_node(&mut cp, epoch, &mut full.processor, &full.ledger);
+            let (snapshot, stats) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
             assert!(stats.snapshot_bytes > 0);
             // ship the snapshot through its serialized (verified) form
             snapshot_bytes = Some(snapshot.encode());
         }
     }
-    assert!(full.processor.stats().accepted > 0, "traffic must flow");
+    assert!(full.shards.stats().accepted > 0, "traffic must flow");
 
     // the late joiner restores from the wire snapshot…
     let snapshot = Snapshot::decode(&snapshot_bytes.unwrap()).expect("root verifies");
@@ -129,38 +135,28 @@ fn restored_node_is_byte_identical_to_full_replay() {
     assert_eq!(applied, 3);
 
     // byte-identical state
-    assert_eq!(node.processor.export_state(), full.processor.export_state());
+    assert_eq!(node.shards.export_states(), full.shards.export_states());
     assert_eq!(node.ledger.export_state(), full.ledger.export_state());
 
     // identical state roots
-    let (_, restored_root) = root_of(&mut node.processor, &node.ledger);
-    let (_, full_root) = root_of(&mut full.processor, &full.ledger);
+    let (_, restored_root) = root_of(&mut node.shards, &node.ledger);
+    let (_, full_root) = root_of(&mut full.shards, &full.ledger);
     assert_eq!(restored_root, full_root, "state roots diverge");
 
     // identical behaviour for the *next* epoch's traffic
-    let mut tail = TrafficGenerator::new(GeneratorConfig {
-        daily_volume: 200_000,
-        mix: TrafficMix::uniswap_2023(),
-        users: 8,
-        round_duration: SimDuration::from_secs(7),
-        pool: PoolId(0),
-        deadline_slack_rounds: 1_000_000,
-        max_positions_per_user: 1,
-        liquidity_style: LiquidityStyle::default(),
-        seed: 1234,
-    });
-    node.processor.carry_over_epoch();
-    full.processor.carry_over_epoch();
+    let mut tail = TrafficGenerator::new(generator_config(1234));
+    node.shards.carry_over_epoch();
+    full.shards.carry_over_epoch();
     for gtx in tail.next_round(6 * ROUNDS_PER_EPOCH) {
         let a = node
-            .processor
+            .shards
             .execute(&gtx.tx, gtx.wire_size, 6 * ROUNDS_PER_EPOCH);
         let b = full
-            .processor
+            .shards
             .execute(&gtx.tx, gtx.wire_size, 6 * ROUNDS_PER_EPOCH);
         assert_eq!(a.effect, b.effect);
     }
-    assert_eq!(node.processor.export_state(), full.processor.export_state());
+    assert_eq!(node.shards.export_states(), full.shards.export_states());
 }
 
 #[test]
@@ -174,7 +170,7 @@ fn snapshot_plus_pruned_peer_still_serves_recent_epochs() {
     for epoch in 1..=5 {
         full.run_epoch(epoch);
         if epoch == 4 {
-            let (snap, _) = checkpoint_node(&mut cp, epoch, &mut full.processor, &full.ledger);
+            let (snap, _) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
             let report = ammboost::state::prune_to_snapshot(
                 &mut full.ledger,
                 epoch,
@@ -188,12 +184,12 @@ fn snapshot_plus_pruned_peer_still_serves_recent_epochs() {
     let mut node = restore_node(&snapshot.unwrap()).unwrap();
     let applied = catch_up(&mut node, &full.ledger, ROUNDS_PER_EPOCH).unwrap();
     assert_eq!(applied, 1);
-    assert_eq!(node.processor.export_state(), full.processor.export_state());
+    assert_eq!(node.shards.export_states(), full.shards.export_states());
 }
 
 /// Convenience: a fresh checkpoint's (bytes, root) for comparison.
-fn root_of(processor: &mut EpochProcessor, ledger: &Ledger) -> (u64, H256) {
-    let (_, stats) = checkpoint_node(&mut Checkpointer::new(), 0, processor, ledger);
+fn root_of(shards: &mut ShardMap, ledger: &Ledger) -> (u64, H256) {
+    let (_, stats) = checkpoint_node(&mut Checkpointer::new(), 0, shards, ledger);
     (stats.snapshot_bytes, stats.root)
 }
 
@@ -205,15 +201,11 @@ fn positions_survive_restore() {
     for epoch in 1..=3 {
         full.run_epoch(epoch);
     }
-    let (snapshot, _) = checkpoint_node(
-        &mut Checkpointer::new(),
-        3,
-        &mut full.processor,
-        &full.ledger,
-    );
+    let (snapshot, _) =
+        checkpoint_node(&mut Checkpointer::new(), 3, &mut full.shards, &full.ledger);
     let node = restore_node(&snapshot).unwrap();
-    let full_pool = full.processor.pool();
-    let restored_pool = node.processor.pool();
+    let full_pool = full.shards.first().pool();
+    let restored_pool = node.shards.first().pool();
     assert_eq!(restored_pool.position_count(), full_pool.position_count());
     for (id, pos) in full_pool.positions() {
         assert_eq!(restored_pool.position(id), Some(pos), "position {id}");
