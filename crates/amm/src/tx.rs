@@ -95,6 +95,132 @@ pub struct BurnTx {
     pub liquidity: Option<u128>,
 }
 
+/// Maximum hop count of a [`RouteTx`]. Bounds per-route work and keeps
+/// the wire form small; real router traffic rarely exceeds 3–4 hops.
+pub const MAX_ROUTE_HOPS: usize = 8;
+
+/// One hop of a multi-pool route: the pool to trade on and the trade
+/// direction. The output token of hop *k* must be the input token of hop
+/// *k+1*, so directions alternate along a well-formed route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteHop {
+    /// The pool this hop trades on.
+    pub pool: PoolId,
+    /// `true` to sell token0 for token1 on this hop.
+    pub zero_for_one: bool,
+}
+
+/// Why a route's shape is invalid. Shape validation is purely syntactic
+/// (no pool state consulted) and typed so callers can assert on the
+/// precise violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// Fewer than two hops — a one-hop route is a plain swap.
+    TooFewHops,
+    /// More than [`MAX_ROUTE_HOPS`] hops.
+    TooManyHops {
+        /// The offending hop count.
+        got: usize,
+    },
+    /// A pool appears more than once in the hop list. Each pool may be
+    /// visited at most once, which is what lets an epoch's wave schedule
+    /// assign every route at most one leg per shard per wave.
+    DuplicatePool(PoolId),
+    /// Hop `hop` consumes a token the previous hop did not produce
+    /// (directions along a route must alternate).
+    BrokenChain {
+        /// Index of the hop whose direction breaks the chain.
+        hop: usize,
+    },
+    /// Zero input budget.
+    ZeroInput,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::TooFewHops => write!(f, "route needs at least two hops"),
+            RouteError::TooManyHops { got } => {
+                write!(f, "route has {got} hops, maximum is {MAX_ROUTE_HOPS}")
+            }
+            RouteError::DuplicatePool(p) => write!(f, "route visits {p} twice"),
+            RouteError::BrokenChain { hop } => {
+                write!(
+                    f,
+                    "hop {hop} consumes a token the previous hop did not produce"
+                )
+            }
+            RouteError::ZeroInput => write!(f, "route with zero input"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A multi-hop routed swap: an ordered list of swap hops through
+/// *distinct* pools, chained exact-input (hop *k*'s output is hop
+/// *k+1*'s input). The sidechain executes the hops inside one epoch and
+/// settles only the **net** per-user token deltas — per-hop transfers
+/// never reach the settlement layer individually.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteTx {
+    /// The trading client (pays the input, receives the final output).
+    pub user: Address,
+    /// The hops, in execution order. Must satisfy [`RouteTx::validate`].
+    pub hops: Vec<RouteHop>,
+    /// Input budget on the first hop's input token, fee inclusive.
+    pub amount_in: Amount,
+    /// Slippage floor on the final hop's output.
+    pub min_amount_out: Amount,
+    /// Round number after which the route is void.
+    pub deadline_round: u64,
+}
+
+impl RouteTx {
+    /// The entry pool (first hop) — what [`AmmTx::pool`] reports for a
+    /// route. Falls back to an impossible sentinel for the (invalid)
+    /// empty-hop form so accessors never panic.
+    pub fn entry_pool(&self) -> PoolId {
+        self.hops
+            .first()
+            .map(|h| h.pool)
+            .unwrap_or(PoolId(u32::MAX))
+    }
+
+    /// `true` when the route's input is token0 (first hop sells token0).
+    pub fn input_is_token0(&self) -> bool {
+        self.hops.first().map(|h| h.zero_for_one).unwrap_or(true)
+    }
+
+    /// Validates the route's shape: 2..=[`MAX_ROUTE_HOPS`] hops, distinct
+    /// pools, alternating directions, non-zero input.
+    ///
+    /// # Errors
+    /// Returns the first violated rule as a typed [`RouteError`].
+    pub fn validate(&self) -> Result<(), RouteError> {
+        if self.hops.len() < 2 {
+            return Err(RouteError::TooFewHops);
+        }
+        if self.hops.len() > MAX_ROUTE_HOPS {
+            return Err(RouteError::TooManyHops {
+                got: self.hops.len(),
+            });
+        }
+        if self.amount_in == 0 {
+            return Err(RouteError::ZeroInput);
+        }
+        for (i, hop) in self.hops.iter().enumerate() {
+            if let Some(dup) = self.hops[..i].iter().find(|h| h.pool == hop.pool) {
+                return Err(RouteError::DuplicatePool(dup.pool));
+            }
+            if i > 0 && hop.zero_for_one == self.hops[i - 1].zero_for_one {
+                return Err(RouteError::BrokenChain { hop: i });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A collect (fee-withdrawal) transaction.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CollectTx {
@@ -122,6 +248,8 @@ pub enum AmmTx {
     Burn(BurnTx),
     /// Fee collection.
     Collect(CollectTx),
+    /// A multi-hop routed swap across distinct pools.
+    Route(RouteTx),
 }
 
 /// Transaction-type discriminant (for traffic statistics).
@@ -135,6 +263,8 @@ pub enum AmmTxKind {
     Burn,
     /// Collect transactions.
     Collect,
+    /// Multi-hop routed swaps.
+    Route,
 }
 
 impl AmmTx {
@@ -145,6 +275,7 @@ impl AmmTx {
             AmmTx::Mint(_) => AmmTxKind::Mint,
             AmmTx::Burn(_) => AmmTxKind::Burn,
             AmmTx::Collect(_) => AmmTxKind::Collect,
+            AmmTx::Route(_) => AmmTxKind::Route,
         }
     }
 
@@ -155,16 +286,20 @@ impl AmmTx {
             AmmTx::Mint(t) => t.user,
             AmmTx::Burn(t) => t.user,
             AmmTx::Collect(t) => t.user,
+            AmmTx::Route(t) => t.user,
         }
     }
 
-    /// The target pool.
+    /// The target pool. For a route this is the **entry pool** (first
+    /// hop); the remaining hops are routed by the execution layer's wave
+    /// schedule, not by this accessor.
     pub fn pool(&self) -> PoolId {
         match self {
             AmmTx::Swap(t) => t.pool,
             AmmTx::Mint(t) => t.pool,
             AmmTx::Burn(t) => t.pool,
             AmmTx::Collect(t) => t.pool,
+            AmmTx::Route(t) => t.entry_pool(),
         }
     }
 
@@ -251,6 +386,18 @@ impl AmmTx {
                 out.extend_from_slice(&t.amount0.to_be_bytes());
                 out.extend_from_slice(&t.amount1.to_be_bytes());
             }
+            AmmTx::Route(t) => {
+                out.push(4);
+                out.extend_from_slice(t.user.as_bytes());
+                out.push(t.hops.len() as u8);
+                for hop in &t.hops {
+                    out.extend_from_slice(&hop.pool.0.to_be_bytes());
+                    out.push(hop.zero_for_one as u8);
+                }
+                out.extend_from_slice(&t.amount_in.to_be_bytes());
+                out.extend_from_slice(&t.min_amount_out.to_be_bytes());
+                out.extend_from_slice(&t.deadline_round.to_be_bytes());
+            }
         }
     }
 
@@ -259,11 +406,16 @@ impl AmmTx {
     /// collect 921.80 B). Used when modelling baseline chain growth for
     /// production Ethereum.
     pub fn mainnet_size_bytes(&self) -> usize {
-        match self.kind() {
-            AmmTxKind::Swap => 1008,
-            AmmTxKind::Mint => 814,
-            AmmTxKind::Burn => 907,
-            AmmTxKind::Collect => 922,
+        match self {
+            AmmTx::Swap(_) => 1008,
+            AmmTx::Mint(_) => 814,
+            AmmTx::Burn(_) => 907,
+            AmmTx::Collect(_) => 922,
+            // Routed swaps are not a Table VII row; modelled as a swap
+            // plus one path element (pool id + fee tier + direction,
+            // ABI-padded) per additional hop, as the universal router's
+            // multi-hop `path` calldata grows.
+            AmmTx::Route(t) => 1008 + 32 * t.hops.len().saturating_sub(1),
         }
     }
 
@@ -271,11 +423,13 @@ impl AmmTx {
     /// Table IV: 365.27 / 565.55 / 280.21 / 150.18 B — smaller because the
     /// testnet deploys the simple router without the universal router).
     pub fn sepolia_size_bytes(&self) -> usize {
-        match self.kind() {
-            AmmTxKind::Swap => 365,
-            AmmTxKind::Mint => 566,
-            AmmTxKind::Burn => 280,
-            AmmTxKind::Collect => 150,
+        match self {
+            AmmTx::Swap(_) => 365,
+            AmmTx::Mint(_) => 566,
+            AmmTx::Burn(_) => 280,
+            AmmTx::Collect(_) => 150,
+            // simple-router multi-hop path: 23 B per extra path element
+            AmmTx::Route(t) => 365 + 23 * t.hops.len().saturating_sub(1),
         }
     }
 }
@@ -338,6 +492,64 @@ mod tests {
         let mut buf = Vec::new();
         tx.encode_into(&mut buf);
         assert!(buf.len() < 120, "compact swap is {} bytes", buf.len());
+    }
+
+    fn sample_route(hops: &[(u32, bool)]) -> RouteTx {
+        RouteTx {
+            user: Address::from_index(5),
+            hops: hops
+                .iter()
+                .map(|&(p, d)| RouteHop {
+                    pool: PoolId(p),
+                    zero_for_one: d,
+                })
+                .collect(),
+            amount_in: 10_000,
+            min_amount_out: 0,
+            deadline_round: 99,
+        }
+    }
+
+    #[test]
+    fn route_shape_validation() {
+        assert_eq!(sample_route(&[(0, true), (1, false)]).validate(), Ok(()));
+        assert_eq!(
+            sample_route(&[(0, true)]).validate(),
+            Err(RouteError::TooFewHops)
+        );
+        assert_eq!(
+            sample_route(&[(0, true), (1, false), (0, true)]).validate(),
+            Err(RouteError::DuplicatePool(PoolId(0)))
+        );
+        assert_eq!(
+            sample_route(&[(0, true), (1, true)]).validate(),
+            Err(RouteError::BrokenChain { hop: 1 })
+        );
+        let mut zero = sample_route(&[(0, true), (1, false)]);
+        zero.amount_in = 0;
+        assert_eq!(zero.validate(), Err(RouteError::ZeroInput));
+        let long: Vec<(u32, bool)> = (0..9).map(|i| (i, i % 2 == 0)).collect();
+        assert_eq!(
+            sample_route(&long).validate(),
+            Err(RouteError::TooManyHops { got: 9 })
+        );
+    }
+
+    #[test]
+    fn route_accessors_and_encoding() {
+        let tx = AmmTx::Route(sample_route(&[(2, false), (7, true), (3, false)]));
+        assert_eq!(tx.kind(), AmmTxKind::Route);
+        assert_eq!(tx.user(), Address::from_index(5));
+        assert_eq!(tx.pool(), PoolId(2), "route pool is the entry pool");
+        assert_eq!(tx.tx_id(), tx.tx_id());
+        let mut other = sample_route(&[(2, false), (7, true), (3, false)]);
+        other.amount_in += 1;
+        assert_ne!(tx.tx_id(), AmmTx::Route(other).tx_id());
+        // size grows with hop count
+        let two = AmmTx::Route(sample_route(&[(0, true), (1, false)]));
+        assert_eq!(two.mainnet_size_bytes(), 1008 + 32);
+        assert_eq!(tx.mainnet_size_bytes(), 1008 + 64);
+        assert_eq!(two.sepolia_size_bytes(), 365 + 23);
     }
 
     #[test]

@@ -18,11 +18,16 @@
 //! endpoints).
 //!
 //! New in v2: a `pool_count × skew` ladder timing one epoch of
-//! cross-pool traffic under sequential vs scoped-thread shard execution
+//! cross-pool traffic under sequential vs worker-pool shard execution
 //! (plus the size of the all-shards checkpoint), and a
 //! restore-throughput ladder (up to 10⁶ positions) comparing
 //! tick-table-fed restores against full `sqrt_ratio_at_tick`
 //! recomputation.
+//!
+//! New in v3: a `route hops × pool_count` ladder timing two-phase
+//! routed epochs (hop waves + netting barrier) sequential vs parallel,
+//! with netted-vs-naive settlement byte accounting — the ladder asserts
+//! the netted form is strictly smaller for every rung.
 //!
 //! Usage: `bench_snapshot [--smoke] [--out PATH] [--state-out PATH]`.
 //! `--smoke` cuts sample counts for CI; the JSON records which mode
@@ -44,7 +49,8 @@ use ammboost_sidechain::ledger::Ledger;
 use ammboost_state::codec::{Decode, Encode};
 use ammboost_state::{Checkpointer, Snapshot};
 use ammboost_workload::{
-    GeneratedTx, GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficMix, TrafficSkew,
+    GeneratedTx, GeneratorConfig, LiquidityStyle, RouteStyle, TrafficGenerator, TrafficMix,
+    TrafficSkew,
 };
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -180,6 +186,7 @@ fn pool_count_ladder(
         round_duration: ammboost_sim::time::SimDuration::from_secs(7),
         pools: (0..pools).map(PoolId).collect(),
         skew,
+        route_style: RouteStyle::default(),
         deadline_slack_rounds: 1_000_000,
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
@@ -248,6 +255,122 @@ fn pool_count_ladder(
         speedup: sequential_ns / parallel_ns,
         snapshot_bytes: stats.snapshot_bytes,
         max_pool_section_bytes,
+    }
+}
+
+/// One `route hops × pool_count` rung of the routed-epoch ladder.
+struct RouteLadder {
+    pools: u32,
+    hops: usize,
+    routes: usize,
+    sequential_ns: f64,
+    parallel_ns: f64,
+    speedup: f64,
+    netted_settlement_bytes: u64,
+    naive_settlement_bytes: u64,
+    netting_ratio: f64,
+}
+
+/// Times one epoch of pure routed traffic (`routes` routes of `hops`
+/// hops over `pools` pools) under sequential vs worker-pool shard
+/// execution, and sizes the settlement both ways: netted (what the
+/// netting barrier ships) vs naive per-hop entries. Asserts the netted
+/// form is strictly smaller — the routed-traffic acceptance criterion.
+fn route_ladder(pools: u32, hops: usize, routes: usize, samples: usize) -> RouteLadder {
+    use ammboost_amm::tx::{RouteHop, RouteTx};
+    assert!(
+        hops >= 2 && hops <= pools as usize,
+        "hops must fit the pool set"
+    );
+    let users = 32u64;
+    let mut ready = ShardMap::new((0..pools).map(PoolId));
+    for p in 0..pools {
+        ready.seed_liquidity(
+            PoolId(p),
+            Address::from_pubkey_bytes(b"bench-route-lp"),
+            -120_000,
+            120_000,
+            4_000_000_000_000_000,
+            4_000_000_000_000_000,
+        );
+    }
+    let deposits: HashMap<Address, (u128, u128)> = (0..users)
+        .map(|i| {
+            (
+                Address::from_index(0xB0B0 + i),
+                (2_000_000_000_000u128, 2_000_000_000_000u128),
+            )
+        })
+        .collect();
+    ready.begin_epoch(deposits, |a| {
+        (0..users)
+            .find(|i| Address::from_index(0xB0B0 + i) == *a)
+            .map(|i| PoolId((i % pools as u64) as u32))
+    });
+
+    let txs: Vec<AmmTx> = (0..routes)
+        .map(|i| {
+            let entry = (i % pools as usize) as u32;
+            let mut dir = i % 2 == 0;
+            AmmTx::Route(RouteTx {
+                user: Address::from_index(0xB0B0 + (i as u64 % users)),
+                hops: (0..hops as u32)
+                    .map(|k| {
+                        let hop = RouteHop {
+                            pool: PoolId((entry + k) % pools),
+                            zero_for_one: dir,
+                        };
+                        dir = !dir;
+                        hop
+                    })
+                    .collect(),
+                amount_in: 40_000 + i as u128 * 13,
+                min_amount_out: 0,
+                deadline_round: 1_000_000,
+            })
+        })
+        .collect();
+    let batch: Vec<(&AmmTx, usize)> = txs.iter().map(|t| (t, t.mainnet_size_bytes())).collect();
+
+    let run_epoch = |mode: ExecMode| {
+        median_ns(
+            samples,
+            || ready.clone(),
+            |mut shards| {
+                black_box(shards.execute_batch(&batch, 0, mode));
+                shards
+            },
+        )
+    };
+    let sequential_ns = run_epoch(ExecMode::Sequential);
+    let parallel_ns = run_epoch(ExecMode::Parallel);
+
+    // settle one executed epoch and read the netting ledger
+    let mut executed = ready.clone();
+    let effects = executed.execute_batch(&batch, 0, ExecMode::Sequential);
+    assert!(
+        effects.iter().all(|e| e.accepted()),
+        "bench routes must all execute"
+    );
+    let netting = executed.epoch_netting();
+    assert_eq!(netting.route_count() as usize, routes);
+    let netted = netting.netted_settlement_bytes();
+    let naive = netting.naive_settlement_bytes();
+    assert!(
+        netted < naive,
+        "netted settlement must be strictly smaller: {netted} !< {naive}"
+    );
+
+    RouteLadder {
+        pools,
+        hops,
+        routes,
+        sequential_ns,
+        parallel_ns,
+        speedup: sequential_ns / parallel_ns,
+        netted_settlement_bytes: netted,
+        naive_settlement_bytes: naive,
+        netting_ratio: naive as f64 / netted as f64,
     }
 }
 
@@ -457,6 +580,55 @@ fn main() {
             "1 hardware thread: parallel column = scheduling overhead only",
         );
     }
+    // ---- the route hops × pool_count ladder: two-phase routed epochs ----
+    ammboost_bench::header("Bench snapshot (routed epochs: hops × pools)");
+    let route_samples = if smoke { 5 } else { 21 };
+    let route_count = if smoke { 64 } else { 256 };
+    let route_rungs = [(2u32, 2usize), (4, 2), (4, 4), (8, 4), (8, 8)];
+    let route_ladders: Vec<RouteLadder> = route_rungs
+        .iter()
+        .map(|&(pools, hops)| {
+            let l = route_ladder(pools, hops, route_count, route_samples);
+            ammboost_bench::line(
+                &format!("route/{}pools_{}hops/sequential", l.pools, l.hops),
+                format!("{:.0} ns/epoch ({} routes)", l.sequential_ns, l.routes),
+            );
+            ammboost_bench::line(
+                &format!("route/{}pools_{}hops/parallel", l.pools, l.hops),
+                format!("{:.0} ns/epoch ({:.2}x)", l.parallel_ns, l.speedup),
+            );
+            ammboost_bench::line(
+                &format!("route/{}pools_{}hops/settlement", l.pools, l.hops),
+                format!(
+                    "netted {} vs naive {} ({:.2}x smaller)",
+                    ammboost_bench::fmt_bytes(l.netted_settlement_bytes),
+                    ammboost_bench::fmt_bytes(l.naive_settlement_bytes),
+                    l.netting_ratio
+                ),
+            );
+            l
+        })
+        .collect();
+    let route_ladder_json: Vec<String> = route_ladders
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"{}pools_{}hops\": {{\n      \"pool_count\": {},\n      \"hops\": {},\n      \"routes_per_epoch\": {},\n      \"epoch_sequential_ns\": {:.1},\n      \"epoch_parallel_ns\": {:.1},\n      \"parallel_speedup\": {:.3},\n      \"netted_settlement_bytes\": {},\n      \"naive_settlement_bytes\": {},\n      \"netting_ratio\": {:.3}\n    }}",
+                l.pools,
+                l.hops,
+                l.pools,
+                l.hops,
+                l.routes,
+                l.sequential_ns,
+                l.parallel_ns,
+                l.speedup,
+                l.netted_settlement_bytes,
+                l.naive_settlement_bytes,
+                l.netting_ratio,
+            )
+        })
+        .collect();
+
     let pool_ladder_json: Vec<String> = pool_ladders
         .iter()
         .map(|l| {
@@ -481,8 +653,9 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"ammboost-bench-snapshot/v2\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }}\n}}\n",
-        pool_ladder_json.join(",\n")
+        "{{\n  \"schema\": \"ammboost-bench-snapshot/v3\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }}\n}}\n",
+        pool_ladder_json.join(",\n"),
+        route_ladder_json.join(",\n")
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!();

@@ -6,13 +6,18 @@
 //! **re-verify** the state root plus byte-identical per-shard state.
 //! Exits non-zero on any divergence.
 //!
-//! Usage: `state_drill [--seed N] [--pools N] [--uniform]`
+//! `--routed` turns a share of the swap traffic into multi-hop
+//! cross-pool routes, drilling the two-phase epoch (hop waves + netting
+//! barrier) through the same checkpoint → prune → restore → re-verify
+//! cycle.
+//!
+//! Usage: `state_drill [--seed N] [--pools N] [--uniform] [--routed]`
 
 use ammboost_core::checkpoint::{checkpoint_node, restore_node};
 use ammboost_core::config::{SnapshotPolicy, SystemConfig};
 use ammboost_core::system::System;
 use ammboost_state::{prune_to_snapshot, Checkpointer, RetentionPolicy, Snapshot};
-use ammboost_workload::TrafficSkew;
+use ammboost_workload::{RouteStyle, TrafficSkew};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,10 +34,12 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
     let uniform = args.iter().any(|a| a == "--uniform");
+    let routed = args.iter().any(|a| a == "--routed");
 
     ammboost_bench::header("State drill: checkpoint → prune → restore → verify");
     ammboost_bench::line("config/pools", pools);
     ammboost_bench::line("config/skew", if uniform { "uniform" } else { "zipf(1.0)" });
+    ammboost_bench::line("config/routed", routed);
 
     let mut cfg = SystemConfig::small_test();
     cfg.seed = seed;
@@ -43,6 +50,10 @@ fn main() {
     } else {
         TrafficSkew::Zipf { exponent: 1.0 }
     };
+    if routed {
+        assert!(pools >= 2, "--routed needs at least two pools");
+        cfg.route_style = RouteStyle::routed(0.35, 4);
+    }
     // checkpoint every epoch but keep all raw history during the run
     // (both pruning paths off) so the drill's explicit prune phase below
     // demonstrates real reclamation
@@ -60,6 +71,15 @@ fn main() {
         report.snapshots_taken >= 3,
         "policy produced no checkpoints"
     );
+    if routed {
+        ammboost_bench::line("run/routes_accepted", report.routes_accepted);
+        ammboost_bench::line("run/route_legs", report.route_legs_executed);
+        assert!(report.routes_accepted > 0, "routed drill saw no routes");
+        assert!(
+            report.route_legs_executed >= 2 * report.routes_accepted,
+            "every route has at least two legs"
+        );
+    }
 
     // -- checkpoint: a final snapshot covering the drain epoch ------------
     let epoch = report.epochs + 1;
@@ -130,5 +150,8 @@ fn main() {
     ammboost_bench::line("reverify/root", stats2.root);
 
     println!();
-    println!("state drill PASS ({pools} pools)");
+    println!(
+        "state drill PASS ({pools} pools{})",
+        if routed { ", routed traffic" } else { "" }
+    );
 }

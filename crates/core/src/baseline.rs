@@ -107,6 +107,7 @@ impl BaselineRunner {
             round_duration: SimDuration::from_secs(7),
             pools: vec![PoolId(0)],
             skew: ammboost_workload::TrafficSkew::default(),
+            route_style: ammboost_workload::RouteStyle::default(),
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: cfg.liquidity_style,
@@ -253,7 +254,7 @@ impl BaselineRunner {
         let approvals_needed = match kind {
             AmmTxKind::Swap => 1,
             AmmTxKind::Mint => 2,
-            AmmTxKind::Burn | AmmTxKind::Collect => 0,
+            AmmTxKind::Burn | AmmTxKind::Collect | AmmTxKind::Route => 0,
         };
         let mut dep: Option<TxId> = None;
         for i in 0..approvals_needed {
@@ -312,6 +313,9 @@ impl BaselineRunner {
                 let (_, receipt) = self.base.collect(&c, &mut self.token0, &mut self.token1)?;
                 (receipt, None)
             }
+            // the baseline models one pool on the mainchain; cross-pool
+            // routes are the sidechain-only workload
+            AmmTx::Route(_) => return Err(BaselineError::UnsupportedRoute),
         };
         if let Some((derived, nft)) = mapped_position {
             self.position_map.insert(derived, nft);

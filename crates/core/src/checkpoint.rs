@@ -327,12 +327,18 @@ pub fn catch_up(
             )));
         }
         for block in metas {
-            for executed in &block.txs {
-                let global_round = (epoch - 1) * rounds_per_epoch + block.round;
-                let replayed = node
-                    .shards
-                    .execute(&executed.tx, executed.wire_size, global_round);
-                if replayed.effect != executed.effect {
+            // replay the block as one batch: plain transactions keep
+            // their per-pool order and routed transactions re-enter the
+            // same two-phase wave schedule they were mined under, so the
+            // replay is bit-identical to live execution
+            let global_round = (epoch - 1) * rounds_per_epoch + block.round;
+            let batch: Vec<(&ammboost_amm::tx::AmmTx, usize)> =
+                block.txs.iter().map(|t| (&t.tx, t.wire_size)).collect();
+            let replayed =
+                node.shards
+                    .execute_batch(&batch, global_round, crate::shard::ExecMode::Auto);
+            for (replay, recorded) in replayed.iter().zip(&block.txs) {
+                if replay.effect != recorded.effect {
                     return Err(NodeRestoreError::EffectMismatch {
                         epoch,
                         round: block.round,

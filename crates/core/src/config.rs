@@ -3,7 +3,7 @@
 
 use ammboost_mainchain::chain::ChainConfig;
 use ammboost_sim::time::SimDuration;
-use ammboost_workload::{LiquidityStyle, TrafficMix, TrafficSkew};
+use ammboost_workload::{LiquidityStyle, RouteStyle, TrafficMix, TrafficSkew};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -77,6 +77,10 @@ pub struct SystemConfig {
     /// How per-transaction traffic distributes across the pool set
     /// (uniform, or Zipf-skewed as real AMM fleets are).
     pub traffic_skew: TrafficSkew,
+    /// Routed-traffic profile: which share of swaps become multi-hop
+    /// cross-pool routes, and their hop-count distribution (default: no
+    /// routes — the paper's single-pool workloads).
+    pub route_style: RouteStyle,
     /// Mint range shape for generated liquidity (default: the paper's
     /// spread; `Fragmented` tiles many single-spacing ranges, producing a
     /// tick-dense pool for swap-engine stress runs).
@@ -121,6 +125,7 @@ impl Default for SystemConfig {
             users: 100,
             pools: 1,
             traffic_skew: TrafficSkew::default(),
+            route_style: RouteStyle::default(),
             liquidity_style: LiquidityStyle::default(),
             deposit_policy: DepositPolicy::OncePerRun,
             deposit_amount: 2_000_000_000_000,

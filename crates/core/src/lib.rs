@@ -9,7 +9,11 @@
 //! - [`processor`] — pool-snapshot-based, delayed-token-payout execution
 //!   with epoch deposits (§IV-B, Fig. 4).
 //! - [`shard`] — `PoolId` as a routing key: one processor per pool,
-//!   parallel per-pool batch execution, deterministic effect merging.
+//!   parallel per-pool batch execution, deterministic effect merging,
+//!   and the two-phase routed epoch (shard-parallel hop waves + the
+//!   netting barrier).
+//! - [`workers`] — the persistent shard worker pool backing parallel
+//!   execution (threads spawned once per process, not per round).
 //! - [`system`] — the full runner: election → DKG → rounds of meta-blocks
 //!   → summary → TSQC-authenticated sync → pruning, plus interruption
 //!   recovery (view change, mass-sync, rollbacks; §IV-C).
@@ -37,6 +41,7 @@ pub mod processor;
 pub mod shard;
 pub mod system;
 pub mod txenv;
+pub mod workers;
 
 pub use baseline::{BaselineConfig, BaselineReport, BaselineRunner};
 pub use checkpoint::{catch_up, checkpoint_node, restore_node, NodeRestore};

@@ -258,6 +258,9 @@ impl EpochProcessor {
             AmmTx::Mint(m) => self.exec_mint(m),
             AmmTx::Burn(b) => self.exec_burn(b),
             AmmTx::Collect(c) => self.exec_collect(c),
+            // routes span pools: only the shard map's two-phase epoch
+            // (hop waves + netting barrier) can execute them
+            AmmTx::Route(_) => Self::reject("route submitted to a single shard"),
         };
         match &effect {
             TxEffect::Rejected { reason } => {
@@ -280,6 +283,69 @@ impl EpochProcessor {
         TxEffect::Rejected {
             reason: reason.into(),
         }
+    }
+
+    // ---- routed-swap hooks (driven by `ShardMap`'s two-phase epoch) -----
+
+    /// Reserves a route's worst-case input from `user`'s deposit on this
+    /// shard (the user's *home* shard — where `begin_epoch` routed their
+    /// balance). Returns `false` without mutating when coverage is
+    /// insufficient. Called during batch admission, before any leg
+    /// executes, so coverage is checked at one deterministic point.
+    pub fn reserve_route_input(&mut self, user: Address, need0: u128, need1: u128) -> bool {
+        if !self.deposits.can_cover(&user, need0, need1) {
+            return false;
+        }
+        self.deposits
+            .debit(user, need0, need1)
+            .expect("coverage checked above");
+        true
+    }
+
+    /// Credits a route's output (or refunds its reserved input when no
+    /// leg executed) to `user`'s deposit on this shard — the netting
+    /// barrier's only deposit write per route.
+    pub fn credit_route_output(&mut self, user: Address, amount0: u128, amount1: u128) {
+        self.deposits
+            .credit(user, amount0, amount1)
+            .expect("credit within u128 token supplies");
+    }
+
+    /// Executes one route leg against this shard's pool: an exact-input
+    /// swap with no intra-route slippage bounds (`final_min_out` is set
+    /// on the route's last hop only). Deposits are untouched — flows
+    /// settle at the netting barrier.
+    ///
+    /// # Errors
+    /// Propagates pool failures (state untouched — swaps are atomic).
+    pub fn execute_route_leg(
+        &mut self,
+        zero_for_one: bool,
+        amount_in: u128,
+        final_min_out: Option<u128>,
+    ) -> Result<(u128, u128), AmmError> {
+        let result = self.pool.swap_with_protection(
+            zero_for_one,
+            SwapKind::ExactInput(amount_in),
+            None,
+            final_min_out.unwrap_or(0),
+            Amount::MAX,
+        )?;
+        self.pool_dirty = true;
+        Ok((result.amount_in, result.amount_out))
+    }
+
+    /// Books an accepted route into this shard's epoch counters (the
+    /// user's home shard owns the route for accounting, exactly as it
+    /// owns their deposit).
+    pub fn note_route_accepted(&mut self) {
+        self.stats.accepted += 1;
+    }
+
+    /// Books a rejected route into this shard's epoch counters.
+    pub fn note_route_rejected(&mut self, reason: &str) {
+        self.stats.rejected += 1;
+        *self.reject_reasons.entry(reason.to_string()).or_insert(0) += 1;
     }
 
     fn exec_swap(&mut self, s: &SwapTx, round: u64) -> TxEffect {

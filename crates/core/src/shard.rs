@@ -4,19 +4,48 @@
 //! [`AmmTx`] by its `pool` field. Because the system's traffic model pins
 //! each user to a home pool (deposits are routed the same way at epoch
 //! start), the shards share no mutable state — an epoch's per-pool
-//! batches can execute on independent threads (`std::thread::scope`) and
-//! still produce results bit-identical to sequential execution. Per-pool
-//! effects are merged deterministically (shards iterate ascending by
-//! `PoolId`; payouts re-sorted by user) into one epoch summary, one
-//! ledger entry and one Merkle-committed checkpoint covering all shards.
+//! batches can execute on independent worker threads (the persistent
+//! [`WorkerPool`]) and still produce results bit-identical to sequential
+//! execution. Per-pool effects are merged deterministically (shards
+//! iterate ascending by `PoolId`; payouts re-sorted by user) into one
+//! epoch summary, one ledger entry and one Merkle-committed checkpoint
+//! covering all shards.
+//!
+//! ## Cross-pool routing: the two-phase batch
+//!
+//! Multi-hop routes ([`AmmTx::Route`]) break the "every transaction
+//! touches one pool" assumption, so [`ShardMap::execute_batch`] runs a
+//! **two-phase** schedule with a canonical, scheduling-independent
+//! order:
+//!
+//! 1. **Admission** (sequential, batch order): each route is
+//!    shape-validated, its pools resolved, and its worst-case input
+//!    *reserved* from the user's home-shard deposit — one deterministic
+//!    coverage point before any leg executes.
+//! 2. **Phase 1** — plain transactions execute per shard as before;
+//!    then routes execute in *hop waves*: wave *k* carries hop *k* of
+//!    every live route. A route's pools are distinct, so each route has
+//!    at most one leg per shard per wave and the per-shard leg lists
+//!    (ordered by batch index) execute on parallel workers exactly like
+//!    plain sub-batches. A barrier between waves hands each route's
+//!    output forward as the next hop's input.
+//! 3. **Phase 2** — the **netting barrier** (sequential, batch order):
+//!    every route's per-hop flows fold into per-(user, token) net
+//!    deltas ([`NettingLedger`]); only the net credit (plus any
+//!    unconsumed input refund) lands on the user's home-shard deposit.
+//!    Payouts, summary blocks and `Sync` therefore carry **netted**
+//!    amounts — per-hop transfers never reach the settlement layer.
 
 use crate::processor::{EpochProcessor, ProcessorState, ProcessorStats};
+use crate::workers::WorkerPool;
 use ammboost_amm::pool::TickSearch;
-use ammboost_amm::tx::AmmTx;
+use ammboost_amm::tx::{AmmTx, RouteTx};
 use ammboost_amm::types::{Amount, PoolId, PositionId};
 use ammboost_crypto::Address;
-use ammboost_sidechain::block::{ExecutedTx, TxEffect};
-use ammboost_sidechain::summary::{Deposits, PayoutEntry, PoolUpdate, PositionEntry};
+use ammboost_sidechain::block::{ExecutedTx, RouteLeg, TxEffect};
+use ammboost_sidechain::summary::{
+    Deposits, NettingLedger, PayoutEntry, PoolUpdate, PositionEntry,
+};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -57,6 +86,38 @@ fn hardware_threads() -> usize {
 #[derive(Clone, Debug)]
 pub struct ShardMap {
     shards: Vec<EpochProcessor>,
+    /// User → index of the shard holding their deposit (their *home*
+    /// shard). Built when deposits are routed at epoch start, rebuilt
+    /// from the per-shard deposit ledgers on restore. Routes reserve
+    /// their input and receive their netted credit here.
+    home: HashMap<Address, usize>,
+    /// Per-epoch netting ledger: every routed flow folded this epoch.
+    /// Diagnostic/reporting state, reset at epoch start — the consensus
+    /// state it summarizes lives entirely in pools and deposits.
+    netting: NettingLedger,
+}
+
+/// One wave leg awaiting execution: the admitted route's slot, the
+/// hop's direction, its input amount, and the final-hop slippage floor.
+type WaveLeg = (usize, bool, u128, Option<u128>);
+
+/// One executed wave leg: the route slot and the realized `(in, out)`
+/// amounts (or the failure reason).
+type WaveResult = (usize, Result<(u128, u128), String>);
+
+/// In-flight state of one admitted route inside a batch.
+struct RouteRun<'b> {
+    batch_index: usize,
+    tx: &'b RouteTx,
+    wire_size: usize,
+    /// Index of the user's home shard (input already reserved there).
+    home: usize,
+    /// Legs executed so far, in hop order.
+    legs: Vec<RouteLeg>,
+    /// Input of the next hop (the previous hop's output).
+    next_amount: u128,
+    /// Set when a hop failed; remaining hops are skipped.
+    failure: Option<String>,
 }
 
 impl ShardMap {
@@ -74,11 +135,15 @@ impl ShardMap {
         assert_eq!(before, ids.len(), "duplicate pool ids in shard map");
         ShardMap {
             shards: ids.into_iter().map(EpochProcessor::new).collect(),
+            home: HashMap::new(),
+            netting: NettingLedger::new(),
         }
     }
 
     /// Reassembles a shard map from restored processors (the snapshot
-    /// path); sorts by pool id.
+    /// path); sorts by pool id and rebuilds the user→home-shard routing
+    /// from each shard's deposit ledger, so a restored node routes and
+    /// nets exactly like the node that took the checkpoint.
     ///
     /// # Panics
     /// Panics on an empty or duplicate-carrying processor set.
@@ -91,7 +156,17 @@ impl ShardMap {
                 .all(|w| w[0].pool_id() < w[1].pool_id()),
             "duplicate pool ids in shard map"
         );
-        ShardMap { shards: processors }
+        let mut home = HashMap::new();
+        for (idx, shard) in processors.iter().enumerate() {
+            for (user, _) in shard.deposits().to_sorted_entries() {
+                home.insert(user, idx);
+            }
+        }
+        ShardMap {
+            shards: processors,
+            home,
+            netting: NettingLedger::new(),
+        }
     }
 
     /// Number of shards.
@@ -182,29 +257,54 @@ impl ShardMap {
     ) {
         let mut per_shard: Vec<HashMap<Address, (u128, u128)>> =
             (0..self.shards.len()).map(|_| HashMap::new()).collect();
+        self.home.clear();
         for (user, balance) in snapshot {
             let idx = route(&user)
                 .and_then(|pool| self.index_of(pool))
                 .unwrap_or(0);
+            self.home.insert(user, idx);
             per_shard[idx].insert(user, balance);
         }
         for (shard, deposits) in self.shards.iter_mut().zip(per_shard) {
             shard.begin_epoch(deposits);
         }
+        self.netting = NettingLedger::new();
     }
 
     /// Begins an epoch on every shard without re-snapshotting deposits
-    /// (the mass-sync carry-over path).
+    /// (the mass-sync carry-over path). Home-shard routing carries over
+    /// with the deposits.
     pub fn carry_over_epoch(&mut self) {
         for s in &mut self.shards {
             s.carry_over_epoch();
         }
+        self.netting = NettingLedger::new();
+    }
+
+    /// The user's home shard index — where their deposit lives and where
+    /// routes reserve input and receive netted credit.
+    pub fn home_shard_of(&self, user: &Address) -> Option<PoolId> {
+        self.home.get(user).map(|&i| self.shards[i].pool_id())
+    }
+
+    /// The epoch's netting ledger: every routed flow folded since the
+    /// epoch began, with netted-vs-naive settlement accounting.
+    pub fn epoch_netting(&self) -> &NettingLedger {
+        &self.netting
     }
 
     /// Executes one transaction on the shard its `pool` field routes to.
     /// Transactions addressing a pool outside the map are rejected
-    /// without touching any shard.
+    /// without touching any shard. Routes run through the two-phase
+    /// machinery as a batch of one, so a single-tx caller (tests, the
+    /// fast-sync driver) sees exactly the batch semantics.
     pub fn execute(&mut self, tx: &AmmTx, wire_size: usize, round: u64) -> ExecutedTx {
+        if matches!(tx, AmmTx::Route(_)) {
+            return self
+                .execute_batch(&[(tx, wire_size)], round, ExecMode::Sequential)
+                .pop()
+                .expect("one transaction in, one effect out");
+        }
         match self.get_mut(tx.pool()) {
             Some(shard) => shard.execute(tx, wire_size, round),
             None => ExecutedTx {
@@ -217,85 +317,311 @@ impl ShardMap {
         }
     }
 
+    /// Admits one route: deadline, shape, pool membership, then the
+    /// deterministic coverage point — reserving the worst-case input on
+    /// the user's home shard. Returns the home shard index, or the
+    /// rejection reason plus the home shard (when known) to book the
+    /// rejection on.
+    fn admit_route(&mut self, r: &RouteTx, round: u64) -> Result<usize, (String, Option<usize>)> {
+        let home = self.home.get(&r.user).copied();
+        if round > r.deadline_round {
+            return Err(("deadline exceeded".into(), home));
+        }
+        if let Err(e) = r.validate() {
+            return Err((format!("invalid route: {e}"), home));
+        }
+        for hop in &r.hops {
+            if self.index_of(hop.pool).is_none() {
+                return Err((format!("unknown pool {}", hop.pool), home));
+            }
+        }
+        let Some(home) = home else {
+            return Err(("insufficient deposit for route input".into(), None));
+        };
+        let (need0, need1) = if r.input_is_token0() {
+            (r.amount_in, 0)
+        } else {
+            (0, r.amount_in)
+        };
+        if !self.shards[home].reserve_route_input(r.user, need0, need1) {
+            return Err(("insufficient deposit for route input".into(), Some(home)));
+        }
+        Ok(home)
+    }
+
     /// Executes a round's batch, routing each transaction by pool and
-    /// preserving per-pool submission order. Under [`ExecMode::Auto`] /
-    /// [`ExecMode::Parallel`] the busy shards run on scoped threads; the
-    /// returned effects are in the batch's original order and
-    /// bit-identical to sequential execution regardless of mode.
+    /// preserving per-pool submission order; routed transactions run the
+    /// two-phase schedule (admission → plain sub-batches → hop waves →
+    /// netting barrier, see the module docs). Under [`ExecMode::Auto`] /
+    /// [`ExecMode::Parallel`] the busy shards of every phase run on the
+    /// persistent worker pool; the returned effects are in the batch's
+    /// original order and bit-identical to sequential execution
+    /// regardless of mode.
     pub fn execute_batch(
         &mut self,
         batch: &[(&AmmTx, usize)],
         round: u64,
         mode: ExecMode,
     ) -> Vec<ExecutedTx> {
-        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        let mut unroutable: Vec<usize> = Vec::new();
-        for (i, (tx, _)) in batch.iter().enumerate() {
-            match self.index_of(tx.pool()) {
-                Some(s) => per_shard[s].push(i),
-                None => unroutable.push(i),
-            }
-        }
-        let busy = per_shard.iter().filter(|v| !v.is_empty()).count();
-        let parallel = match mode {
+        let mut out: Vec<Option<ExecutedTx>> = batch.iter().map(|_| None).collect();
+        let parallel_allowed = match mode {
             ExecMode::Sequential => false,
-            ExecMode::Parallel => busy > 1,
-            ExecMode::Auto => {
-                busy > 1 && batch.len() >= PARALLEL_MIN_BATCH && hardware_threads() > 1
-            }
+            ExecMode::Parallel => true,
+            ExecMode::Auto => batch.len() >= PARALLEL_MIN_BATCH && hardware_threads() > 1,
         };
 
-        let mut out: Vec<Option<ExecutedTx>> = batch.iter().map(|_| None).collect();
-        if parallel {
-            let chunks: Vec<Vec<(usize, ExecutedTx)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .zip(&per_shard)
-                    .filter(|(_, indices)| !indices.is_empty())
-                    .map(|(shard, indices): (&mut EpochProcessor, &Vec<usize>)| {
-                        scope.spawn(move || {
-                            indices
-                                .iter()
-                                .map(|&i| {
-                                    let (tx, size) = batch[i];
-                                    (i, shard.execute(tx, size, round))
-                                })
-                                .collect()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            });
-            for chunk in chunks {
-                for (i, executed) in chunk {
-                    out[i] = Some(executed);
-                }
-            }
-        } else {
-            for (shard, indices) in self.shards.iter_mut().zip(&per_shard) {
-                for &i in indices {
-                    let (tx, size) = batch[i];
-                    out[i] = Some(shard.execute(tx, size, round));
-                }
-            }
-        }
-        for i in unroutable {
-            let (tx, size) = batch[i];
-            out[i] = Some(ExecutedTx {
-                tx: tx.clone(),
-                wire_size: size,
-                effect: TxEffect::Rejected {
-                    reason: format!("unknown pool {}", tx.pool()),
+        // --- admission: partition plain txs by shard, reserve routes ---
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut routes: Vec<RouteRun<'_>> = Vec::new();
+        for (i, (tx, size)) in batch.iter().enumerate() {
+            match tx {
+                AmmTx::Route(r) => match self.admit_route(r, round) {
+                    Ok(home) => routes.push(RouteRun {
+                        batch_index: i,
+                        tx: r,
+                        wire_size: *size,
+                        home,
+                        legs: Vec::new(),
+                        next_amount: r.amount_in,
+                        failure: None,
+                    }),
+                    Err((reason, home)) => {
+                        if let Some(h) = home {
+                            self.shards[h].note_route_rejected(&reason);
+                        }
+                        out[i] = Some(ExecutedTx {
+                            tx: (*tx).clone(),
+                            wire_size: *size,
+                            effect: TxEffect::Rejected { reason },
+                        });
+                    }
                 },
-            });
+                _ => match self.index_of(tx.pool()) {
+                    Some(s) => per_shard[s].push(i),
+                    None => {
+                        out[i] = Some(ExecutedTx {
+                            tx: (*tx).clone(),
+                            wire_size: *size,
+                            effect: TxEffect::Rejected {
+                                reason: format!("unknown pool {}", tx.pool()),
+                            },
+                        });
+                    }
+                },
+            }
         }
+
+        // --- phase 1a: plain per-pool sub-batches ---
+        // the one sub-batch body both schedules run — keeping parallel
+        // and sequential on literally the same code path
+        let sub_batch = |shard: &mut EpochProcessor, indices: &Vec<usize>| {
+            indices
+                .iter()
+                .map(|&i| {
+                    let (tx, size) = batch[i];
+                    (i, shard.execute(tx, size, round))
+                })
+                .collect::<Vec<(usize, ExecutedTx)>>()
+        };
+        let busy = per_shard.iter().filter(|v| !v.is_empty()).count();
+        let busy_shards = self
+            .shards
+            .iter_mut()
+            .zip(&per_shard)
+            .filter(|(_, indices)| !indices.is_empty());
+        let mut chunks: Vec<Vec<(usize, ExecutedTx)>> = vec![Vec::new(); busy];
+        if parallel_allowed && busy > 1 {
+            WorkerPool::global().scope(|scope| {
+                for ((shard, indices), chunk) in busy_shards.zip(chunks.iter_mut()) {
+                    scope.spawn(move || *chunk = sub_batch(shard, indices));
+                }
+            });
+        } else {
+            for ((shard, indices), chunk) in busy_shards.zip(chunks.iter_mut()) {
+                *chunk = sub_batch(shard, indices);
+            }
+        }
+        for chunk in chunks {
+            for (i, executed) in chunk {
+                out[i] = Some(executed);
+            }
+        }
+
+        // --- phase 1b: hop waves ---
+        self.run_route_waves(&mut routes, parallel_allowed);
+
+        // --- phase 2: the netting barrier ---
+        let mut netting = NettingLedger::new();
+        for run in routes {
+            let (executed, entry) = self.settle_route(run, &mut netting);
+            out[executed] = Some(entry);
+        }
+        self.netting.merge(&netting);
+
         out.into_iter()
             .map(|o| o.expect("every transaction executed"))
             .collect()
+    }
+
+    /// Phase 1b: executes every admitted route's hops in waves. Wave `k`
+    /// carries hop `k` of each live route; a route's pools are distinct,
+    /// so the wave's legs group into per-shard lists (ordered by batch
+    /// index) that execute on parallel workers exactly like plain
+    /// sub-batches. The inter-wave barrier hands each route's output
+    /// forward as its next hop's input.
+    fn run_route_waves(&mut self, routes: &mut [RouteRun<'_>], parallel_allowed: bool) {
+        let max_hops = routes.iter().map(|r| r.tx.hops.len()).max().unwrap_or(0);
+        for wave in 0..max_hops {
+            let mut legs: Vec<Vec<WaveLeg>> = vec![Vec::new(); self.shards.len()];
+            for (slot, run) in routes.iter().enumerate() {
+                if run.failure.is_some() || wave >= run.tx.hops.len() {
+                    continue;
+                }
+                let hop = run.tx.hops[wave];
+                let shard = self.index_of(hop.pool).expect("pools checked at admission");
+                let final_min_out =
+                    (wave + 1 == run.tx.hops.len()).then_some(run.tx.min_amount_out);
+                legs[shard].push((slot, hop.zero_for_one, run.next_amount, final_min_out));
+            }
+            let busy = legs.iter().filter(|l| !l.is_empty()).count();
+            if busy == 0 {
+                break;
+            }
+            // one wave-leg body for both schedules
+            let run_legs = |shard: &mut EpochProcessor, shard_legs: &Vec<WaveLeg>| {
+                shard_legs
+                    .iter()
+                    .map(|&(r, dir, amount, min_out)| {
+                        (
+                            r,
+                            shard
+                                .execute_route_leg(dir, amount, min_out)
+                                .map_err(|e| e.to_string()),
+                        )
+                    })
+                    .collect::<Vec<WaveResult>>()
+            };
+            let mut results: Vec<Vec<WaveResult>> = vec![Vec::new(); busy];
+            let busy_shards = self
+                .shards
+                .iter_mut()
+                .zip(&legs)
+                .filter(|(_, l)| !l.is_empty());
+            if parallel_allowed && busy > 1 {
+                WorkerPool::global().scope(|scope| {
+                    for ((shard, shard_legs), slot) in busy_shards.zip(results.iter_mut()) {
+                        scope.spawn(move || *slot = run_legs(shard, shard_legs));
+                    }
+                });
+            } else {
+                for ((shard, shard_legs), slot) in busy_shards.zip(results.iter_mut()) {
+                    *slot = run_legs(shard, shard_legs);
+                }
+            }
+            for (slot, result) in results.into_iter().flatten() {
+                let run = &mut routes[slot];
+                let hop = run.tx.hops[wave];
+                match result {
+                    Ok((amount_in, amount_out)) => {
+                        run.legs.push(RouteLeg {
+                            pool: hop.pool,
+                            zero_for_one: hop.zero_for_one,
+                            amount_in,
+                            amount_out,
+                        });
+                        run.next_amount = amount_out;
+                    }
+                    Err(e) => run.failure = Some(e),
+                }
+            }
+        }
+    }
+
+    /// Phase 2 for one route: folds its flows into the netting ledger,
+    /// applies the single net credit — the last leg's output plus any
+    /// unconsumed input at *every* hop boundary (an exact-input swap can
+    /// consume less than its budget when the pool's liquidity runs out,
+    /// so each boundary's leftover intermediate tokens stay the user's)
+    /// — to the user's home shard, and builds the recorded effect. The
+    /// deposit write equals the ledger's net delta for the route
+    /// exactly. A route whose *first* hop already failed refunds its
+    /// full reservation and is recorded as rejected — pools and
+    /// deposits end untouched.
+    fn settle_route(
+        &mut self,
+        run: RouteRun<'_>,
+        netting: &mut NettingLedger,
+    ) -> (usize, ExecutedTx) {
+        let user = run.tx.user;
+        let home = &mut self.shards[run.home];
+        let (reserved0, reserved1) = if run.tx.input_is_token0() {
+            (run.tx.amount_in, 0)
+        } else {
+            (0, run.tx.amount_in)
+        };
+        if run.legs.is_empty() {
+            let reason = format!(
+                "route failed: {}",
+                run.failure.as_deref().unwrap_or("no hop executed")
+            );
+            home.credit_route_output(user, reserved0, reserved1);
+            home.note_route_rejected(&reason);
+            return (
+                run.batch_index,
+                ExecutedTx {
+                    tx: AmmTx::Route(run.tx.clone()),
+                    wire_size: run.wire_size,
+                    effect: TxEffect::Rejected { reason },
+                },
+            );
+        }
+
+        netting.record_route();
+        for leg in &run.legs {
+            netting.record_leg(user, leg.zero_for_one, leg.amount_in, leg.amount_out);
+        }
+        let first = run.legs.first().expect("non-empty");
+        let last = run.legs.last().expect("non-empty");
+        // unconsumed input stays the user's at every boundary: the
+        // reservation minus what hop 0 took, and each intermediate
+        // leftover where hop k absorbed less than hop k-1 produced
+        let (mut credit0, mut credit1) = (0u128, 0u128);
+        let mut leftover = |amount: u128, on_token1: bool| {
+            if on_token1 {
+                credit1 += amount;
+            } else {
+                credit0 += amount;
+            }
+        };
+        leftover(
+            run.tx.amount_in - first.amount_in,
+            !run.tx.input_is_token0(),
+        );
+        for pair in run.legs.windows(2) {
+            leftover(pair[0].amount_out - pair[1].amount_in, pair[0].zero_for_one);
+        }
+        leftover(last.amount_out, last.zero_for_one);
+        home.credit_route_output(user, credit0, credit1);
+        home.note_route_accepted();
+        let completed = run.failure.is_none()
+            && run.legs.len() == run.tx.hops.len()
+            && run
+                .legs
+                .windows(2)
+                .all(|pair| pair[0].amount_out == pair[1].amount_in);
+        (
+            run.batch_index,
+            ExecutedTx {
+                tx: AmmTx::Route(run.tx.clone()),
+                wire_size: run.wire_size,
+                effect: TxEffect::Route {
+                    amount_in: first.amount_in,
+                    amount_out: last.amount_out,
+                    completed,
+                    legs: run.legs,
+                },
+            },
+        )
     }
 
     /// Ends the epoch on every shard and merges the per-pool effects
@@ -502,5 +828,261 @@ mod tests {
     #[should_panic(expected = "duplicate pool ids")]
     fn duplicate_pools_rejected() {
         ShardMap::new([PoolId(1), PoolId(1)]);
+    }
+
+    // ---- cross-pool routing -------------------------------------------------
+
+    use ammboost_amm::tx::{RouteHop, RouteTx};
+
+    fn route(u: Address, path: &[u32], first_dir: bool, amount: u128) -> AmmTx {
+        let mut dir = first_dir;
+        AmmTx::Route(RouteTx {
+            user: u,
+            hops: path
+                .iter()
+                .map(|&p| {
+                    let hop = RouteHop {
+                        pool: PoolId(p),
+                        zero_for_one: dir,
+                    };
+                    dir = !dir;
+                    hop
+                })
+                .collect(),
+            amount_in: amount,
+            min_amount_out: 0,
+            deadline_round: 1_000_000,
+        })
+    }
+
+    #[test]
+    fn route_executes_hops_across_shards_and_nets_deposits() {
+        let mut shards = shard_map(3);
+        begin(&mut shards, 6, 3);
+        // user 0 is homed on pool 0; route 0 → 1 → 2
+        let tx = route(user(0), &[0, 1, 2], true, 100_000);
+        let out = shards.execute(&tx, 1072, 0);
+        let TxEffect::Route {
+            legs,
+            amount_in,
+            amount_out,
+            completed,
+        } = &out.effect
+        else {
+            panic!("expected a route effect, got {:?}", out.effect);
+        };
+        assert!(completed);
+        assert_eq!(legs.len(), 3);
+        assert_eq!(*amount_in, 100_000);
+        // legs chain: hop k's output is hop k+1's input
+        assert_eq!(legs[0].amount_out, legs[1].amount_in);
+        assert_eq!(legs[1].amount_out, legs[2].amount_in);
+        assert_eq!(legs[2].amount_out, *amount_out);
+        // all three pools were touched
+        for p in 0..3u32 {
+            let balances = shards.get(PoolId(p)).unwrap().pool().balances();
+            assert_ne!(
+                (balances.amount0, balances.amount1),
+                (10u128.pow(13), 10u128.pow(13)),
+                "pool {p} untouched"
+            );
+        }
+        // deposit netted on the home shard only: -in on token0, +out on
+        // token1 (3 hops: 0→1, 1→0, 0→1)
+        let (d0, d1) = shards.get(PoolId(0)).unwrap().deposits().get(&user(0));
+        assert_eq!(d0, 1_000_000_000 - 100_000);
+        assert_eq!(d1, 1_000_000_000 + amount_out);
+        // accounting lands on the home shard
+        assert_eq!(shards.get(PoolId(0)).unwrap().stats().accepted, 1);
+        assert_eq!(shards.get(PoolId(1)).unwrap().stats().accepted, 0);
+        // the netting ledger folded 6 flows into 1 net entry
+        assert_eq!(shards.epoch_netting().route_count(), 1);
+        assert_eq!(shards.epoch_netting().flow_count(), 6);
+        assert_eq!(shards.epoch_netting().net_entry_count(), 1);
+        assert!(
+            shards.epoch_netting().netted_settlement_bytes()
+                < shards.epoch_netting().naive_settlement_bytes()
+        );
+    }
+
+    #[test]
+    fn route_rejections_are_typed_and_stateless() {
+        let mut shards = shard_map(3);
+        begin(&mut shards, 6, 3);
+        let states_before = shards.export_states();
+
+        // duplicate pool → the typed DuplicatePool shape error
+        let dup = route(user(0), &[0, 1, 0], true, 10_000);
+        let out = shards.execute(&dup, 1072, 0);
+        let TxEffect::Rejected { reason } = &out.effect else {
+            panic!("duplicate-pool route must be rejected");
+        };
+        assert!(reason.contains("visits pool:0 twice"), "reason: {reason}");
+
+        // broken direction chain
+        let broken = AmmTx::Route(RouteTx {
+            user: user(0),
+            hops: vec![
+                RouteHop {
+                    pool: PoolId(0),
+                    zero_for_one: true,
+                },
+                RouteHop {
+                    pool: PoolId(1),
+                    zero_for_one: true,
+                },
+            ],
+            amount_in: 10_000,
+            min_amount_out: 0,
+            deadline_round: 1_000_000,
+        });
+        let out = shards.execute(&broken, 1072, 0);
+        assert!(!out.accepted());
+
+        // unknown pool
+        let stray = route(user(0), &[0, 9], true, 10_000);
+        let out = shards.execute(&stray, 1072, 0);
+        let TxEffect::Rejected { reason } = &out.effect else {
+            panic!()
+        };
+        assert!(reason.contains("unknown pool"), "reason: {reason}");
+
+        // insufficient deposit
+        let broke = route(user(0), &[0, 1], true, u128::MAX >> 8);
+        let out = shards.execute(&broke, 1072, 0);
+        let TxEffect::Rejected { reason } = &out.effect else {
+            panic!()
+        };
+        assert!(reason.contains("insufficient deposit"), "reason: {reason}");
+
+        // none of the rejections touched pool or deposit state; the
+        // rejection *counters* land on the issuer's home shard
+        for (before, after) in states_before.iter().zip(shards.export_states()) {
+            assert_eq!(before.pool, after.pool, "pool state mutated");
+            assert_eq!(before.deposits, after.deposits, "deposits mutated");
+        }
+        assert_eq!(shards.get(PoolId(0)).unwrap().stats().rejected, 4);
+        assert_eq!(shards.epoch_netting().route_count(), 0);
+    }
+
+    #[test]
+    fn routed_batch_parallel_matches_sequential() {
+        // a mixed batch: plain swaps interleaved with routes whose waves
+        // overlap on the same pools
+        let txs: Vec<AmmTx> = (0..60u64)
+            .flat_map(|i| {
+                let u = i % 12;
+                vec![
+                    swap(user(u), (u % 4) as u32, 10_000 + i as u128, i % 2 == 0),
+                    route(
+                        user(u),
+                        &[(u % 4) as u32, ((u + 1) % 4) as u32, ((u + 2) % 4) as u32],
+                        i % 2 == 1,
+                        20_000 + i as u128,
+                    ),
+                ]
+            })
+            .collect();
+        let batch: Vec<(&AmmTx, usize)> = txs.iter().map(|t| (t, 1040)).collect();
+
+        let mut seq = shard_map(4);
+        begin(&mut seq, 12, 4);
+        let a = seq.execute_batch(&batch, 0, ExecMode::Sequential);
+
+        let mut par = shard_map(4);
+        begin(&mut par, 12, 4);
+        let b = par.execute_batch(&batch, 0, ExecMode::Parallel);
+
+        assert!(
+            a.iter().any(|e| matches!(e.effect, TxEffect::Route { .. })),
+            "routes must flow"
+        );
+        assert_eq!(a, b, "scheduling changed routed results");
+        assert_eq!(seq.end_epoch(), par.end_epoch());
+        assert_eq!(seq.export_states(), par.export_states());
+        assert_eq!(seq.epoch_netting(), par.epoch_netting());
+    }
+
+    #[test]
+    fn partial_mid_route_fill_strands_no_tokens() {
+        // pool 1's liquidity is microscopic: hop 0's output overwhelms
+        // it, so hop 1 consumes only part of its input. The unconsumed
+        // intermediate tokens must come back to the user — global
+        // deposit ↔ pool conservation holds and the deposit write
+        // equals the netting ledger's net delta exactly.
+        let mut shards = ShardMap::new([PoolId(0), PoolId(1)]);
+        shards.seed_liquidity(
+            PoolId(0),
+            user(900),
+            -60_000,
+            60_000,
+            10u128.pow(13),
+            10u128.pow(13),
+        );
+        shards.seed_liquidity(PoolId(1), user(901), -600, 600, 2_000, 2_000);
+        let deposit = 1_000_000_000u128;
+        shards.begin_epoch(
+            [(user(0), (deposit, deposit))].into_iter().collect(),
+            |_| Some(PoolId(0)),
+        );
+        let pool_before: Vec<(u128, u128)> = [0u32, 1]
+            .iter()
+            .map(|&p| {
+                let b = shards.get(PoolId(p)).unwrap().pool().balances();
+                (b.amount0, b.amount1)
+            })
+            .collect();
+
+        let tx = route(user(0), &[0, 1], true, 50_000_000);
+        let out = shards.execute(&tx, 1040, 0);
+        let TxEffect::Route {
+            legs, completed, ..
+        } = &out.effect
+        else {
+            panic!("expected route, got {:?}", out.effect);
+        };
+        assert_eq!(legs.len(), 2);
+        assert!(
+            legs[1].amount_in < legs[0].amount_out,
+            "test needs a partial mid-route fill: {legs:?}"
+        );
+        assert!(!completed, "partial fill must not report completed");
+
+        // global conservation: user deltas mirror pool deltas
+        let (d0, d1) = shards.get(PoolId(0)).unwrap().deposits().get(&user(0));
+        let mut pool_delta0 = 0i128;
+        let mut pool_delta1 = 0i128;
+        for (i, &p) in [0u32, 1].iter().enumerate() {
+            let b = shards.get(PoolId(p)).unwrap().pool().balances();
+            pool_delta0 += b.amount0 as i128 - pool_before[i].0 as i128;
+            pool_delta1 += b.amount1 as i128 - pool_before[i].1 as i128;
+        }
+        assert_eq!(
+            d0 as i128 - deposit as i128,
+            -pool_delta0,
+            "token0 stranded"
+        );
+        assert_eq!(
+            d1 as i128 - deposit as i128,
+            -pool_delta1,
+            "token1 stranded"
+        );
+
+        // the deposit write equals the ledger's net delta
+        let nets = shards.epoch_netting().net_entries();
+        assert_eq!(nets.len(), 1);
+        let (_, (n0, n1)) = nets[0];
+        assert_eq!(d0 as i128, deposit as i128 + n0);
+        assert_eq!(d1 as i128, deposit as i128 + n1);
+    }
+
+    #[test]
+    fn restored_map_preserves_home_routing() {
+        let mut shards = shard_map(2);
+        begin(&mut shards, 4, 2);
+        assert_eq!(shards.home_shard_of(&user(1)), Some(PoolId(1)));
+        let rebuilt = ShardMap::from_processors(shards.iter().cloned().collect::<Vec<_>>());
+        assert_eq!(rebuilt.home_shard_of(&user(1)), Some(PoolId(1)));
+        assert_eq!(rebuilt.home_shard_of(&user(900)), None);
     }
 }

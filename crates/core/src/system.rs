@@ -91,6 +91,11 @@ pub struct SystemReport {
     pub max_summary_bytes: u64,
     /// Epochs executed.
     pub epochs: u64,
+    /// Accepted multi-hop routed swaps (a subset of `accepted`).
+    pub routes_accepted: u64,
+    /// Route legs executed across all epochs (per-hop pool swaps whose
+    /// flows netted out before settlement).
+    pub route_legs_executed: u64,
     /// Merkle-committed node checkpoints taken (0 when the snapshot
     /// policy is disabled).
     pub snapshots_taken: u64,
@@ -153,6 +158,8 @@ pub struct System {
     rejected: u64,
     view_changes: u64,
     mass_syncs: u64,
+    routes_accepted: u64,
+    route_legs_executed: u64,
     syncs_confirmed: u64,
     sync_gas: u64,
     deposit_gas: u64,
@@ -191,6 +198,7 @@ impl System {
             round_duration: cfg.round_duration,
             pools: pool_ids.clone(),
             skew: cfg.traffic_skew,
+            route_style: cfg.route_style,
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: cfg.liquidity_style,
@@ -264,6 +272,8 @@ impl System {
             rejected: 0,
             view_changes: 0,
             mass_syncs: 0,
+            routes_accepted: 0,
+            route_legs_executed: 0,
             syncs_confirmed: 0,
             sync_gas: 0,
             deposit_gas: 0,
@@ -365,6 +375,8 @@ impl System {
                 .as_secs_f64(),
             max_summary_bytes: self.max_summary_bytes,
             epochs: self.cfg.epochs,
+            routes_accepted: self.routes_accepted,
+            route_legs_executed: self.route_legs_executed,
             snapshots_taken: self.snapshots_taken,
             last_snapshot_bytes: self.last_checkpoint.map(|c| c.snapshot_bytes).unwrap_or(0),
             last_state_root: self.last_checkpoint.map(|c| c.root),
@@ -525,15 +537,21 @@ impl System {
                     .entry(payout_epoch)
                     .or_default()
                     .push(*arrival);
-                // feed back deleted positions so traffic stops
-                // referencing them
-                if let ammboost_sidechain::block::TxEffect::Burn {
-                    position, deleted, ..
-                } = &out.effect
-                {
-                    if *deleted {
+                match &out.effect {
+                    // feed back deleted positions so traffic stops
+                    // referencing them
+                    ammboost_sidechain::block::TxEffect::Burn {
+                        position,
+                        deleted: true,
+                        ..
+                    } => {
                         self.generator.forget_position(*position);
                     }
+                    ammboost_sidechain::block::TxEffect::Route { legs, .. } => {
+                        self.routes_accepted += 1;
+                        self.route_legs_executed += legs.len() as u64;
+                    }
+                    _ => {}
                 }
             } else {
                 self.rejected += 1;

@@ -4,7 +4,7 @@
 //! `verify_tx` checks the signature, that the signer is the transaction's
 //! stated user, and type-specific syntax (positive amounts, sane ranges).
 
-use ammboost_amm::tx::{AmmTx, SwapIntent};
+use ammboost_amm::tx::{AmmTx, RouteError, SwapIntent};
 use ammboost_crypto::group::G1;
 use ammboost_crypto::schnorr::{self, Keypair, SchnorrSignature};
 use ammboost_crypto::Address;
@@ -37,6 +37,9 @@ pub enum TxError {
     BadAmount(&'static str),
     /// Lower tick not below upper tick.
     BadRange,
+    /// A malformed multi-hop route (duplicate pool, broken direction
+    /// chain, hop count out of bounds, zero input).
+    BadRoute(RouteError),
 }
 
 impl std::fmt::Display for TxError {
@@ -48,6 +51,7 @@ impl std::fmt::Display for TxError {
             }
             TxError::BadAmount(what) => write!(f, "bad amount: {what}"),
             TxError::BadRange => write!(f, "tick range inverted or empty"),
+            TxError::BadRoute(e) => write!(f, "bad route: {e}"),
         }
     }
 }
@@ -109,6 +113,9 @@ pub fn verify_tx(signed: &SignedTx) -> Result<(), TxError> {
             if c.amount0 == 0 && c.amount1 == 0 {
                 return Err(TxError::BadAmount("collect of nothing"));
             }
+        }
+        AmmTx::Route(r) => {
+            r.validate().map_err(TxError::BadRoute)?;
         }
     }
     // identity check

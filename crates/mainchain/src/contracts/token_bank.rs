@@ -940,6 +940,84 @@ mod tests {
     }
 
     #[test]
+    fn routed_epoch_settles_netted_under_one_tsqc() {
+        // A 3-hop route (100k t0 → t1 → t0 → t1 across pools 0,1,2)
+        // reaches the bank as ONE netted payout entry under one TSQC.
+        // The naive alternative — settling each hop's transfers as their
+        // own entries — would ship 2 × hops entries for the same trade.
+        let mut w = setup();
+        w.bank.create_pool(PoolId(1), &mut GasMeter::new());
+        w.bank.create_pool(PoolId(2), &mut GasMeter::new());
+        w.token0
+            .approve(a(1), w.bank.address, 100_000, &mut GasMeter::new());
+        w.bank
+            .deposit(
+                a(1),
+                100_000,
+                0,
+                1,
+                &mut w.token0,
+                &mut w.token1,
+                &mut GasMeter::new(),
+            )
+            .unwrap();
+
+        // the sidechain's netting barrier folded the route's 6 flows
+        // (-100_000 t0 in, +95_000 t1 out, intermediates cancelled) into
+        // the user's final deposit balance = the single payout entry
+        let netted = SyncInput {
+            epoch: 1,
+            payouts: vec![PayoutEntry {
+                user: a(1),
+                amount0: 0,
+                amount1: 95_000,
+            }],
+            positions: vec![],
+            pools: (0..3u32)
+                .map(|p| PoolUpdate {
+                    pool: PoolId(p),
+                    reserve0: 1_000 + p as u128,
+                    reserve1: 2_000 + p as u128,
+                })
+                .collect(),
+            next_vk: w.dkg.group_public_key,
+        };
+        let qc = signed_sync(&w, &netted);
+        let before1 = w.token1.balance_of(&a(1));
+        let receipt = w
+            .bank
+            .sync(&netted, &qc, &mut w.token0, &mut w.token1)
+            .unwrap();
+        assert_eq!(receipt.payouts_applied, 1);
+        assert_eq!(w.token1.balance_of(&a(1)), before1 + 95_000);
+        // every hop's pool section landed, still one authenticated call
+        for p in 0..3u32 {
+            assert_eq!(
+                w.bank.pool_reserves(&PoolId(p)),
+                Some((1_000 + p as u128, 2_000 + p as u128))
+            );
+        }
+
+        // settlement bytes: the netted form beats naive per-hop payouts
+        // by (2·hops − 1) entries of 352 B each
+        let hops = 3usize;
+        let naive_extra_entries = 2 * hops - 1;
+        let mut naive = netted.clone();
+        for i in 0..naive_extra_entries {
+            naive.payouts.push(PayoutEntry {
+                user: a(2 + i as u64),
+                amount0: 1,
+                amount1: 1,
+            });
+        }
+        let saved = naive.abi_payload().len() - netted.abi_payload().len();
+        assert_eq!(
+            saved,
+            naive_extra_entries * SyncInput::abi_payout_entry_size()
+        );
+    }
+
+    #[test]
     fn sync_applies_every_pool_section() {
         let mut w = setup();
         w.bank.create_pool(PoolId(1), &mut GasMeter::new());

@@ -49,6 +49,10 @@ pub enum BaselineError {
     },
     /// Position NFT not owned by the caller.
     NotNftOwner,
+    /// Multi-hop routed swaps cross pools; the single-pool mainchain
+    /// baseline cannot express them (routed traffic is exactly the
+    /// workload that needs the sidechain's epoch-level netting).
+    UnsupportedRoute,
 }
 
 impl std::fmt::Display for BaselineError {
@@ -63,6 +67,9 @@ impl std::fmt::Display for BaselineError {
                 write!(f, "input {got} above maximum {max}")
             }
             BaselineError::NotNftOwner => write!(f, "caller does not own the position NFT"),
+            BaselineError::UnsupportedRoute => {
+                write!(f, "single-pool baseline cannot execute multi-hop routes")
+            }
         }
     }
 }

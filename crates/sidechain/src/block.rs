@@ -5,10 +5,26 @@
 use crate::codec;
 use crate::summary::{PayoutEntry, PoolUpdate, PositionEntry};
 use ammboost_amm::tx::AmmTx;
-use ammboost_amm::types::PositionId;
+use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_crypto::merkle::MerkleTree;
 use ammboost_crypto::H256;
 use serde::{Deserialize, Serialize};
+
+/// One executed hop of a routed swap: the pool it traded on, the
+/// direction, and the realized amounts. The leg list is the auditable
+/// record of a route's intermediate flows — flows that *net out* before
+/// settlement and therefore never appear in payouts or syncs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteLeg {
+    /// The pool the leg traded on.
+    pub pool: PoolId,
+    /// Direction: `true` = token0 in, token1 out.
+    pub zero_for_one: bool,
+    /// Input paid into the pool (fee inclusive).
+    pub amount_in: u128,
+    /// Output received from the pool.
+    pub amount_out: u128,
+}
 
 /// The observable effect of executing a transaction — what the summary
 /// rules (Fig. 4) consume.
@@ -57,6 +73,24 @@ pub enum TxEffect {
         amount0: u128,
         /// Token1 fees credited.
         amount1: u128,
+    },
+    /// A routed multi-hop swap. The user's deposit was debited
+    /// `amount_in` of the first leg's input token and credited
+    /// `amount_out` of the last executed leg's output token; every
+    /// intermediate flow cancelled inside the epoch's netting barrier.
+    Route {
+        /// The executed legs, in hop order (may be shorter than the
+        /// submitted route when a mid-route hop failed).
+        legs: Vec<RouteLeg>,
+        /// Input debited from the user's deposit (first leg input).
+        amount_in: u128,
+        /// Final output credited to the user's deposit (last executed
+        /// leg's output).
+        amount_out: u128,
+        /// `true` when every submitted hop executed and the slippage
+        /// floor was met; `false` marks a partial fill (the user holds
+        /// the intermediate token of the last successful leg).
+        completed: bool,
     },
     /// The transaction was rejected (insufficient deposit, slippage,
     /// expired deadline…); recorded for audit, affecting no balances.

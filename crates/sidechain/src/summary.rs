@@ -10,7 +10,7 @@
 use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_crypto::Address;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A payout entry: the user's final deposit balance for the epoch
 /// (deduction, accrual and leftover refund all netted).
@@ -64,6 +64,135 @@ pub struct PoolUpdate {
     pub reserve0: u128,
     /// New token1 reserve.
     pub reserve1: u128,
+}
+
+/// The epoch-level netting ledger for routed traffic.
+///
+/// Every executed route leg moves tokens twice from the user's
+/// perspective — input paid into the leg's pool, output received from it.
+/// Settling those flows individually would grow the settlement layer
+/// linearly in *hop count*; the netting barrier instead folds them into
+/// per-(user, token) **net deltas**, where every intermediate flow
+/// cancels exactly (hop *k*'s output is hop *k+1*'s input). The epoch
+/// summary and `Sync` then carry only the nets — the byte footprint of a
+/// routed epoch's settlement is bounded by the *user* count, not the hop
+/// count, in the spirit of the paper's TSQC-compressed summaries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NettingLedger {
+    /// Net signed deltas per user: `(token0, token1)`.
+    nets: BTreeMap<Address, (i128, i128)>,
+    /// Per-hop flow records folded in (two per executed leg).
+    flows: u64,
+    /// Routes folded in.
+    routes: u64,
+    /// Signed sum of all folded token0 flows.
+    flow_sum0: i128,
+    /// Signed sum of all folded token1 flows.
+    flow_sum1: i128,
+}
+
+impl NettingLedger {
+    /// An empty ledger.
+    pub fn new() -> NettingLedger {
+        NettingLedger::default()
+    }
+
+    /// Folds one executed route leg into the ledger: the user pays
+    /// `amount_in` of the leg's input token and receives `amount_out` of
+    /// its output token.
+    ///
+    /// # Panics
+    /// Panics when a flow exceeds `i128::MAX` — beyond any realizable
+    /// pool balance, and a panic keeps debug and release builds
+    /// bit-identical instead of silently wrapping in release.
+    pub fn record_leg(
+        &mut self,
+        user: Address,
+        zero_for_one: bool,
+        amount_in: u128,
+        amount_out: u128,
+    ) {
+        let signed = |amount: u128| -> i128 {
+            i128::try_from(amount).expect("route flow exceeds i128 range")
+        };
+        let (d0, d1) = if zero_for_one {
+            (-signed(amount_in), signed(amount_out))
+        } else {
+            (signed(amount_out), -signed(amount_in))
+        };
+        let entry = self.nets.entry(user).or_insert((0, 0));
+        entry.0 += d0;
+        entry.1 += d1;
+        self.flow_sum0 += d0;
+        self.flow_sum1 += d1;
+        self.flows += 2;
+    }
+
+    /// Marks one route as folded (leg flows are recorded separately).
+    pub fn record_route(&mut self) {
+        self.routes += 1;
+    }
+
+    /// Folds another ledger into this one (per-batch ledgers accumulate
+    /// into the epoch ledger).
+    pub fn merge(&mut self, other: &NettingLedger) {
+        for (user, (d0, d1)) in &other.nets {
+            let entry = self.nets.entry(*user).or_insert((0, 0));
+            entry.0 += d0;
+            entry.1 += d1;
+        }
+        self.flows += other.flows;
+        self.routes += other.routes;
+        self.flow_sum0 += other.flow_sum0;
+        self.flow_sum1 += other.flow_sum1;
+    }
+
+    /// The net signed deltas, sorted by user.
+    pub fn net_entries(&self) -> Vec<(Address, (i128, i128))> {
+        self.nets.iter().map(|(u, d)| (*u, *d)).collect()
+    }
+
+    /// Per-hop flow records folded in (two per executed leg).
+    pub fn flow_count(&self) -> u64 {
+        self.flows
+    }
+
+    /// Routes folded in.
+    pub fn route_count(&self) -> u64 {
+        self.routes
+    }
+
+    /// Non-zero net entries — what a netted settlement would ship.
+    pub fn net_entry_count(&self) -> u64 {
+        self.nets.values().filter(|d| **d != (0, 0)).count() as u64
+    }
+
+    /// The signed totals of every folded flow, per token.
+    pub fn flow_totals(&self) -> (i128, i128) {
+        (self.flow_sum0, self.flow_sum1)
+    }
+
+    /// The signed totals of the net deltas, per token. Netting is
+    /// *conservative*: this always equals [`NettingLedger::flow_totals`]
+    /// — folding flows into nets neither creates nor destroys tokens.
+    pub fn net_totals(&self) -> (i128, i128) {
+        self.nets
+            .values()
+            .fold((0i128, 0i128), |(a0, a1), (d0, d1)| (a0 + d0, a1 + d1))
+    }
+
+    /// Settlement bytes of the *netted* form: one packed payout-sized
+    /// entry per non-zero net delta.
+    pub fn netted_settlement_bytes(&self) -> u64 {
+        self.net_entry_count() * crate::codec::payout_entry_size() as u64
+    }
+
+    /// Settlement bytes of the *naive* per-hop form: one packed
+    /// payout-sized entry per folded flow — what the settlement layer
+    /// would carry if every hop's transfers were synced individually.
+    pub fn naive_settlement_bytes(&self) -> u64 {
+        self.flows * crate::codec::payout_entry_size() as u64
+    }
 }
 
 /// Errors from deposit tracking.
@@ -324,5 +453,64 @@ mod tests {
         let mut d = Deposits::new();
         d.credit(a(1), u128::MAX, 0).unwrap();
         assert_eq!(d.credit(a(1), 1, 0), Err(DepositError::Overflow));
+    }
+
+    #[test]
+    fn netting_cancels_intermediate_flows() {
+        // 3-hop route: 100 token0 in → 95 token1 → 93 token0 → 91 token1.
+        // Intermediates (95 t1, 93 t0) cancel; net = (-100, +91).
+        let mut n = NettingLedger::new();
+        n.record_route();
+        n.record_leg(a(1), true, 100, 95);
+        n.record_leg(a(1), false, 95, 93);
+        n.record_leg(a(1), true, 93, 91);
+        assert_eq!(n.net_entries(), vec![(a(1), (-100, 91))]);
+        assert_eq!(n.flow_count(), 6);
+        assert_eq!(n.route_count(), 1);
+        assert_eq!(n.net_entry_count(), 1);
+    }
+
+    #[test]
+    fn netting_is_conservative() {
+        let mut n = NettingLedger::new();
+        n.record_leg(a(1), true, 100, 95);
+        n.record_leg(a(2), false, 50, 48);
+        n.record_leg(a(1), false, 95, 90);
+        assert_eq!(n.flow_totals(), n.net_totals());
+    }
+
+    #[test]
+    fn netted_settlement_strictly_smaller_than_naive() {
+        // any route with >= 2 hops: 2*hops flows fold to <= 2 entries
+        for hops in 2..=6u32 {
+            let mut n = NettingLedger::new();
+            n.record_route();
+            let mut amount = 1_000u128;
+            for k in 0..hops {
+                n.record_leg(a(9), k % 2 == 0, amount, amount - 3);
+                amount -= 3;
+            }
+            assert!(
+                n.netted_settlement_bytes() < n.naive_settlement_bytes(),
+                "hops={hops}: {} !< {}",
+                n.netted_settlement_bytes(),
+                n.naive_settlement_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn netting_merge_accumulates() {
+        let mut a_ledger = NettingLedger::new();
+        a_ledger.record_route();
+        a_ledger.record_leg(a(1), true, 10, 9);
+        let mut b_ledger = NettingLedger::new();
+        b_ledger.record_route();
+        b_ledger.record_leg(a(1), false, 9, 8);
+        a_ledger.merge(&b_ledger);
+        assert_eq!(a_ledger.route_count(), 2);
+        assert_eq!(a_ledger.flow_count(), 4);
+        assert_eq!(a_ledger.net_entries(), vec![(a(1), (-2, 0))]);
+        assert_eq!(a_ledger.flow_totals(), a_ledger.net_totals());
     }
 }

@@ -6,10 +6,12 @@
 
 use crate::codec::{ensure_sorted_keys, ByteReader, ByteWriter, CodecError, Decode, Encode};
 use ammboost_amm::pool::{PoolState, Position, TickInfo};
-use ammboost_amm::tx::{AmmTx, BurnTx, CollectTx, MintTx, SwapIntent, SwapTx};
+use ammboost_amm::tx::{
+    AmmTx, BurnTx, CollectTx, MintTx, RouteHop, RouteTx, SwapIntent, SwapTx, MAX_ROUTE_HOPS,
+};
 use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_crypto::{Address, H256, U256};
-use ammboost_sidechain::block::{ExecutedTx, MetaBlock, SummaryBlock, TxEffect};
+use ammboost_sidechain::block::{ExecutedTx, MetaBlock, RouteLeg, SummaryBlock, TxEffect};
 use ammboost_sidechain::ledger::LedgerState;
 use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
 
@@ -185,6 +187,30 @@ impl Decode for AmmTx {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         let kind = r.take_u8()?;
         let user: Address = r.get()?;
+        // routes carry a hop list where the other kinds carry one pool id
+        if kind == 4 {
+            let hop_count = r.take_u8()? as usize;
+            if hop_count > MAX_ROUTE_HOPS {
+                return Err(CodecError::InvalidTag {
+                    what: "RouteTx hop count",
+                    tag: hop_count as u8,
+                });
+            }
+            let mut hops = Vec::with_capacity(hop_count);
+            for _ in 0..hop_count {
+                hops.push(RouteHop {
+                    pool: r.get()?,
+                    zero_for_one: r.take_bool()?,
+                });
+            }
+            return Ok(AmmTx::Route(RouteTx {
+                user,
+                hops,
+                amount_in: r.take_u128()?,
+                min_amount_out: r.take_u128()?,
+                deadline_round: r.take_u64()?,
+            }));
+        }
         let pool: PoolId = r.get()?;
         match kind {
             0 => {
@@ -299,7 +325,39 @@ impl Encode for TxEffect {
                 w.put_u8(4);
                 reason.encode(w);
             }
+            TxEffect::Route {
+                legs,
+                amount_in,
+                amount_out,
+                completed,
+            } => {
+                w.put_u8(5);
+                legs.encode(w);
+                w.put_u128(*amount_in);
+                w.put_u128(*amount_out);
+                w.put_bool(*completed);
+            }
         }
+    }
+}
+
+impl Encode for RouteLeg {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.pool.encode(w);
+        w.put_bool(self.zero_for_one);
+        w.put_u128(self.amount_in);
+        w.put_u128(self.amount_out);
+    }
+}
+
+impl Decode for RouteLeg {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(RouteLeg {
+            pool: r.get()?,
+            zero_for_one: r.take_bool()?,
+            amount_in: r.take_u128()?,
+            amount_out: r.take_u128()?,
+        })
     }
 }
 
@@ -331,6 +389,12 @@ impl Decode for TxEffect {
                 amount1: r.take_u128()?,
             }),
             4 => Ok(TxEffect::Rejected { reason: r.get()? }),
+            5 => Ok(TxEffect::Route {
+                legs: r.get()?,
+                amount_in: r.take_u128()?,
+                amount_out: r.take_u128()?,
+                completed: r.take_bool()?,
+            }),
             tag => Err(CodecError::InvalidTag {
                 what: "TxEffect",
                 tag,
@@ -532,6 +596,69 @@ mod tests {
         let back = AmmTx::decode_all(&bytes).unwrap();
         assert_eq!(back, tx);
         assert_eq!(back.tx_id(), tx.tx_id(), "tx id survives the roundtrip");
+    }
+
+    #[test]
+    fn route_tx_and_effect_roundtrip() {
+        let tx = AmmTx::Route(RouteTx {
+            user: Address::from_index(8),
+            hops: vec![
+                RouteHop {
+                    pool: PoolId(3),
+                    zero_for_one: true,
+                },
+                RouteHop {
+                    pool: PoolId(1),
+                    zero_for_one: false,
+                },
+                RouteHop {
+                    pool: PoolId(7),
+                    zero_for_one: true,
+                },
+            ],
+            amount_in: 123_456,
+            min_amount_out: 100_000,
+            deadline_round: 42,
+        });
+        let bytes = tx.encode_to_vec();
+        let mut wire = Vec::new();
+        tx.encode_into(&mut wire);
+        assert_eq!(bytes, wire, "codec must match the sidechain wire form");
+        let back = AmmTx::decode_all(&bytes).unwrap();
+        assert_eq!(back, tx);
+        assert_eq!(back.tx_id(), tx.tx_id());
+
+        let effect = TxEffect::Route {
+            legs: vec![
+                RouteLeg {
+                    pool: PoolId(3),
+                    zero_for_one: true,
+                    amount_in: 123_456,
+                    amount_out: 120_000,
+                },
+                RouteLeg {
+                    pool: PoolId(1),
+                    zero_for_one: false,
+                    amount_in: 120_000,
+                    amount_out: 118_000,
+                },
+            ],
+            amount_in: 123_456,
+            amount_out: 118_000,
+            completed: false,
+        };
+        let back = TxEffect::decode_all(&effect.encode_to_vec()).unwrap();
+        assert_eq!(back, effect);
+    }
+
+    #[test]
+    fn oversized_route_hop_count_rejected() {
+        // tag 4, user, then an absurd hop count must fail closed
+        let mut bytes = vec![4u8];
+        bytes.extend_from_slice(Address::from_index(1).as_bytes());
+        bytes.push(200);
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(AmmTx::decode_all(&bytes).is_err());
     }
 
     #[test]

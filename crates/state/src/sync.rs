@@ -76,11 +76,8 @@ pub struct RestoredState {
 /// Fails when a required section is missing, malformed, or carries pool
 /// state the AMM engine rejects.
 pub fn restore(snapshot: &Snapshot) -> Result<RestoredState, RestoreError> {
-    let mut pools = Vec::new();
-    for (id, section) in snapshot.pool_sections() {
-        let state = PoolState::decode_all(&section.bytes)?;
-        pools.push((PoolId(id), Pool::from_state(state)?));
-    }
+    let sections: Vec<(u32, &crate::snapshot::Section)> = snapshot.pool_sections().collect();
+    let pools = decode_pool_sections(&sections)?;
 
     let ledger_section = snapshot
         .section(SectionKind::Ledger)
@@ -101,6 +98,40 @@ pub fn restore(snapshot: &Snapshot) -> Result<RestoredState, RestoreError> {
         deposits,
         root: snapshot.root(),
     })
+}
+
+/// Decodes and rebuilds every pool section. Sections are independent
+/// byte ranges, so with more than one section on a multi-threaded host
+/// the decode + `Pool::from_state` work (the cold-start bottleneck at
+/// 10⁶-position scale) is spread across scoped threads; results are
+/// reassembled in section order and the first error — in that same
+/// order — wins, so the outcome is identical to the sequential path.
+fn decode_pool_sections(
+    sections: &[(u32, &crate::snapshot::Section)],
+) -> Result<Vec<(PoolId, Pool)>, RestoreError> {
+    let decode_one = |&(id, section): &(u32, &crate::snapshot::Section)| {
+        let state = PoolState::decode_all(&section.bytes)?;
+        Ok((PoolId(id), Pool::from_state(state)?))
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(sections.len());
+    if threads < 2 {
+        return sections.iter().map(decode_one).collect();
+    }
+    let chunk_len = sections.len().div_ceil(threads);
+    let decoded: Vec<Result<(PoolId, Pool), RestoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sections
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(decode_one).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("pool section decoder panicked"))
+            .collect()
+    });
+    decoded.into_iter().collect()
 }
 
 /// Convenience: decodes the serialized form (verifying magic, version and

@@ -4,10 +4,12 @@
 
 use ammboost_amm::pool::{Pool, PoolState, Position, TickInfo};
 use ammboost_amm::tick_math::{MAX_TICK, MIN_TICK};
-use ammboost_amm::tx::{AmmTx, BurnTx, CollectTx, MintTx, SwapIntent, SwapTx};
+use ammboost_amm::tx::{
+    AmmTx, BurnTx, CollectTx, MintTx, RouteHop, RouteTx, SwapIntent, SwapTx, MAX_ROUTE_HOPS,
+};
 use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_crypto::{Address, H256, U256};
-use ammboost_sidechain::block::{ExecutedTx, MetaBlock, SummaryBlock, TxEffect};
+use ammboost_sidechain::block::{ExecutedTx, MetaBlock, RouteLeg, SummaryBlock, TxEffect};
 use ammboost_sidechain::ledger::LedgerState;
 use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
 use ammboost_state::codec::{Decode, Encode};
@@ -173,7 +175,32 @@ fn arb_amm_tx() -> impl Strategy<Value = AmmTx> {
                 amount1: a1,
             })
         });
-    prop_oneof![swap, mint, burn, collect]
+    let routed = (
+        arb_address(),
+        vec((any::<u32>(), any::<bool>()), 0..MAX_ROUTE_HOPS + 1),
+        arb_amount(),
+        arb_amount(),
+        any::<u64>(),
+    )
+        .prop_map(|(user, hops, a_in, min_out, deadline)| {
+            // the codec round-trips any hop list within the wire bound —
+            // shape validity (distinct pools, alternating directions) is
+            // the execution layer's concern, not the codec's
+            AmmTx::Route(RouteTx {
+                user,
+                hops: hops
+                    .into_iter()
+                    .map(|(pool, dir)| RouteHop {
+                        pool: PoolId(pool),
+                        zero_for_one: dir,
+                    })
+                    .collect(),
+                amount_in: a_in,
+                min_amount_out: min_out,
+                deadline_round: deadline,
+            })
+        });
+    prop_oneof![swap, mint, burn, collect, routed]
 }
 
 fn arb_tx_effect() -> impl Strategy<Value = TxEffect> {
@@ -219,7 +246,30 @@ fn arb_tx_effect() -> impl Strategy<Value = TxEffect> {
         any::<u64>().prop_map(|n| TxEffect::Rejected {
             reason: format!("reason-{n} ✗"),
         }),
+        (
+            vec(arb_route_leg(), 0..MAX_ROUTE_HOPS + 1),
+            arb_amount(),
+            arb_amount(),
+            any::<bool>()
+        )
+            .prop_map(|(legs, a_in, a_out, completed)| TxEffect::Route {
+                legs,
+                amount_in: a_in,
+                amount_out: a_out,
+                completed,
+            }),
     ]
+}
+
+fn arb_route_leg() -> impl Strategy<Value = RouteLeg> {
+    (any::<u32>(), any::<bool>(), arb_amount(), arb_amount()).prop_map(
+        |(pool, dir, a_in, a_out)| RouteLeg {
+            pool: PoolId(pool),
+            zero_for_one: dir,
+            amount_in: a_in,
+            amount_out: a_out,
+        },
+    )
 }
 
 fn arb_executed_tx() -> impl Strategy<Value = ExecutedTx> {

@@ -12,7 +12,9 @@
 
 use crate::mix::TrafficMix;
 use crate::uniswap2023;
-use ammboost_amm::tx::{AmmTx, BurnTx, CollectTx, MintTx, SwapIntent, SwapTx};
+use ammboost_amm::tx::{
+    AmmTx, BurnTx, CollectTx, MintTx, RouteHop, RouteTx, SwapIntent, SwapTx, MAX_ROUTE_HOPS,
+};
 use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_crypto::Address;
 use ammboost_sim::rng::DetRng;
@@ -63,6 +65,52 @@ impl TrafficSkew {
     }
 }
 
+/// How routed (multi-hop) traffic is generated: which share of the swap
+/// flow routes through several pools, and the hop-count distribution.
+/// Routes are always constrained to the configured pool set, visit
+/// distinct pools, and chain directions (hop *k*'s output token is hop
+/// *k+1*'s input token).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteStyle {
+    /// Fraction of generated *swaps* upgraded to multi-hop routes
+    /// (0.0 = the paper's single-pool traffic, the default). Routes need
+    /// at least two pools; with a single-pool set the share is ignored.
+    pub routed_share: f64,
+    /// Minimum hops per route (clamped to ≥ 2).
+    pub min_hops: usize,
+    /// Maximum hops per route (clamped to the pool count and
+    /// [`MAX_ROUTE_HOPS`]); hop counts draw uniformly from
+    /// `min_hops..=max_hops`.
+    pub max_hops: usize,
+}
+
+impl Default for RouteStyle {
+    fn default() -> Self {
+        RouteStyle {
+            routed_share: 0.0,
+            min_hops: 2,
+            max_hops: 3,
+        }
+    }
+}
+
+impl RouteStyle {
+    /// A routed-traffic profile: `share` of swaps become 2..=`max_hops`
+    /// routes.
+    pub fn routed(share: f64, max_hops: usize) -> RouteStyle {
+        RouteStyle {
+            routed_share: share,
+            min_hops: 2,
+            max_hops,
+        }
+    }
+
+    /// `true` when this style can emit routes over `pool_count` pools.
+    pub fn active(&self, pool_count: usize) -> bool {
+        self.routed_share > 0.0 && pool_count >= 2
+    }
+}
+
 /// Generator configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GeneratorConfig {
@@ -82,6 +130,9 @@ pub struct GeneratorConfig {
     pub pools: Vec<PoolId>,
     /// How per-transaction traffic distributes across the pool set.
     pub skew: TrafficSkew,
+    /// Routed-traffic profile: share of swaps upgraded to multi-hop
+    /// routes and the hop-count distribution (default: no routes).
+    pub route_style: RouteStyle,
     /// Rounds after submission before a swap's deadline expires. Large by
     /// default so congested runs measure queueing latency rather than
     /// deadline drops (set small to exercise expiry).
@@ -108,6 +159,7 @@ impl Default for GeneratorConfig {
             round_duration: SimDuration::from_secs(7),
             pools: vec![PoolId(0)],
             skew: TrafficSkew::default(),
+            route_style: RouteStyle::default(),
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: LiquidityStyle::default(),
@@ -242,13 +294,22 @@ impl TrafficGenerator {
         out
     }
 
-    /// Generates one transaction with the configured mix and pool skew.
+    /// Generates one transaction with the configured mix, pool skew and
+    /// routed-traffic share.
     pub fn next_tx(&mut self, round: u64) -> GeneratedTx {
         let pool_index = self.pick_pool();
         let weights = self.config.mix.weights();
         let kind = self.rng.weighted_index(&weights);
         match kind {
-            0 => self.gen_swap(round, pool_index),
+            0 => {
+                if self.config.route_style.active(self.config.pools.len())
+                    && self.rng.unit() < self.config.route_style.routed_share
+                {
+                    self.gen_route(round, pool_index)
+                } else {
+                    self.gen_swap(round, pool_index)
+                }
+            }
             1 => self.gen_mint(pool_index),
             2 => self.gen_burn(pool_index),
             _ => self.gen_collect(pool_index),
@@ -309,6 +370,47 @@ impl TrafficGenerator {
             deadline_round: round + self.config.deadline_slack_rounds,
         });
         self.wrap(tx)
+    }
+
+    /// Generates a multi-hop route: entry on pool index `pi` (issued by a
+    /// user homed there, so the deposit backing the route lives on the
+    /// entry shard), continuing through distinct pools drawn uniformly
+    /// from the rest of the configured set, directions alternating.
+    fn gen_route(&mut self, round: u64, pi: usize) -> GeneratedTx {
+        let (_, user) = self.pick_user_in(pi);
+        let style = self.config.route_style;
+        let pool_cap = self.config.pools.len().min(MAX_ROUTE_HOPS);
+        let min_hops = style.min_hops.max(2).min(pool_cap);
+        let max_hops = style.max_hops.clamp(min_hops, pool_cap);
+        let hop_count = min_hops as u64 + self.rng.range_u64(0, (max_hops - min_hops) as u64 + 1);
+        // sample distinct pool indices: entry first, then draws from the
+        // shrinking remainder
+        let mut remaining: Vec<usize> = (0..self.config.pools.len()).filter(|&p| p != pi).collect();
+        let mut path = vec![pi];
+        while (path.len() as u64) < hop_count {
+            let k = self.rng.range_u64(0, remaining.len() as u64) as usize;
+            path.push(remaining.swap_remove(k));
+        }
+        let mut zero_for_one = self.rng.unit() < 0.5;
+        let hops = path
+            .into_iter()
+            .map(|p| {
+                let hop = RouteHop {
+                    pool: self.config.pools[p],
+                    zero_for_one,
+                };
+                zero_for_one = !zero_for_one;
+                hop
+            })
+            .collect();
+        let amount_in = self.rng.range_u128(1_000, 120_000);
+        self.wrap(AmmTx::Route(RouteTx {
+            user,
+            hops,
+            amount_in,
+            min_amount_out: 0,
+            deadline_round: round + self.config.deadline_slack_rounds,
+        }))
     }
 
     fn gen_mint(&mut self, pi: usize) -> GeneratedTx {
@@ -422,7 +524,10 @@ impl TrafficGenerator {
     }
 
     fn wrap(&self, tx: AmmTx) -> GeneratedTx {
-        let wire_size = uniswap2023::size_for(tx.kind());
+        let wire_size = match &tx {
+            AmmTx::Route(r) => uniswap2023::route_size_for(r.hops.len()),
+            _ => uniswap2023::size_for(tx.kind()),
+        };
         GeneratedTx { tx, wire_size }
     }
 }
@@ -572,6 +677,64 @@ mod tests {
             let t = g.next_tx(0);
             let home = g.pool_for(&t.tx.user()).expect("simulated user");
             assert_eq!(t.tx.pool(), home, "tx strays off its user's pool");
+        }
+    }
+
+    #[test]
+    fn routed_share_emits_well_formed_routes() {
+        let mut g = TrafficGenerator::new(GeneratorConfig {
+            pools: pool_set(8),
+            users: 64,
+            route_style: RouteStyle::routed(0.5, 4),
+            ..config(1_000_000, 13)
+        });
+        let mut routes = 0usize;
+        let mut swaps = 0usize;
+        for _ in 0..5_000 {
+            let t = g.next_tx(0);
+            match &t.tx {
+                AmmTx::Route(r) => {
+                    routes += 1;
+                    r.validate().expect("generated route must be well-formed");
+                    assert!((2..=4).contains(&r.hops.len()), "{} hops", r.hops.len());
+                    // constrained to the configured pool set
+                    for hop in &r.hops {
+                        assert!(hop.pool.0 < 8, "route strays off the pool set");
+                    }
+                    // the entry pool is the issuing user's home pool, so
+                    // the deposit backing the route lives on that shard
+                    assert_eq!(g.pool_for(&r.user), Some(r.entry_pool()));
+                    assert_eq!(t.wire_size, uniswap2023::route_size_for(r.hops.len()));
+                }
+                AmmTx::Swap(_) => swaps += 1,
+                _ => {}
+            }
+        }
+        assert!(routes > 1_000, "only {routes} routes at 50% share");
+        assert!(swaps > 1_000, "plain swaps must survive the split");
+    }
+
+    #[test]
+    fn zero_routed_share_emits_no_routes() {
+        let mut g = TrafficGenerator::new(GeneratorConfig {
+            pools: pool_set(4),
+            users: 16,
+            ..config(500_000, 14)
+        });
+        for _ in 0..2_000 {
+            assert!(!matches!(g.next_tx(0).tx, AmmTx::Route(_)));
+        }
+    }
+
+    #[test]
+    fn single_pool_set_never_routes() {
+        // share > 0 but one pool: routes are impossible, swaps flow on
+        let mut g = TrafficGenerator::new(GeneratorConfig {
+            route_style: RouteStyle::routed(0.9, 4),
+            ..config(500_000, 15)
+        });
+        for _ in 0..1_000 {
+            assert!(!matches!(g.next_tx(0).tx, AmmTx::Route(_)));
         }
     }
 

@@ -16,5 +16,7 @@ pub mod generator;
 pub mod mix;
 pub mod uniswap2023;
 
-pub use generator::{GeneratedTx, GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficSkew};
+pub use generator::{
+    GeneratedTx, GeneratorConfig, LiquidityStyle, RouteStyle, TrafficGenerator, TrafficSkew,
+};
 pub use mix::TrafficMix;

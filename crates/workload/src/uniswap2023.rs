@@ -76,6 +76,15 @@ pub fn size_for(kind: AmmTxKind) -> usize {
         .expect("all kinds present in Table VII")
 }
 
+/// Average mainnet size of a multi-hop routed swap with `hops` hops, in
+/// bytes. Routed swaps are not a Table VII row (the table aggregates all
+/// router traffic into "swap"); modelled as the swap average plus one
+/// ABI-padded path element per additional hop, matching
+/// `AmmTx::mainnet_size_bytes` for routes.
+pub fn route_size_for(hops: usize) -> usize {
+    size_for(AmmTxKind::Swap) + 32 * hops.saturating_sub(1)
+}
+
 /// Estimated 2023 chain growth from Uniswap V3 on Ethereum, in bytes
 /// (tx count × mix-weighted average size — the paper's ≈20.2 GB).
 pub fn chain_growth_2023_bytes() -> u64 {

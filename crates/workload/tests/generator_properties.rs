@@ -82,7 +82,7 @@ proptest! {
                 AmmTx::Collect(c) => {
                     prop_assert!(seen_positions.contains(&c.position));
                 }
-                AmmTx::Swap(_) => {}
+                AmmTx::Swap(_) | AmmTx::Route(_) => {}
             }
         }
     }
@@ -170,11 +170,13 @@ proptest! {
         let mut g = TrafficGenerator::new(cfg(500_000, 7, 10, seed, TrafficMix::uniswap_2023()));
         for _ in 0..200 {
             let t = g.next_tx(0);
-            let expect = match t.tx.kind() {
-                AmmTxKind::Swap => 1008,
-                AmmTxKind::Mint => 814,
-                AmmTxKind::Burn => 907,
-                AmmTxKind::Collect => 922,
+            let expect = match &t.tx {
+                AmmTx::Swap(_) => 1008,
+                AmmTx::Mint(_) => 814,
+                AmmTx::Burn(_) => 907,
+                AmmTx::Collect(_) => 922,
+                // default configs emit no routes; sized per hop if ever hit
+                AmmTx::Route(r) => 1008 + 32 * (r.hops.len() - 1),
             };
             prop_assert_eq!(t.wire_size, expect);
         }

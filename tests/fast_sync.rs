@@ -26,6 +26,7 @@ fn generator_config(seed: u64) -> GeneratorConfig {
         round_duration: SimDuration::from_secs(7),
         pools: vec![PoolId(0)],
         skew: ammboost::workload::TrafficSkew::default(),
+        route_style: ammboost::workload::RouteStyle::default(),
         deadline_slack_rounds: 1_000_000,
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),

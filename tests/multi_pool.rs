@@ -27,7 +27,8 @@ use ammboost::sim::time::SimDuration;
 use ammboost::state::snapshot::SectionKind;
 use ammboost::state::{Checkpointer, Snapshot};
 use ammboost::workload::{
-    GeneratedTx, GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficMix, TrafficSkew,
+    GeneratedTx, GeneratorConfig, LiquidityStyle, RouteStyle, TrafficGenerator, TrafficMix,
+    TrafficSkew,
 };
 use std::collections::HashMap;
 
@@ -43,6 +44,7 @@ fn generator(pools: u32, users: u64, seed: u64) -> TrafficGenerator {
         round_duration: SimDuration::from_secs(7),
         pools: (0..pools).map(PoolId).collect(),
         skew: TrafficSkew::Zipf { exponent: 1.0 },
+        route_style: RouteStyle::default(),
         deadline_slack_rounds: 1_000_000,
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
