@@ -47,6 +47,6 @@ pub mod tx;
 pub mod types;
 
 pub use error::AmmError;
-pub use pool::{Pool, Position, SwapKind, SwapResult, TickSearch};
+pub use pool::{Pool, Position, PositionValuation, SwapKind, SwapResult, TickSearch};
 pub use tick_bitmap::TickBitmap;
 pub use types::{Amount, AmountPair, Liquidity, PoolId, PositionId, Tick};

@@ -72,6 +72,37 @@ pub struct SwapResult {
     pub ticks_crossed: u32,
 }
 
+/// The fully-staged outcome of a swap, as computed by the read-only swap
+/// loop: every pool field the commit step writes, plus the trader-facing
+/// totals. Produced by `compute_swap`, committed by
+/// [`Pool::swap_with_protection`] or returned as a quote by
+/// [`Pool::quote_swap_with_protection`].
+#[derive(Clone, Debug)]
+struct SwapPlan {
+    amount_in: Amount,
+    amount_out: Amount,
+    fee_total: Amount,
+    sqrt_price: U256,
+    tick: Tick,
+    liquidity: Liquidity,
+    fee_growth0: U256,
+    fee_growth1: U256,
+    balance0: Amount,
+    balance1: Amount,
+}
+
+/// A read-only valuation of one position at the pool's current price,
+/// returned by [`Pool::value_position`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionValuation {
+    /// Principal the position's liquidity would redeem if burned at the
+    /// current price (rounded down, as [`Pool::burn`] credits it).
+    pub principal: AmountPair,
+    /// Tokens already owed: unclaimed `tokens_owed` plus fees accrued
+    /// since the position's last touch.
+    pub owed: AmountPair,
+}
+
 /// Swap direction + budget: what the trader specifies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SwapKind {
@@ -842,9 +873,12 @@ impl Pool {
     /// Crossing bookkeeping shared by the glide and trade branches of the
     /// swap loop: journals the crossing, applies the tick's net liquidity
     /// (from the cache on the bitmap path, from the tick table on the
-    /// oracle path) and steps the staged tick past the boundary.
+    /// oracle path) and steps the staged tick past the boundary. Read-only
+    /// on the pool: all effects land in `crossings` and the staged locals.
+    #[allow(clippy::too_many_arguments)]
     fn cross_tick(
-        &mut self,
+        &self,
+        crossings: &mut Vec<(Tick, U256, U256)>,
         boundary_tick: Tick,
         cached: Option<TickCache>,
         zero_for_one: bool,
@@ -853,8 +887,7 @@ impl Pool {
         liquidity: &mut Liquidity,
         tick: &mut Tick,
     ) -> Result<(), AmmError> {
-        self.crossings_buf
-            .push((boundary_tick, fee_growth0, fee_growth1));
+        crossings.push((boundary_tick, fee_growth0, fee_growth1));
         let net = match cached {
             Some(c) => c.liquidity_net,
             None => self
@@ -870,6 +903,57 @@ impl Pool {
             boundary_tick
         };
         Ok(())
+    }
+
+    /// Quotes a swap without touching state: the exact [`SwapResult`] that
+    /// [`Pool::swap`] would produce right now, including all failure modes
+    /// (an unfillable exact-output request fails the quote exactly as it
+    /// would fail the execution). This is the read path served by epoch
+    /// quote views: it runs the *same* staged compute as the write path,
+    /// so quote and execution are bit-identical by construction.
+    ///
+    /// # Errors
+    /// Identical to [`Pool::swap`].
+    pub fn quote_swap(
+        &self,
+        zero_for_one: bool,
+        kind: SwapKind,
+        sqrt_price_limit: Option<U256>,
+    ) -> Result<SwapResult, AmmError> {
+        self.quote_swap_with_protection(zero_for_one, kind, sqrt_price_limit, 0, Amount::MAX)
+    }
+
+    /// Read-only variant of [`Pool::swap_with_protection`]: quotes the
+    /// swap with the trader's slippage bounds applied, without mutating
+    /// the pool.
+    ///
+    /// # Errors
+    /// Identical to [`Pool::swap_with_protection`].
+    pub fn quote_swap_with_protection(
+        &self,
+        zero_for_one: bool,
+        kind: SwapKind,
+        sqrt_price_limit: Option<U256>,
+        min_amount_out: Amount,
+        max_amount_in: Amount,
+    ) -> Result<SwapResult, AmmError> {
+        let mut crossings = Vec::new();
+        let plan = self.compute_swap(
+            zero_for_one,
+            kind,
+            sqrt_price_limit,
+            min_amount_out,
+            max_amount_in,
+            &mut crossings,
+        )?;
+        Ok(SwapResult {
+            amount_in: plan.amount_in,
+            amount_out: plan.amount_out,
+            fee_paid: plan.fee_total,
+            sqrt_price_after: plan.sqrt_price,
+            tick_after: plan.tick,
+            ticks_crossed: crossings.len() as u32,
+        })
     }
 
     /// Like [`Pool::swap`], but additionally enforces the trader's
@@ -888,6 +972,66 @@ impl Pool {
         min_amount_out: Amount,
         max_amount_in: Amount,
     ) -> Result<SwapResult, AmmError> {
+        // Reuse the pool's journal buffer so the hot path stays
+        // allocation-free; it is restored on every exit path.
+        let mut crossings = std::mem::take(&mut self.crossings_buf);
+        let plan = match self.compute_swap(
+            zero_for_one,
+            kind,
+            sqrt_price_limit,
+            min_amount_out,
+            max_amount_in,
+            &mut crossings,
+        ) {
+            Ok(plan) => plan,
+            Err(e) => {
+                self.crossings_buf = crossings;
+                return Err(e);
+            }
+        };
+
+        // ---- commit ----
+        self.balance0 = plan.balance0;
+        self.balance1 = plan.balance1;
+        self.sqrt_price = plan.sqrt_price;
+        self.tick = plan.tick;
+        self.liquidity = plan.liquidity;
+        self.fee_growth_global0 = plan.fee_growth0;
+        self.fee_growth_global1 = plan.fee_growth1;
+        for (t, g0, g1) in crossings.iter() {
+            if let Some(info) = self.ticks.get_mut(t) {
+                info.fee_growth_outside0 = g0.wrapping_sub(info.fee_growth_outside0);
+                info.fee_growth_outside1 = g1.wrapping_sub(info.fee_growth_outside1);
+            }
+        }
+        let ticks_crossed = crossings.len() as u32;
+        self.crossings_buf = crossings;
+
+        Ok(SwapResult {
+            amount_in: plan.amount_in,
+            amount_out: plan.amount_out,
+            fee_paid: plan.fee_total,
+            sqrt_price_after: self.sqrt_price,
+            tick_after: self.tick,
+            ticks_crossed,
+        })
+    }
+
+    /// The swap loop itself, factored read-only: validates the request,
+    /// stages every state change in a [`SwapPlan`] plus the `crossings`
+    /// journal, and enforces fill + slippage + balance feasibility —
+    /// without touching the pool. [`Pool::swap_with_protection`] commits
+    /// the plan; [`Pool::quote_swap_with_protection`] returns it as a
+    /// quote. One implementation serves both, so they cannot diverge.
+    fn compute_swap(
+        &self,
+        zero_for_one: bool,
+        kind: SwapKind,
+        sqrt_price_limit: Option<U256>,
+        min_amount_out: Amount,
+        max_amount_in: Amount,
+        crossings: &mut Vec<(Tick, U256, U256)>,
+    ) -> Result<SwapPlan, AmmError> {
         let budget = match kind {
             SwapKind::ExactInput(a) | SwapKind::ExactOutput(a) => a,
         };
@@ -912,9 +1056,9 @@ impl Pool {
             return Err(AmmError::InvalidPriceLimit);
         }
 
-        // The loop stages all state in locals plus a crossing journal and
-        // commits only on success, so a failed swap (e.g. an unfillable
-        // exact-output request) leaves the pool untouched.
+        // The loop stages all state in locals plus the crossing journal;
+        // the caller commits only on success, so a failed swap (e.g. an
+        // unfillable exact-output request) leaves the pool untouched.
         let mut remaining = budget;
         let mut amount_in_total: Amount = 0;
         let mut amount_out_total: Amount = 0;
@@ -929,11 +1073,11 @@ impl Pool {
         // growth division is paid once per segment (flushed before every
         // crossing and at loop exit) instead of once per step.
         let mut seg_fee: Amount = 0;
-        // (tick, fee growth at crossing time) — the journal buffer is
+        // (tick, fee growth at crossing time) — the journal buffer may be
         // reused across swaps so the hot loop never allocates. After a
         // failed swap it holds stale entries; the clear below discards
         // them before each run.
-        self.crossings_buf.clear();
+        crossings.clear();
 
         /// Folds a segment's accumulated fee into the growth accumulator
         /// for the segment's (constant) liquidity.
@@ -1010,6 +1154,7 @@ impl Pool {
                 sqrt_price = target;
                 if target == boundary_price {
                     self.cross_tick(
+                        crossings,
                         boundary_tick,
                         cached,
                         zero_for_one,
@@ -1065,6 +1210,7 @@ impl Pool {
                     &mut fee_growth1,
                 );
                 self.cross_tick(
+                    crossings,
                     boundary_tick,
                     cached,
                     zero_for_one,
@@ -1117,30 +1263,65 @@ impl Pool {
             .checked_sub(out1)
             .ok_or(AmmError::PoolInsolvent)?;
 
-        // ---- commit ----
-        self.balance0 = balance0;
-        self.balance1 = balance1;
-        self.sqrt_price = sqrt_price;
-        self.tick = tick;
-        self.liquidity = liquidity;
-        self.fee_growth_global0 = fee_growth0;
-        self.fee_growth_global1 = fee_growth1;
-        for (t, g0, g1) in self.crossings_buf.iter() {
-            if let Some(info) = self.ticks.get_mut(t) {
-                info.fee_growth_outside0 = g0.wrapping_sub(info.fee_growth_outside0);
-                info.fee_growth_outside1 = g1.wrapping_sub(info.fee_growth_outside1);
-            }
-        }
-        let ticks_crossed = self.crossings_buf.len() as u32;
-
-        Ok(SwapResult {
+        Ok(SwapPlan {
             amount_in: amount_in_total,
             amount_out: amount_out_total,
-            fee_paid: fee_total,
-            sqrt_price_after: self.sqrt_price,
-            tick_after: self.tick,
-            ticks_crossed,
+            fee_total,
+            sqrt_price,
+            tick,
+            liquidity,
+            fee_growth0,
+            fee_growth1,
+            balance0,
+            balance1,
         })
+    }
+
+    /// Values a position at the pool's current price, read-only: the
+    /// principal its liquidity would redeem if burned now (rounded down,
+    /// exactly as [`Pool::burn`] would credit it) plus everything already
+    /// owed — unclaimed `tokens_owed` and fees accrued since the
+    /// position's last touch. This is the position-valuation query served
+    /// by epoch quote views.
+    ///
+    /// # Errors
+    /// Fails on an unknown position id.
+    pub fn value_position(&self, id: &PositionId) -> Result<PositionValuation, AmmError> {
+        let pos = self
+            .positions
+            .get(id)
+            .ok_or(AmmError::PositionNotFound(*id))?;
+        let principal = if pos.liquidity == 0 {
+            AmountPair::ZERO
+        } else {
+            let sqrt_lo = sqrt_ratio_at_tick(pos.tick_lower)?;
+            let sqrt_hi = sqrt_ratio_at_tick(pos.tick_upper)?;
+            // burn credits round down; mirror that here
+            if self.tick < pos.tick_lower {
+                AmountPair::new(amount0_delta(sqrt_lo, sqrt_hi, pos.liquidity, false)?, 0)
+            } else if self.tick < pos.tick_upper {
+                AmountPair::new(
+                    amount0_delta(self.sqrt_price, sqrt_hi, pos.liquidity, false)?,
+                    amount1_delta(sqrt_lo, self.sqrt_price, pos.liquidity, false)?,
+                )
+            } else {
+                AmountPair::new(0, amount1_delta(sqrt_lo, sqrt_hi, pos.liquidity, false)?)
+            }
+        };
+        let (inside0, inside1) = self.fee_growth_inside(pos.tick_lower, pos.tick_upper);
+        let owed = AmountPair::new(
+            pos.tokens_owed0.saturating_add(fees_owed(
+                pos.liquidity,
+                pos.fee_growth_inside0_last,
+                inside0,
+            )),
+            pos.tokens_owed1.saturating_add(fees_owed(
+                pos.liquidity,
+                pos.fee_growth_inside1_last,
+                inside1,
+            )),
+        );
+        Ok(PositionValuation { principal, owed })
     }
 
     // ---- flash loans -----------------------------------------------------------

@@ -29,11 +29,29 @@
 //! with netted-vs-naive settlement byte accounting — the ladder asserts
 //! the netted form is strictly smaller for every rung.
 //!
-//! Usage: `bench_snapshot [--smoke] [--out PATH] [--state-out PATH]`.
-//! `--smoke` cuts sample counts for CI; the JSON records which mode
-//! produced it, and `hardware_threads` so parallel-epoch numbers are
-//! interpretable (on a single-hardware-thread host the parallel column
-//! measures pure scheduling overhead).
+//! New in v4: a concurrent-read scaling ladder (quotes/sec served from a
+//! sealed [`QuoteView`] at 1..hardware_threads reader threads, while the
+//! write path executes rounds and publishes fresh views the whole time),
+//! and honest parallel-speedup reporting: every `parallel_speedup`
+//! column carries the `threads` it ran on and an `advisory` marker,
+//! because a speedup measured on one hardware thread is scheduling
+//! overhead, not scaling.
+//!
+//! Usage: `bench_snapshot [--smoke] [--out PATH] [--state-out PATH]
+//! [--check] [--tolerance PCT]`. `--smoke` cuts sample counts for CI;
+//! the JSON records which mode produced it, and `hardware_threads` so
+//! parallel-epoch numbers are interpretable (on a single-hardware-thread
+//! host the parallel column measures pure scheduling overhead).
+//!
+//! `--check` is the CI bench-regression gate: instead of overwriting the
+//! JSON files it re-runs the smoke ladders and compares every numeric
+//! metric against the committed `BENCH_pool.json` / `BENCH_state.json`,
+//! exiting non-zero when any drifts past the tolerance (default ±25%;
+//! override with `--tolerance PCT` or the `AMMBOOST_BENCH_TOLERANCE`
+//! environment variable for noisy runners). Timing metrics only fail
+//! when *slower*, throughput/scaling metrics only when *lower*, and
+//! size/count metrics on any drift; parallel-speedup columns are skipped
+//! entirely when either side ran on one hardware thread.
 
 use ammboost_amm::pool::{Pool, PoolState, SwapKind, TickSearch};
 use ammboost_amm::tx::AmmTx;
@@ -46,6 +64,7 @@ use ammboost_core::system::System;
 use ammboost_crypto::merkle::{leaf_hash, MerkleTree};
 use ammboost_crypto::Address;
 use ammboost_sidechain::ledger::Ledger;
+use ammboost_sim::DetRng;
 use ammboost_state::codec::{Decode, Encode};
 use ammboost_state::{Checkpointer, Snapshot};
 use ammboost_workload::{
@@ -54,6 +73,8 @@ use ammboost_workload::{
 };
 use std::collections::HashMap;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Times `samples` runs of `routine` on fresh inputs from `setup`
@@ -190,6 +211,7 @@ fn pool_count_ladder(
         deadline_slack_rounds: 1_000_000,
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
+        quote_style: Default::default(),
         seed: 0xB0057 + pools as u64,
     });
     let traffic: Vec<Vec<GeneratedTx>> = (0..rounds).map(|r| gen.next_round(r)).collect();
@@ -435,6 +457,277 @@ fn restore_ladder(positions: usize, samples: usize) -> RestoreLadder {
     }
 }
 
+/// One rung of the concurrent-read scaling ladder: `threads` reader
+/// threads serving quotes from a sealed epoch view while the write path
+/// keeps executing rounds and publishing fresh views on the live shards.
+struct QuoteLadder {
+    threads: usize,
+    quotes: u64,
+    wall_ns: f64,
+    quotes_per_sec: f64,
+    writer_rounds: u64,
+}
+
+/// Measures sealed-view quote throughput at one reader-thread count
+/// under continuous write load — the production shape the quote path is
+/// built for: reads scale out across cores while the next epoch
+/// executes, because readers share an immutable `Arc` and never touch a
+/// lock.
+fn quote_ladder(pools: u32, threads: usize, quotes_per_thread: usize) -> QuoteLadder {
+    let users = (4 * pools as u64).max(16);
+    let mut gen = TrafficGenerator::new(GeneratorConfig {
+        daily_volume: 25_000_000,
+        mix: TrafficMix::uniswap_2023(),
+        users,
+        round_duration: ammboost_sim::time::SimDuration::from_secs(7),
+        pools: (0..pools).map(PoolId).collect(),
+        skew: TrafficSkew::Zipf { exponent: 1.0 },
+        route_style: RouteStyle::default(),
+        deadline_slack_rounds: 1_000_000,
+        max_positions_per_user: 1,
+        liquidity_style: LiquidityStyle::default(),
+        quote_style: Default::default(),
+        seed: 0x900E_D00D + threads as u64,
+    });
+    let traffic: Vec<Vec<GeneratedTx>> = (0..2).map(|r| gen.next_round(r)).collect();
+    let mut shards = ShardMap::new((0..pools).map(PoolId));
+    for p in 0..pools {
+        shards.seed_liquidity(
+            PoolId(p),
+            Address::from_pubkey_bytes(b"bench-quote-lp"),
+            -120_000,
+            120_000,
+            4_000_000_000_000_000,
+            4_000_000_000_000_000,
+        );
+    }
+    let deposits: HashMap<Address, (u128, u128)> = gen
+        .users()
+        .into_iter()
+        .map(|u| (u, (2_000_000_000_000u128, 2_000_000_000_000u128)))
+        .collect();
+    let route_gen = &gen;
+    shards.begin_epoch(deposits, |u| route_gen.pool_for(u));
+    let (view, _) = shards.publish_view(0);
+
+    let stop = AtomicBool::new(false);
+    let rounds_done = AtomicU64::new(0);
+    let stop_ref = &stop;
+    let rounds_ref = &rounds_done;
+    let traffic_ref = &traffic;
+    let t0 = Instant::now();
+    let (quotes, wall) = std::thread::scope(|s| {
+        let writer = s.spawn(move || {
+            let mut epoch = 1u64;
+            while !stop_ref.load(Ordering::Relaxed) {
+                for (round, txs) in traffic_ref.iter().enumerate() {
+                    let batch: Vec<(&AmmTx, usize)> =
+                        txs.iter().map(|g| (&g.tx, g.wire_size)).collect();
+                    black_box(shards.execute_batch(&batch, round as u64, ExecMode::Sequential));
+                    rounds_ref.fetch_add(1, Ordering::Relaxed);
+                }
+                black_box(shards.publish_view(epoch));
+                epoch += 1;
+            }
+        });
+        let readers: Vec<_> = (0..threads)
+            .map(|t| {
+                let view = Arc::clone(&view);
+                s.spawn(move || {
+                    let mut rng =
+                        DetRng::new(0x900E ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let ids = view.pool_ids().to_vec();
+                    let mut answered = 0u64;
+                    for _ in 0..quotes_per_thread {
+                        let pool = ids[rng.range_u64(0, ids.len() as u64) as usize];
+                        let dir = rng.unit() < 0.5;
+                        let amount = rng.range_u128(1_000, 2_000_000);
+                        if black_box(view.quote_swap(pool, dir, SwapKind::ExactInput(amount), None))
+                            .is_ok()
+                        {
+                            answered += 1;
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        let answered: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+        // the reader window defines the measurement; the writer keeps
+        // going until all readers are done
+        let wall = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("writer");
+        (answered, wall)
+    });
+    let wall_ns = wall.as_nanos() as f64;
+    QuoteLadder {
+        threads,
+        quotes,
+        wall_ns,
+        quotes_per_sec: quotes as f64 / (wall_ns / 1e9),
+        writer_rounds: rounds_done.load(Ordering::Relaxed),
+    }
+}
+
+/// Extracts every `"key": number` leaf from the snapshot's own JSON
+/// dialect (nested objects, string/number/bool values, no arrays) as
+/// `dotted.path → value` pairs. Hand-rolled because the workspace has no
+/// JSON parser dependency; it only needs to read what this binary wrote.
+fn scan_numbers(json: &str) -> Vec<(String, f64)> {
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    let mut stack: Vec<String> = Vec::new();
+    let mut pending_key: Option<String> = None;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                stack.push(pending_key.take().unwrap_or_default());
+                i += 1;
+            }
+            b'}' => {
+                stack.pop();
+                i += 1;
+            }
+            b'"' => {
+                // our emitter never escapes quotes inside strings
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                let s = &json[start..j];
+                i = j + 1;
+                let mut k = i;
+                while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                if k < bytes.len() && bytes[k] == b':' {
+                    pending_key = Some(s.to_string());
+                    i = k + 1;
+                } else {
+                    pending_key = None; // string value: not a metric
+                }
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    i += 1;
+                }
+                if let (Some(key), Ok(v)) = (pending_key.take(), json[start..i].parse::<f64>()) {
+                    let mut path: Vec<&str> = stack
+                        .iter()
+                        .filter(|s| !s.is_empty())
+                        .map(String::as_str)
+                        .collect();
+                    path.push(&key);
+                    out.push((path.join("."), v));
+                }
+            }
+            b't' | b'f' => {
+                pending_key = None;
+                while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Metadata and tagging paths the regression gate never compares.
+fn check_skips_path(path: &str, skip_speedups: bool) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if matches!(
+        leaf,
+        "unix_time_secs" | "samples_per_metric" | "hardware_threads" | "threads" | "writer_rounds"
+    ) {
+        return true;
+    }
+    // ratios of two individually-gated timings can legally drift ~2x the
+    // tolerance while both components stay in band — gate the components
+    if matches!(
+        leaf,
+        "tick_table_speedup" | "cross64_speedup_bitmap_vs_oracle"
+    ) {
+        return true;
+    }
+    // on a 1-hardware-thread host every concurrency column measures
+    // scheduler fairness, not scaling: parallel speedups, and the
+    // quote-read ladder whose reader and writer time-slice one core
+    // (the JSON marks speedups advisory for the same reason)
+    skip_speedups
+        && (path.contains("parallel_speedup")
+            || path.contains("epoch_parallel_ns")
+            || path.starts_with("quote_reads."))
+}
+
+/// Applies the gate's direction-aware tolerance to one metric; returns
+/// the failure description when the fresh value drifted out of band.
+fn check_metric(path: &str, committed: f64, fresh: f64, tol: f64) -> Option<String> {
+    let drift = (fresh - committed) / committed.abs().max(1e-9);
+    let failed = if path.contains("_ns") {
+        drift > tol // a timing only regresses by getting slower
+    } else if path.contains("quotes_per_sec") || path.contains("speedup") {
+        -drift > tol // a throughput/scaling number only regresses by dropping
+    } else {
+        drift.abs() > tol // sizes and counts must not drift either way
+    };
+    failed.then(|| {
+        format!(
+            "{path}: committed {committed:.1}, fresh {fresh:.1} ({:+.1}%)",
+            drift * 100.0
+        )
+    })
+}
+
+/// Compares a fresh smoke snapshot against the committed baseline file.
+/// Paths present on only one side are compared as absences: a metric the
+/// baseline lacks (or has lost) means the baseline is stale and must be
+/// regenerated, which is itself a gate failure.
+fn check_against(
+    label: &str,
+    committed: &str,
+    fresh: &str,
+    tol: f64,
+    skip_speedups: bool,
+    failures: &mut Vec<String>,
+) -> usize {
+    let committed: HashMap<String, f64> = scan_numbers(committed).into_iter().collect();
+    let fresh: Vec<(String, f64)> = scan_numbers(fresh);
+    let mut compared = 0usize;
+    for (path, fresh_v) in &fresh {
+        if check_skips_path(path, skip_speedups) {
+            continue;
+        }
+        match committed.get(path) {
+            Some(committed_v) => {
+                compared += 1;
+                if let Some(msg) = check_metric(path, *committed_v, *fresh_v, tol) {
+                    failures.push(format!("{label}: {msg}"));
+                }
+            }
+            None => failures.push(format!(
+                "{label}: {path} missing from committed baseline (regenerate it)"
+            )),
+        }
+    }
+    let fresh_paths: std::collections::HashSet<&str> =
+        fresh.iter().map(|(p, _)| p.as_str()).collect();
+    for path in committed.keys() {
+        if !check_skips_path(path, skip_speedups) && !fresh_paths.contains(path.as_str()) {
+            failures.push(format!(
+                "{label}: {path} in committed baseline but not produced any more"
+            ));
+        }
+    }
+    compared
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -450,15 +743,44 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_state.json".to_string());
+    let check = args.iter().any(|a| a == "--check");
+    let tolerance_pct: f64 = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("AMMBOOST_BENCH_TOLERANCE").ok())
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| panic!("--tolerance / AMMBOOST_BENCH_TOLERANCE: bad value {s}"))
+        })
+        .unwrap_or(25.0);
     if let Some(unknown) = args.iter().enumerate().find_map(|(i, a)| {
-        let is_value = i > 0 && (args[i - 1] == "--out" || args[i - 1] == "--state-out");
-        (a != "--smoke" && a != "--out" && a != "--state-out" && !is_value).then_some(a)
+        let is_value = i > 0
+            && (args[i - 1] == "--out"
+                || args[i - 1] == "--state-out"
+                || args[i - 1] == "--tolerance");
+        (a != "--smoke"
+            && a != "--out"
+            && a != "--state-out"
+            && a != "--check"
+            && a != "--tolerance"
+            && !is_value)
+            .then_some(a)
     }) {
         eprintln!("unknown argument: {unknown}");
-        eprintln!("usage: bench_snapshot [--smoke] [--out PATH] [--state-out PATH]");
+        eprintln!(
+            "usage: bench_snapshot [--smoke] [--out PATH] [--state-out PATH] [--check] [--tolerance PCT]"
+        );
         std::process::exit(2);
     }
+    // the regression gate always measures in smoke mode: CI-fast, and
+    // medians are comparable across sample counts anyway
+    let smoke = smoke || check;
     let samples = if smoke { 51 } else { 501 };
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     ammboost_bench::header("Bench snapshot (pool hot paths)");
 
@@ -571,9 +893,6 @@ fn main() {
             l
         })
         .collect();
-    let hardware_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     if hardware_threads == 1 {
         ammboost_bench::line(
             "shard/note",
@@ -609,11 +928,42 @@ fn main() {
             l
         })
         .collect();
+    // ---- the concurrent-read scaling ladder: quotes/sec under write load ----
+    ammboost_bench::header("Bench snapshot (sealed-view quotes under write load)");
+    let quotes_per_thread = if smoke { 20_000 } else { 100_000 };
+    let mut thread_rungs: Vec<usize> = std::iter::successors(Some(1usize), |n| Some(n * 2))
+        .take_while(|&n| n < hardware_threads)
+        .collect();
+    thread_rungs.push(hardware_threads);
+    let quote_ladders: Vec<QuoteLadder> = thread_rungs
+        .iter()
+        .map(|&threads| {
+            let l = quote_ladder(8, threads, quotes_per_thread);
+            ammboost_bench::line(
+                &format!("quote/{}threads/throughput", l.threads),
+                format!(
+                    "{:.0} quotes/s ({} quotes, writer ran {} rounds)",
+                    l.quotes_per_sec, l.quotes, l.writer_rounds
+                ),
+            );
+            l
+        })
+        .collect();
+    let quote_ladder_json: Vec<String> = quote_ladders
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"threads_{}\": {{\n      \"threads\": {},\n      \"quotes\": {},\n      \"wall_ns\": {:.1},\n      \"quotes_per_sec\": {:.1},\n      \"writer_rounds\": {}\n    }}",
+                l.threads, l.threads, l.quotes, l.wall_ns, l.quotes_per_sec, l.writer_rounds,
+            )
+        })
+        .collect();
+
     let route_ladder_json: Vec<String> = route_ladders
         .iter()
         .map(|l| {
             format!(
-                "    \"{}pools_{}hops\": {{\n      \"pool_count\": {},\n      \"hops\": {},\n      \"routes_per_epoch\": {},\n      \"epoch_sequential_ns\": {:.1},\n      \"epoch_parallel_ns\": {:.1},\n      \"parallel_speedup\": {:.3},\n      \"netted_settlement_bytes\": {},\n      \"naive_settlement_bytes\": {},\n      \"netting_ratio\": {:.3}\n    }}",
+                "    \"{}pools_{}hops\": {{\n      \"pool_count\": {},\n      \"hops\": {},\n      \"routes_per_epoch\": {},\n      \"epoch_sequential_ns\": {:.1},\n      \"epoch_parallel_ns\": {:.1},\n      \"parallel_speedup\": {{\"value\": {:.3}, \"threads\": {}, \"advisory\": true}},\n      \"netted_settlement_bytes\": {},\n      \"naive_settlement_bytes\": {},\n      \"netting_ratio\": {:.3}\n    }}",
                 l.pools,
                 l.hops,
                 l.pools,
@@ -622,6 +972,7 @@ fn main() {
                 l.sequential_ns,
                 l.parallel_ns,
                 l.speedup,
+                hardware_threads,
                 l.netted_settlement_bytes,
                 l.naive_settlement_bytes,
                 l.netting_ratio,
@@ -633,7 +984,7 @@ fn main() {
         .iter()
         .map(|l| {
             format!(
-                "    \"{}pools_{}\": {{\n      \"pool_count\": {},\n      \"skew\": \"{}\",\n      \"txs_per_epoch\": {},\n      \"epoch_sequential_ns\": {:.1},\n      \"epoch_parallel_ns\": {:.1},\n      \"parallel_speedup\": {:.3},\n      \"snapshot_bytes\": {},\n      \"max_pool_section_bytes\": {}\n    }}",
+                "    \"{}pools_{}\": {{\n      \"pool_count\": {},\n      \"skew\": \"{}\",\n      \"txs_per_epoch\": {},\n      \"epoch_sequential_ns\": {:.1},\n      \"epoch_parallel_ns\": {:.1},\n      \"parallel_speedup\": {{\"value\": {:.3}, \"threads\": {}, \"advisory\": true}},\n      \"snapshot_bytes\": {},\n      \"max_pool_section_bytes\": {}\n    }}",
                 l.pools,
                 l.skew,
                 l.pools,
@@ -642,6 +993,7 @@ fn main() {
                 l.sequential_ns,
                 l.parallel_ns,
                 l.speedup,
+                hardware_threads,
                 l.snapshot_bytes,
                 l.max_pool_section_bytes,
             )
@@ -653,13 +1005,11 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"ammboost-bench-snapshot/v3\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ammboost-bench-snapshot/v4\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }},\n  \"quote_reads\": {{\n{}\n  }}\n}}\n",
         pool_ladder_json.join(",\n"),
-        route_ladder_json.join(",\n")
+        route_ladder_json.join(",\n"),
+        quote_ladder_json.join(",\n")
     );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
-    println!();
-    println!("wrote {out_path}");
 
     // ---- the state subsystem: snapshot encode/restore + growth control ----
     ammboost_bench::header("Bench snapshot (state subsystem)");
@@ -760,8 +1110,77 @@ fn main() {
         ladder_json.join(",\n"),
         restore_json.join(",\n")
     );
-    std::fs::write(&state_out_path, &state_json)
-        .unwrap_or_else(|e| panic!("write {state_out_path}: {e}"));
-    println!();
-    println!("wrote {state_out_path}");
+    if check {
+        // ---- the regression gate: fresh smoke run vs committed baseline ----
+        ammboost_bench::header("Bench check (fresh smoke run vs committed baseline)");
+        let tol = tolerance_pct / 100.0;
+        let committed_pool = std::fs::read_to_string(&out_path)
+            .unwrap_or_else(|e| panic!("read committed baseline {out_path}: {e}"));
+        let committed_state = std::fs::read_to_string(&state_out_path)
+            .unwrap_or_else(|e| panic!("read committed baseline {state_out_path}: {e}"));
+        // a speedup is not comparable when either side ran on one
+        // hardware thread
+        let committed_threads = scan_numbers(&committed_pool)
+            .into_iter()
+            .find(|(p, _)| p == "hardware_threads")
+            .map(|(_, v)| v as usize)
+            .unwrap_or(1);
+        let skip_speedups = hardware_threads == 1 || committed_threads == 1;
+        let mut failures = Vec::new();
+        let mut compared = 0;
+        compared += check_against(
+            &out_path,
+            &committed_pool,
+            &json,
+            tol,
+            skip_speedups,
+            &mut failures,
+        );
+        compared += check_against(
+            &state_out_path,
+            &committed_state,
+            &state_json,
+            tol,
+            skip_speedups,
+            &mut failures,
+        );
+        ammboost_bench::line("check/tolerance", format!("±{tolerance_pct}%"));
+        ammboost_bench::line("check/metrics_compared", compared);
+        ammboost_bench::line(
+            "check/speedup_columns",
+            if skip_speedups {
+                "skipped (1 hw thread)"
+            } else {
+                "gated"
+            },
+        );
+        assert!(
+            compared > 10,
+            "gate compared almost nothing — schema mismatch?"
+        );
+        if failures.is_empty() {
+            println!();
+            println!("bench check PASS ({compared} metrics within ±{tolerance_pct}%)");
+        } else {
+            println!();
+            for f in &failures {
+                eprintln!("bench check FAIL: {f}");
+            }
+            eprintln!(
+                "bench check: {} failure(s) across {compared} compared metrics (tolerance \
+                 ±{tolerance_pct}%; override with --tolerance PCT or AMMBOOST_BENCH_TOLERANCE, \
+                 or regenerate the baselines with `bench_snapshot --smoke` if the change is \
+                 intended)",
+                failures.len(),
+            );
+            std::process::exit(1);
+        }
+    } else {
+        std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+        std::fs::write(&state_out_path, &state_json)
+            .unwrap_or_else(|e| panic!("write {state_out_path}: {e}"));
+        println!();
+        println!("wrote {out_path}");
+        println!("wrote {state_out_path}");
+    }
 }

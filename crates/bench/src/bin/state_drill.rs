@@ -11,13 +11,89 @@
 //! barrier) through the same checkpoint → prune → restore → re-verify
 //! cycle.
 //!
-//! Usage: `state_drill [--seed N] [--pools N] [--uniform] [--routed]`
+//! `--quotes` adds the concurrent read-path drill: reader threads hammer
+//! the sealed epoch-0 [`QuoteView`] **while** the epochs execute on the
+//! live shards, every answer is recorded, and after the run each one is
+//! re-verified bit-for-bit against the frozen view bytes (a reader that
+//! ever saw a partially-executed epoch would diverge here). A second
+//! hammer round runs against the final sealed view and is re-verified
+//! against the post-epoch restored snapshot.
+//!
+//! Usage: `state_drill [--seed N] [--pools N] [--uniform] [--routed] [--quotes]`
 
+use ammboost_amm::pool::{Pool, SwapKind, SwapResult};
+use ammboost_amm::types::PoolId;
 use ammboost_core::checkpoint::{checkpoint_node, restore_node};
 use ammboost_core::config::{SnapshotPolicy, SystemConfig};
 use ammboost_core::system::System;
+use ammboost_core::view::{QuoteError, QuoteView};
+use ammboost_sim::DetRng;
 use ammboost_state::{prune_to_snapshot, Checkpointer, RetentionPolicy, Snapshot};
-use ammboost_workload::{RouteStyle, TrafficSkew};
+use ammboost_workload::{QuoteStyle, RouteStyle, TrafficSkew};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One answered read-path query: the request plus the answer the reader
+/// thread got from the sealed view, kept for post-run re-verification.
+type AnsweredQuote = (PoolId, bool, u128, Result<SwapResult, QuoteError>);
+
+/// Number of concurrent reader threads per hammer round.
+const READER_THREADS: usize = 4;
+
+/// Per-reader answer cap: bounds re-verification cost while leaving the
+/// readers running long enough to overlap many executed rounds.
+const READER_CAP: usize = 20_000;
+
+/// Hammers `view` from [`READER_THREADS`] threads until `stop` is set
+/// (or every thread hits its cap), recording every answer. Quotes draw
+/// from per-thread deterministic RNG streams, so the drill is exactly
+/// reproducible for a given seed.
+fn hammer_view(view: &Arc<QuoteView>, seed: u64, stop: &AtomicBool) -> Vec<AnsweredQuote> {
+    std::thread::scope(|s| {
+        let readers: Vec<_> = (0..READER_THREADS)
+            .map(|t| {
+                let view = Arc::clone(view);
+                s.spawn(move || {
+                    let mut rng =
+                        DetRng::new(seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let ids = view.pool_ids().to_vec();
+                    let mut out: Vec<AnsweredQuote> = Vec::new();
+                    while !stop.load(Ordering::Relaxed) && out.len() < READER_CAP {
+                        let pool = ids[rng.range_u64(0, ids.len() as u64) as usize];
+                        let dir = rng.unit() < 0.5;
+                        let amount = rng.range_u128(1_000, 2_000_000);
+                        let res = view.quote_swap(pool, dir, SwapKind::ExactInput(amount), None);
+                        out.push((pool, dir, amount, res));
+                    }
+                    out
+                })
+            })
+            .collect();
+        readers
+            .into_iter()
+            .flat_map(|r| r.join().expect("reader thread panicked"))
+            .collect()
+    })
+}
+
+/// Re-verifies every answered quote against `reference` pools (frozen
+/// view bytes or a restored snapshot): recomputing the quote there must
+/// reproduce the recorded answer bit for bit.
+fn reverify(answers: &[AnsweredQuote], reference: impl Fn(PoolId) -> Pool) -> usize {
+    let mut pools: std::collections::HashMap<PoolId, Pool> = std::collections::HashMap::new();
+    for (pool, dir, amount, recorded) in answers {
+        let p = pools.entry(*pool).or_insert_with(|| reference(*pool));
+        let again = p
+            .quote_swap(*dir, SwapKind::ExactInput(*amount), None)
+            .map_err(QuoteError::from);
+        assert_eq!(
+            recorded, &again,
+            "answered quote diverges from reference state \
+             (pool {pool:?}, zero_for_one {dir}, amount {amount})"
+        );
+    }
+    answers.len()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,11 +111,13 @@ fn main() {
         .unwrap_or(8);
     let uniform = args.iter().any(|a| a == "--uniform");
     let routed = args.iter().any(|a| a == "--routed");
+    let quotes = args.iter().any(|a| a == "--quotes");
 
     ammboost_bench::header("State drill: checkpoint → prune → restore → verify");
     ammboost_bench::line("config/pools", pools);
     ammboost_bench::line("config/skew", if uniform { "uniform" } else { "zipf(1.0)" });
     ammboost_bench::line("config/routed", routed);
+    ammboost_bench::line("config/quotes", quotes);
 
     let mut cfg = SystemConfig::small_test();
     cfg.seed = seed;
@@ -54,6 +132,10 @@ fn main() {
         assert!(pools >= 2, "--routed needs at least two pools");
         cfg.route_style = RouteStyle::routed(0.35, 4);
     }
+    if quotes {
+        // also exercise the system's own in-run quote serving
+        cfg.quote_style = QuoteStyle::per_tx(1.0);
+    }
     // checkpoint every epoch but keep all raw history during the run
     // (both pruning paths off) so the drill's explicit prune phase below
     // demonstrates real reclamation
@@ -62,8 +144,49 @@ fn main() {
         interval_epochs: 1,
         keep_epochs: u64::MAX,
     };
+    let seed = cfg.seed;
     let mut sys = System::new(cfg);
-    let report = sys.run();
+
+    // -- run, with reader threads hammering the sealed genesis view -------
+    // The readers hold the epoch-0 view while every epoch executes on the
+    // live shards: any write-path leakage into a published view would be
+    // caught by the re-verification below.
+    let genesis = sys.quote_view().expect("genesis view published");
+    let frozen_genesis: Vec<_> = genesis
+        .pool_ids()
+        .iter()
+        .map(|&id| (id, genesis.pool(id).expect("covered").export_state()))
+        .collect();
+    let stop = AtomicBool::new(false);
+    let (report, answered) = if quotes {
+        std::thread::scope(|s| {
+            let reader = s.spawn(|| hammer_view(&genesis, seed, &stop));
+            let report = sys.run();
+            stop.store(true, Ordering::Relaxed);
+            (report, reader.join().expect("hammer scope panicked"))
+        })
+    } else {
+        (sys.run(), Vec::new())
+    };
+    if quotes {
+        // every answer served during execution matches the frozen
+        // epoch-0 bytes: no reader observed a partially-executed epoch
+        let n = reverify(&answered, |id| {
+            let state = frozen_genesis
+                .iter()
+                .find(|(fid, _)| *fid == id)
+                .map(|(_, s)| s.clone())
+                .expect("covered pool");
+            Pool::from_state(state).expect("frozen bytes restore")
+        });
+        assert!(n > 0, "quote drill answered nothing");
+        ammboost_bench::line("quotes/concurrent_answered", n);
+        ammboost_bench::line("quotes/served_in_run", report.quotes_served);
+        ammboost_bench::line("quotes/view_publications", report.view_publications);
+        ammboost_bench::line("quotes/view_pools_reused", report.view_pools_reused);
+        ammboost_bench::line("quotes/view_pools_recloned", report.view_pools_recloned);
+        assert!(report.quotes_served > 0, "in-run quote serving was idle");
+    }
     ammboost_bench::line("run/accepted_txs", report.accepted);
     ammboost_bench::line("run/snapshots_taken", report.snapshots_taken);
     assert!(report.accepted > 0, "no traffic processed");
@@ -113,6 +236,29 @@ fn main() {
     );
     ammboost_bench::line("restore/state", "byte-identical across all shards");
 
+    // -- quote drill round 2: final sealed view vs post-epoch snapshot ----
+    // Hammer the last published view, then re-verify every answer against
+    // the pools restored from the serialized snapshot: the sealed view and
+    // the post-epoch snapshot must answer identically, bit for bit.
+    if quotes {
+        let final_view = sys.quote_view().expect("final view published");
+        assert_eq!(final_view.pool_count(), pools as usize);
+        let stop = AtomicBool::new(false); // bounded round: readers run to their cap
+        let answered = hammer_view(&final_view, seed ^ 0x0F1E_2D3C_4B5A_6978, &stop);
+        let n = reverify(&answered, |id| {
+            Pool::from_state(
+                node.shards
+                    .get(id)
+                    .expect("restored shard")
+                    .pool()
+                    .export_state(),
+            )
+            .expect("snapshot bytes restore")
+        });
+        assert!(n > 0, "final-view quote drill answered nothing");
+        ammboost_bench::line("quotes/final_view_reverified", n);
+    }
+
     // -- prune: drop the raw history the snapshot covers ------------------
     let before = node.ledger.size_bytes();
     let pruned = prune_to_snapshot(&mut node.ledger, epoch, RetentionPolicy::default());
@@ -151,7 +297,8 @@ fn main() {
 
     println!();
     println!(
-        "state drill PASS ({pools} pools{})",
-        if routed { ", routed traffic" } else { "" }
+        "state drill PASS ({pools} pools{}{})",
+        if routed { ", routed traffic" } else { "" },
+        if quotes { ", concurrent quotes" } else { "" }
     );
 }

@@ -111,6 +111,7 @@ impl BaselineRunner {
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: cfg.liquidity_style,
+            quote_style: ammboost_workload::QuoteStyle::default(),
             seed: cfg.seed ^ 0x7AFF,
         });
         for user in generator.users() {

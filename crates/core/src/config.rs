@@ -1,9 +1,10 @@
 //! System configuration: the paper's experiment knobs (§VI-A) plus the
 //! fault-injection plan for the interruption-handling drills (§IV-C).
 
+use crate::shard::ExecMode;
 use ammboost_mainchain::chain::ChainConfig;
 use ammboost_sim::time::SimDuration;
-use ammboost_workload::{LiquidityStyle, RouteStyle, TrafficMix, TrafficSkew};
+use ammboost_workload::{LiquidityStyle, QuoteStyle, RouteStyle, TrafficMix, TrafficSkew};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -85,6 +86,15 @@ pub struct SystemConfig {
     /// spread; `Fragmented` tiles many single-spacing ranges, producing a
     /// tick-dense pool for swap-engine stress runs).
     pub liquidity_style: LiquidityStyle,
+    /// Read-traffic profile: quote queries per executed transaction,
+    /// served from the sealed epoch view (default: none — the paper's
+    /// write-only workloads).
+    pub quote_style: QuoteStyle,
+    /// How batches are scheduled across shards (results are bit-identical
+    /// in every mode). The `AMMBOOST_EXEC_MODE` environment variable
+    /// (`auto`|`sequential`|`parallel`) overrides this at run start — the
+    /// knob CI's exec-mode matrix drives.
+    pub exec_mode: ExecMode,
     /// Deposit cadence.
     pub deposit_policy: DepositPolicy,
     /// Deposit size per user per token, per deposit event.
@@ -127,6 +137,8 @@ impl Default for SystemConfig {
             traffic_skew: TrafficSkew::default(),
             route_style: RouteStyle::default(),
             liquidity_style: LiquidityStyle::default(),
+            quote_style: QuoteStyle::default(),
+            exec_mode: ExecMode::default(),
             deposit_policy: DepositPolicy::OncePerRun,
             deposit_amount: 2_000_000_000_000,
             mainchain: ChainConfig::default(),
@@ -149,6 +161,24 @@ impl SystemConfig {
     /// Total simulated run length.
     pub fn run_duration(&self) -> SimDuration {
         self.epoch_duration().saturating_mul(self.epochs)
+    }
+
+    /// The batch-scheduling mode actually in force: the
+    /// `AMMBOOST_EXEC_MODE` environment variable
+    /// (`auto`|`sequential`|`parallel`) overrides the configured
+    /// [`SystemConfig::exec_mode`], so CI can force both scheduling paths
+    /// over the whole test suite without touching any test.
+    ///
+    /// # Panics
+    /// Panics on an unparsable override — a typo in a CI matrix must fail
+    /// loudly, not silently fall back to the default schedule.
+    pub fn effective_exec_mode(&self) -> ExecMode {
+        match std::env::var("AMMBOOST_EXEC_MODE") {
+            Ok(v) if !v.is_empty() => v
+                .parse()
+                .unwrap_or_else(|e| panic!("AMMBOOST_EXEC_MODE: {e}")),
+            _ => self.exec_mode,
+        }
     }
 
     /// A small configuration for tests: committee of 5, short epochs,

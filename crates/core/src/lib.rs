@@ -17,6 +17,9 @@
 //! - [`system`] — the full runner: election → DKG → rounds of meta-blocks
 //!   → summary → TSQC-authenticated sync → pruning, plus interruption
 //!   recovery (view change, mass-sync, rollbacks; §IV-C).
+//! - [`view`] — epoch-sealed, `Arc`-shared quote views: the concurrent
+//!   read path (quote / simulate-route / value-position) served while
+//!   the worker pool executes the next epoch.
 //! - [`checkpoint`] — node-level snapshot / restore / fast-sync catch-up
 //!   over the `ammboost-state` subsystem.
 //! - [`baseline`] — the all-on-mainchain Uniswap baseline for comparison.
@@ -41,6 +44,7 @@ pub mod processor;
 pub mod shard;
 pub mod system;
 pub mod txenv;
+pub mod view;
 pub mod workers;
 
 pub use baseline::{BaselineConfig, BaselineReport, BaselineRunner};
@@ -50,3 +54,4 @@ pub use processor::{EpochProcessor, ProcessorState};
 pub use shard::{ExecMode, ShardMap};
 pub use system::{System, SystemReport};
 pub use txenv::{create_tx, verify_tx, SignedTx};
+pub use view::{QuoteError, QuoteView, RouteQuote, ViewPublishStats};

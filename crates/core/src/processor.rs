@@ -68,6 +68,11 @@ pub struct EpochProcessor {
     /// Set when an accepted transaction (or a liquidity seed) mutated the
     /// pool; consumed by the checkpointer's dirty-pool tracking.
     pool_dirty: bool,
+    /// Set at exactly the same mutation points as `pool_dirty`, but
+    /// consumed by quote-view publication instead of the checkpointer —
+    /// the two consumers drain independently, so checkpointing an epoch
+    /// cannot mask a stale cached view (or vice versa).
+    view_stale: bool,
 }
 
 impl EpochProcessor {
@@ -83,6 +88,7 @@ impl EpochProcessor {
             stats: ProcessorStats::default(),
             reject_reasons: HashMap::new(),
             pool_dirty: false,
+            view_stale: true,
         }
     }
 
@@ -96,6 +102,14 @@ impl EpochProcessor {
     /// dirty-pool tracking so clean pools are not re-encoded.
     pub fn take_pool_dirty(&mut self) -> bool {
         std::mem::take(&mut self.pool_dirty)
+    }
+
+    /// Returns and clears the view-stale flag: `true` when the pool was
+    /// mutated since the last quote-view publication. Feeds
+    /// [`crate::shard::ShardMap::publish_view`] so an epoch invalidates
+    /// exactly the cached per-pool views it touched.
+    pub fn take_view_stale(&mut self) -> bool {
+        std::mem::take(&mut self.view_stale)
     }
 
     /// Exports the processor's persistent state for checkpointing.
@@ -151,6 +165,7 @@ impl EpochProcessor {
             stats,
             reject_reasons: HashMap::new(),
             pool_dirty: false,
+            view_stale: true,
         }
     }
 
@@ -223,6 +238,7 @@ impl EpochProcessor {
             .mint(id, owner, tick_lower, tick_upper, amount0, amount1)
             .expect("genesis liquidity mint must be valid");
         self.pool_dirty = true;
+        self.view_stale = true;
         id
     }
 
@@ -270,6 +286,7 @@ impl EpochProcessor {
             _ => {
                 self.stats.accepted += 1;
                 self.pool_dirty = true;
+                self.view_stale = true;
             }
         }
         ExecutedTx {
@@ -332,6 +349,7 @@ impl EpochProcessor {
             Amount::MAX,
         )?;
         self.pool_dirty = true;
+        self.view_stale = true;
         Ok((result.amount_in, result.amount_out))
     }
 

@@ -37,8 +37,9 @@
 //!    amounts — per-hop transfers never reach the settlement layer.
 
 use crate::processor::{EpochProcessor, ProcessorState, ProcessorStats};
+use crate::view::{QuoteView, ViewPublishStats};
 use crate::workers::WorkerPool;
-use ammboost_amm::pool::TickSearch;
+use ammboost_amm::pool::{Pool, TickSearch};
 use ammboost_amm::tx::{AmmTx, RouteTx};
 use ammboost_amm::types::{Amount, PoolId, PositionId};
 use ammboost_crypto::Address;
@@ -46,8 +47,9 @@ use ammboost_sidechain::block::{ExecutedTx, RouteLeg, TxEffect};
 use ammboost_sidechain::summary::{
     Deposits, NettingLedger, PayoutEntry, PoolUpdate, PositionEntry,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One shard's sorted deposit entries, as exported for checkpointing.
 pub type DepositEntries = Vec<(Address, (u128, u128))>;
@@ -59,7 +61,7 @@ const PARALLEL_MIN_BATCH: usize = 64;
 
 /// How a batch is scheduled across shards. Results are bit-identical in
 /// every mode — scheduling is a pure performance choice.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecMode {
     /// Parallelize when more than one shard has work, the batch is large
     /// enough to amortize thread startup, and the host has more than one
@@ -71,6 +73,23 @@ pub enum ExecMode {
     /// Spawn a scoped worker per busy shard whenever at least two shards
     /// have work (benchmarking knob; ignores the batch-size gate).
     Parallel,
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    /// Parses `auto` / `sequential` / `parallel` (case-insensitive) —
+    /// the vocabulary of the `AMMBOOST_EXEC_MODE` environment override.
+    fn from_str(s: &str) -> Result<ExecMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(ExecMode::Auto),
+            "sequential" | "seq" => Ok(ExecMode::Sequential),
+            "parallel" | "par" => Ok(ExecMode::Parallel),
+            other => Err(format!(
+                "unknown exec mode {other:?} (expected auto|sequential|parallel)"
+            )),
+        }
+    }
 }
 
 fn hardware_threads() -> usize {
@@ -95,6 +114,11 @@ pub struct ShardMap {
     /// Diagnostic/reporting state, reset at epoch start — the consensus
     /// state it summarizes lives entirely in pools and deposits.
     netting: NettingLedger,
+    /// Cached per-pool sealed states from the last [`ShardMap::publish_view`]
+    /// call, aligned with `shards`. A shard whose `view_stale` flag is
+    /// clear reuses its cached `Arc`; only the pools the sealed epoch
+    /// touched are re-cloned. Derived data — never checkpointed.
+    view_cache: Vec<Option<Arc<Pool>>>,
 }
 
 /// One wave leg awaiting execution: the admitted route's slot, the
@@ -133,10 +157,13 @@ impl ShardMap {
         ids.dedup();
         assert!(!ids.is_empty(), "shard map needs at least one pool");
         assert_eq!(before, ids.len(), "duplicate pool ids in shard map");
+        let shards: Vec<EpochProcessor> = ids.into_iter().map(EpochProcessor::new).collect();
+        let view_cache = vec![None; shards.len()];
         ShardMap {
-            shards: ids.into_iter().map(EpochProcessor::new).collect(),
+            shards,
             home: HashMap::new(),
             netting: NettingLedger::new(),
+            view_cache,
         }
     }
 
@@ -162,10 +189,12 @@ impl ShardMap {
                 home.insert(user, idx);
             }
         }
+        let view_cache = vec![None; processors.len()];
         ShardMap {
             shards: processors,
             home,
             netting: NettingLedger::new(),
+            view_cache,
         }
     }
 
@@ -214,6 +243,39 @@ impl ShardMap {
         self.shards
             .binary_search_by_key(&pool, |s| s.pool_id())
             .ok()
+    }
+
+    /// Publishes the sealed state of every pool as an immutable,
+    /// `Arc`-shared [`QuoteView`] tagged with `epoch`. Call at epoch seal
+    /// — after the epoch's last batch has committed and before the next
+    /// epoch begins — so readers on other threads serve quotes from it
+    /// while the worker pool executes the next epoch.
+    ///
+    /// Per-shard staleness tracking keeps publication proportional to the
+    /// write set: only pools the sealed epoch actually touched are
+    /// re-cloned; every clean pool reuses its cached `Arc` from the
+    /// previous publication. The returned [`ViewPublishStats`] reports
+    /// that split.
+    pub fn publish_view(&mut self, epoch: u64) -> (Arc<QuoteView>, ViewPublishStats) {
+        let mut stats = ViewPublishStats::default();
+        let mut entries = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let stale = shard.take_view_stale();
+            let arc = match (&self.view_cache[i], stale) {
+                (Some(cached), false) => {
+                    stats.reused += 1;
+                    Arc::clone(cached)
+                }
+                _ => {
+                    stats.recloned += 1;
+                    let fresh = Arc::new(shard.pool().clone());
+                    self.view_cache[i] = Some(Arc::clone(&fresh));
+                    fresh
+                }
+            };
+            entries.push((shard.pool_id(), arc));
+        }
+        (Arc::new(QuoteView::new(epoch, entries)), stats)
     }
 
     /// Selects the tick-search engine on every shard (differential

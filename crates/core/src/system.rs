@@ -18,6 +18,7 @@
 use crate::checkpoint::checkpoint_node;
 use crate::config::{DepositPolicy, SystemConfig};
 use crate::shard::{ExecMode, ShardMap};
+use crate::view::QuoteView;
 use ammboost_amm::tx::AmmTx;
 use ammboost_amm::types::PoolId;
 use ammboost_consensus::election::{draw_ticket, elect_committee, Committee, MinerRecord};
@@ -39,9 +40,10 @@ use ammboost_sim::rng::DetRng;
 use ammboost_sim::time::{SimDuration, SimTime};
 use ammboost_state::snapshot::Snapshot;
 use ammboost_state::{prune_to_snapshot, CheckpointStats, Checkpointer, RetentionPolicy};
-use ammboost_workload::{GeneratorConfig, TrafficGenerator};
+use ammboost_workload::{GeneratorConfig, QuoteRequest, TrafficGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Everything a run measures (the §VI-A metric list).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -103,6 +105,20 @@ pub struct SystemReport {
     pub last_snapshot_bytes: u64,
     /// State root of the last checkpoint.
     pub last_state_root: Option<H256>,
+    /// Read-path queries answered from sealed epoch views (0 when
+    /// [`SystemConfig::quote_style`] emits no quote traffic).
+    pub quotes_served: u64,
+    /// Read-path queries that errored (e.g. a valuation referencing a
+    /// position the sealed epoch had not yet created).
+    pub quotes_failed: u64,
+    /// Quote views published (one per sealed epoch, plus genesis).
+    pub view_publications: u64,
+    /// Per-pool views reused across publications (pools the sealed epoch
+    /// did not touch).
+    pub view_pools_reused: u64,
+    /// Per-pool views re-cloned at publication (pools the sealed epoch
+    /// touched — the dirty-tracking write set).
+    pub view_pools_recloned: u64,
 }
 
 /// One epoch's not-yet-synced summary material: epoch number, payout
@@ -164,6 +180,17 @@ pub struct System {
     sync_gas: u64,
     deposit_gas: u64,
     max_summary_bytes: u64,
+    /// Batch-scheduling mode in force (config, possibly overridden by
+    /// `AMMBOOST_EXEC_MODE` at construction).
+    exec_mode: ExecMode,
+    /// The current sealed-epoch quote view (epoch N's view while epoch
+    /// N+1 executes; genesis view before epoch 1).
+    quote_view: Option<Arc<QuoteView>>,
+    quotes_served: u64,
+    quotes_failed: u64,
+    view_publications: u64,
+    view_pools_reused: u64,
+    view_pools_recloned: u64,
     checkpointer: Checkpointer,
     snapshots_taken: u64,
     last_checkpoint: Option<CheckpointStats>,
@@ -202,6 +229,7 @@ impl System {
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: cfg.liquidity_style,
+            quote_style: cfg.quote_style,
             seed: cfg.seed ^ 0x7AFF,
         });
 
@@ -244,6 +272,11 @@ impl System {
             miner_sks.push(sk);
         }
 
+        // seal genesis: readers can quote against the seeded pools before
+        // epoch 1 executes
+        let (genesis_view, view_stats) = shards.publish_view(0);
+        let exec_mode = cfg.effective_exec_mode();
+
         let genesis_ref = H256::hash(b"mainchain-block-containing-token-bank");
         System {
             chain: Mainchain::new(cfg.mainchain),
@@ -278,6 +311,13 @@ impl System {
             sync_gas: 0,
             deposit_gas: 0,
             max_summary_bytes: 0,
+            exec_mode,
+            quote_view: Some(genesis_view),
+            quotes_served: 0,
+            quotes_failed: 0,
+            view_publications: 1,
+            view_pools_reused: view_stats.reused as u64,
+            view_pools_recloned: view_stats.recloned as u64,
             checkpointer: Checkpointer::new(),
             snapshots_taken: 0,
             last_checkpoint: None,
@@ -316,6 +356,71 @@ impl System {
     /// Read access to the traffic generator.
     pub fn generator(&self) -> &TrafficGenerator {
         &self.generator
+    }
+
+    /// The current sealed-epoch quote view: epoch N's immutable state
+    /// while epoch N+1 executes (the genesis view before epoch 1). Clone
+    /// the `Arc` out to serve reads from any thread.
+    pub fn quote_view(&self) -> Option<Arc<QuoteView>> {
+        self.quote_view.clone()
+    }
+
+    /// Seals `epoch` for readers: publishes the post-epoch [`QuoteView`]
+    /// (re-cloning only the pools the epoch touched) and rolls the
+    /// publication counters.
+    fn publish_view(&mut self, epoch: u64) {
+        let (view, stats) = self.shards.publish_view(epoch);
+        self.quote_view = Some(view);
+        self.view_publications += 1;
+        self.view_pools_reused += stats.reused as u64;
+        self.view_pools_recloned += stats.recloned as u64;
+    }
+
+    /// Serves this round's generated quote traffic from the current
+    /// sealed view. Readers never touch the live shards — a quote
+    /// observes exactly the last sealed epoch, never a partially-executed
+    /// one.
+    fn serve_quotes(&mut self) {
+        if !self.cfg.quote_style.active() {
+            return;
+        }
+        let Some(view) = self.quote_view.clone() else {
+            return;
+        };
+        for req in self.generator.next_quotes() {
+            let ok = match req {
+                QuoteRequest::Swap {
+                    pool,
+                    zero_for_one,
+                    amount_in,
+                } => view
+                    .quote_swap(
+                        pool,
+                        zero_for_one,
+                        ammboost_amm::pool::SwapKind::ExactInput(amount_in),
+                        None,
+                    )
+                    .is_ok(),
+                QuoteRequest::Route { hops, amount_in } => {
+                    let route = ammboost_amm::tx::RouteTx {
+                        user: Address::from_pubkey_bytes(b"quote-reader"),
+                        hops,
+                        amount_in,
+                        min_amount_out: 0,
+                        deadline_round: u64::MAX,
+                    };
+                    view.simulate_route(&route).is_ok()
+                }
+                QuoteRequest::Valuation { pool, position } => {
+                    view.value_position(pool, &position).is_ok()
+                }
+            };
+            if ok {
+                self.quotes_served += 1;
+            } else {
+                self.quotes_failed += 1;
+            }
+        }
     }
 
     /// Runs the configured number of epochs (plus queue drain) and
@@ -380,6 +485,11 @@ impl System {
             snapshots_taken: self.snapshots_taken,
             last_snapshot_bytes: self.last_checkpoint.map(|c| c.snapshot_bytes).unwrap_or(0),
             last_state_root: self.last_checkpoint.map(|c| c.root),
+            quotes_served: self.quotes_served,
+            quotes_failed: self.quotes_failed,
+            view_publications: self.view_publications,
+            view_pools_reused: self.view_pools_reused,
+            view_pools_recloned: self.view_pools_recloned,
         }
     }
 
@@ -489,6 +599,11 @@ impl System {
                 self.submitted += 1;
             }
 
+            // read traffic rides along: quotes are answered from the last
+            // sealed epoch's view, never from the live shards this round
+            // is mutating
+            self.serve_quotes();
+
             if round < self.cfg.rounds_per_epoch - 1 {
                 self.mine_meta_block(epoch, round, global_round, round_end);
             }
@@ -528,7 +643,7 @@ impl System {
         let batch: Vec<(&AmmTx, usize)> = popped.iter().map(|(_, tx, size)| (tx, *size)).collect();
         let executed = self
             .shards
-            .execute_batch(&batch, global_round, ExecMode::Auto);
+            .execute_batch(&batch, global_round, self.exec_mode);
         for ((arrival, _, _), out) in popped.iter().zip(&executed) {
             if out.accepted() {
                 self.accepted += 1;
@@ -570,6 +685,9 @@ impl System {
 
     fn close_epoch(&mut self, epoch: u64, epoch_end: SimTime) {
         let (payouts, positions, pool_updates) = self.shards.end_epoch();
+        // the epoch is sealed: publish its state for concurrent readers
+        // before anything else mutates the shards
+        self.publish_view(epoch);
         let summary = SummaryBlock {
             epoch,
             parent: self.ledger.tip(),
@@ -874,6 +992,7 @@ impl System {
         self.chain.advance_to(t + SimDuration::from_secs(60));
         self.handle_confirmations();
         let (payouts, positions, pool_updates) = self.shards.end_epoch();
+        self.publish_view(drain_epoch);
         self.unsynced
             .push((drain_epoch, payouts, positions, pool_updates));
         self.submit_sync(drain_epoch, t + SimDuration::from_secs(60), false);

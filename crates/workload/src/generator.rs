@@ -111,6 +111,66 @@ impl RouteStyle {
     }
 }
 
+/// How much read (quote) traffic rides along with the write stream: a
+/// production AMM node answers many price-quote / simulate / valuation
+/// queries per executed trade, and this knob models that ratio. Quote
+/// requests draw from an RNG stream *independent* of the transaction
+/// stream, so enabling quotes leaves the executed traffic bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuoteStyle {
+    /// Average quote queries issued per executed transaction
+    /// (0.0 = none, the default — the paper's write-only workloads).
+    pub quotes_per_tx: f64,
+}
+
+impl Default for QuoteStyle {
+    fn default() -> Self {
+        QuoteStyle { quotes_per_tx: 0.0 }
+    }
+}
+
+impl QuoteStyle {
+    /// A read-heavy profile issuing `n` quotes per executed transaction.
+    pub fn per_tx(n: f64) -> QuoteStyle {
+        QuoteStyle { quotes_per_tx: n }
+    }
+
+    /// `true` when this style emits any quote traffic.
+    pub fn active(&self) -> bool {
+        self.quotes_per_tx > 0.0
+    }
+}
+
+/// One read-path query, answered from the current sealed epoch view
+/// without touching the write path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuoteRequest {
+    /// Price a single exact-input swap.
+    Swap {
+        /// The pool to quote on.
+        pool: PoolId,
+        /// `true` to sell token0 for token1.
+        zero_for_one: bool,
+        /// Input budget, fee inclusive.
+        amount_in: u128,
+    },
+    /// Simulate a multi-hop route (distinct pools, alternating
+    /// directions, as [`RouteTx::validate`] requires).
+    Route {
+        /// The hops, in execution order.
+        hops: Vec<RouteHop>,
+        /// Input budget on the first hop.
+        amount_in: u128,
+    },
+    /// Value a position (principal at the sealed price plus owed fees).
+    Valuation {
+        /// The pool holding the position.
+        pool: PoolId,
+        /// The position to value.
+        position: PositionId,
+    },
+}
+
 /// Generator configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GeneratorConfig {
@@ -146,6 +206,9 @@ pub struct GeneratorConfig {
     pub max_positions_per_user: usize,
     /// Mint range shape (default: the paper's spread).
     pub liquidity_style: LiquidityStyle,
+    /// Read-traffic profile: quote queries per executed transaction
+    /// (default: none).
+    pub quote_style: QuoteStyle,
     /// RNG seed.
     pub seed: u64,
 }
@@ -163,6 +226,7 @@ impl Default for GeneratorConfig {
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: LiquidityStyle::default(),
+            quote_style: QuoteStyle::default(),
             seed: 7,
         }
     }
@@ -183,6 +247,9 @@ pub struct TrafficGenerator {
     /// The configuration in force.
     pub config: GeneratorConfig,
     rng: DetRng,
+    /// Independent stream for quote (read) traffic, so the executed
+    /// transaction stream is bit-identical with quotes on or off.
+    quote_rng: DetRng,
     nonces: Vec<u64>,
     /// Positions fed back from mints, indexed by pool so burns/collects
     /// draw from the right pool in O(1) without scanning the fleet.
@@ -208,6 +275,7 @@ impl TrafficGenerator {
             config.pools.len()
         );
         let rng = DetRng::new(config.seed);
+        let quote_rng = DetRng::new(config.seed ^ 0x5107_E57A_7E00_0001);
         let nonces = vec![0u64; config.users as usize];
         let weights = config.skew.weights(config.pools.len());
         let total: f64 = weights.iter().sum();
@@ -230,6 +298,7 @@ impl TrafficGenerator {
         TrafficGenerator {
             config,
             rng,
+            quote_rng,
             nonces,
             positions: HashMap::new(),
             cumulative_weights,
@@ -313,6 +382,85 @@ impl TrafficGenerator {
             1 => self.gen_mint(pool_index),
             2 => self.gen_burn(pool_index),
             _ => self.gen_collect(pool_index),
+        }
+    }
+
+    /// Quote queries arriving alongside one round's transaction batch:
+    /// `⌈quotes_per_tx · ρ⌉` read requests. Drawn from the independent
+    /// quote RNG stream — calling (or not calling) this never perturbs
+    /// the generated transaction sequence.
+    pub fn next_quotes(&mut self) -> Vec<QuoteRequest> {
+        if !self.config.quote_style.active() {
+            return Vec::new();
+        }
+        let n = (self.config.quote_style.quotes_per_tx * self.txs_per_round() as f64).ceil() as u64;
+        (0..n).map(|_| self.next_quote()).collect()
+    }
+
+    /// Generates one quote request: mostly single-swap price quotes, with
+    /// route simulations mixed in when the pool set supports them and
+    /// position valuations when any position is tracked.
+    pub fn next_quote(&mut self) -> QuoteRequest {
+        let pi = if self.config.pools.len() == 1 {
+            0
+        } else {
+            let draw = self.quote_rng.unit();
+            self.cumulative_weights
+                .iter()
+                .position(|&c| draw < c)
+                .unwrap_or(self.config.pools.len() - 1)
+        };
+        let pool = self.config.pools[pi];
+        let kind = self.quote_rng.unit();
+        if kind < 0.10 && self.config.pools.len() >= 2 {
+            return self.gen_quote_route(pi);
+        }
+        if kind < 0.20 {
+            if let Some((_, position)) = self
+                .positions
+                .get(&pool)
+                .and_then(|tracked| tracked.first())
+            {
+                return QuoteRequest::Valuation {
+                    pool,
+                    position: *position,
+                };
+            }
+        }
+        QuoteRequest::Swap {
+            pool,
+            zero_for_one: self.quote_rng.unit() < 0.5,
+            amount_in: self.quote_rng.range_u128(1_000, 120_000),
+        }
+    }
+
+    /// A route-simulation request: 2..=min(pools, MAX_ROUTE_HOPS) distinct
+    /// pools starting at index `pi`, directions alternating (the shape
+    /// [`RouteTx::validate`] accepts).
+    fn gen_quote_route(&mut self, pi: usize) -> QuoteRequest {
+        let pool_cap = self.config.pools.len().min(MAX_ROUTE_HOPS);
+        let hop_count = 2 + self.quote_rng.range_u64(0, (pool_cap - 2) as u64 + 1) as usize;
+        let mut remaining: Vec<usize> = (0..self.config.pools.len()).filter(|&p| p != pi).collect();
+        let mut path = vec![pi];
+        while path.len() < hop_count {
+            let k = self.quote_rng.range_u64(0, remaining.len() as u64) as usize;
+            path.push(remaining.swap_remove(k));
+        }
+        let mut zero_for_one = self.quote_rng.unit() < 0.5;
+        let hops = path
+            .into_iter()
+            .map(|p| {
+                let hop = RouteHop {
+                    pool: self.config.pools[p],
+                    zero_for_one,
+                };
+                zero_for_one = !zero_for_one;
+                hop
+            })
+            .collect();
+        QuoteRequest::Route {
+            hops,
+            amount_in: self.quote_rng.range_u128(1_000, 120_000),
         }
     }
 

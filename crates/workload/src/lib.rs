@@ -17,6 +17,7 @@ pub mod mix;
 pub mod uniswap2023;
 
 pub use generator::{
-    GeneratedTx, GeneratorConfig, LiquidityStyle, RouteStyle, TrafficGenerator, TrafficSkew,
+    GeneratedTx, GeneratorConfig, LiquidityStyle, QuoteRequest, QuoteStyle, RouteStyle,
+    TrafficGenerator, TrafficSkew,
 };
 pub use mix::TrafficMix;

@@ -30,6 +30,7 @@ fn generator_config(seed: u64) -> GeneratorConfig {
         deadline_slack_rounds: 1_000_000,
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
+        quote_style: Default::default(),
         seed,
     }
 }

@@ -48,6 +48,7 @@ fn generator(pools: u32, users: u64, seed: u64) -> TrafficGenerator {
         deadline_slack_rounds: 1_000_000,
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
+        quote_style: Default::default(),
         seed,
     })
 }
