@@ -25,6 +25,7 @@ use ammboost_sidechain::ledger::Ledger;
 use ammboost_sidechain::summary::Deposits;
 use ammboost_state::codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use ammboost_state::snapshot::{SectionKind, Snapshot};
+use ammboost_state::store::{CheckpointStore, RecoveryOutcome, StoreError};
 use ammboost_state::sync::RestoreError;
 use ammboost_state::{CheckpointStats, Checkpointer};
 use std::fmt;
@@ -112,6 +113,15 @@ pub enum NodeRestoreError {
     },
     /// A block did not chain onto the restored ledger.
     BadChain(String),
+    /// The source ledger seals this epoch (it is ≤ the last summary
+    /// epoch) yet carries no summary block for it — a corrupt or
+    /// internally inconsistent source.
+    MissingSummary {
+        /// The epoch whose summary is absent.
+        epoch: u64,
+    },
+    /// The checkpoint store had nothing usable to restore from.
+    Store(StoreError),
 }
 
 impl fmt::Display for NodeRestoreError {
@@ -134,6 +144,10 @@ impl fmt::Display for NodeRestoreError {
                 write!(f, "replayed summary diverges in epoch {epoch}")
             }
             NodeRestoreError::BadChain(detail) => write!(f, "block does not chain: {detail}"),
+            NodeRestoreError::MissingSummary { epoch } => {
+                write!(f, "source ledger has no summary for sealed epoch {epoch}")
+            }
+            NodeRestoreError::Store(e) => write!(f, "checkpoint store: {e}"),
         }
     }
 }
@@ -149,6 +163,12 @@ impl From<RestoreError> for NodeRestoreError {
 impl From<CodecError> for NodeRestoreError {
     fn from(e: CodecError) -> Self {
         NodeRestoreError::Restore(RestoreError::Codec(e))
+    }
+}
+
+impl From<StoreError> for NodeRestoreError {
+    fn from(e: StoreError) -> Self {
+        NodeRestoreError::Store(e)
     }
 }
 
@@ -353,7 +373,7 @@ pub fn catch_up(
             .summaries()
             .iter()
             .find(|s| s.epoch == epoch)
-            .expect("epoch <= last_summary_epoch has a summary");
+            .ok_or(NodeRestoreError::MissingSummary { epoch })?;
         // the node's own summary rules must reproduce the sealed block
         let (payouts, positions, pools) = node.shards.end_epoch();
         if payouts != sealed.payouts || positions != sealed.positions || pools != sealed.pools {
@@ -366,6 +386,32 @@ pub fn catch_up(
         applied += 1;
     }
     Ok(applied)
+}
+
+/// Crash recovery: brings a node back up from a (possibly torn)
+/// [`CheckpointStore`] and a peer's ledger. The store's journal is
+/// recovered first — rolling a marked, complete staged write forward,
+/// discarding anything torn — then the last committed snapshot is
+/// restored and the epochs sealed after it are replayed via [`catch_up`].
+/// Whatever byte a crash interrupted the checkpoint write at, the node
+/// ends on the same state root as one that never crashed.
+///
+/// Returns the rebuilt node, what recovery found in the journal, and the
+/// number of epochs replayed.
+///
+/// # Errors
+/// [`NodeRestoreError::Store`] when the store holds no committed
+/// snapshot; otherwise any [`restore_node`]/[`catch_up`] failure.
+pub fn recover_node(
+    store: &mut CheckpointStore,
+    source: &Ledger,
+    rounds_per_epoch: u64,
+) -> Result<(NodeRestore, RecoveryOutcome, u64), NodeRestoreError> {
+    let outcome = store.recover();
+    let snapshot = store.latest()?;
+    let mut node = restore_node(&snapshot)?;
+    let applied = catch_up(&mut node, source, rounds_per_epoch)?;
+    Ok((node, outcome, applied))
 }
 
 #[cfg(test)]
@@ -525,6 +571,89 @@ mod tests {
         assert_eq!(applied, 2);
         assert_eq!(node.shards.export_states(), full.shards.export_states());
         assert_eq!(node.ledger.export_state(), full.ledger.export_state());
+    }
+
+    #[test]
+    fn crash_during_checkpoint_recovers_to_identical_root() {
+        use ammboost_state::store::CrashPoint;
+        // the node commits its epoch-1 checkpoint cleanly, then crashes
+        // while writing the epoch-2 one — at several torn byte offsets
+        // and at each journal step — and must always come back, catch up
+        // epochs 3..=4 from a peer, and land on the uninterrupted root
+        let mut full = Node::new(2);
+        let mut cp = Checkpointer::new();
+        full.run_epoch(1);
+        let (snap1, _) = checkpoint_node(&mut cp, 1, &mut full.shards, &full.ledger);
+        full.run_epoch(2);
+        let (snap2, _) = checkpoint_node(&mut cp, 2, &mut full.shards, &full.ledger);
+        full.run_epoch(3);
+        full.run_epoch(4);
+        let (ref_snap, _) =
+            checkpoint_node(&mut Checkpointer::new(), 4, &mut full.shards, &full.ledger);
+
+        let torn_len = snap2.encode().len();
+        let crashes = [
+            CrashPoint::DuringStage { offset: 0 },
+            CrashPoint::DuringStage {
+                offset: torn_len / 2,
+            },
+            CrashPoint::DuringStage {
+                offset: torn_len - 1,
+            },
+            CrashPoint::BeforeMark,
+            CrashPoint::BeforeInstall,
+        ];
+        for crash in crashes {
+            let mut store = CheckpointStore::new();
+            store.commit(&snap1, None).unwrap();
+            store.commit(&snap2, Some(crash)).unwrap_err();
+            let (mut node, outcome, applied) =
+                recover_node(&mut store, &full.ledger, ROUNDS).unwrap();
+            match crash {
+                CrashPoint::BeforeInstall => {
+                    assert_eq!(outcome, RecoveryOutcome::RolledForward { epoch: 2 });
+                    assert_eq!(applied, 2);
+                }
+                _ => {
+                    assert!(matches!(outcome, RecoveryOutcome::DiscardedTorn { .. }));
+                    assert_eq!(applied, 3, "re-replays epoch 2 too");
+                }
+            }
+            let (got, _) =
+                checkpoint_node(&mut Checkpointer::new(), 4, &mut node.shards, &node.ledger);
+            assert_eq!(got.root(), ref_snap.root(), "{crash:?} diverged");
+        }
+
+        // a first-ever checkpoint torn before anything was committed
+        // leaves nothing to restore from — typed, not a panic
+        let mut empty = CheckpointStore::new();
+        empty
+            .commit(&snap1, Some(CrashPoint::BeforeMark))
+            .unwrap_err();
+        assert_eq!(
+            recover_node(&mut empty, &full.ledger, ROUNDS).err(),
+            Some(NodeRestoreError::Store(StoreError::NothingCommitted))
+        );
+    }
+
+    #[test]
+    fn catch_up_reports_missing_summary_typed() {
+        let mut full = Node::new(1);
+        full.run_epoch(1);
+        let (snap, _) =
+            checkpoint_node(&mut Checkpointer::new(), 1, &mut full.shards, &full.ledger);
+        full.run_epoch(2);
+        full.run_epoch(3);
+        // corrupt source: epoch 2's summary vanishes while epoch 3's
+        // survives, so epoch 2 still counts as sealed
+        let mut state = full.ledger.export_state();
+        state.summaries.retain(|s| s.epoch != 2);
+        let source = ammboost_sidechain::ledger::Ledger::from_state(state);
+        let mut node = restore_node(&snap).unwrap();
+        assert_eq!(
+            catch_up(&mut node, &source, ROUNDS).err(),
+            Some(NodeRestoreError::MissingSummary { epoch: 2 })
+        );
     }
 
     #[test]

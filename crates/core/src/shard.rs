@@ -47,9 +47,11 @@ use ammboost_sidechain::block::{ExecutedTx, RouteLeg, TxEffect};
 use ammboost_sidechain::summary::{
     Deposits, NettingLedger, PayoutEntry, PoolUpdate, PositionEntry,
 };
+use ammboost_sim::{FaultInjector, FaultKind, InjectionPoint};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One shard's sorted deposit entries, as exported for checkpointing.
 pub type DepositEntries = Vec<(Address, (u128, u128))>;
@@ -119,6 +121,17 @@ pub struct ShardMap {
     /// clear reuses its cached `Arc`; only the pools the sealed epoch
     /// touched are re-cloned. Derived data — never checkpointed.
     view_cache: Vec<Option<Arc<Pool>>>,
+    /// Fault injector armed by [`ShardMap::arm_chaos`]. When set, every
+    /// busy shard's phase-1a sub-batch runs under panic containment:
+    /// a job that panics (injected via [`InjectionPoint::Worker`] or
+    /// otherwise) poisons only its own shard, which is rolled back to
+    /// its pre-dispatch state and re-executed sequentially. `None` in
+    /// production — the containment machinery is entirely off the hot
+    /// path.
+    chaos: Option<Arc<Mutex<FaultInjector>>>,
+    /// Count of shard jobs that panicked and were contained (rolled
+    /// back + re-executed). Diagnostic, reported via `SystemReport`.
+    panics_contained: u64,
 }
 
 /// One wave leg awaiting execution: the admitted route's slot, the
@@ -164,6 +177,8 @@ impl ShardMap {
             home: HashMap::new(),
             netting: NettingLedger::new(),
             view_cache,
+            chaos: None,
+            panics_contained: 0,
         }
     }
 
@@ -195,7 +210,29 @@ impl ShardMap {
             home,
             netting: NettingLedger::new(),
             view_cache,
+            chaos: None,
+            panics_contained: 0,
         }
+    }
+
+    /// Arms deterministic worker-fault injection: subsequent
+    /// [`ShardMap::execute_batch`] calls fire one
+    /// [`InjectionPoint::Worker`]`(pool_id)` occurrence per busy shard
+    /// per phase-1a dispatch (ascending pool id, so occurrence counting
+    /// is identical under sequential and parallel execution), and a
+    /// [`FaultKind::Panic`] verdict makes that shard's job panic inside
+    /// the worker. The panic is contained: the shard rolls back to its
+    /// pre-dispatch state and re-executes sequentially, the other
+    /// shards' results stand, and the epoch completes with effects
+    /// bit-identical to a fault-free run.
+    pub fn arm_chaos(&mut self, injector: Arc<Mutex<FaultInjector>>) {
+        self.chaos = Some(injector);
+    }
+
+    /// Number of shard jobs that panicked and were contained (rolled
+    /// back and re-executed sequentially) since construction.
+    pub fn panics_contained(&self) -> u64 {
+        self.panics_contained
     }
 
     /// Number of shards.
@@ -486,21 +523,95 @@ impl ShardMap {
                 .collect::<Vec<(usize, ExecutedTx)>>()
         };
         let busy = per_shard.iter().filter(|v| !v.is_empty()).count();
-        let busy_shards = self
-            .shards
-            .iter_mut()
-            .zip(&per_shard)
-            .filter(|(_, indices)| !indices.is_empty());
         let mut chunks: Vec<Vec<(usize, ExecutedTx)>> = vec![Vec::new(); busy];
-        if parallel_allowed && busy > 1 {
-            WorkerPool::global().scope(|scope| {
-                for ((shard, indices), chunk) in busy_shards.zip(chunks.iter_mut()) {
-                    scope.spawn(move || *chunk = sub_batch(shard, indices));
+        if let Some(injector) = self.chaos.clone() {
+            // chaos path: contained execution. Fire one Worker(pool_id)
+            // occurrence per busy shard *before* dispatch, in ascending
+            // pool-id order — the verdicts (and so the injector's
+            // occurrence counters and event log) are then identical
+            // whether the jobs run sequentially or on the pool.
+            let busy_idx: Vec<usize> = per_shard
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(s, _)| s)
+                .collect();
+            let verdicts: Vec<Option<FaultKind>> = {
+                let mut inj = injector.lock().expect("fault injector poisoned");
+                busy_idx
+                    .iter()
+                    .map(|&s| inj.fire(InjectionPoint::Worker(self.shards[s].pool_id().0)))
+                    .collect()
+            };
+            // pre-dispatch backups: a poisoned shard may be torn
+            // mid-transaction, so containment restores it wholesale
+            let backups: Vec<EpochProcessor> =
+                busy_idx.iter().map(|&s| self.shards[s].clone()).collect();
+            let mut slots: Vec<Option<Vec<(usize, ExecutedTx)>>> = vec![None; busy];
+            let busy_shards = self
+                .shards
+                .iter_mut()
+                .zip(&per_shard)
+                .filter(|(_, indices)| !indices.is_empty());
+            // the contained job body: the panic is caught *inside* the
+            // job, so the scope itself never sees a failure and the
+            // other shards' results are preserved
+            let contained =
+                |shard: &mut EpochProcessor, indices: &Vec<usize>, verdict: Option<FaultKind>| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        if matches!(verdict, Some(FaultKind::Panic)) {
+                            panic!("injected worker panic on pool {}", shard.pool_id());
+                        }
+                        sub_batch(shard, indices)
+                    }))
+                    .ok()
+                };
+            if parallel_allowed && busy > 1 {
+                WorkerPool::global().scope(|scope| {
+                    for (((shard, indices), slot), verdict) in
+                        busy_shards.zip(slots.iter_mut()).zip(verdicts)
+                    {
+                        let contained = &contained;
+                        scope.spawn(move || *slot = contained(shard, indices, verdict));
+                    }
+                });
+            } else {
+                for (((shard, indices), slot), verdict) in
+                    busy_shards.zip(slots.iter_mut()).zip(verdicts)
+                {
+                    *slot = contained(shard, indices, verdict);
                 }
-            });
+            }
+            // containment: every poisoned shard rolls back to its
+            // pre-dispatch state and re-executes sequentially (no
+            // second fault fire — the occurrence was already consumed),
+            // so the epoch completes bit-identical to a fault-free run
+            for ((slot, &s), backup) in slots.iter_mut().zip(&busy_idx).zip(backups) {
+                if slot.is_none() {
+                    self.shards[s] = backup;
+                    *slot = Some(sub_batch(&mut self.shards[s], &per_shard[s]));
+                    self.panics_contained += 1;
+                }
+            }
+            for (chunk, slot) in chunks.iter_mut().zip(slots) {
+                *chunk = slot.expect("every poisoned shard re-executed");
+            }
         } else {
-            for ((shard, indices), chunk) in busy_shards.zip(chunks.iter_mut()) {
-                *chunk = sub_batch(shard, indices);
+            let busy_shards = self
+                .shards
+                .iter_mut()
+                .zip(&per_shard)
+                .filter(|(_, indices)| !indices.is_empty());
+            if parallel_allowed && busy > 1 {
+                WorkerPool::global().scope(|scope| {
+                    for ((shard, indices), chunk) in busy_shards.zip(chunks.iter_mut()) {
+                        scope.spawn(move || *chunk = sub_batch(shard, indices));
+                    }
+                });
+            } else {
+                for ((shard, indices), chunk) in busy_shards.zip(chunks.iter_mut()) {
+                    *chunk = sub_batch(shard, indices);
+                }
             }
         }
         for chunk in chunks {
@@ -846,6 +957,66 @@ mod tests {
         assert_eq!(a, b, "scheduling changed results");
         assert_eq!(seq.end_epoch(), par.end_epoch());
         assert_eq!(seq.export_states(), par.export_states());
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_and_bit_identical() {
+        use ammboost_sim::FaultSpec;
+        let txs = batch_for(16, 4, 300);
+        let batch: Vec<(&AmmTx, usize)> = txs.iter().map(|t| (t, 1008)).collect();
+
+        let mut clean = shard_map(4);
+        begin(&mut clean, 16, 4);
+        let reference = clean.execute_batch(&batch, 0, ExecMode::Sequential);
+        let clean_epoch = clean.end_epoch();
+
+        // the panic verdict fires before dispatch in ascending pool-id
+        // order, so sequential and parallel runs consume the same
+        // occurrence and contain the same shard
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let mut chaos = shard_map(4);
+            begin(&mut chaos, 16, 4);
+            let mut injector = FaultInjector::new(7);
+            injector.schedule(FaultSpec {
+                point: InjectionPoint::Worker(2),
+                occurrence: 0,
+                kind: FaultKind::Panic,
+            });
+            chaos.arm_chaos(Arc::new(Mutex::new(injector)));
+            let out = chaos.execute_batch(&batch, 0, mode);
+            assert_eq!(out, reference, "containment changed results ({mode:?})");
+            assert_eq!(chaos.panics_contained(), 1, "one shard poisoned");
+            assert_eq!(chaos.end_epoch(), clean_epoch);
+            assert_eq!(chaos.export_states(), clean.export_states());
+        }
+    }
+
+    #[test]
+    fn armed_chaos_without_panics_changes_nothing() {
+        use ammboost_sim::FaultSpec;
+        let txs = batch_for(8, 2, 100);
+        let batch: Vec<(&AmmTx, usize)> = txs.iter().map(|t| (t, 1008)).collect();
+
+        let mut clean = shard_map(2);
+        begin(&mut clean, 8, 2);
+        let reference = clean.execute_batch(&batch, 0, ExecMode::Sequential);
+
+        // a non-Panic kind at a Worker point consumes the occurrence
+        // but executes normally (delivery-style kinds have no meaning
+        // inside a shard job)
+        let mut chaos = shard_map(2);
+        begin(&mut chaos, 8, 2);
+        let mut injector = FaultInjector::new(7);
+        injector.schedule(FaultSpec {
+            point: InjectionPoint::Worker(1),
+            occurrence: 0,
+            kind: FaultKind::Delay { millis: 5 },
+        });
+        chaos.arm_chaos(Arc::new(Mutex::new(injector)));
+        let out = chaos.execute_batch(&batch, 0, ExecMode::Parallel);
+        assert_eq!(out, reference);
+        assert_eq!(chaos.panics_contained(), 0);
+        assert_eq!(chaos.export_states(), clean.export_states());
     }
 
     #[test]

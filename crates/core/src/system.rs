@@ -38,12 +38,13 @@ use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
 use ammboost_sim::metrics::LatencyStats;
 use ammboost_sim::rng::DetRng;
 use ammboost_sim::time::{SimDuration, SimTime};
+use ammboost_sim::{FaultInjector, FaultKind, FaultSpec, InjectionPoint};
 use ammboost_state::snapshot::Snapshot;
 use ammboost_state::{prune_to_snapshot, CheckpointStats, Checkpointer, RetentionPolicy};
 use ammboost_workload::{GeneratorConfig, QuoteRequest, TrafficGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Everything a run measures (the §VI-A metric list).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -119,6 +120,11 @@ pub struct SystemReport {
     /// Per-pool views re-cloned at publication (pools the sealed epoch
     /// touched — the dirty-tracking write set).
     pub view_pools_recloned: u64,
+    /// Shard worker jobs that panicked (injected via
+    /// `FaultPlan::worker_panic_points`) and were contained — the
+    /// poisoned shard rolled back and re-executed sequentially, the
+    /// epoch completed normally.
+    pub worker_panics_contained: u64,
 }
 
 /// One epoch's not-yet-synced summary material: epoch number, payout
@@ -248,6 +254,21 @@ impl System {
         token1.mint(bank.address, seed_liquidity * 2 * cfg.pools as u128);
 
         let mut shards = ShardMap::new(pool_ids.iter().copied());
+        if !cfg.faults.worker_panic_points.is_empty() {
+            // arm deterministic worker-panic injection: each (pool,
+            // occurrence) pair panics that pool's shard job on its
+            // `occurrence`-th phase-1a dispatch; the shard map contains
+            // the panic and the run completes (graceful degradation)
+            let mut injector = FaultInjector::new(cfg.seed ^ 0xC8A0);
+            injector.schedule_all(cfg.faults.worker_panic_points.iter().map(
+                |&(pool, occurrence)| FaultSpec {
+                    point: InjectionPoint::Worker(pool),
+                    occurrence,
+                    kind: FaultKind::Panic,
+                },
+            ));
+            shards.arm_chaos(Arc::new(Mutex::new(injector)));
+        }
         for pool in &pool_ids {
             shards.seed_liquidity(
                 *pool,
@@ -490,6 +511,7 @@ impl System {
             view_publications: self.view_publications,
             view_pools_reused: self.view_pools_reused,
             view_pools_recloned: self.view_pools_recloned,
+            worker_panics_contained: self.shards.panics_contained(),
         }
     }
 

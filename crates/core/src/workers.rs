@@ -47,6 +47,21 @@ struct ScopeState {
     panicked: bool,
 }
 
+/// Typed result of a scope whose job(s) panicked — what
+/// [`WorkerPool::try_scope`] returns instead of re-panicking, so callers
+/// can contain a poisoned job (roll the affected shard back, re-execute
+/// sequentially) rather than letting one bad job take the process down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPanic;
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a shard worker job panicked")
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
 /// The persistent pool. Obtain the process-wide instance with
 /// [`WorkerPool::global`].
 pub struct WorkerPool {
@@ -115,8 +130,27 @@ impl WorkerPool {
     ///
     /// # Panics
     /// Panics if any job panicked (after all jobs of the scope drained),
-    /// mirroring `std::thread::scope`'s join behaviour.
+    /// mirroring `std::thread::scope`'s join behaviour. Use
+    /// [`WorkerPool::try_scope`] to get the failure as a value instead.
     pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env, '_>) -> R,
+    {
+        match self.try_scope(f) {
+            Ok(out) => out,
+            Err(WorkerPanic) => panic!("shard worker panicked"),
+        }
+    }
+
+    /// Like [`WorkerPool::scope`], but a panicking job surfaces as
+    /// `Err(`[`WorkerPanic`]`)` after the scope fully drains, instead of
+    /// re-panicking. Every job still runs to completion (panicked or
+    /// not) before this returns, so the borrow-safety barrier is
+    /// identical to `scope`'s; only the failure reporting differs.
+    ///
+    /// # Errors
+    /// [`WorkerPanic`] when at least one spawned job panicked.
+    pub fn try_scope<'env, F, R>(&self, f: F) -> Result<R, WorkerPanic>
     where
         F: FnOnce(&Scope<'env, '_>) -> R,
     {
@@ -137,9 +171,9 @@ impl WorkerPool {
         drop(drain); // normal-path drain; also runs if `f` unwound
         let panicked = scope.state.0.lock().expect("scope state poisoned").panicked;
         if panicked {
-            panic!("shard worker panicked");
+            return Err(WorkerPanic);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -298,6 +332,31 @@ mod tests {
         assert!(result.is_err(), "closure panic must propagate");
         // every job ran to completion before scope unwound
         assert!(slots.iter().all(|&s| s > 0), "{slots:?}");
+    }
+
+    #[test]
+    fn try_scope_reports_panic_as_value_after_draining() {
+        let pool = WorkerPool::with_workers(2);
+        let mut slots = [0u64; 8];
+        let result = pool.try_scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    if i == 3 {
+                        panic!("poisoned job");
+                    }
+                    *slot = i as u64 + 1;
+                });
+            }
+        });
+        assert_eq!(result, Err(WorkerPanic));
+        // the barrier held: every non-panicking job still completed
+        for (i, &slot) in slots.iter().enumerate() {
+            if i != 3 {
+                assert_eq!(slot, i as u64 + 1);
+            }
+        }
+        // and a clean scope afterwards succeeds
+        assert_eq!(pool.try_scope(|_| 7u32), Ok(7));
     }
 
     #[test]

@@ -1,0 +1,682 @@
+//! Section-granular self-healing fast-sync.
+//!
+//! Plain [`restore`](crate::sync::restore) trusts one source and fails on
+//! the first bad byte. For a late-joiner on a real network that is not
+//! good enough: providers lag, drop requests, serve stale roots, or
+//! corrupt payloads in flight. This module turns fast-sync into a
+//! per-section protocol:
+//!
+//! 1. A [`SyncManifest`] — the snapshot epoch plus each section's
+//!    `(kind, hash)` leaf — is fetched from any provider and verified
+//!    against a *trusted* root (from consensus) via
+//!    [`root_from_section_hashes`]. A provider whose manifest commits to
+//!    a different root is rejected as stale before any payload moves.
+//! 2. Each section is fetched independently and checked against its
+//!    manifest leaf. A mismatching, truncated, duplicated or dropped
+//!    section is **quarantined** — never restored — and re-fetched from
+//!    the next provider in rotation with bounded retries and
+//!    deterministic exponential backoff on simulated time.
+//! 3. The reassembled snapshot's Merkle root is re-derived and must equal
+//!    the trusted root before [`restore`](crate::sync::restore) runs.
+//!
+//! The result: a sync succeeds as long as *some* provider serves each
+//! section honestly, and every failure mode is a typed [`SyncError`], not
+//! a panic or abort. Providers are simulated ([`SectionProvider`]), with
+//! [`SimProvider`] wiring byte faults from a shared
+//! [`FaultInjector`](ammboost_sim::FaultInjector) into its replies.
+
+use crate::snapshot::{root_from_section_hashes, Section, SectionKind, Snapshot};
+use crate::sync::{restore, RestoreError, RestoredState};
+use ammboost_crypto::H256;
+use ammboost_sim::{FaultInjector, FaultKind, InjectionPoint, SimDuration};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Why a self-healing sync failed. Replaces the panic/abort behaviour of
+/// the plain restore path with a closed taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// A pool-section decoder panicked; contained and reported by pool id.
+    SectionDecodeFailed {
+        /// Pool id of the section whose decoder panicked.
+        section: u32,
+    },
+    /// No provider served a manifest committing to the trusted root.
+    NoValidManifest {
+        /// Providers asked.
+        providers_tried: usize,
+        /// How many of them served a manifest for a *different* root.
+        stale: usize,
+    },
+    /// A section could not be healed within the retry budget.
+    HealExhausted {
+        /// Index of the section in canonical order.
+        section: usize,
+        /// Total fetch attempts spent on it.
+        attempts: u32,
+    },
+    /// The fully healed snapshot re-derived to a root other than the
+    /// trusted one (defense in depth; unreachable if per-section checks
+    /// hold, since the root is a pure function of the section hashes).
+    RootMismatch,
+    /// The healed snapshot restored with a non-byte-level error (missing
+    /// section, invalid pool state, codec bug).
+    Restore(RestoreError),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::SectionDecodeFailed { section } => {
+                write!(f, "pool section {section} decoder panicked")
+            }
+            SyncError::NoValidManifest {
+                providers_tried,
+                stale,
+            } => write!(
+                f,
+                "no valid manifest from {providers_tried} providers ({stale} stale)"
+            ),
+            SyncError::HealExhausted { section, attempts } => {
+                write!(f, "section {section} unhealed after {attempts} attempts")
+            }
+            SyncError::RootMismatch => write!(f, "healed snapshot root mismatch"),
+            SyncError::Restore(e) => write!(f, "healed snapshot failed to restore: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+impl From<RestoreError> for SyncError {
+    fn from(e: RestoreError) -> Self {
+        match e {
+            RestoreError::SectionDecodeFailed { section } => {
+                SyncError::SectionDecodeFailed { section }
+            }
+            other => SyncError::Restore(other),
+        }
+    }
+}
+
+/// The per-section commitment list a late-joiner syncs against: epoch
+/// plus each section's `(kind, hash)` in canonical order. Hashes are the
+/// Merkle leaves of [`Snapshot::root`], so the manifest binds to a root
+/// without carrying any payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncManifest {
+    /// Snapshot epoch.
+    pub epoch: u64,
+    /// `(kind, section hash)` per section, canonical order.
+    pub sections: Vec<(SectionKind, H256)>,
+}
+
+impl SyncManifest {
+    /// Builds the manifest describing `snapshot`.
+    pub fn of(snapshot: &Snapshot) -> SyncManifest {
+        SyncManifest {
+            epoch: snapshot.epoch,
+            sections: snapshot
+                .sections
+                .iter()
+                .map(|s| (s.kind, s.hash()))
+                .collect(),
+        }
+    }
+
+    /// The root this manifest commits to.
+    pub fn root(&self) -> H256 {
+        let hashes: Vec<H256> = self.sections.iter().map(|(_, h)| *h).collect();
+        root_from_section_hashes(self.epoch, &hashes)
+    }
+
+    /// Whether `section` is a valid copy of entry `index`: kind and
+    /// domain-hash must both match the manifest leaf.
+    pub fn section_matches(&self, index: usize, section: &Section) -> bool {
+        self.sections
+            .get(index)
+            .is_some_and(|(kind, hash)| section.kind == *kind && section.hash() == *hash)
+    }
+}
+
+/// One provider reply to a section fetch.
+#[derive(Debug, Clone)]
+pub enum ProviderReply {
+    /// The section bytes, delivered immediately.
+    Section(Section),
+    /// The section bytes, delivered after a simulated delay.
+    Delayed {
+        /// Simulated delivery delay in milliseconds.
+        millis: u64,
+        /// The (possibly corrupt) section.
+        section: Section,
+    },
+    /// No reply (request dropped / provider offline).
+    Dropped,
+}
+
+/// A simulated snapshot provider a late-joiner can fetch from.
+pub trait SectionProvider {
+    /// Stable provider id (used for fault addressing and reporting).
+    fn id(&self) -> u32;
+    /// The provider's manifest, or `None` if it does not answer.
+    fn manifest(&mut self) -> Option<SyncManifest>;
+    /// Fetches the section at canonical `index`.
+    fn fetch(&mut self, index: usize) -> ProviderReply;
+}
+
+/// A provider serving one snapshot, optionally perturbed by a shared
+/// [`FaultInjector`] at [`InjectionPoint::Provider`]`(id)`. Each fetch
+/// visits the injection point once, so occurrence indexes address
+/// individual requests. [`FaultKind::StaleRoot`] serves the matching
+/// section of an older snapshot (a lagging replica) when one is
+/// configured — and applies to `manifest()` too, where the whole stale
+/// manifest is served; [`FaultKind::Panic`] is treated as a drop (a
+/// crashed provider looks like silence from the fetcher's side).
+pub struct SimProvider {
+    id: u32,
+    snapshot: Snapshot,
+    stale: Option<Snapshot>,
+    injector: Option<Arc<Mutex<FaultInjector>>>,
+}
+
+impl SimProvider {
+    /// An honest provider serving `snapshot`.
+    pub fn honest(id: u32, snapshot: Snapshot) -> SimProvider {
+        SimProvider {
+            id,
+            snapshot,
+            stale: None,
+            injector: None,
+        }
+    }
+
+    /// A provider whose replies consult `injector` at
+    /// [`InjectionPoint::Provider`]`(id)`.
+    pub fn faulty(id: u32, snapshot: Snapshot, injector: Arc<Mutex<FaultInjector>>) -> SimProvider {
+        SimProvider {
+            id,
+            snapshot,
+            stale: None,
+            injector: Some(injector),
+        }
+    }
+
+    /// Configures the older snapshot served when a stale-root fault fires.
+    pub fn with_stale(mut self, stale: Snapshot) -> SimProvider {
+        self.stale = Some(stale);
+        self
+    }
+
+    fn fire(&self) -> Option<FaultKind> {
+        self.injector
+            .as_ref()
+            .map(|inj| {
+                inj.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .fire(InjectionPoint::Provider(self.id))
+            })
+            .unwrap_or(None)
+    }
+
+    fn mutate(&self, kind: FaultKind, bytes: &mut Vec<u8>) {
+        if let Some(inj) = &self.injector {
+            inj.lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .mutate(kind, bytes);
+        }
+    }
+}
+
+impl SectionProvider for SimProvider {
+    fn id(&self) -> u32 {
+        self.id
+    }
+
+    fn manifest(&mut self) -> Option<SyncManifest> {
+        match self.fire() {
+            Some(FaultKind::Drop) | Some(FaultKind::Panic) => None,
+            Some(FaultKind::StaleRoot) => Some(SyncManifest::of(
+                self.stale.as_ref().unwrap_or(&self.snapshot),
+            )),
+            _ => Some(SyncManifest::of(&self.snapshot)),
+        }
+    }
+
+    fn fetch(&mut self, index: usize) -> ProviderReply {
+        let fault = self.fire();
+        let source = match fault {
+            Some(FaultKind::StaleRoot) => self.stale.as_ref().unwrap_or(&self.snapshot),
+            _ => &self.snapshot,
+        };
+        let Some(section) = source.sections.get(index).cloned() else {
+            return ProviderReply::Dropped;
+        };
+        match fault {
+            Some(FaultKind::Drop) | Some(FaultKind::Panic) => ProviderReply::Dropped,
+            Some(FaultKind::Delay { millis }) => ProviderReply::Delayed { millis, section },
+            Some(kind @ (FaultKind::BitFlip | FaultKind::Truncate | FaultKind::Duplicate)) => {
+                let mut section = section;
+                self.mutate(kind, &mut section.bytes);
+                ProviderReply::Section(section)
+            }
+            Some(FaultKind::StaleRoot) | None => ProviderReply::Section(section),
+        }
+    }
+}
+
+/// Retry budget and backoff schedule for healing fetches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per section (first try included).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` is `base_backoff * 2^(k-1)` — exponential
+    /// and fully deterministic on the simulated clock.
+    pub base_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimDuration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff waited before attempt `attempt` (0-based; the first
+    /// attempt waits nothing).
+    pub fn backoff_before(&self, attempt: u32) -> SimDuration {
+        if attempt == 0 {
+            SimDuration::ZERO
+        } else {
+            self.base_backoff
+                .saturating_mul(1u64 << (attempt - 1).min(32))
+        }
+    }
+}
+
+/// One quarantine event: a fetched section copy that failed verification
+/// (or never arrived) and was discarded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Canonical section index.
+    pub section: usize,
+    /// Provider that served the bad copy.
+    pub provider: u32,
+    /// Attempt number (0-based) at which it happened.
+    pub attempt: u32,
+    /// What was wrong: `"dropped"` or `"hash-mismatch"`.
+    pub reason: &'static str,
+}
+
+/// What a healing sync did: which sections needed healing, how much
+/// retry/backoff budget it spent, and the simulated time that passed.
+#[derive(Debug, Clone, Default)]
+pub struct HealReport {
+    /// Every discarded bad copy, in fetch order.
+    pub quarantined: Vec<Quarantine>,
+    /// Sections that needed more than one attempt and ended verified.
+    pub healed_sections: Vec<usize>,
+    /// Total fetch attempts across all sections.
+    pub attempts: u64,
+    /// Total retries (attempts beyond the first per section).
+    pub retries: u64,
+    /// Simulated time consumed by backoff and delayed deliveries.
+    pub sim_elapsed: SimDuration,
+}
+
+/// Fetches a manifest committing to `trusted_root` from the first
+/// provider that serves one, in order. Stale manifests (wrong root) and
+/// silent providers are skipped.
+///
+/// # Errors
+/// [`SyncError::NoValidManifest`] when every provider is silent or stale.
+pub fn fetch_manifest(
+    providers: &mut [&mut dyn SectionProvider],
+    trusted_root: H256,
+) -> Result<SyncManifest, SyncError> {
+    let mut stale = 0usize;
+    for provider in providers.iter_mut() {
+        match provider.manifest() {
+            None => {}
+            Some(manifest) => {
+                if manifest.root() == trusted_root {
+                    return Ok(manifest);
+                }
+                stale += 1;
+            }
+        }
+    }
+    Err(SyncError::NoValidManifest {
+        providers_tried: providers.len(),
+        stale,
+    })
+}
+
+/// Fetches and verifies every section of `manifest`, healing bad copies
+/// by provider rotation: attempt `k` of any section asks provider
+/// `k % n` — so a retry always moves to the *next* provider rather than
+/// re-asking the one that just served a bad copy — waits
+/// [`RetryPolicy::backoff_before`]`(k)` on the simulated clock first,
+/// and quarantines any copy whose kind or hash disagrees with the
+/// manifest leaf. Deterministic given the providers' behaviour.
+///
+/// # Errors
+/// [`SyncError::HealExhausted`] when some section has no honest copy
+/// within the budget; [`SyncError::RootMismatch`] if the reassembled
+/// snapshot somehow re-derives a different root.
+pub fn heal_fetch(
+    manifest: &SyncManifest,
+    providers: &mut [&mut dyn SectionProvider],
+    policy: &RetryPolicy,
+) -> Result<(Snapshot, HealReport), SyncError> {
+    let mut report = HealReport::default();
+    let mut sections = Vec::with_capacity(manifest.sections.len());
+    let n = providers.len().max(1);
+    for index in 0..manifest.sections.len() {
+        let mut accepted = None;
+        for attempt in 0..policy.max_attempts {
+            report.sim_elapsed += policy.backoff_before(attempt);
+            report.attempts += 1;
+            if attempt > 0 {
+                report.retries += 1;
+            }
+            let provider = &mut providers[attempt as usize % n];
+            let pid = provider.id();
+            let (section, delay) = match provider.fetch(index) {
+                ProviderReply::Section(s) => (Some(s), 0),
+                ProviderReply::Delayed { millis, section } => (Some(section), millis),
+                ProviderReply::Dropped => (None, 0),
+            };
+            report.sim_elapsed += SimDuration::from_millis(delay);
+            match section {
+                Some(s) if manifest.section_matches(index, &s) => {
+                    if attempt > 0 {
+                        report.healed_sections.push(index);
+                    }
+                    accepted = Some(s);
+                    break;
+                }
+                Some(_) => report.quarantined.push(Quarantine {
+                    section: index,
+                    provider: pid,
+                    attempt,
+                    reason: "hash-mismatch",
+                }),
+                None => report.quarantined.push(Quarantine {
+                    section: index,
+                    provider: pid,
+                    attempt,
+                    reason: "dropped",
+                }),
+            }
+        }
+        match accepted {
+            Some(s) => sections.push(s),
+            None => {
+                return Err(SyncError::HealExhausted {
+                    section: index,
+                    attempts: policy.max_attempts,
+                })
+            }
+        }
+    }
+    let snapshot = Snapshot {
+        epoch: manifest.epoch,
+        sections,
+    };
+    if snapshot.root() != manifest.root() {
+        return Err(SyncError::RootMismatch);
+    }
+    Ok((snapshot, report))
+}
+
+/// Full self-healing sync: manifest fetch against `trusted_root`, healed
+/// section fetch, then [`restore`].
+///
+/// # Errors
+/// Any [`SyncError`]; notably decoder panics surface as
+/// [`SyncError::SectionDecodeFailed`], never as process aborts.
+pub fn heal_restore(
+    providers: &mut [&mut dyn SectionProvider],
+    trusted_root: H256,
+    policy: &RetryPolicy,
+) -> Result<(RestoredState, HealReport), SyncError> {
+    let manifest = fetch_manifest(providers, trusted_root)?;
+    let (snapshot, report) = heal_fetch(&manifest, providers, policy)?;
+    let restored = restore(&snapshot)?;
+    Ok((restored, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Checkpointer;
+    use ammboost_amm::pool::{Pool, SwapKind};
+    use ammboost_amm::types::{PoolId, PositionId};
+    use ammboost_crypto::Address;
+    use ammboost_sidechain::ledger::Ledger;
+    use ammboost_sidechain::summary::Deposits;
+    use ammboost_sim::FaultSpec;
+
+    fn snapshot_at(epoch: u64, extra_swap: bool) -> Snapshot {
+        let mut pool = Pool::new_standard();
+        pool.mint(
+            PositionId::derive(&[b"heal"]),
+            Address::from_index(1),
+            -1200,
+            1200,
+            50_000_000,
+            50_000_000,
+        )
+        .unwrap();
+        if extra_swap {
+            pool.swap(true, SwapKind::ExactInput(5_000_000), None)
+                .unwrap();
+        }
+        let ledger = Ledger::new(H256::hash(b"genesis"));
+        let mut deposits = Deposits::new();
+        deposits.credit(Address::from_index(1), 100, 200).unwrap();
+        let (snapshot, _) = Checkpointer::new().checkpoint(
+            epoch,
+            &[(PoolId(0), &pool), (PoolId(1), &pool)],
+            &ledger,
+            &deposits,
+            vec![],
+        );
+        snapshot
+    }
+
+    fn injector(specs: &[FaultSpec]) -> Arc<Mutex<FaultInjector>> {
+        let mut inj = FaultInjector::new(99);
+        inj.schedule_all(specs.iter().copied());
+        Arc::new(Mutex::new(inj))
+    }
+
+    #[test]
+    fn clean_sync_needs_no_healing() {
+        let snap = snapshot_at(5, true);
+        let root = snap.root();
+        let mut p0 = SimProvider::honest(0, snap.clone());
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut p0];
+        let (restored, report) =
+            heal_restore(&mut providers, root, &RetryPolicy::default()).unwrap();
+        assert_eq!(restored.root, root);
+        assert!(report.quarantined.is_empty());
+        assert!(report.healed_sections.is_empty());
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.sim_elapsed, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn every_byte_fault_is_quarantined_and_healed() {
+        let snap = snapshot_at(5, true);
+        let stale = snapshot_at(4, false);
+        let root = snap.root();
+        // provider 0 misbehaves on its first four fetches, four ways;
+        // stale-root targets a pool section (occurrence 1 = section 0,
+        // occurrence 0 being the manifest call) because only the pool
+        // sections differ between the fresh and the stale snapshot
+        let inj = injector(&[
+            FaultSpec {
+                point: InjectionPoint::Provider(0),
+                occurrence: 1,
+                kind: FaultKind::StaleRoot,
+            },
+            FaultSpec {
+                point: InjectionPoint::Provider(0),
+                occurrence: 2,
+                kind: FaultKind::BitFlip,
+            },
+            FaultSpec {
+                point: InjectionPoint::Provider(0),
+                occurrence: 3,
+                kind: FaultKind::Truncate,
+            },
+            FaultSpec {
+                point: InjectionPoint::Provider(0),
+                occurrence: 4,
+                kind: FaultKind::Duplicate,
+            },
+        ]);
+        let mut bad = SimProvider::faulty(0, snap.clone(), inj.clone()).with_stale(stale);
+        let mut good = SimProvider::honest(1, snap.clone());
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut bad, &mut good];
+        let (restored, report) =
+            heal_restore(&mut providers, root, &RetryPolicy::default()).unwrap();
+        assert_eq!(restored.root, root);
+        assert_eq!(report.quarantined.len(), 4, "all four bad copies caught");
+        assert!(report
+            .quarantined
+            .iter()
+            .all(|q| q.provider == 0 && q.reason == "hash-mismatch"));
+        assert_eq!(report.healed_sections, vec![0, 1, 2, 3]);
+        assert!(report.sim_elapsed > SimDuration::ZERO, "backoff was paid");
+        assert_eq!(inj.lock().unwrap().events().len(), 4);
+    }
+
+    #[test]
+    fn drops_and_delays_are_retried() {
+        let snap = snapshot_at(5, true);
+        let root = snap.root();
+        let inj = injector(&[
+            FaultSpec {
+                point: InjectionPoint::Provider(0),
+                occurrence: 1,
+                kind: FaultKind::Drop,
+            },
+            FaultSpec {
+                point: InjectionPoint::Provider(0),
+                occurrence: 2,
+                kind: FaultKind::Delay { millis: 123 },
+            },
+        ]);
+        let mut flaky = SimProvider::faulty(0, snap.clone(), inj);
+        let mut good = SimProvider::honest(1, snap.clone());
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut flaky, &mut good];
+        let (restored, report) =
+            heal_restore(&mut providers, root, &RetryPolicy::default()).unwrap();
+        assert_eq!(restored.root, root);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].reason, "dropped");
+        // the delayed (but honest) reply is accepted, costing sim time
+        assert!(report.sim_elapsed >= SimDuration::from_millis(123));
+    }
+
+    #[test]
+    fn heal_exhausts_when_every_provider_is_dishonest() {
+        let snap = snapshot_at(5, true);
+        let root = snap.root();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(10),
+        };
+        // section 0's three attempts land on providers 0, 1, 0 — at
+        // occurrences 1, 0, 2 respectively (provider 0's occurrence 0 is
+        // the manifest call) — and every one of them drops
+        let inj = injector(&[
+            FaultSpec {
+                point: InjectionPoint::Provider(0),
+                occurrence: 1,
+                kind: FaultKind::Drop,
+            },
+            FaultSpec {
+                point: InjectionPoint::Provider(1),
+                occurrence: 0,
+                kind: FaultKind::Drop,
+            },
+            FaultSpec {
+                point: InjectionPoint::Provider(0),
+                occurrence: 2,
+                kind: FaultKind::Drop,
+            },
+        ]);
+        let mut a = SimProvider::faulty(0, snap.clone(), inj.clone());
+        let mut b = SimProvider::faulty(1, snap.clone(), inj);
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut a, &mut b];
+        let got = heal_restore(&mut providers, root, &policy);
+        assert_eq!(
+            got.err(),
+            Some(SyncError::HealExhausted {
+                section: 0,
+                attempts: 3
+            })
+        );
+    }
+
+    #[test]
+    fn stale_manifest_rejected_then_served_by_honest_peer() {
+        let snap = snapshot_at(5, true);
+        let stale = snapshot_at(4, false);
+        let root = snap.root();
+        let inj = injector(&[FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 0,
+            kind: FaultKind::StaleRoot,
+        }]);
+        let mut lagging = SimProvider::faulty(0, snap.clone(), inj).with_stale(stale.clone());
+        let mut fresh = SimProvider::honest(1, snap.clone());
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut lagging, &mut fresh];
+        let manifest = fetch_manifest(&mut providers, root).unwrap();
+        assert_eq!(manifest.root(), root);
+
+        // with only the lagging provider the sync refuses to start
+        let inj = injector(&[FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 0,
+            kind: FaultKind::StaleRoot,
+        }]);
+        let mut lagging = SimProvider::faulty(0, snap, inj).with_stale(stale);
+        let mut only: Vec<&mut dyn SectionProvider> = vec![&mut lagging];
+        assert_eq!(
+            fetch_manifest(&mut only, root).err(),
+            Some(SyncError::NoValidManifest {
+                providers_tried: 1,
+                stale: 1
+            })
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimDuration::from_millis(50),
+        };
+        let waits: Vec<u64> = (0..5).map(|k| p.backoff_before(k).as_millis()).collect();
+        assert_eq!(waits, vec![0, 50, 100, 200, 400]);
+    }
+
+    #[test]
+    fn manifest_binds_kind_and_content() {
+        let snap = snapshot_at(5, true);
+        let manifest = SyncManifest::of(&snap);
+        let mut section = snap.sections[0].clone();
+        assert!(manifest.section_matches(0, &section));
+        assert!(!manifest.section_matches(1, &section), "wrong index");
+        section.bytes.push(0);
+        assert!(!manifest.section_matches(0, &section), "content bound");
+    }
+}

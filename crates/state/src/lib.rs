@@ -19,18 +19,33 @@
 //!   history, reporting reclaimed bytes.
 //! - [`sync`] — fast-sync restore: snapshot → working pools (derived tick
 //!   indexes regenerated, never serialized) + ledger + deposits.
+//! - [`heal`] — section-granular self-healing sync: per-section manifest
+//!   verification, quarantine of bad copies, provider rotation with
+//!   bounded retries and deterministic backoff on simulated time.
+//! - [`store`] — crash-consistent checkpoint persistence: a stage→mark→
+//!   install journal whose recovery always lands on the last committed
+//!   snapshot, whatever byte a simulated crash tore the write at.
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod codec;
+pub mod heal;
 pub mod prune;
 pub mod records;
 pub mod snapshot;
+pub mod store;
 pub mod sync;
 
 pub use checkpoint::{CheckpointStats, Checkpointer};
 pub use codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+pub use heal::{
+    fetch_manifest, heal_fetch, heal_restore, HealReport, ProviderReply, Quarantine, RetryPolicy,
+    SectionProvider, SimProvider, SyncError, SyncManifest,
+};
 pub use prune::{prune_to_snapshot, PruneReport, RetentionPolicy};
-pub use snapshot::{Section, SectionKind, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{
+    root_from_section_hashes, Section, SectionKind, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use store::{CheckpointStore, CrashPoint, RecoveryOutcome, StoreError};
 pub use sync::{restore, restore_from_bytes, RestoreError, RestoredState};

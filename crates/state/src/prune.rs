@@ -49,6 +49,8 @@ pub fn prune_to_snapshot(
         if epoch > cutoff || !ledger.has_summary(epoch) {
             continue;
         }
+        // deliberate invariant-expect: `prune_epoch` only fails for an
+        // unsealed epoch, and the `has_summary` guard above filters those
         let freed = ledger
             .prune_epoch(epoch)
             .expect("summary existence checked above");

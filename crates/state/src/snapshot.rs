@@ -106,6 +106,23 @@ impl Decode for Section {
     }
 }
 
+/// The snapshot state root for an epoch, computed from precomputed
+/// section hashes (canonical order) without the sections themselves.
+/// This is what lets a fast-sync manifest — epoch + per-section hashes —
+/// be verified against a trusted root before any section bytes arrive,
+/// and each arriving section be checked independently against its leaf.
+/// [`Snapshot::root`] is exactly this over [`Section::hash`] values.
+pub fn root_from_section_hashes(epoch: u64, section_hashes: &[H256]) -> H256 {
+    let mut leaves = Vec::with_capacity(section_hashes.len() + 1);
+    leaves.push(H256::hash_concat(&[
+        b"ammboost-snapshot-header",
+        &SNAPSHOT_VERSION.to_be_bytes(),
+        &epoch.to_be_bytes(),
+    ]));
+    leaves.extend_from_slice(section_hashes);
+    MerkleTree::from_leaves(leaves).root()
+}
+
 /// A full-state checkpoint at an epoch boundary.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
@@ -120,14 +137,8 @@ impl Snapshot {
     /// The 32-byte state commitment: the Merkle root over a header leaf
     /// (version + epoch) and every section hash.
     pub fn root(&self) -> H256 {
-        let mut leaves = Vec::with_capacity(self.sections.len() + 1);
-        leaves.push(H256::hash_concat(&[
-            b"ammboost-snapshot-header",
-            &SNAPSHOT_VERSION.to_be_bytes(),
-            &self.epoch.to_be_bytes(),
-        ]));
-        leaves.extend(self.sections.iter().map(Section::hash));
-        MerkleTree::from_leaves(leaves).root()
+        let hashes: Vec<H256> = self.sections.iter().map(Section::hash).collect();
+        root_from_section_hashes(self.epoch, &hashes)
     }
 
     /// Finds a section by kind.
@@ -275,6 +286,18 @@ mod tests {
             Snapshot::decode(&bytes),
             Err(CodecError::UnsupportedVersion(_))
         ));
+    }
+
+    #[test]
+    fn root_from_hashes_matches_full_root() {
+        let snap = sample();
+        let hashes: Vec<H256> = snap.sections.iter().map(Section::hash).collect();
+        assert_eq!(root_from_section_hashes(snap.epoch, &hashes), snap.root());
+        assert_ne!(
+            root_from_section_hashes(snap.epoch + 1, &hashes),
+            snap.root(),
+            "epoch is committed via the header leaf"
+        );
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Crash-consistent checkpoint persistence.
+//!
+//! [`CheckpointStore`] models the durable medium a node writes snapshots
+//! to, with a **stage → mark → install** journal:
+//!
+//! ```text
+//!        encode            stage              mark              install
+//!   Snapshot ──► bytes ──► staged slot ──► commit mark ──► committed slot
+//!                              │   (epoch, root, len)  │
+//!             crash here ──────┘ torn/unmarked: DISCARD │
+//!                              crash here ──────────────┘ marked+complete:
+//!                                                         ROLL FORWARD
+//! ```
+//!
+//! The full snapshot encoding is first written to a *staging* slot; only
+//! once it is completely down is a small **commit mark** — epoch, root and
+//! exact length, an atomic rename-equivalent — recorded; installing into
+//! the committed slot happens last. A simulated crash ([`CrashPoint`])
+//! can tear the staged write at any byte offset or kill the process
+//! between any two steps. [`CheckpointStore::recover`] then restores the
+//! invariant the rest of the system relies on: the store always exposes
+//! the **last committed** snapshot — a marked *and* byte-complete staged
+//! write rolls forward, anything torn or unmarked is discarded. The node
+//! catches back up from the committed epoch by replaying meta-blocks
+//! (`catch_up`), landing on a bit-identical state root.
+
+use crate::codec::CodecError;
+use crate::snapshot::Snapshot;
+use ammboost_crypto::H256;
+use ammboost_sim::{FaultInjector, FaultKind, InjectionPoint};
+use std::fmt;
+
+/// Where a simulated crash interrupts a checkpoint commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// The process dies mid-stage: only `offset` bytes of the snapshot
+    /// encoding reach the staging slot (a torn write).
+    DuringStage {
+        /// Bytes of the encoding that made it down before the crash.
+        offset: usize,
+    },
+    /// The stage completed but the commit mark was never written.
+    BeforeMark,
+    /// Staged and marked, but the install into the committed slot never
+    /// ran — the one case recovery rolls *forward*.
+    BeforeInstall,
+}
+
+/// Checkpoint store failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The simulated process died at this point of the commit. The store
+    /// is left exactly as the crash tore it; call
+    /// [`CheckpointStore::recover`] as the restarted process would.
+    SimulatedCrash(CrashPoint),
+    /// No snapshot has ever been committed.
+    NothingCommitted,
+    /// The committed slot failed to decode (cannot happen through this
+    /// API; guards external corruption of the committed bytes).
+    Corrupt(CodecError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::SimulatedCrash(p) => write!(f, "simulated crash at {p:?}"),
+            StoreError::NothingCommitted => write!(f, "no committed checkpoint"),
+            StoreError::Corrupt(e) => write!(f, "committed checkpoint corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What [`CheckpointStore::recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// No interrupted commit; nothing to do.
+    Clean,
+    /// A marked, byte-complete staged write was installed.
+    RolledForward {
+        /// Epoch of the snapshot that was rolled forward.
+        epoch: u64,
+    },
+    /// A torn or unmarked staged write was discarded; the store still
+    /// exposes the previous committed snapshot.
+    DiscardedTorn {
+        /// Bytes found in the staging slot.
+        staged_bytes: usize,
+        /// Whether a commit mark was present (a marked-but-torn write is
+        /// still discarded — the mark's length/root check failed).
+        marked: bool,
+    },
+}
+
+/// The commit mark: the small atomic record that makes a staged write
+/// eligible to roll forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CommitMark {
+    epoch: u64,
+    root: H256,
+    len: usize,
+}
+
+/// A simulated durable checkpoint store with a stage→mark→install
+/// commit journal. See the module docs for the protocol and crash
+/// semantics.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    committed: Option<Vec<u8>>,
+    committed_epoch: Option<u64>,
+    staged: Option<Vec<u8>>,
+    mark: Option<CommitMark>,
+    commits: u64,
+    recoveries: u64,
+}
+
+impl CheckpointStore {
+    /// An empty store (nothing committed).
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Commits `snapshot` through the journal, optionally dying at
+    /// `crash`. On success the snapshot is installed and its epoch
+    /// returned; on a simulated crash the store is left torn exactly as
+    /// the crash point dictates and [`StoreError::SimulatedCrash`] is
+    /// returned — the caller then restarts via
+    /// [`CheckpointStore::recover`].
+    ///
+    /// # Errors
+    /// Only [`StoreError::SimulatedCrash`], and only when `crash` is set.
+    pub fn commit(
+        &mut self,
+        snapshot: &Snapshot,
+        crash: Option<CrashPoint>,
+    ) -> Result<u64, StoreError> {
+        let bytes = snapshot.encode();
+        let mark = CommitMark {
+            epoch: snapshot.epoch,
+            root: snapshot.root(),
+            len: bytes.len(),
+        };
+        if let Some(CrashPoint::DuringStage { offset }) = crash {
+            let cut = offset.min(bytes.len());
+            self.staged = Some(bytes[..cut].to_vec());
+            return Err(StoreError::SimulatedCrash(CrashPoint::DuringStage {
+                offset: cut,
+            }));
+        }
+        self.staged = Some(bytes);
+        if let Some(CrashPoint::BeforeMark) = crash {
+            return Err(StoreError::SimulatedCrash(CrashPoint::BeforeMark));
+        }
+        self.mark = Some(mark);
+        if let Some(CrashPoint::BeforeInstall) = crash {
+            return Err(StoreError::SimulatedCrash(CrashPoint::BeforeInstall));
+        }
+        self.install();
+        self.commits += 1;
+        Ok(snapshot.epoch)
+    }
+
+    /// Commits `snapshot`, consulting `injector` at
+    /// [`InjectionPoint::CheckpointWrite`] for a scheduled crash. Fault
+    /// kinds map to crash points by severity: byte-level kinds
+    /// ([`FaultKind::BitFlip`], [`FaultKind::Truncate`],
+    /// [`FaultKind::Panic`]) tear the staged write at a deterministic
+    /// offset, [`FaultKind::Drop`] dies before the mark, and the
+    /// delivery kinds ([`FaultKind::Delay`], [`FaultKind::Duplicate`],
+    /// [`FaultKind::StaleRoot`]) die after the mark but before install.
+    ///
+    /// # Errors
+    /// [`StoreError::SimulatedCrash`] when a fault fires.
+    pub fn commit_with_injector(
+        &mut self,
+        snapshot: &Snapshot,
+        injector: &mut FaultInjector,
+    ) -> Result<u64, StoreError> {
+        let crash = injector
+            .fire(InjectionPoint::CheckpointWrite)
+            .map(|kind| match kind {
+                FaultKind::BitFlip | FaultKind::Truncate | FaultKind::Panic => {
+                    CrashPoint::DuringStage {
+                        offset: injector.crash_offset(snapshot.encoded_len()),
+                    }
+                }
+                FaultKind::Drop => CrashPoint::BeforeMark,
+                FaultKind::Delay { .. } | FaultKind::Duplicate | FaultKind::StaleRoot => {
+                    CrashPoint::BeforeInstall
+                }
+            });
+        self.commit(snapshot, crash)
+    }
+
+    /// Restores the journal invariant after a (possible) crash: a marked
+    /// *and* byte-complete staged write — length, decode and root all
+    /// agreeing with the mark — is installed; anything else in the
+    /// staging area is discarded. Idempotent; safe to call on a clean
+    /// store.
+    pub fn recover(&mut self) -> RecoveryOutcome {
+        let outcome = match (&self.staged, &self.mark) {
+            (None, None) => return RecoveryOutcome::Clean,
+            (Some(staged), Some(mark)) if staged.len() == mark.len => {
+                match Snapshot::decode(staged) {
+                    Ok(snap) if snap.epoch == mark.epoch && snap.root() == mark.root => {
+                        let epoch = mark.epoch;
+                        self.install();
+                        self.commits += 1;
+                        RecoveryOutcome::RolledForward { epoch }
+                    }
+                    _ => self.discard_staged(),
+                }
+            }
+            _ => self.discard_staged(),
+        };
+        self.recoveries += 1;
+        outcome
+    }
+
+    fn install(&mut self) {
+        if let (Some(bytes), Some(mark)) = (self.staged.take(), self.mark.take()) {
+            self.committed = Some(bytes);
+            self.committed_epoch = Some(mark.epoch);
+        }
+    }
+
+    fn discard_staged(&mut self) -> RecoveryOutcome {
+        let staged_bytes = self.staged.take().map_or(0, |b| b.len());
+        let marked = self.mark.take().is_some();
+        RecoveryOutcome::DiscardedTorn {
+            staged_bytes,
+            marked,
+        }
+    }
+
+    /// Decodes (and root-verifies) the last committed snapshot.
+    ///
+    /// # Errors
+    /// [`StoreError::NothingCommitted`] on an empty store;
+    /// [`StoreError::Corrupt`] if the committed bytes fail verification.
+    pub fn latest(&self) -> Result<Snapshot, StoreError> {
+        let bytes = self
+            .committed
+            .as_ref()
+            .ok_or(StoreError::NothingCommitted)?;
+        Snapshot::decode(bytes).map_err(StoreError::Corrupt)
+    }
+
+    /// Epoch of the last committed snapshot.
+    pub fn committed_epoch(&self) -> Option<u64> {
+        self.committed_epoch
+    }
+
+    /// Raw committed bytes (what a provider would serve).
+    pub fn latest_bytes(&self) -> Option<&[u8]> {
+        self.committed.as_deref()
+    }
+
+    /// Whether an interrupted commit is pending recovery.
+    pub fn is_torn(&self) -> bool {
+        self.staged.is_some() || self.mark.is_some()
+    }
+
+    /// Successful commits, including rolled-forward recoveries.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Times [`CheckpointStore::recover`] ran.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Section, SectionKind};
+    use ammboost_sim::FaultSpec;
+
+    fn snap(epoch: u64) -> Snapshot {
+        Snapshot {
+            epoch,
+            sections: vec![
+                Section {
+                    kind: SectionKind::Pool(0),
+                    bytes: (0..64).map(|i| (i as u8).wrapping_mul(7)).collect(),
+                },
+                Section {
+                    kind: SectionKind::Ledger,
+                    bytes: vec![1, 2, 3],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_commit_installs() {
+        let mut store = CheckpointStore::new();
+        assert_eq!(store.latest().err(), Some(StoreError::NothingCommitted));
+        assert_eq!(store.commit(&snap(1), None).unwrap(), 1);
+        assert_eq!(store.committed_epoch(), Some(1));
+        assert_eq!(store.latest().unwrap(), snap(1));
+        assert!(!store.is_torn());
+        assert_eq!(store.recover(), RecoveryOutcome::Clean);
+    }
+
+    #[test]
+    fn crash_at_every_byte_offset_recovers_to_last_committed() {
+        let base = snap(1);
+        let next = snap(2);
+        let encoded_len = next.encode().len();
+        for offset in 0..encoded_len {
+            let mut store = CheckpointStore::new();
+            store.commit(&base, None).unwrap();
+            let err = store
+                .commit(&next, Some(CrashPoint::DuringStage { offset }))
+                .unwrap_err();
+            assert_eq!(
+                err,
+                StoreError::SimulatedCrash(CrashPoint::DuringStage { offset })
+            );
+            assert!(store.is_torn());
+            assert_eq!(
+                store.recover(),
+                RecoveryOutcome::DiscardedTorn {
+                    staged_bytes: offset,
+                    marked: false
+                }
+            );
+            assert_eq!(store.latest().unwrap(), base, "crash at byte {offset}");
+        }
+    }
+
+    #[test]
+    fn crash_before_mark_discards_complete_stage() {
+        let mut store = CheckpointStore::new();
+        store.commit(&snap(1), None).unwrap();
+        let staged_len = snap(2).encode().len();
+        store
+            .commit(&snap(2), Some(CrashPoint::BeforeMark))
+            .unwrap_err();
+        assert_eq!(
+            store.recover(),
+            RecoveryOutcome::DiscardedTorn {
+                staged_bytes: staged_len,
+                marked: false
+            }
+        );
+        assert_eq!(store.committed_epoch(), Some(1));
+    }
+
+    #[test]
+    fn crash_before_install_rolls_forward() {
+        let mut store = CheckpointStore::new();
+        store.commit(&snap(1), None).unwrap();
+        store
+            .commit(&snap(2), Some(CrashPoint::BeforeInstall))
+            .unwrap_err();
+        assert_eq!(store.recover(), RecoveryOutcome::RolledForward { epoch: 2 });
+        assert_eq!(store.latest().unwrap(), snap(2));
+        assert!(!store.is_torn());
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut store = CheckpointStore::new();
+        store.commit(&snap(1), None).unwrap();
+        store
+            .commit(&snap(2), Some(CrashPoint::BeforeInstall))
+            .unwrap_err();
+        store.recover();
+        assert_eq!(store.recover(), RecoveryOutcome::Clean);
+        assert_eq!(store.latest().unwrap(), snap(2));
+    }
+
+    #[test]
+    fn injector_driven_crashes_are_deterministic() {
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(seed);
+            inj.schedule(FaultSpec {
+                point: InjectionPoint::CheckpointWrite,
+                occurrence: 1,
+                kind: FaultKind::Truncate,
+            });
+            let mut store = CheckpointStore::new();
+            store.commit_with_injector(&snap(1), &mut inj).unwrap();
+            let err = store.commit_with_injector(&snap(2), &mut inj).unwrap_err();
+            (err, store)
+        };
+        let (e1, mut s1) = run(5);
+        let (e2, _) = run(5);
+        assert_eq!(e1, e2, "same seed, same torn offset");
+        assert!(matches!(
+            e1,
+            StoreError::SimulatedCrash(CrashPoint::DuringStage { .. })
+        ));
+        s1.recover();
+        assert_eq!(s1.committed_epoch(), Some(1));
+        // a third commit goes through untouched (occurrence 2 unscheduled)
+        let mut inj = FaultInjector::new(5);
+        assert_eq!(s1.commit_with_injector(&snap(3), &mut inj).unwrap(), 3);
+    }
+}

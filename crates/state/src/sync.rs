@@ -29,6 +29,13 @@ pub enum RestoreError {
     MissingSection(&'static str),
     /// A decoded pool state failed the AMM engine's validation.
     InvalidPool(AmmError),
+    /// A pool-section decoder panicked. The panic is contained — the
+    /// restore fails closed with this typed error instead of poisoning
+    /// the process — and `section` names the offending pool id.
+    SectionDecodeFailed {
+        /// Pool id of the section whose decoder panicked.
+        section: u32,
+    },
 }
 
 impl fmt::Display for RestoreError {
@@ -37,6 +44,9 @@ impl fmt::Display for RestoreError {
             RestoreError::Codec(e) => write!(f, "snapshot decode failed: {e}"),
             RestoreError::MissingSection(s) => write!(f, "snapshot missing section: {s}"),
             RestoreError::InvalidPool(e) => write!(f, "restored pool state invalid: {e}"),
+            RestoreError::SectionDecodeFailed { section } => {
+                write!(f, "pool section {section} decoder panicked")
+            }
         }
     }
 }
@@ -100,18 +110,42 @@ pub fn restore(snapshot: &Snapshot) -> Result<RestoredState, RestoreError> {
     })
 }
 
+/// Test hook: pool id whose decoder panics (simulates a decoder bug).
+/// A plain atomic — not thread-local — because decoders run on scoped
+/// worker threads.
+#[cfg(test)]
+static PANIC_ON_POOL: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI64::new(-1);
+
 /// Decodes and rebuilds every pool section. Sections are independent
 /// byte ranges, so with more than one section on a multi-threaded host
 /// the decode + `Pool::from_state` work (the cold-start bottleneck at
 /// 10⁶-position scale) is spread across scoped threads; results are
 /// reassembled in section order and the first error — in that same
 /// order — wins, so the outcome is identical to the sequential path.
+///
+/// A decoder panic (a bug, not bad input — bad input yields `Err`) is
+/// contained with `catch_unwind` on both the sequential and parallel
+/// paths and surfaces as [`RestoreError::SectionDecodeFailed`]; the
+/// scoped-thread join no longer re-raises, so one poisoned section can
+/// never take down the process.
 fn decode_pool_sections(
     sections: &[(u32, &crate::snapshot::Section)],
 ) -> Result<Vec<(PoolId, Pool)>, RestoreError> {
     let decode_one = |&(id, section): &(u32, &crate::snapshot::Section)| {
-        let state = PoolState::decode_all(&section.bytes)?;
-        Ok((PoolId(id), Pool::from_state(state)?))
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<(PoolId, Pool), RestoreError> {
+                #[cfg(test)]
+                if PANIC_ON_POOL.load(std::sync::atomic::Ordering::Relaxed) == i64::from(id) {
+                    panic!("injected decoder panic for pool {id}");
+                }
+                let state = PoolState::decode_all(&section.bytes)?;
+                Ok((PoolId(id), Pool::from_state(state)?))
+            },
+        ));
+        match attempt {
+            Ok(result) => result,
+            Err(_) => Err(RestoreError::SectionDecodeFailed { section: id }),
+        }
     };
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -124,11 +158,25 @@ fn decode_pool_sections(
     let decoded: Vec<Result<(PoolId, Pool), RestoreError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = sections
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(decode_one).collect::<Vec<_>>()))
+            .map(|chunk| {
+                (
+                    chunk,
+                    scope.spawn(move || chunk.iter().map(decode_one).collect::<Vec<_>>()),
+                )
+            })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("pool section decoder panicked"))
+            .flat_map(|(chunk, h)| match h.join() {
+                Ok(results) => results,
+                // Each item is individually caught above, so a panicked
+                // chunk thread is out-of-band (e.g. stack overflow in the
+                // unwind machinery); fail its whole chunk closed.
+                Err(_) => chunk
+                    .iter()
+                    .map(|&(id, _)| Err(RestoreError::SectionDecodeFailed { section: id }))
+                    .collect(),
+            })
             .collect()
     });
     decoded.into_iter().collect()
@@ -201,6 +249,25 @@ mod tests {
             restore(&snapshot),
             Err(RestoreError::MissingSection("ledger"))
         ));
+    }
+
+    #[test]
+    fn decoder_panic_contained_as_typed_error() {
+        use std::sync::atomic::Ordering;
+        let pool = traded_pool();
+        let ledger = Ledger::new(H256::hash(b"genesis"));
+        let deposits = Deposits::new();
+        let pools: Vec<(PoolId, &Pool)> = (0..4).map(|i| (PoolId(7770 + i), &pool)).collect();
+        let (snapshot, _) = Checkpointer::new().checkpoint(1, &pools, &ledger, &deposits, vec![]);
+        PANIC_ON_POOL.store(7772, Ordering::Relaxed);
+        let got = restore(&snapshot);
+        PANIC_ON_POOL.store(-1, Ordering::Relaxed);
+        assert_eq!(
+            got.err().map(|e| e.to_string()),
+            Some("pool section 7772 decoder panicked".into())
+        );
+        // with the hook cleared the same snapshot restores fine
+        assert!(restore(&snapshot).is_ok());
     }
 
     #[test]

@@ -13,6 +13,9 @@ use ammboost_sidechain::block::{ExecutedTx, MetaBlock, RouteLeg, SummaryBlock, T
 use ammboost_sidechain::ledger::LedgerState;
 use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
 use ammboost_state::codec::{Decode, Encode};
+use ammboost_state::heal::{
+    heal_fetch, ProviderReply, RetryPolicy, SectionProvider, SimProvider, SyncManifest,
+};
 use ammboost_state::snapshot::{Section, SectionKind, Snapshot};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -505,5 +508,96 @@ proptest! {
         let bytes = state.encode_to_vec();
         let cut = (cut as usize) % bytes.len().max(1);
         prop_assert!(PoolState::decode_all(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_byte_flip_in_wire_is_always_detected(
+        epoch in any::<u64>(),
+        pool in arb_pool_state(),
+        aux in vec(any::<u8>(), 0..32),
+        pos in any::<u32>(),
+        mask in any::<u8>(),
+    ) {
+        // flipping any byte of a snapshot's wire form anywhere — header,
+        // embedded root, section lengths or payload — must be detected
+        // by decode; corruption never silently restores
+        let snapshot = Snapshot {
+            epoch,
+            sections: vec![
+                Section { kind: SectionKind::Pool(0), bytes: pool.encode_to_vec() },
+                Section { kind: SectionKind::Aux(7), bytes: aux },
+            ],
+        };
+        let mut bytes = snapshot.encode();
+        let mask = if mask == 0 { 1 } else { mask };
+        let i = pos as usize % bytes.len();
+        bytes[i] ^= mask;
+        prop_assert!(
+            Snapshot::decode(&bytes).is_err(),
+            "flip at byte {} (mask {:#04x}) was silently restored", i, mask
+        );
+    }
+
+    #[test]
+    fn flipped_section_is_always_healed_by_an_honest_provider(
+        epoch in any::<u64>(),
+        pool in arb_pool_state(),
+        aux in vec(any::<u8>(), 1..32),
+        sec in any::<u8>(),
+        pos in any::<u32>(),
+        mask in any::<u8>(),
+    ) {
+        // a provider serving one section with any single byte flipped is
+        // quarantined on that section, and a second honest provider
+        // heals it — the reassembled snapshot always re-derives the
+        // trusted root
+        let snapshot = Snapshot {
+            epoch,
+            sections: vec![
+                Section { kind: SectionKind::Pool(0), bytes: pool.encode_to_vec() },
+                Section { kind: SectionKind::Aux(7), bytes: aux },
+            ],
+        };
+        let manifest = SyncManifest::of(&snapshot);
+        let target = sec as usize % snapshot.sections.len();
+        let mask = if mask == 0 { 1 } else { mask };
+
+        struct FlipProvider {
+            snap: Snapshot,
+            target: usize,
+            pos: u32,
+            mask: u8,
+        }
+        impl SectionProvider for FlipProvider {
+            fn id(&self) -> u32 {
+                0
+            }
+            fn manifest(&mut self) -> Option<SyncManifest> {
+                Some(SyncManifest::of(&self.snap))
+            }
+            fn fetch(&mut self, index: usize) -> ProviderReply {
+                let mut section = self.snap.sections[index].clone();
+                if index == self.target {
+                    let i = self.pos as usize % section.bytes.len();
+                    section.bytes[i] ^= self.mask;
+                }
+                ProviderReply::Section(section)
+            }
+        }
+
+        let mut corrupt = FlipProvider { snap: snapshot.clone(), target, pos, mask };
+        let mut honest = SimProvider::honest(1, snapshot.clone());
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut corrupt, &mut honest];
+        let (healed, report) = heal_fetch(&manifest, &mut providers, &RetryPolicy::default())
+            .map_err(|e| TestCaseError::fail(format!("heal failed: {e}")))?;
+        prop_assert_eq!(healed.root(), snapshot.root());
+        prop_assert!(
+            report.quarantined.iter().any(|q| q.section == target),
+            "flipped section {} was accepted without quarantine", target
+        );
+        prop_assert!(
+            report.healed_sections.contains(&target),
+            "quarantined section {} was never healed", target
+        );
     }
 }

@@ -1,0 +1,315 @@
+//! Self-healing fast-sync and crash-consistent checkpoints, end to end:
+//! a late-joiner syncing from one dishonest and one honest provider must
+//! quarantine every bad section, heal it within the retry budget, and
+//! catch up to a state **byte-identical** to the peer that replayed full
+//! history; a checkpoint commit torn at any point must recover to the
+//! last committed snapshot and catch up to the same root.
+
+use ammboost::amm::types::PoolId;
+use ammboost::core::checkpoint::{catch_up, checkpoint_node, recover_node, restore_node};
+use ammboost::core::shard::ShardMap;
+use ammboost::crypto::{Address, H256};
+use ammboost::sidechain::block::{MetaBlock, SummaryBlock, TxEffect};
+use ammboost::sidechain::ledger::Ledger;
+use ammboost::sim::time::SimDuration;
+use ammboost::sim::{FaultInjector, FaultKind, FaultSpec, InjectionPoint};
+use ammboost::state::heal::{
+    fetch_manifest, heal_fetch, heal_restore, RetryPolicy, SectionProvider, SimProvider, SyncError,
+};
+use ammboost::state::store::{CheckpointStore, CrashPoint, RecoveryOutcome};
+use ammboost::state::{Checkpointer, Snapshot};
+use ammboost::workload::{GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficMix};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+const ROUNDS_PER_EPOCH: u64 = 5;
+
+fn generator_config(seed: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        daily_volume: 200_000,
+        mix: TrafficMix::uniswap_2023(),
+        users: 8,
+        round_duration: SimDuration::from_secs(7),
+        pools: vec![PoolId(0), PoolId(1)],
+        skew: ammboost::workload::TrafficSkew::default(),
+        route_style: ammboost::workload::RouteStyle::default(),
+        deadline_slack_rounds: 1_000_000,
+        max_positions_per_user: 1,
+        liquidity_style: LiquidityStyle::default(),
+        quote_style: Default::default(),
+        seed,
+    }
+}
+
+/// A standalone two-pool sidechain node fed by the calibrated traffic
+/// generator — the peer whose snapshots the healing scenarios sync from.
+struct Node {
+    shards: ShardMap,
+    ledger: Ledger,
+    generator: TrafficGenerator,
+}
+
+impl Node {
+    fn new(seed: u64) -> Node {
+        let mut shards = ShardMap::new([PoolId(0), PoolId(1)]);
+        for pool in [PoolId(0), PoolId(1)] {
+            shards.seed_liquidity(
+                pool,
+                Address::from_pubkey_bytes(b"heal-genesis-lp"),
+                -120_000,
+                120_000,
+                4_000_000_000_000_000,
+                4_000_000_000_000_000,
+            );
+        }
+        let generator = TrafficGenerator::new(generator_config(seed));
+        let mut deposits = HashMap::new();
+        for user in generator.users() {
+            deposits.insert(user, (2_000_000_000_000u128, 2_000_000_000_000u128));
+        }
+        let route = |user: &Address| generator.pool_for(user);
+        shards.begin_epoch(deposits, route);
+        Node {
+            shards,
+            ledger: Ledger::new(H256::hash(b"healing-sync-genesis")),
+            generator,
+        }
+    }
+
+    fn run_epoch(&mut self, epoch: u64) {
+        if epoch > 1 {
+            self.shards.carry_over_epoch();
+        }
+        for round in 0..ROUNDS_PER_EPOCH {
+            let global = (epoch - 1) * ROUNDS_PER_EPOCH + round;
+            let mut txs = Vec::new();
+            for gtx in self.generator.next_round(global) {
+                let out = self.shards.execute(&gtx.tx, gtx.wire_size, global);
+                if let TxEffect::Burn {
+                    position, deleted, ..
+                } = &out.effect
+                {
+                    if *deleted {
+                        self.generator.forget_position(*position);
+                    }
+                }
+                txs.push(out);
+            }
+            let block = MetaBlock::new(epoch, round, self.ledger.tip(), txs);
+            self.ledger
+                .append_meta(block)
+                .expect("locally mined block chains");
+        }
+        let (payouts, positions, pools) = self.shards.end_epoch();
+        let summary = SummaryBlock {
+            epoch,
+            parent: self.ledger.tip(),
+            meta_refs: self
+                .ledger
+                .meta_blocks(epoch)
+                .iter()
+                .map(|m| m.id())
+                .collect(),
+            payouts,
+            positions,
+            pools,
+        };
+        self.ledger.append_summary(summary).expect("summary chains");
+    }
+}
+
+/// Runs a peer for 6 epochs, checkpointing after `stale_epoch` and
+/// `snap_epoch`; returns the peer plus both snapshots.
+fn peer_with_snapshots(seed: u64, stale_epoch: u64, snap_epoch: u64) -> (Node, Snapshot, Snapshot) {
+    let mut full = Node::new(seed);
+    let mut cp = Checkpointer::new();
+    let mut stale = None;
+    let mut snap = None;
+    for epoch in 1..=6 {
+        full.run_epoch(epoch);
+        if epoch == stale_epoch {
+            let (s, _) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+            stale = Some(s);
+        }
+        if epoch == snap_epoch {
+            let (s, _) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+            snap = Some(s);
+        }
+    }
+    assert!(full.shards.stats().accepted > 0, "traffic must flow");
+    (full, stale.unwrap(), snap.unwrap())
+}
+
+/// The Merkle root of a node's live state, via a throwaway checkpoint.
+fn root_of(shards: &mut ShardMap, ledger: &Ledger) -> H256 {
+    let (_, stats) = checkpoint_node(&mut Checkpointer::new(), 99, shards, ledger);
+    stats.root
+}
+
+#[test]
+fn healed_fast_sync_is_byte_identical_to_full_replay() {
+    let (mut full, stale_snap, snapshot) = peer_with_snapshots(42, 1, 3);
+    let trusted_root = snapshot.root();
+
+    // the dishonest provider serves a stale manifest, then drops,
+    // corrupts and lags individual section fetches (occurrence 0 is the
+    // manifest call; 1.. are section fetches in canonical order)
+    let mut faults = FaultInjector::new(0xD15);
+    faults.schedule_all([
+        FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 0,
+            kind: FaultKind::StaleRoot,
+        },
+        FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 1,
+            kind: FaultKind::Drop,
+        },
+        FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 2,
+            kind: FaultKind::BitFlip,
+        },
+        FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 3,
+            kind: FaultKind::StaleRoot,
+        },
+        FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 4,
+            kind: FaultKind::Truncate,
+        },
+    ]);
+    let mut dishonest = SimProvider::faulty(0, snapshot.clone(), Arc::new(Mutex::new(faults)))
+        .with_stale(stale_snap);
+    let mut honest = SimProvider::honest(1, snapshot.clone());
+    let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut dishonest, &mut honest];
+
+    // manifest: the dishonest provider's stale copy is rejected, the
+    // honest provider's accepted
+    let manifest = fetch_manifest(&mut providers, trusted_root).expect("honest manifest found");
+    assert_eq!(manifest.root(), trusted_root);
+
+    // section fetch: every bad copy quarantined, healed from the peer
+    let policy = RetryPolicy::default();
+    let (healed, report) = heal_fetch(&manifest, &mut providers, &policy).expect("heal succeeds");
+    assert_eq!(
+        healed.root(),
+        trusted_root,
+        "healed snapshot re-derives the root"
+    );
+    assert_eq!(
+        report.quarantined.len(),
+        4,
+        "drop, bit-flip, stale-root and truncate must each quarantine: {:?}",
+        report.quarantined
+    );
+    for q in &report.quarantined {
+        assert!(
+            report.healed_sections.contains(&q.section),
+            "section {} quarantined but never healed",
+            q.section
+        );
+        assert_eq!(q.provider, 0, "only the dishonest provider quarantines");
+    }
+    assert!(report.retries >= 4);
+    assert!(report.sim_elapsed > SimDuration::ZERO, "retries back off");
+
+    // the healed snapshot fast-syncs exactly like a clean one
+    let mut node = restore_node(&healed).expect("healed snapshot restores");
+    assert_eq!(node.epoch, 3);
+    let applied = catch_up(&mut node, &full.ledger, ROUNDS_PER_EPOCH).expect("catch-up verifies");
+    assert_eq!(applied, 3);
+    assert_eq!(node.shards.export_states(), full.shards.export_states());
+    assert_eq!(node.ledger.export_state(), full.ledger.export_state());
+    assert_eq!(
+        root_of(&mut node.shards, &node.ledger),
+        root_of(&mut full.shards, &full.ledger),
+        "state roots diverge"
+    );
+}
+
+#[test]
+fn torn_commit_recovers_to_last_checkpoint_and_catches_up() {
+    let (mut full, snap3, snap5) = peer_with_snapshots(7, 3, 5);
+    let full_root = root_of(&mut full.shards, &full.ledger);
+
+    let wire_len = snap5.encode().len();
+    for crash in [
+        CrashPoint::DuringStage { offset: 0 },
+        CrashPoint::DuringStage {
+            offset: wire_len / 2,
+        },
+        CrashPoint::DuringStage {
+            offset: wire_len - 1,
+        },
+        CrashPoint::BeforeMark,
+    ] {
+        let mut store = CheckpointStore::new();
+        store.commit(&snap3, None).expect("clean commit");
+        store.commit(&snap5, Some(crash)).unwrap_err();
+        // the restarted node: recover the journal, restore the last
+        // committed snapshot, replay the missing epochs from the peer
+        let (node, outcome, applied) =
+            recover_node(&mut store, &full.ledger, ROUNDS_PER_EPOCH).expect("node recovers");
+        assert!(
+            matches!(outcome, RecoveryOutcome::DiscardedTorn { .. }),
+            "torn write must be discarded ({crash:?}), got {outcome:?}"
+        );
+        assert_eq!(applied, 3, "epochs 4..=6 replayed from the peer");
+        let mut node = node;
+        assert_eq!(
+            root_of(&mut node.shards, &node.ledger),
+            full_root,
+            "recovery after {crash:?} diverged"
+        );
+        assert_eq!(node.shards.export_states(), full.shards.export_states());
+    }
+
+    // staged and marked but not installed: recovery rolls forward to the
+    // newer snapshot and replays one epoch less
+    let mut store = CheckpointStore::new();
+    store.commit(&snap3, None).expect("clean commit");
+    store
+        .commit(&snap5, Some(CrashPoint::BeforeInstall))
+        .unwrap_err();
+    let (mut node, outcome, applied) =
+        recover_node(&mut store, &full.ledger, ROUNDS_PER_EPOCH).expect("node recovers");
+    assert_eq!(outcome, RecoveryOutcome::RolledForward { epoch: 5 });
+    assert_eq!(applied, 1, "only epoch 6 left to replay");
+    assert_eq!(root_of(&mut node.shards, &node.ledger), full_root);
+}
+
+#[test]
+fn exhausted_heal_fails_closed_with_typed_error() {
+    let (_, _, snapshot) = peer_with_snapshots(11, 1, 3);
+    let trusted_root = snapshot.root();
+
+    // a single provider that drops every section fetch: the manifest is
+    // served honestly, but no section ever arrives — the sync must fail
+    // with a typed error after the retry budget, never hang or panic
+    let policy = RetryPolicy::default();
+    let mut faults = FaultInjector::new(0xDEAD);
+    faults.schedule_all(
+        (1..=policy.max_attempts as u64).map(|occurrence| FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence,
+            kind: FaultKind::Drop,
+        }),
+    );
+    let mut lonely = SimProvider::faulty(0, snapshot.clone(), Arc::new(Mutex::new(faults)));
+    let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut lonely];
+    let err = heal_restore(&mut providers, trusted_root, &policy).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SyncError::HealExhausted {
+                section: 0,
+                attempts
+            } if attempts == policy.max_attempts
+        ),
+        "expected HealExhausted on section 0, got {err}"
+    );
+}
