@@ -53,6 +53,10 @@ pub enum AmmError {
     /// A restored snapshot's persisted tick→sqrt-price table is corrupt
     /// (wrong length, non-monotonic, or outside the sqrt-price domain).
     CorruptTickPriceTable,
+    /// A fixed-point computation left its convergent range (e.g. a
+    /// weighted-math `pow` base outside `[1 wei, 2·BONE)`); no state was
+    /// changed.
+    MathRange(&'static str),
     /// Tick-math failure.
     TickMath(TickMathError),
     /// Price-math failure.
@@ -92,6 +96,7 @@ impl std::fmt::Display for AmmError {
             AmmError::CorruptTickPriceTable => {
                 write!(f, "persisted tick-price table is corrupt")
             }
+            AmmError::MathRange(what) => write!(f, "fixed-point range exceeded: {what}"),
             AmmError::TickMath(e) => write!(f, "tick math: {e}"),
             AmmError::PriceMath(e) => write!(f, "price math: {e}"),
         }

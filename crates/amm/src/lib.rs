@@ -17,6 +17,8 @@
 //! - [`tick_bitmap`] — word-packed next-initialized-tick index.
 //! - [`fast_hash`] — multiply-mix hashing for integer-keyed hot maps.
 //! - [`pool`] — the pool: multi-range swaps, positions, fees, flash loans.
+//! - [`engines`] — the multi-engine fleet: the [`AmmEngine`] trait over
+//!   this pool plus constant-product and weighted geometric-mean engines.
 //! - [`tx`] — the transaction vocabulary + paper-calibrated size models.
 //!
 //! ```
@@ -35,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engines;
 pub mod error;
 pub mod fast_hash;
 pub mod liquidity_math;
@@ -46,6 +49,10 @@ pub mod tick_math;
 pub mod tx;
 pub mod types;
 
+pub use engines::{
+    AmmEngine, CpEngine, CpState, Engine, EngineKind, EngineState, PositionInfo, SharePosition,
+    WeightedEngine, WeightedState,
+};
 pub use error::AmmError;
 pub use pool::{Pool, Position, PositionValuation, SwapKind, SwapResult, TickSearch};
 pub use tick_bitmap::TickBitmap;

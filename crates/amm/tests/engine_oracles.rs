@@ -1,0 +1,291 @@
+//! Differential-oracle properties for the non-CL engines.
+//!
+//! The constant-product engine is checked bit-for-bit against the
+//! `k`-complement reference (a genuinely different integer derivation of
+//! both swap directions), and its invariant `k = r0·r1` must never
+//! decrease net of fees. The weighted engine is bounded by the `f64`
+//! closed-form curve and its log-space invariant
+//! `w0·ln r0 + w1·ln r1` must never decrease across accepted swaps.
+//! Mint/burn round-trips on both engines are replayed against naive
+//! share math (isqrt genesis, min pro-rata joins, floor pro-rata exits).
+
+use ammboost_amm::engines::constant_product::reference as cp_ref;
+use ammboost_amm::engines::weighted::reference as w_ref;
+use ammboost_amm::engines::{CpEngine, WeightedEngine};
+use ammboost_amm::pool::SwapKind;
+use ammboost_amm::types::{AmountPair, PositionId, PIPS_DENOMINATOR};
+use ammboost_crypto::{Address, U256};
+use proptest::prelude::*;
+
+fn pid(tag: &[u8], i: u64) -> PositionId {
+    PositionId::derive(&[tag, &i.to_be_bytes()])
+}
+
+/// Naive integer sqrt by bisection — the oracle for genesis share issuance.
+fn naive_isqrt(n: u128) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    let (mut lo, mut hi) = (1u128, 1u128 << 64);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        match mid.checked_mul(mid) {
+            Some(sq) if sq <= n => lo = mid,
+            _ => hi = mid - 1,
+        }
+    }
+    lo
+}
+
+/// `k = r0·r1` as a 256-bit product.
+fn k_of(reserves: AmountPair) -> U256 {
+    U256::from_u128(reserves.amount0)
+        .full_mul(U256::from_u128(reserves.amount1))
+        .to_u256()
+        .expect("u128·u128 fits 256 bits")
+}
+
+fn seeded_cp(fee_pips: u32, r0: u128, r1: u128) -> CpEngine {
+    let mut e = CpEngine::new(fee_pips).expect("valid fee");
+    e.mint(pid(b"cp-oracle-seed", 0), Address::from_index(1), r0, r1)
+        .expect("genesis join");
+    e
+}
+
+fn seeded_weighted(w0: u32, w1: u32, r0: u128, r1: u128) -> WeightedEngine {
+    let mut e = WeightedEngine::new(3000, w0, w1).expect("valid weights");
+    e.mint(pid(b"w-oracle-seed", 0), Address::from_index(1), r0, r1)
+        .expect("genesis join");
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every constant-product quote — both directions, both kinds, any
+    /// fee tier — is bit-identical to the `k`-complement reference.
+    #[test]
+    fn cp_swap_matches_k_complement_oracle(
+        r0 in 1_000_000u128..(1u128 << 100),
+        r1 in 1_000_000u128..(1u128 << 100),
+        amount in 1u128..(1u128 << 96),
+        fee_pips in 0u32..PIPS_DENOMINATOR,
+        zero_for_one in any::<bool>(),
+        exact_output in any::<bool>(),
+    ) {
+        let e = seeded_cp(fee_pips, r0, r1);
+        let kind = if exact_output {
+            SwapKind::ExactOutput(amount)
+        } else {
+            SwapKind::ExactInput(amount)
+        };
+        let (r_in, r_out) = if zero_for_one { (r0, r1) } else { (r1, r0) };
+        let via_engine = e.quote_swap_with_protection(zero_for_one, kind, None, 0, u128::MAX);
+        let via_oracle = cp_ref::quote(r_in, r_out, kind, fee_pips);
+        match (via_engine, via_oracle) {
+            (Ok(got), Ok((ain, aout, fee))) => {
+                prop_assert_eq!((got.amount_in, got.amount_out, got.fee_paid), (ain, aout, fee));
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "engine and oracle disagree: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Across any accepted swap sequence, `k = r0·r1` never decreases —
+    /// fees fold into the reserves, so `k` strictly grows with a nonzero
+    /// fee and holds (up to rounding in the pool's favor) without one.
+    #[test]
+    fn cp_k_non_decreasing_across_swaps(
+        r0 in 1_000_000_000u128..(1u128 << 80),
+        r1 in 1_000_000_000u128..(1u128 << 80),
+        swaps in proptest::collection::vec(
+            (any::<bool>(), any::<bool>(), 1_000u128..(1u128 << 40)),
+            1..24,
+        ),
+    ) {
+        let mut e = seeded_cp(3000, r0, r1);
+        for (zero_for_one, exact_output, amount) in swaps {
+            let kind = if exact_output {
+                SwapKind::ExactOutput(amount)
+            } else {
+                SwapKind::ExactInput(amount)
+            };
+            let k_before = k_of(e.reserves());
+            if e.swap_with_protection(zero_for_one, kind, None, 0, u128::MAX).is_ok() {
+                prop_assert!(k_of(e.reserves()) >= k_before, "k decreased");
+            } else {
+                prop_assert_eq!(k_of(e.reserves()), k_before, "failed swap moved state");
+            }
+        }
+    }
+
+    /// Join/exit share accounting matches naive share math on both
+    /// reserve-pair engines: isqrt genesis issuance, `min` pro-rata
+    /// follow-up joins, floor pro-rata exits.
+    #[test]
+    fn share_engines_match_naive_share_math(
+        r0 in 1_000u128..(1u128 << 60),
+        r1 in 1_000u128..(1u128 << 60),
+        a0 in 1_000u128..(1u128 << 60),
+        a1 in 1_000u128..(1u128 << 60),
+        burn_bp in 1u128..10_000,
+        weighted in any::<bool>(),
+    ) {
+        // the two share engines must account identically: exercise the
+        // one the case picked through the same naive oracle
+        let (genesis_shares, total_after_seed, joined, reserves) = if weighted {
+            let mut e = seeded_weighted(80, 20, r0, r1);
+            let seeded_total = e.book().total_shares();
+            let joined = e.mint(pid(b"w-join", 1), Address::from_index(2), a0, a1);
+            (naive_isqrt(r0 * r1), seeded_total, joined, e.reserves())
+        } else {
+            let mut e = seeded_cp(3000, r0, r1);
+            let seeded_total = e.book().total_shares();
+            let joined = e.mint(pid(b"cp-join", 1), Address::from_index(2), a0, a1);
+            (naive_isqrt(r0 * r1), seeded_total, joined, e.reserves())
+        };
+        prop_assert_eq!(total_after_seed, genesis_shares, "genesis issuance != isqrt(r0*r1)");
+
+        // naive follow-up join: floor(min(a0·S/r0, a1·S/r1)), amounts
+        // taken ceil-rounded pro-rata
+        let naive_shares =
+            (a0 * genesis_shares / r0).min(a1 * genesis_shares / r1);
+        match joined {
+            Ok((shares, used)) => {
+                prop_assert_eq!(shares, naive_shares);
+                prop_assert_eq!(used.amount0, (shares * r0).div_ceil(genesis_shares));
+                prop_assert_eq!(used.amount1, (shares * r1).div_ceil(genesis_shares));
+                prop_assert_eq!(reserves, AmountPair::new(r0 + used.amount0, r1 + used.amount1));
+
+                // naive exit: floor pro-rata over the grown pool
+                let total = genesis_shares + shares;
+                let burn = (shares * burn_bp / 10_000).max(1);
+                let mut e = if weighted {
+                    // rebuild deterministically: same seed + join sequence
+                    let mut e = seeded_weighted(80, 20, r0, r1);
+                    e.mint(pid(b"w-join", 1), Address::from_index(2), a0, a1).unwrap();
+                    EngineUnderTest::W(e)
+                } else {
+                    let mut e = seeded_cp(3000, r0, r1);
+                    e.mint(pid(b"cp-join", 1), Address::from_index(2), a0, a1).unwrap();
+                    EngineUnderTest::Cp(e)
+                };
+                let tag: &[u8] = if weighted { b"w-join" } else { b"cp-join" };
+                let out = e.burn(pid(tag, 1), Address::from_index(2), burn).unwrap();
+                prop_assert_eq!(out.amount0, burn * reserves.amount0 / total);
+                prop_assert_eq!(out.amount1, burn * reserves.amount1 / total);
+            }
+            Err(_) => prop_assert_eq!(naive_shares, 0, "engine rejected a naive-valid join"),
+        }
+    }
+
+    /// Weighted swaps track the `f64` closed-form curve within relative
+    /// tolerance, for arbitrary weight splits — any structural error in
+    /// the fixed-point pow (wrong exponent, flipped ratio, dropped term)
+    /// lands far outside the bound.
+    #[test]
+    fn weighted_swap_tracks_f64_oracle(
+        r0 in 1_000_000_000u128..(1u128 << 70),
+        r1 in 1_000_000_000u128..(1u128 << 70),
+        w0 in 1u32..100,
+        w1 in 1u32..100,
+        amount_bp in 1u128..1_500,
+        zero_for_one in any::<bool>(),
+        exact_output in any::<bool>(),
+    ) {
+        let e = seeded_weighted(w0, w1, r0, r1);
+        let (w_in, w_out) = {
+            let (a, b) = e.weights();
+            if zero_for_one { (a, b) } else { (b, a) }
+        };
+        let (r_in, r_out) = if zero_for_one { (r0, r1) } else { (r1, r0) };
+        // stay inside the engine's ratio caps (r_in/2, r_out/3) with margin
+        let amount = if exact_output {
+            (r_out / 4) * amount_bp / 10_000
+        } else {
+            (r_in / 3) * amount_bp / 10_000
+        };
+        prop_assume!(amount > 1_000);
+
+        let kind = if exact_output {
+            SwapKind::ExactOutput(amount)
+        } else {
+            SwapKind::ExactInput(amount)
+        };
+        let got = e
+            .quote_swap_with_protection(zero_for_one, kind, None, 0, u128::MAX)
+            .expect("in-cap weighted swap quotes");
+        let fee = got.fee_paid;
+        if exact_output {
+            let expect = w_ref::in_given_out_f64(r_in, r_out, w_in, w_out, amount);
+            let in_eff = (got.amount_in - fee) as f64;
+            let err = (in_eff - expect).abs() / expect.max(1.0);
+            prop_assert!(err < 1e-6, "in {in_eff} vs f64 {expect} (rel err {err:e})");
+        } else {
+            let expect = w_ref::out_given_in_f64(r_in, r_out, w_in, w_out, amount - fee);
+            let err = (got.amount_out as f64 - expect).abs() / expect.max(1.0);
+            prop_assert!(err < 1e-6, "out {} vs f64 {expect} (rel err {err:e})", got.amount_out);
+        }
+    }
+
+    /// The weighted invariant `w0·ln r0 + w1·ln r1` never decreases
+    /// across accepted swaps (beyond f64 evaluation noise), and a
+    /// rejected swap leaves the reserves untouched.
+    #[test]
+    fn weighted_invariant_non_decreasing(
+        r0 in 1_000_000_000u128..(1u128 << 70),
+        r1 in 1_000_000_000u128..(1u128 << 70),
+        swaps in proptest::collection::vec(
+            (any::<bool>(), any::<bool>(), 1u128..1_500),
+            1..16,
+        ),
+    ) {
+        let mut e = seeded_weighted(80, 20, r0, r1);
+        let (w0, w1) = e.weights();
+        for (zero_for_one, exact_output, amount_bp) in swaps {
+            let r = e.reserves();
+            let amount = if exact_output {
+                (if zero_for_one { r.amount1 } else { r.amount0 } / 4) * amount_bp / 10_000
+            } else {
+                (if zero_for_one { r.amount0 } else { r.amount1 } / 3) * amount_bp / 10_000
+            };
+            if amount == 0 {
+                continue;
+            }
+            let kind = if exact_output {
+                SwapKind::ExactOutput(amount)
+            } else {
+                SwapKind::ExactInput(amount)
+            };
+            let before = w_ref::log_invariant(r.amount0, r.amount1, w0, w1);
+            if e.swap_with_protection(zero_for_one, kind, None, 0, u128::MAX).is_ok() {
+                let after_r = e.reserves();
+                let after = w_ref::log_invariant(after_r.amount0, after_r.amount1, w0, w1);
+                prop_assert!(after >= before - 1e-9, "invariant fell: {before} -> {after}");
+            } else {
+                prop_assert_eq!(e.reserves(), r, "failed swap moved reserves");
+            }
+        }
+    }
+}
+
+/// Thin dispatch so the share-math property drives either engine's burn
+/// through one code path.
+enum EngineUnderTest {
+    Cp(CpEngine),
+    W(WeightedEngine),
+}
+
+impl EngineUnderTest {
+    fn burn(
+        &mut self,
+        id: PositionId,
+        owner: Address,
+        shares: u128,
+    ) -> Result<AmountPair, ammboost_amm::AmmError> {
+        match self {
+            EngineUnderTest::Cp(e) => e.burn(id, owner, shares),
+            EngineUnderTest::W(e) => e.burn(id, owner, shares),
+        }
+    }
+}

@@ -37,6 +37,11 @@
 //! because a speedup measured on one hardware thread is scheduling
 //! overhead, not scaling.
 //!
+//! New in v5: per-engine single-swap medians (constant-product and
+//! weighted engines next to the CL baseline) and a heterogeneous
+//! `6pools_mixed` rung on the sharded-epoch ladder (2 CL + 2
+//! constant-product + 2 weighted shards under the same Zipf curve).
+//!
 //! Usage: `bench_snapshot [--smoke] [--out PATH] [--state-out PATH]
 //! [--check] [--tolerance PCT]`. `--smoke` cuts sample counts for CI;
 //! the JSON records which mode produced it, and `hardware_threads` so
@@ -53,6 +58,7 @@
 //! size/count metrics on any drift; parallel-speedup columns are skipped
 //! entirely when either side ran on one hardware thread.
 
+use ammboost_amm::engines::{CpEngine, WeightedEngine};
 use ammboost_amm::pool::{Pool, PoolState, SwapKind, TickSearch};
 use ammboost_amm::tx::AmmTx;
 use ammboost_amm::types::{PoolId, PositionId};
@@ -68,8 +74,8 @@ use ammboost_sim::DetRng;
 use ammboost_state::codec::{Decode, Encode};
 use ammboost_state::{Checkpointer, Snapshot};
 use ammboost_workload::{
-    GeneratedTx, GeneratorConfig, LiquidityStyle, RouteStyle, TrafficGenerator, TrafficMix,
-    TrafficSkew,
+    EngineMix, GeneratedTx, GeneratorConfig, LiquidityStyle, RouteStyle, TrafficGenerator,
+    TrafficMix, TrafficSkew,
 };
 use std::collections::HashMap;
 use std::hint::black_box;
@@ -196,6 +202,7 @@ fn pool_count_ladder(
     pools: u32,
     skew: TrafficSkew,
     skew_name: &'static str,
+    engine_mix: EngineMix,
     samples: usize,
     rounds: u64,
 ) -> PoolCountLadder {
@@ -212,13 +219,15 @@ fn pool_count_ladder(
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
         quote_style: Default::default(),
+        engine_mix,
         seed: 0xB0057 + pools as u64,
     });
     let traffic: Vec<Vec<GeneratedTx>> = (0..rounds).map(|r| gen.next_round(r)).collect();
     let txs_per_epoch: usize = traffic.iter().map(|r| r.len()).sum();
 
-    // a ready shard map: seeded liquidity + routed deposits
-    let mut ready = ShardMap::new((0..pools).map(PoolId));
+    // a ready shard map: seeded liquidity + routed deposits, with the
+    // engine of each shard dictated by the generator's fleet
+    let mut ready = ShardMap::new_with_engines(gen.fleet());
     for p in 0..pools {
         ready.seed_liquidity(
             PoolId(p),
@@ -487,6 +496,7 @@ fn quote_ladder(pools: u32, threads: usize, quotes_per_thread: usize) -> QuoteLa
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
         quote_style: Default::default(),
+        engine_mix: Default::default(),
         seed: 0x900E_D00D + threads as u64,
     });
     let traffic: Vec<Vec<GeneratedTx>> = (0..2).map(|r| gen.next_round(r)).collect();
@@ -800,6 +810,51 @@ fn main() {
     );
     ammboost_bench::line("pool/swap_single_range", format!("{swap_single:.0} ns"));
 
+    // -- per-engine single swaps: the same centred alternating-direction
+    // pattern through the constant-product and weighted engines --
+    let mut cp_engine = CpEngine::new_standard();
+    cp_engine
+        .mint(
+            PositionId::derive(&[b"snap-cp"]),
+            Address::from_index(1),
+            10u128.pow(14),
+            10u128.pow(14),
+        )
+        .expect("seed cp join");
+    let mut cp_dir = false;
+    let swap_cp = median_ns(
+        samples,
+        || (),
+        |()| {
+            cp_dir = !cp_dir;
+            cp_engine
+                .swap_with_protection(cp_dir, SwapKind::ExactInput(50_000), None, 0, u128::MAX)
+                .expect("cp swap")
+        },
+    );
+    ammboost_bench::line("pool/swap_constant_product", format!("{swap_cp:.0} ns"));
+    let mut w_engine = WeightedEngine::new_standard();
+    w_engine
+        .mint(
+            PositionId::derive(&[b"snap-w"]),
+            Address::from_index(1),
+            10u128.pow(14),
+            10u128.pow(14),
+        )
+        .expect("seed weighted join");
+    let mut w_dir = false;
+    let swap_weighted = median_ns(
+        samples,
+        || (),
+        |()| {
+            w_dir = !w_dir;
+            w_engine
+                .swap_with_protection(w_dir, SwapKind::ExactInput(50_000), None, 0, u128::MAX)
+                .expect("weighted swap")
+        },
+    );
+    ammboost_bench::line("pool/swap_weighted", format!("{swap_weighted:.0} ns"));
+
     // -- 64-tick-crossing sweep over fragmented liquidity (32 scattered
     // positions → 64 initialized ticks): bitmap engine vs seed oracle --
     let frag_bitmap = fragmented_ladder_pool(32, TickSearch::Bitmap);
@@ -864,16 +919,39 @@ fn main() {
     let ladder_samples = if smoke { 5 } else { 21 };
     let ladder_rounds = if smoke { 2 } else { 4 };
     let rungs = [
-        (1u32, TrafficSkew::Uniform, "uniform"),
-        (4, TrafficSkew::Zipf { exponent: 1.0 }, "zipf1.0"),
-        (8, TrafficSkew::Uniform, "uniform"),
-        (8, TrafficSkew::Zipf { exponent: 1.0 }, "zipf1.0"),
-        (16, TrafficSkew::Zipf { exponent: 1.0 }, "zipf1.0"),
+        (1u32, TrafficSkew::Uniform, "uniform", EngineMix::default()),
+        (
+            4,
+            TrafficSkew::Zipf { exponent: 1.0 },
+            "zipf1.0",
+            EngineMix::default(),
+        ),
+        (8, TrafficSkew::Uniform, "uniform", EngineMix::default()),
+        (
+            8,
+            TrafficSkew::Zipf { exponent: 1.0 },
+            "zipf1.0",
+            EngineMix::default(),
+        ),
+        (
+            16,
+            TrafficSkew::Zipf { exponent: 1.0 },
+            "zipf1.0",
+            EngineMix::default(),
+        ),
+        // the heterogeneous rung: 2 CL + 2 constant-product + 2 weighted
+        // shards under the same Zipf popularity curve
+        (
+            6,
+            TrafficSkew::Zipf { exponent: 1.0 },
+            "mixed",
+            EngineMix::of(2, 2, 2),
+        ),
     ];
     let pool_ladders: Vec<PoolCountLadder> = rungs
         .iter()
-        .map(|&(pools, skew, name)| {
-            let l = pool_count_ladder(pools, skew, name, ladder_samples, ladder_rounds);
+        .map(|&(pools, skew, name, mix)| {
+            let l = pool_count_ladder(pools, skew, name, mix, ladder_samples, ladder_rounds);
             ammboost_bench::line(
                 &format!("shard/{}pools_{}/sequential", l.pools, l.skew),
                 format!("{:.0} ns/epoch ({} txs)", l.sequential_ns, l.txs_per_epoch),
@@ -1005,7 +1083,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"ammboost-bench-snapshot/v4\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }},\n  \"quote_reads\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ammboost-bench-snapshot/v5\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_constant_product\": {swap_cp:.1},\n    \"pool_swap_weighted\": {swap_weighted:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }},\n  \"quote_reads\": {{\n{}\n  }}\n}}\n",
         pool_ladder_json.join(",\n"),
         route_ladder_json.join(",\n"),
         quote_ladder_json.join(",\n")

@@ -31,13 +31,17 @@ use ammboost_state::Snapshot;
 use std::sync::{Arc, Mutex};
 
 /// Builds the drill's system config: `small_test` sized, checkpoints
-/// every epoch, traffic across `pools` pools.
+/// every epoch, traffic across `pools` pools running a *heterogeneous*
+/// engine fleet (CL, CL, constant-product, weighted, repeating) — every
+/// fault in the schedule has to contain/heal engine-tagged sections of
+/// all three kinds.
 fn drill_config(seed: u64, pools: u32, epochs: u64) -> SystemConfig {
     let mut cfg = SystemConfig::small_test();
     cfg.seed = seed;
     cfg.pools = pools;
     cfg.users = cfg.users.max(2 * pools as u64);
     cfg.epochs = epochs;
+    cfg.engine_mix = ammboost_workload::EngineMix::of(2, 1, 1);
     cfg.snapshot = SnapshotPolicy {
         interval_epochs: 1,
         keep_epochs: u64::MAX,
@@ -146,6 +150,7 @@ fn main() {
 
     // -- fault 3: mid-checkpoint crash recovers to last committed ---------
     let later_snapshot = Snapshot {
+        version: clean_snapshot.version,
         epoch: clean_snapshot.epoch + 1,
         sections: clean_snapshot.sections.clone(),
     };

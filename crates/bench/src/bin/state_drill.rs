@@ -21,7 +21,8 @@
 //!
 //! Usage: `state_drill [--seed N] [--pools N] [--uniform] [--routed] [--quotes]`
 
-use ammboost_amm::pool::{Pool, SwapKind, SwapResult};
+use ammboost_amm::engines::Engine;
+use ammboost_amm::pool::{SwapKind, SwapResult};
 use ammboost_amm::types::PoolId;
 use ammboost_core::checkpoint::{checkpoint_node, restore_node};
 use ammboost_core::config::{SnapshotPolicy, SystemConfig};
@@ -79,8 +80,8 @@ fn hammer_view(view: &Arc<QuoteView>, seed: u64, stop: &AtomicBool) -> Vec<Answe
 /// Re-verifies every answered quote against `reference` pools (frozen
 /// view bytes or a restored snapshot): recomputing the quote there must
 /// reproduce the recorded answer bit for bit.
-fn reverify(answers: &[AnsweredQuote], reference: impl Fn(PoolId) -> Pool) -> usize {
-    let mut pools: std::collections::HashMap<PoolId, Pool> = std::collections::HashMap::new();
+fn reverify(answers: &[AnsweredQuote], reference: impl Fn(PoolId) -> Engine) -> usize {
+    let mut pools: std::collections::HashMap<PoolId, Engine> = std::collections::HashMap::new();
     for (pool, dir, amount, recorded) in answers {
         let p = pools.entry(*pool).or_insert_with(|| reference(*pool));
         let again = p
@@ -177,7 +178,7 @@ fn main() {
                 .find(|(fid, _)| *fid == id)
                 .map(|(_, s)| s.clone())
                 .expect("covered pool");
-            Pool::from_state(state).expect("frozen bytes restore")
+            Engine::from_state(state).expect("frozen bytes restore")
         });
         assert!(n > 0, "quote drill answered nothing");
         ammboost_bench::line("quotes/concurrent_answered", n);
@@ -246,7 +247,7 @@ fn main() {
         let stop = AtomicBool::new(false); // bounded round: readers run to their cap
         let answered = hammer_view(&final_view, seed ^ 0x0F1E_2D3C_4B5A_6978, &stop);
         let n = reverify(&answered, |id| {
-            Pool::from_state(
+            Engine::from_state(
                 node.shards
                     .get(id)
                     .expect("restored shard")

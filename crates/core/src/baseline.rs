@@ -112,6 +112,7 @@ impl BaselineRunner {
             max_positions_per_user: 1,
             liquidity_style: cfg.liquidity_style,
             quote_style: ammboost_workload::QuoteStyle::default(),
+            engine_mix: ammboost_workload::EngineMix::default(),
             seed: cfg.seed ^ 0x7AFF,
         });
         for user in generator.users() {

@@ -219,7 +219,7 @@ pub fn checkpoint_node(
             rejected: shard.stats().rejected,
         })
         .collect();
-    let pools: Vec<(PoolId, &ammboost_amm::pool::Pool)> = shards
+    let pools: Vec<(PoolId, &ammboost_amm::Engine)> = shards
         .iter()
         .map(|shard| (shard.pool_id(), shard.pool()))
         .collect();
@@ -254,7 +254,7 @@ pub fn restore_node(snapshot: &Snapshot) -> Result<NodeRestore, NodeRestoreError
     // the state subsystem owns section decoding, validation (including
     // sorted-key checks) and pool reconstruction — one restore path
     let restored = ammboost_state::sync::restore(snapshot)?;
-    let mut pools: Vec<(PoolId, Option<ammboost_amm::pool::Pool>)> = restored
+    let mut pools: Vec<(PoolId, Option<ammboost_amm::Engine>)> = restored
         .pools
         .into_iter()
         .map(|(id, pool)| (id, Some(pool)))

@@ -4,7 +4,9 @@
 use crate::shard::ExecMode;
 use ammboost_mainchain::chain::ChainConfig;
 use ammboost_sim::time::SimDuration;
-use ammboost_workload::{LiquidityStyle, QuoteStyle, RouteStyle, TrafficMix, TrafficSkew};
+use ammboost_workload::{
+    EngineMix, LiquidityStyle, QuoteStyle, RouteStyle, TrafficMix, TrafficSkew,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -78,6 +80,11 @@ pub struct SystemConfig {
     /// How per-transaction traffic distributes across the pool set
     /// (uniform, or Zipf-skewed as real AMM fleets are).
     pub traffic_skew: TrafficSkew,
+    /// How the fleet splits across AMM engine implementations
+    /// (concentrated-liquidity / constant-product / weighted), assigned
+    /// by pool index independently of the popularity skew (default: all
+    /// concentrated-liquidity — the paper's setup).
+    pub engine_mix: EngineMix,
     /// Routed-traffic profile: which share of swaps become multi-hop
     /// cross-pool routes, and their hop-count distribution (default: no
     /// routes — the paper's single-pool workloads).
@@ -135,6 +142,7 @@ impl Default for SystemConfig {
             users: 100,
             pools: 1,
             traffic_skew: TrafficSkew::default(),
+            engine_mix: EngineMix::default(),
             route_style: RouteStyle::default(),
             liquidity_style: LiquidityStyle::default(),
             quote_style: QuoteStyle::default(),

@@ -7,8 +7,9 @@
 //! coverage, newly accrued tokens are immediately tradable, and the final
 //! deposit map becomes the epoch's payout list (Fig. 4).
 
+use ammboost_amm::engines::{Engine, EngineKind, EngineState};
 use ammboost_amm::error::AmmError;
-use ammboost_amm::pool::{Pool, PoolState, SwapKind, TickSearch};
+use ammboost_amm::pool::{SwapKind, TickSearch};
 use ammboost_amm::tx::{AmmTx, BurnTx, CollectTx, MintTx, SwapIntent, SwapTx};
 use ammboost_amm::types::{Amount, PoolId, PositionId};
 use ammboost_crypto::Address;
@@ -33,8 +34,8 @@ pub struct ProcessorStats {
 /// execution) and the pool's derived tick index (regenerated on restore).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProcessorState {
-    /// The pool's persistent state.
-    pub pool: PoolState,
+    /// The pool engine's persistent state (engine-tagged).
+    pub pool: EngineState,
     /// The pool's id.
     pub pool_id: PoolId,
     /// Deposit ledger entries, sorted by address.
@@ -54,7 +55,7 @@ pub struct ProcessorState {
 /// reports them back in syncs); deposits are re-snapshotted every epoch.
 #[derive(Clone, Debug)]
 pub struct EpochProcessor {
-    pool: Pool,
+    pool: Engine,
     pool_id: PoolId,
     deposits: Deposits,
     touched: BTreeSet<PositionId>,
@@ -76,10 +77,17 @@ pub struct EpochProcessor {
 }
 
 impl EpochProcessor {
-    /// Creates a processor over a fresh standard pool.
+    /// Creates a processor over a fresh standard concentrated-liquidity
+    /// pool.
     pub fn new(pool_id: PoolId) -> EpochProcessor {
+        Self::with_engine(pool_id, EngineKind::ConcentratedLiquidity)
+    }
+
+    /// Creates a processor over a fresh standard pool of the given engine
+    /// kind — the entry point for heterogeneous fleets.
+    pub fn with_engine(pool_id: PoolId, kind: EngineKind) -> EpochProcessor {
         EpochProcessor {
-            pool: Pool::new_standard(),
+            pool: Engine::new_standard(kind),
             pool_id,
             deposits: Deposits::new(),
             touched: BTreeSet::new(),
@@ -133,7 +141,7 @@ impl EpochProcessor {
     /// Propagates pool-state validation failures (corrupt snapshot).
     pub fn from_state(state: ProcessorState) -> Result<EpochProcessor, AmmError> {
         Ok(Self::from_restored(
-            Pool::from_state(state.pool)?,
+            Engine::from_state(state.pool)?,
             state.pool_id,
             Deposits::from_sorted_entries(state.deposits),
             state.touched,
@@ -147,7 +155,7 @@ impl EpochProcessor {
     /// validated and rebuilt (the `restore_node` path, where the pool
     /// comes out of `ammboost_state::sync::restore`).
     pub fn from_restored(
-        pool: Pool,
+        pool: Engine,
         pool_id: PoolId,
         deposits: Deposits,
         touched: Vec<PositionId>,
@@ -169,15 +177,21 @@ impl EpochProcessor {
         }
     }
 
-    /// Read access to the pool.
-    pub fn pool(&self) -> &Pool {
+    /// Read access to the pool engine.
+    pub fn pool(&self) -> &Engine {
         &self.pool
+    }
+
+    /// The engine kind this processor's pool runs.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.pool.kind()
     }
 
     /// Selects the AMM engine's next-tick search strategy for this
     /// processor's pool. Pinning [`TickSearch::BTreeOracle`] makes the
     /// sidechain replay epochs on the seed scan — a system-level
-    /// differential check against the bitmap engine.
+    /// differential check against the bitmap engine. No-op for engines
+    /// without tick structure (constant-product, weighted).
     pub fn set_tick_search(&mut self, search: TickSearch) {
         self.pool.set_tick_search(search);
     }
@@ -261,7 +275,7 @@ impl EpochProcessor {
     fn reset_epoch_tracking(&mut self) {
         self.touched.clear();
         self.deleted.clear();
-        self.preexisting = self.pool.positions().map(|(id, _)| *id).collect();
+        self.preexisting = self.pool.position_ids().into_iter().collect();
         self.stats = ProcessorStats::default();
     }
 
@@ -437,7 +451,7 @@ impl EpochProcessor {
         // top-ups use the existing position's range (the transaction's
         // ticks are advisory); new positions use the transaction's range
         let (tick_lower, tick_upper) = match m.position {
-            Some(existing) => match self.pool.position(&existing) {
+            Some(existing) => match self.pool.position_info(&existing) {
                 Some(p) if p.owner != m.user => {
                     return Self::reject("not the position owner");
                 }
@@ -460,14 +474,19 @@ impl EpochProcessor {
         {
             return Self::reject("insufficient deposit for mint");
         }
-        let created = self.pool.position(&id).is_none();
-        let actual = match self
-            .pool
-            .mint_liquidity(id, m.user, tick_lower, tick_upper, liquidity)
-        {
+        let created = self.pool.position_info(&id).is_none();
+        let (minted, actual) = match self.pool.mint(
+            id,
+            m.user,
+            tick_lower,
+            tick_upper,
+            m.amount0_desired,
+            m.amount1_desired,
+        ) {
             Ok(a) => a,
             Err(e) => return Self::reject(format!("mint failed: {e}")),
         };
+        debug_assert_eq!(minted, liquidity, "quote must match execution");
         debug_assert_eq!(actual, amounts, "quote must match execution");
         self.deposits
             .debit(m.user, actual.amount0, actual.amount1)
@@ -484,7 +503,7 @@ impl EpochProcessor {
     }
 
     fn exec_burn(&mut self, b: &BurnTx) -> TxEffect {
-        let held = match self.pool.position(&b.position) {
+        let held = match self.pool.position_info(&b.position) {
             Some(p) if p.owner == b.user => p.liquidity,
             Some(_) => return Self::reject("not the position owner"),
             None => return Self::reject("position not found"),
@@ -512,7 +531,7 @@ impl EpochProcessor {
         self.deposits
             .credit(b.user, out.amount0, out.amount1)
             .expect("credit within supply");
-        let deleted = self.pool.position(&b.position).is_none();
+        let deleted = self.pool.position_info(&b.position).is_none();
         if deleted {
             self.touched.remove(&b.position);
             if self.preexisting.contains(&b.position) {
@@ -531,7 +550,7 @@ impl EpochProcessor {
     }
 
     fn exec_collect(&mut self, c: &CollectTx) -> TxEffect {
-        match self.pool.position(&c.position) {
+        match self.pool.position_info(&c.position) {
             Some(p) if p.owner == c.user => {}
             Some(_) => return Self::reject("not the position owner"),
             None => return Self::reject("position not found"),
@@ -543,7 +562,7 @@ impl EpochProcessor {
         self.deposits
             .credit(c.user, out.amount0, out.amount1)
             .expect("credit within supply");
-        if self.pool.position(&c.position).is_none() {
+        if self.pool.position_info(&c.position).is_none() {
             self.touched.remove(&c.position);
             if self.preexisting.contains(&c.position) {
                 self.deleted.insert(c.position, c.user);
@@ -565,7 +584,7 @@ impl EpochProcessor {
         let payouts = self.deposits.to_payouts();
         let mut positions = Vec::with_capacity(self.touched.len() + self.deleted.len());
         for id in &self.touched {
-            if let Some(p) = self.pool.position(id) {
+            if let Some(p) = self.pool.position_info(id) {
                 positions.push(PositionEntry {
                     id: *id,
                     owner: p.owner,

@@ -39,7 +39,8 @@
 use crate::processor::{EpochProcessor, ProcessorState, ProcessorStats};
 use crate::view::{QuoteView, ViewPublishStats};
 use crate::workers::WorkerPool;
-use ammboost_amm::pool::{Pool, TickSearch};
+use ammboost_amm::engines::{Engine, EngineKind};
+use ammboost_amm::pool::TickSearch;
 use ammboost_amm::tx::{AmmTx, RouteTx};
 use ammboost_amm::types::{Amount, PoolId, PositionId};
 use ammboost_crypto::Address;
@@ -120,7 +121,7 @@ pub struct ShardMap {
     /// call, aligned with `shards`. A shard whose `view_stale` flag is
     /// clear reuses its cached `Arc`; only the pools the sealed epoch
     /// touched are re-cloned. Derived data — never checkpointed.
-    view_cache: Vec<Option<Arc<Pool>>>,
+    view_cache: Vec<Option<Arc<Engine>>>,
     /// Fault injector armed by [`ShardMap::arm_chaos`]. When set, every
     /// busy shard's phase-1a sub-batch runs under panic containment:
     /// a job that panics (injected via [`InjectionPoint::Worker`] or
@@ -164,13 +165,32 @@ impl ShardMap {
     /// Panics on an empty or duplicate-carrying pool set — a
     /// configuration error.
     pub fn new(pool_ids: impl IntoIterator<Item = PoolId>) -> ShardMap {
-        let mut ids: Vec<PoolId> = pool_ids.into_iter().collect();
-        ids.sort();
-        let before = ids.len();
-        ids.dedup();
-        assert!(!ids.is_empty(), "shard map needs at least one pool");
-        assert_eq!(before, ids.len(), "duplicate pool ids in shard map");
-        let shards: Vec<EpochProcessor> = ids.into_iter().map(EpochProcessor::new).collect();
+        Self::new_with_engines(
+            pool_ids
+                .into_iter()
+                .map(|id| (id, EngineKind::ConcentratedLiquidity)),
+        )
+    }
+
+    /// Builds a heterogeneous shard map: a fresh standard pool of the
+    /// named engine kind per id. This is how a mixed fleet comes up —
+    /// concentrated-liquidity, constant-product and weighted shards
+    /// side by side behind the same routing, batching and checkpointing.
+    ///
+    /// # Panics
+    /// Panics on an empty or duplicate-carrying pool set — a
+    /// configuration error.
+    pub fn new_with_engines(pools: impl IntoIterator<Item = (PoolId, EngineKind)>) -> ShardMap {
+        let mut entries: Vec<(PoolId, EngineKind)> = pools.into_iter().collect();
+        entries.sort_by_key(|(id, _)| *id);
+        let before = entries.len();
+        entries.dedup_by_key(|(id, _)| *id);
+        assert!(!entries.is_empty(), "shard map needs at least one pool");
+        assert_eq!(before, entries.len(), "duplicate pool ids in shard map");
+        let shards: Vec<EpochProcessor> = entries
+            .into_iter()
+            .map(|(id, kind)| EpochProcessor::with_engine(id, kind))
+            .collect();
         let view_cache = vec![None; shards.len()];
         ShardMap {
             shards,
@@ -315,8 +335,16 @@ impl ShardMap {
         (Arc::new(QuoteView::new(epoch, entries)), stats)
     }
 
-    /// Selects the tick-search engine on every shard (differential
-    /// replays).
+    /// The engine kind of each shard, ascending by pool id.
+    pub fn engine_kinds(&self) -> Vec<(PoolId, EngineKind)> {
+        self.shards
+            .iter()
+            .map(|s| (s.pool_id(), s.engine_kind()))
+            .collect()
+    }
+
+    /// Selects the tick-search engine on every CL shard (differential
+    /// replays); no-op on share-based shards.
     pub fn set_tick_search(&mut self, search: TickSearch) {
         for s in &mut self.shards {
             s.set_tick_search(search);

@@ -232,6 +232,7 @@ impl System {
             pools: pool_ids.clone(),
             skew: cfg.traffic_skew,
             route_style: cfg.route_style,
+            engine_mix: cfg.engine_mix,
             deadline_slack_rounds: 1_000_000,
             max_positions_per_user: 1,
             liquidity_style: cfg.liquidity_style,
@@ -253,7 +254,7 @@ impl System {
         token0.mint(bank.address, seed_liquidity * 2 * cfg.pools as u128);
         token1.mint(bank.address, seed_liquidity * 2 * cfg.pools as u128);
 
-        let mut shards = ShardMap::new(pool_ids.iter().copied());
+        let mut shards = ShardMap::new_with_engines(generator.fleet());
         if !cfg.faults.worker_panic_points.is_empty() {
             // arm deterministic worker-panic injection: each (pool,
             // occurrence) pair panics that pool's shard job on its

@@ -26,10 +26,11 @@
 //!    epoch.
 //!
 //! Quotes are **bit-identical** to execution by construction: the view
-//! calls the same staged compute ([`Pool::quote_swap`]) that the write
-//! path commits.
+//! calls the same staged compute ([`Engine::quote_swap`]) that the write
+//! path commits — whatever engine kind the pool runs.
 
-use ammboost_amm::pool::{Pool, PositionValuation, SwapKind, SwapResult};
+use ammboost_amm::engines::Engine;
+use ammboost_amm::pool::{PositionValuation, SwapKind, SwapResult};
 use ammboost_amm::tx::{RouteError, RouteTx};
 use ammboost_amm::types::{Amount, PoolId, PositionId};
 use ammboost_amm::AmmError;
@@ -101,8 +102,8 @@ pub struct ViewPublishStats {
 #[derive(Clone, Debug)]
 pub struct QuoteView {
     epoch: u64,
-    /// Per-pool sealed state, ascending by pool id (shard order).
-    pools: Vec<Arc<Pool>>,
+    /// Per-pool sealed engine state, ascending by pool id (shard order).
+    pools: Vec<Arc<Engine>>,
     pool_ids: Vec<PoolId>,
     index: HashMap<PoolId, usize>,
 }
@@ -111,7 +112,7 @@ impl QuoteView {
     /// Assembles a view over sealed per-pool states. `pools` must be in
     /// ascending pool-id order (the shard order); callers outside
     /// [`crate::shard::ShardMap::publish_view`] are typically tests.
-    pub fn new(epoch: u64, entries: Vec<(PoolId, Arc<Pool>)>) -> QuoteView {
+    pub fn new(epoch: u64, entries: Vec<(PoolId, Arc<Engine>)>) -> QuoteView {
         let mut index = HashMap::with_capacity(entries.len());
         let mut pool_ids = Vec::with_capacity(entries.len());
         let mut pools = Vec::with_capacity(entries.len());
@@ -145,7 +146,7 @@ impl QuoteView {
 
     /// The sealed state of one pool, if covered. The returned `Arc` may
     /// be cloned out and read from any thread.
-    pub fn pool(&self, id: PoolId) -> Option<&Arc<Pool>> {
+    pub fn pool(&self, id: PoolId) -> Option<&Arc<Engine>> {
         self.index.get(&id).map(|i| &self.pools[*i])
     }
 

@@ -8,8 +8,8 @@
 //! summaries, not history".
 
 use crate::codec::Encode;
-use crate::snapshot::{Section, SectionKind, Snapshot};
-use ammboost_amm::pool::Pool;
+use crate::snapshot::{Section, SectionKind, Snapshot, SNAPSHOT_VERSION};
+use ammboost_amm::engines::Engine;
 use ammboost_amm::types::PoolId;
 use ammboost_crypto::H256;
 use ammboost_sidechain::ledger::Ledger;
@@ -62,13 +62,15 @@ impl Checkpointer {
     }
 
     /// Builds a Merkle-committed snapshot of the full node state at
-    /// `epoch`: every pool (cached bytes reused unless dirty), the
+    /// `epoch`: every pool engine (cached bytes reused unless dirty), the
     /// ledger, the deposit map, and any auxiliary sections the caller
-    /// provides (sorted by tag for canonical ordering).
+    /// provides (sorted by tag for canonical ordering). Pool sections are
+    /// engine-tagged (format v3), so a heterogeneous fleet snapshots
+    /// uniformly.
     pub fn checkpoint(
         &mut self,
         epoch: u64,
-        pools: &[(PoolId, &Pool)],
+        pools: &[(PoolId, &Engine)],
         ledger: &Ledger,
         deposits: &Deposits,
         mut aux: Vec<(u8, Vec<u8>)>,
@@ -77,7 +79,7 @@ impl Checkpointer {
         let mut reencoded = 0usize;
         let mut reused = 0usize;
 
-        let mut sorted: Vec<&(PoolId, &Pool)> = pools.iter().collect();
+        let mut sorted: Vec<&(PoolId, &Engine)> = pools.iter().collect();
         sorted.sort_by_key(|(id, _)| *id);
         for (id, pool) in sorted {
             let bytes = if self.is_dirty(*id) {
@@ -115,7 +117,11 @@ impl Checkpointer {
             });
         }
 
-        let snapshot = Snapshot { epoch, sections };
+        let snapshot = Snapshot {
+            version: SNAPSHOT_VERSION,
+            epoch,
+            sections,
+        };
         let stats = CheckpointStats {
             epoch,
             pools_total: pools.len(),
@@ -133,12 +139,17 @@ impl Checkpointer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ammboost_amm::engines::EngineKind;
     use ammboost_amm::pool::SwapKind;
     use ammboost_amm::types::PositionId;
     use ammboost_crypto::Address;
 
-    fn pool_with_liquidity(salt: u64) -> Pool {
-        let mut p = Pool::new_standard();
+    fn pool_with_liquidity(salt: u64) -> Engine {
+        pool_of_kind(EngineKind::ConcentratedLiquidity, salt)
+    }
+
+    fn pool_of_kind(kind: EngineKind, salt: u64) -> Engine {
+        let mut p = Engine::new_standard(kind);
         p.mint(
             PositionId::derive(&[b"ckpt", &salt.to_be_bytes()]),
             Address::from_index(salt),
@@ -211,6 +222,26 @@ mod tests {
             snap1.section(SectionKind::Pool(0)),
             snap2.section(SectionKind::Pool(0))
         );
+    }
+
+    #[test]
+    fn heterogeneous_fleet_checkpoints_with_engine_tags() {
+        let cl = pool_of_kind(EngineKind::ConcentratedLiquidity, 1);
+        let cp_pool = pool_of_kind(EngineKind::ConstantProduct, 2);
+        let weighted = pool_of_kind(EngineKind::Weighted, 3);
+        let (ledger, deposits) = fixtures();
+        let pools = [
+            (PoolId(0), &cl),
+            (PoolId(1), &cp_pool),
+            (PoolId(2), &weighted),
+        ];
+        let (snap, stats) = Checkpointer::new().checkpoint(4, &pools, &ledger, &deposits, vec![]);
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(stats.pools_reencoded, 3);
+        // every pool section leads with its engine-kind tag
+        for ((_, engine), (_, section)) in pools.iter().zip(snap.pool_sections()) {
+            assert_eq!(section.bytes[0], engine.kind().tag());
+        }
     }
 
     #[test]

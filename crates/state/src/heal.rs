@@ -105,6 +105,9 @@ impl From<RestoreError> for SyncError {
 /// without carrying any payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyncManifest {
+    /// Snapshot format version (committed in the root's header leaf, and
+    /// what tells restore how pool sections are encoded).
+    pub version: u16,
     /// Snapshot epoch.
     pub epoch: u64,
     /// `(kind, section hash)` per section, canonical order.
@@ -115,6 +118,7 @@ impl SyncManifest {
     /// Builds the manifest describing `snapshot`.
     pub fn of(snapshot: &Snapshot) -> SyncManifest {
         SyncManifest {
+            version: snapshot.version,
             epoch: snapshot.epoch,
             sections: snapshot
                 .sections
@@ -127,7 +131,7 @@ impl SyncManifest {
     /// The root this manifest commits to.
     pub fn root(&self) -> H256 {
         let hashes: Vec<H256> = self.sections.iter().map(|(_, h)| *h).collect();
-        root_from_section_hashes(self.epoch, &hashes)
+        root_from_section_hashes(self.version, self.epoch, &hashes)
     }
 
     /// Whether `section` is a valid copy of entry `index`: kind and
@@ -424,6 +428,7 @@ pub fn heal_fetch(
         }
     }
     let snapshot = Snapshot {
+        version: manifest.version,
         epoch: manifest.epoch,
         sections,
     };
@@ -476,6 +481,7 @@ mod tests {
             pool.swap(true, SwapKind::ExactInput(5_000_000), None)
                 .unwrap();
         }
+        let pool = ammboost_amm::Engine::Cl(pool);
         let ledger = Ledger::new(H256::hash(b"genesis"));
         let mut deposits = Deposits::new();
         deposits.credit(Address::from_index(1), 100, 200).unwrap();

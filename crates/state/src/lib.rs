@@ -45,7 +45,8 @@ pub use heal::{
 };
 pub use prune::{prune_to_snapshot, PruneReport, RetentionPolicy};
 pub use snapshot::{
-    root_from_section_hashes, Section, SectionKind, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    root_from_section_hashes, Section, SectionKind, Snapshot, LEGACY_SNAPSHOT_VERSION,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use store::{CheckpointStore, CrashPoint, RecoveryOutcome, StoreError};
 pub use sync::{restore, restore_from_bytes, RestoreError, RestoredState};

@@ -5,6 +5,7 @@
 //! blocks and ledger.
 
 use crate::codec::{ensure_sorted_keys, ByteReader, ByteWriter, CodecError, Decode, Encode};
+use ammboost_amm::engines::{CpState, EngineKind, EngineState, SharePosition, WeightedState};
 use ammboost_amm::pool::{PoolState, Position, TickInfo};
 use ammboost_amm::tx::{
     AmmTx, BurnTx, CollectTx, MintTx, RouteHop, RouteTx, SwapIntent, SwapTx, MAX_ROUTE_HOPS,
@@ -169,6 +170,105 @@ impl Decode for PoolState {
         ensure_sorted_keys(&state.ticks)?;
         ensure_sorted_keys(&state.positions)?;
         Ok(state)
+    }
+}
+
+// ---- multi-engine fleet ----------------------------------------------------
+
+impl Encode for SharePosition {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.owner.encode(w);
+        w.put_u128(self.shares);
+        w.put_u128(self.owed0);
+        w.put_u128(self.owed1);
+    }
+}
+
+impl Decode for SharePosition {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(SharePosition {
+            owner: r.get()?,
+            shares: r.take_u128()?,
+            owed0: r.take_u128()?,
+            owed1: r.take_u128()?,
+        })
+    }
+}
+
+impl Encode for CpState {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.fee_pips);
+        w.put_u128(self.reserve0);
+        w.put_u128(self.reserve1);
+        self.positions.encode(w);
+    }
+}
+
+impl Decode for CpState {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let state = CpState {
+            fee_pips: r.take_u32()?,
+            reserve0: r.take_u128()?,
+            reserve1: r.take_u128()?,
+            positions: r.get()?,
+        };
+        ensure_sorted_keys(&state.positions)?;
+        Ok(state)
+    }
+}
+
+impl Encode for WeightedState {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(self.fee_pips);
+        w.put_u128(self.weight0);
+        w.put_u128(self.weight1);
+        w.put_u128(self.reserve0);
+        w.put_u128(self.reserve1);
+        self.positions.encode(w);
+    }
+}
+
+impl Decode for WeightedState {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let state = WeightedState {
+            fee_pips: r.take_u32()?,
+            weight0: r.take_u128()?,
+            weight1: r.take_u128()?,
+            reserve0: r.take_u128()?,
+            reserve1: r.take_u128()?,
+            positions: r.get()?,
+        };
+        ensure_sorted_keys(&state.positions)?;
+        Ok(state)
+    }
+}
+
+/// Engine state is tagged with the stable [`EngineKind::tag`] byte, so a
+/// v3 pool section is self-describing: decoders dispatch on the leading
+/// tag without out-of-band metadata.
+impl Encode for EngineState {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(self.kind().tag());
+        match self {
+            EngineState::Cl(s) => s.encode(w),
+            EngineState::Cp(s) => s.encode(w),
+            EngineState::Weighted(s) => s.encode(w),
+        }
+    }
+}
+
+impl Decode for EngineState {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let tag = r.take_u8()?;
+        match EngineKind::from_tag(tag) {
+            Some(EngineKind::ConcentratedLiquidity) => Ok(EngineState::Cl(r.get()?)),
+            Some(EngineKind::ConstantProduct) => Ok(EngineState::Cp(r.get()?)),
+            Some(EngineKind::Weighted) => Ok(EngineState::Weighted(r.get()?)),
+            None => Err(CodecError::InvalidTag {
+                what: "EngineState",
+                tag,
+            }),
+        }
     }
 }
 

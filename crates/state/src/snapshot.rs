@@ -18,9 +18,20 @@ use ammboost_crypto::H256;
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ABSS";
 
 /// Current snapshot format version. Decoders reject anything newer.
-/// Version 2: pool sections carry the tick→sqrt-price table; the
-/// processor-meta aux section holds one record per shard (multi-pool).
-pub const SNAPSHOT_VERSION: u16 = 2;
+/// Version 3: pool sections are engine-tagged ([`EngineState`] with a
+/// leading engine-kind byte), supporting heterogeneous fleets.
+/// Version 2 (pool sections are bare CL [`PoolState`] bytes) is still
+/// decoded — see [`LEGACY_SNAPSHOT_VERSION`].
+///
+/// [`EngineState`]: ammboost_amm::engines::EngineState
+/// [`PoolState`]: ammboost_amm::pool::PoolState
+pub const SNAPSHOT_VERSION: u16 = 3;
+
+/// Oldest snapshot format version decoders still accept. Version 2 pool
+/// sections carry untagged CL pool state; restore interprets them as
+/// concentrated-liquidity engines, so pre-fleet snapshots keep restoring
+/// to bit-identical roots.
+pub const LEGACY_SNAPSHOT_VERSION: u16 = 2;
 
 /// What a section holds. The ordering (pools ascending, then ledger,
 /// deposits, aux by tag) is the canonical section order.
@@ -112,11 +123,13 @@ impl Decode for Section {
 /// be verified against a trusted root before any section bytes arrive,
 /// and each arriving section be checked independently against its leaf.
 /// [`Snapshot::root`] is exactly this over [`Section::hash`] values.
-pub fn root_from_section_hashes(epoch: u64, section_hashes: &[H256]) -> H256 {
+/// The format `version` is part of the header leaf, so a legacy snapshot
+/// keeps the root it was sealed with.
+pub fn root_from_section_hashes(version: u16, epoch: u64, section_hashes: &[H256]) -> H256 {
     let mut leaves = Vec::with_capacity(section_hashes.len() + 1);
     leaves.push(H256::hash_concat(&[
         b"ammboost-snapshot-header",
-        &SNAPSHOT_VERSION.to_be_bytes(),
+        &version.to_be_bytes(),
         &epoch.to_be_bytes(),
     ]));
     leaves.extend_from_slice(section_hashes);
@@ -126,6 +139,10 @@ pub fn root_from_section_hashes(epoch: u64, section_hashes: &[H256]) -> H256 {
 /// A full-state checkpoint at an epoch boundary.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Snapshot {
+    /// The format version the snapshot was sealed under. Determines the
+    /// pool-section encoding (v2: bare CL state; v3: engine-tagged) and
+    /// is committed in the root's header leaf.
+    pub version: u16,
     /// The epoch the snapshot was taken at (state *after* this epoch's
     /// summary was sealed).
     pub epoch: u64,
@@ -138,7 +155,7 @@ impl Snapshot {
     /// (version + epoch) and every section hash.
     pub fn root(&self) -> H256 {
         let hashes: Vec<H256> = self.sections.iter().map(Section::hash).collect();
-        root_from_section_hashes(self.epoch, &hashes)
+        root_from_section_hashes(self.version, self.epoch, &hashes)
     }
 
     /// Finds a section by kind.
@@ -177,7 +194,7 @@ impl Snapshot {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::with_capacity(self.payload_bytes() as usize + 64);
         w.put_bytes(&SNAPSHOT_MAGIC);
-        w.put_u16(SNAPSHOT_VERSION);
+        w.put_u16(self.version);
         w.put_u64(self.epoch);
         self.root().encode(&mut w);
         self.sections.encode(&mut w);
@@ -199,14 +216,18 @@ impl Snapshot {
             return Err(CodecError::BadMagic(magic));
         }
         let version = r.take_u16()?;
-        if version != SNAPSHOT_VERSION {
+        if !(LEGACY_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(CodecError::UnsupportedVersion(version));
         }
         let epoch = r.take_u64()?;
         let declared_root: H256 = r.get()?;
         let sections: Vec<Section> = r.get()?;
         r.finish()?;
-        let snapshot = Snapshot { epoch, sections };
+        let snapshot = Snapshot {
+            version,
+            epoch,
+            sections,
+        };
         if snapshot.root() != declared_root {
             return Err(CodecError::RootMismatch);
         }
@@ -220,6 +241,7 @@ mod tests {
 
     fn sample() -> Snapshot {
         Snapshot {
+            version: SNAPSHOT_VERSION,
             epoch: 7,
             sections: vec![
                 Section {
@@ -252,6 +274,9 @@ mod tests {
         let mut diff_epoch = base.clone();
         diff_epoch.epoch += 1;
         assert_ne!(base.root(), diff_epoch.root());
+        let mut diff_version = base.clone();
+        diff_version.version = LEGACY_SNAPSHOT_VERSION;
+        assert_ne!(base.root(), diff_version.root());
         let mut diff_bytes = base.clone();
         diff_bytes.sections[0].bytes[0] ^= 1;
         assert_ne!(base.root(), diff_bytes.root());
@@ -292,12 +317,25 @@ mod tests {
     fn root_from_hashes_matches_full_root() {
         let snap = sample();
         let hashes: Vec<H256> = snap.sections.iter().map(Section::hash).collect();
-        assert_eq!(root_from_section_hashes(snap.epoch, &hashes), snap.root());
+        assert_eq!(
+            root_from_section_hashes(snap.version, snap.epoch, &hashes),
+            snap.root()
+        );
         assert_ne!(
-            root_from_section_hashes(snap.epoch + 1, &hashes),
+            root_from_section_hashes(snap.version, snap.epoch + 1, &hashes),
             snap.root(),
             "epoch is committed via the header leaf"
         );
+    }
+
+    #[test]
+    fn legacy_version_still_decodes() {
+        let mut snap = sample();
+        snap.version = LEGACY_SNAPSHOT_VERSION;
+        let bytes = snap.encode();
+        let decoded = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.version, LEGACY_SNAPSHOT_VERSION);
     }
 
     #[test]

@@ -281,6 +281,7 @@ mod tests {
 
     fn snap(epoch: u64) -> Snapshot {
         Snapshot {
+            version: crate::snapshot::SNAPSHOT_VERSION,
             epoch,
             sections: vec![
                 Section {

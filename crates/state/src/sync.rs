@@ -10,7 +10,8 @@
 //! full history.
 
 use crate::codec::{CodecError, Decode};
-use crate::snapshot::{SectionKind, Snapshot};
+use crate::snapshot::{SectionKind, Snapshot, SNAPSHOT_VERSION};
+use ammboost_amm::engines::{Engine, EngineState};
 use ammboost_amm::error::AmmError;
 use ammboost_amm::pool::{Pool, PoolState};
 use ammboost_amm::types::PoolId;
@@ -70,8 +71,9 @@ impl From<AmmError> for RestoreError {
 pub struct RestoredState {
     /// The epoch the snapshot covered.
     pub epoch: u64,
-    /// Restored pools with regenerated tick indexes, ascending by id.
-    pub pools: Vec<(PoolId, Pool)>,
+    /// Restored engines (CL pools with regenerated tick indexes),
+    /// ascending by id.
+    pub pools: Vec<(PoolId, Engine)>,
     /// The restored ledger (tip, summaries, unpruned meta-blocks).
     pub ledger: Ledger,
     /// The restored deposit map.
@@ -87,7 +89,7 @@ pub struct RestoredState {
 /// state the AMM engine rejects.
 pub fn restore(snapshot: &Snapshot) -> Result<RestoredState, RestoreError> {
     let sections: Vec<(u32, &crate::snapshot::Section)> = snapshot.pool_sections().collect();
-    let pools = decode_pool_sections(&sections)?;
+    let pools = decode_pool_sections(snapshot.version, &sections)?;
 
     let ledger_section = snapshot
         .section(SectionKind::Ledger)
@@ -129,17 +131,26 @@ static PANIC_ON_POOL: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI6
 /// scoped-thread join no longer re-raises, so one poisoned section can
 /// never take down the process.
 fn decode_pool_sections(
+    version: u16,
     sections: &[(u32, &crate::snapshot::Section)],
-) -> Result<Vec<(PoolId, Pool)>, RestoreError> {
+) -> Result<Vec<(PoolId, Engine)>, RestoreError> {
     let decode_one = |&(id, section): &(u32, &crate::snapshot::Section)| {
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-            || -> Result<(PoolId, Pool), RestoreError> {
+            || -> Result<(PoolId, Engine), RestoreError> {
                 #[cfg(test)]
                 if PANIC_ON_POOL.load(std::sync::atomic::Ordering::Relaxed) == i64::from(id) {
                     panic!("injected decoder panic for pool {id}");
                 }
-                let state = PoolState::decode_all(&section.bytes)?;
-                Ok((PoolId(id), Pool::from_state(state)?))
+                // v2 pool sections are bare CL state; v3 sections carry
+                // the engine-kind tag up front
+                let engine = if version < SNAPSHOT_VERSION {
+                    let state = PoolState::decode_all(&section.bytes)?;
+                    Engine::Cl(Pool::from_state(state)?)
+                } else {
+                    let state = EngineState::decode_all(&section.bytes)?;
+                    Engine::from_state(state)?
+                };
+                Ok((PoolId(id), engine))
             },
         ));
         match attempt {
@@ -155,7 +166,7 @@ fn decode_pool_sections(
         return sections.iter().map(decode_one).collect();
     }
     let chunk_len = sections.len().div_ceil(threads);
-    let decoded: Vec<Result<(PoolId, Pool), RestoreError>> = std::thread::scope(|scope| {
+    let decoded: Vec<Result<(PoolId, Engine), RestoreError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = sections
             .chunks(chunk_len)
             .map(|chunk| {
@@ -196,12 +207,14 @@ pub fn restore_from_bytes(bytes: &[u8]) -> Result<RestoredState, RestoreError> {
 mod tests {
     use super::*;
     use crate::checkpoint::Checkpointer;
+    use crate::codec::Encode;
+    use ammboost_amm::engines::EngineKind;
     use ammboost_amm::pool::SwapKind;
     use ammboost_amm::types::PositionId;
 
-    fn traded_pool() -> Pool {
-        let mut p = Pool::new_standard();
-        p.mint(
+    fn traded_engine(kind: EngineKind) -> Engine {
+        let mut e = Engine::new_standard(kind);
+        e.mint(
             PositionId::derive(&[b"sync"]),
             Address::from_index(1),
             -1200,
@@ -210,11 +223,15 @@ mod tests {
             50_000_000,
         )
         .unwrap();
-        p.swap(true, SwapKind::ExactInput(5_000_000), None).unwrap();
-        p
+        e.swap(true, SwapKind::ExactInput(5_000_000), None).unwrap();
+        e
     }
 
-    fn node_snapshot(pool: &Pool) -> Snapshot {
+    fn traded_pool() -> Engine {
+        traded_engine(EngineKind::ConcentratedLiquidity)
+    }
+
+    fn node_snapshot(pool: &Engine) -> Snapshot {
         let ledger = Ledger::new(H256::hash(b"genesis"));
         let mut deposits = Deposits::new();
         deposits.credit(Address::from_index(1), 100, 200).unwrap();
@@ -233,11 +250,71 @@ mod tests {
         assert_eq!(restored.deposits.get(&Address::from_index(1)), (100, 200));
         let (_, rpool) = &mut restored.pools[0];
         // derived structures regenerated, behaviour bit-identical
-        assert_eq!(rpool.tick_bitmap(), pool.tick_bitmap());
+        assert_eq!(
+            rpool.as_cl().unwrap().tick_bitmap(),
+            pool.as_cl().unwrap().tick_bitmap()
+        );
         let a = pool.swap(false, SwapKind::ExactInput(777_777), None);
         let b = rpool.swap(false, SwapKind::ExactInput(777_777), None);
         assert_eq!(a, b);
         assert_eq!(rpool.export_state(), pool.export_state());
+    }
+
+    #[test]
+    fn heterogeneous_fleet_restores_every_engine() {
+        let engines = [
+            traded_engine(EngineKind::ConcentratedLiquidity),
+            traded_engine(EngineKind::ConstantProduct),
+            traded_engine(EngineKind::Weighted),
+        ];
+        let pools: Vec<(PoolId, &Engine)> = engines
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (PoolId(i as u32), e))
+            .collect();
+        let ledger = Ledger::new(H256::hash(b"genesis"));
+        let deposits = Deposits::new();
+        let (snapshot, _) = Checkpointer::new().checkpoint(9, &pools, &ledger, &deposits, vec![]);
+        let restored = restore_from_bytes(&snapshot.encode()).unwrap();
+        assert_eq!(restored.pools.len(), 3);
+        for ((_, rebuilt), original) in restored.pools.iter().zip(engines.iter()) {
+            assert_eq!(rebuilt.kind(), original.kind());
+            assert_eq!(rebuilt.export_state(), original.export_state());
+        }
+    }
+
+    #[test]
+    fn legacy_v2_sections_restore_as_cl_engines() {
+        // hand-build a v2 snapshot: bare CL pool-state bytes, no engine
+        // tag, legacy version in the header leaf
+        let pool = traded_pool();
+        let cl_bytes = pool.as_cl().unwrap().export_state().encode_to_vec();
+        let ledger = Ledger::new(H256::hash(b"genesis"));
+        let deposits = Deposits::new();
+        let sections = vec![
+            crate::snapshot::Section {
+                kind: SectionKind::Pool(0),
+                bytes: cl_bytes,
+            },
+            crate::snapshot::Section {
+                kind: SectionKind::Ledger,
+                bytes: ledger.export_state().encode_to_vec(),
+            },
+            crate::snapshot::Section {
+                kind: SectionKind::Deposits,
+                bytes: deposits.to_sorted_entries().encode_to_vec(),
+            },
+        ];
+        let snapshot = Snapshot {
+            version: crate::snapshot::LEGACY_SNAPSHOT_VERSION,
+            epoch: 2,
+            sections,
+        };
+        let restored = restore_from_bytes(&snapshot.encode()).unwrap();
+        assert_eq!(restored.root, snapshot.root());
+        let (_, engine) = &restored.pools[0];
+        assert!(engine.as_cl().is_some(), "v2 sections are CL by definition");
+        assert_eq!(engine.export_state(), pool.export_state());
     }
 
     #[test]
@@ -257,7 +334,7 @@ mod tests {
         let pool = traded_pool();
         let ledger = Ledger::new(H256::hash(b"genesis"));
         let deposits = Deposits::new();
-        let pools: Vec<(PoolId, &Pool)> = (0..4).map(|i| (PoolId(7770 + i), &pool)).collect();
+        let pools: Vec<(PoolId, &Engine)> = (0..4).map(|i| (PoolId(7770 + i), &pool)).collect();
         let (snapshot, _) = Checkpointer::new().checkpoint(1, &pools, &ledger, &deposits, vec![]);
         PANIC_ON_POOL.store(7772, Ordering::Relaxed);
         let got = restore(&snapshot);

@@ -16,7 +16,7 @@ use ammboost_state::codec::{Decode, Encode};
 use ammboost_state::heal::{
     heal_fetch, ProviderReply, RetryPolicy, SectionProvider, SimProvider, SyncManifest,
 };
-use ammboost_state::snapshot::{Section, SectionKind, Snapshot};
+use ammboost_state::snapshot::{Section, SectionKind, Snapshot, SNAPSHOT_VERSION};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -490,6 +490,7 @@ proptest! {
         aux in vec(any::<u8>(), 0..32),
     ) {
         let snapshot = Snapshot {
+            version: SNAPSHOT_VERSION,
             epoch,
             sections: vec![
                 Section { kind: SectionKind::Pool(0), bytes: pool.encode_to_vec() },
@@ -522,6 +523,7 @@ proptest! {
         // embedded root, section lengths or payload — must be detected
         // by decode; corruption never silently restores
         let snapshot = Snapshot {
+            version: SNAPSHOT_VERSION,
             epoch,
             sections: vec![
                 Section { kind: SectionKind::Pool(0), bytes: pool.encode_to_vec() },
@@ -552,6 +554,7 @@ proptest! {
         // heals it — the reassembled snapshot always re-derives the
         // trusted root
         let snapshot = Snapshot {
+            version: SNAPSHOT_VERSION,
             epoch,
             sections: vec![
                 Section { kind: SectionKind::Pool(0), bytes: pool.encode_to_vec() },

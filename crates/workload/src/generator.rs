@@ -12,6 +12,7 @@
 
 use crate::mix::TrafficMix;
 use crate::uniswap2023;
+use ammboost_amm::engines::EngineKind;
 use ammboost_amm::tx::{
     AmmTx, BurnTx, CollectTx, MintTx, RouteHop, RouteTx, SwapIntent, SwapTx, MAX_ROUTE_HOPS,
 };
@@ -62,6 +63,80 @@ impl TrafficSkew {
                 .map(|k| 1.0 / ((k + 1) as f64).powf(*exponent))
                 .collect(),
         }
+    }
+}
+
+/// How a fleet's pool set splits across AMM engine implementations: a
+/// repeating pattern of `cl` concentrated-liquidity pools, then
+/// `constant_product` V2-style pools, then `weighted` Balancer-style
+/// pools, assigned by pool *index*. Pool popularity (the
+/// [`TrafficSkew`]) is drawn independently of engine kind, so a Zipf
+/// head can land on any engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMix {
+    /// Concentrated-liquidity pools per pattern repetition.
+    pub cl: u32,
+    /// Constant-product pools per pattern repetition.
+    pub constant_product: u32,
+    /// Weighted (80/20) pools per pattern repetition.
+    pub weighted: u32,
+}
+
+impl Default for EngineMix {
+    fn default() -> Self {
+        EngineMix::all_cl()
+    }
+}
+
+impl EngineMix {
+    /// Every pool runs the concentrated-liquidity engine (the paper's
+    /// setup; the default).
+    pub fn all_cl() -> EngineMix {
+        EngineMix {
+            cl: 1,
+            constant_product: 0,
+            weighted: 0,
+        }
+    }
+
+    /// A mix with the given per-pattern pool counts.
+    pub fn of(cl: u32, constant_product: u32, weighted: u32) -> EngineMix {
+        EngineMix {
+            cl,
+            constant_product,
+            weighted,
+        }
+    }
+
+    /// The engine kind of pool index `i`: indices walk the repeating
+    /// `[cl × CL, constant_product × CP, weighted × W]` pattern, so any
+    /// fleet size gets a deterministic, evenly interleaved assignment.
+    /// An all-zero mix degenerates to concentrated liquidity.
+    pub fn engine_for(&self, i: u32) -> EngineKind {
+        let period = self.cl + self.constant_product + self.weighted;
+        if period == 0 {
+            return EngineKind::ConcentratedLiquidity;
+        }
+        let slot = i % period;
+        if slot < self.cl {
+            EngineKind::ConcentratedLiquidity
+        } else if slot < self.cl + self.constant_product {
+            EngineKind::ConstantProduct
+        } else {
+            EngineKind::Weighted
+        }
+    }
+
+    /// Assigns an engine kind to every pool of a fleet, by position in
+    /// the pool set — the shape [`ShardMap::new_with_engines`] takes.
+    ///
+    /// [`ShardMap::new_with_engines`]: https://docs.rs/ammboost-core
+    pub fn engines(&self, pools: &[PoolId]) -> Vec<(PoolId, EngineKind)> {
+        pools
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, self.engine_for(i as u32)))
+            .collect()
     }
 }
 
@@ -209,6 +284,10 @@ pub struct GeneratorConfig {
     /// Read-traffic profile: quote queries per executed transaction
     /// (default: none).
     pub quote_style: QuoteStyle,
+    /// How the pool set splits across engine implementations (default:
+    /// all concentrated-liquidity, the paper's setup). Assignment is by
+    /// pool index, independent of the popularity skew.
+    pub engine_mix: EngineMix,
     /// RNG seed.
     pub seed: u64,
 }
@@ -227,6 +306,7 @@ impl Default for GeneratorConfig {
             max_positions_per_user: 1,
             liquidity_style: LiquidityStyle::default(),
             quote_style: QuoteStyle::default(),
+            engine_mix: EngineMix::default(),
             seed: 7,
         }
     }
@@ -326,6 +406,12 @@ impl TrafficGenerator {
     /// uses to split a TokenBank snapshot across shards.
     pub fn pool_for(&self, user: &Address) -> Option<PoolId> {
         self.home_pools.get(user).copied()
+    }
+
+    /// The configured fleet with engine kinds assigned: one
+    /// `(PoolId, EngineKind)` entry per pool, in pool-set order.
+    pub fn fleet(&self) -> Vec<(PoolId, EngineKind)> {
+        self.config.engine_mix.engines(&self.config.pools)
     }
 
     /// The constant per-round arrival count
@@ -938,6 +1024,54 @@ mod tests {
             users: 8,
             ..config(50_000, 1)
         });
+    }
+
+    #[test]
+    fn engine_mix_cycles_deterministic_pattern() {
+        let mix = EngineMix::of(2, 1, 1);
+        let kinds: Vec<EngineKind> = (0..8).map(|i| mix.engine_for(i)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EngineKind::ConcentratedLiquidity,
+                EngineKind::ConcentratedLiquidity,
+                EngineKind::ConstantProduct,
+                EngineKind::Weighted,
+                EngineKind::ConcentratedLiquidity,
+                EngineKind::ConcentratedLiquidity,
+                EngineKind::ConstantProduct,
+                EngineKind::Weighted,
+            ]
+        );
+        // degenerate mixes stay usable
+        assert_eq!(
+            EngineMix::of(0, 0, 0).engine_for(3),
+            EngineKind::ConcentratedLiquidity
+        );
+        assert_eq!(EngineMix::default(), EngineMix::all_cl());
+    }
+
+    #[test]
+    fn fleet_assignment_independent_of_skew() {
+        // engine kinds come from pool position, not the traffic draw:
+        // the same fleet layout under uniform and Zipf skews
+        let fleet_of = |skew: TrafficSkew| {
+            TrafficGenerator::new(GeneratorConfig {
+                pools: pool_set(6),
+                users: 12,
+                skew,
+                engine_mix: EngineMix::of(1, 1, 1),
+                ..config(50_000, 2)
+            })
+            .fleet()
+        };
+        let uniform = fleet_of(TrafficSkew::Uniform);
+        let zipf = fleet_of(TrafficSkew::Zipf { exponent: 1.0 });
+        assert_eq!(uniform, zipf);
+        assert_eq!(uniform[0].1, EngineKind::ConcentratedLiquidity);
+        assert_eq!(uniform[1].1, EngineKind::ConstantProduct);
+        assert_eq!(uniform[2].1, EngineKind::Weighted);
+        assert_eq!(uniform[3].1, EngineKind::ConcentratedLiquidity);
     }
 
     #[test]

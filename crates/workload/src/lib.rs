@@ -17,7 +17,7 @@ pub mod mix;
 pub mod uniswap2023;
 
 pub use generator::{
-    GeneratedTx, GeneratorConfig, LiquidityStyle, QuoteRequest, QuoteStyle, RouteStyle,
+    EngineMix, GeneratedTx, GeneratorConfig, LiquidityStyle, QuoteRequest, QuoteStyle, RouteStyle,
     TrafficGenerator, TrafficSkew,
 };
 pub use mix::TrafficMix;

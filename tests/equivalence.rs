@@ -107,7 +107,7 @@ fn sidechain_and_baseline_agree_on_pool_state() {
     }
 
     // identical final pool state: same price, tick, liquidity, fees
-    let sp = processor.pool();
+    let sp = processor.pool().as_cl().expect("CL engine");
     let bp = baseline.pool();
     assert_eq!(sp.sqrt_price(), bp.sqrt_price(), "price diverged");
     assert_eq!(sp.tick(), bp.tick(), "tick diverged");
@@ -246,7 +246,8 @@ fn exact_output_swaps_agree() {
     assert_eq!(side_out, 123_456);
     assert_eq!(side_in, base_res.amount_in);
     assert_eq!(side_out, base_res.amount_out);
-    assert_eq!(processor.pool().sqrt_price(), baseline.pool().sqrt_price());
+    let sp = processor.pool().as_cl().expect("CL engine");
+    assert_eq!(sp.sqrt_price(), baseline.pool().sqrt_price());
 }
 
 // make PositionId's import used in helper signature styles (silence lint

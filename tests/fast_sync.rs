@@ -31,6 +31,7 @@ fn generator_config(seed: u64) -> GeneratorConfig {
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
         quote_style: Default::default(),
+        engine_mix: Default::default(),
         seed,
     }
 }
@@ -209,7 +210,11 @@ fn positions_survive_restore() {
     let full_pool = full.shards.first().pool();
     let restored_pool = node.shards.first().pool();
     assert_eq!(restored_pool.position_count(), full_pool.position_count());
-    for (id, pos) in full_pool.positions() {
-        assert_eq!(restored_pool.position(id), Some(pos), "position {id}");
+    for id in full_pool.position_ids() {
+        assert_eq!(
+            restored_pool.position_info(&id),
+            full_pool.position_info(&id),
+            "position {id}"
+        );
     }
 }

@@ -5,6 +5,7 @@
 //! history; a checkpoint commit torn at any point must recover to the
 //! last committed snapshot and catch up to the same root.
 
+use ammboost::amm::engines::EngineKind;
 use ammboost::amm::types::PoolId;
 use ammboost::core::checkpoint::{catch_up, checkpoint_node, recover_node, restore_node};
 use ammboost::core::shard::ShardMap;
@@ -18,25 +19,40 @@ use ammboost::state::heal::{
 };
 use ammboost::state::store::{CheckpointStore, CrashPoint, RecoveryOutcome};
 use ammboost::state::{Checkpointer, Snapshot};
-use ammboost::workload::{GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficMix};
+use ammboost::workload::{
+    EngineMix, GeneratorConfig, LiquidityStyle, TrafficGenerator, TrafficMix,
+};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 const ROUNDS_PER_EPOCH: u64 = 5;
 
-fn generator_config(seed: u64) -> GeneratorConfig {
+/// The heterogeneous fleet the mixed-engine healing scenarios run over:
+/// its snapshot pool sections carry three different engine tags.
+const MIXED_FLEET: [(PoolId, EngineKind); 3] = [
+    (PoolId(0), EngineKind::ConcentratedLiquidity),
+    (PoolId(1), EngineKind::ConstantProduct),
+    (PoolId(2), EngineKind::Weighted),
+];
+
+fn generator_config(
+    seed: u64,
+    fleet: &[(PoolId, EngineKind)],
+    engine_mix: EngineMix,
+) -> GeneratorConfig {
     GeneratorConfig {
         daily_volume: 200_000,
         mix: TrafficMix::uniswap_2023(),
         users: 8,
         round_duration: SimDuration::from_secs(7),
-        pools: vec![PoolId(0), PoolId(1)],
+        pools: fleet.iter().map(|(id, _)| *id).collect(),
         skew: ammboost::workload::TrafficSkew::default(),
         route_style: ammboost::workload::RouteStyle::default(),
         deadline_slack_rounds: 1_000_000,
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
         quote_style: Default::default(),
+        engine_mix,
         seed,
     }
 }
@@ -51,10 +67,22 @@ struct Node {
 
 impl Node {
     fn new(seed: u64) -> Node {
-        let mut shards = ShardMap::new([PoolId(0), PoolId(1)]);
-        for pool in [PoolId(0), PoolId(1)] {
+        let fleet = [
+            (PoolId(0), EngineKind::ConcentratedLiquidity),
+            (PoolId(1), EngineKind::ConcentratedLiquidity),
+        ];
+        Node::with_fleet(seed, &fleet, EngineMix::default())
+    }
+
+    fn new_mixed(seed: u64) -> Node {
+        Node::with_fleet(seed, &MIXED_FLEET, EngineMix::of(1, 1, 1))
+    }
+
+    fn with_fleet(seed: u64, fleet: &[(PoolId, EngineKind)], engine_mix: EngineMix) -> Node {
+        let mut shards = ShardMap::new_with_engines(fleet.iter().copied());
+        for (pool, _) in fleet {
             shards.seed_liquidity(
-                pool,
+                *pool,
                 Address::from_pubkey_bytes(b"heal-genesis-lp"),
                 -120_000,
                 120_000,
@@ -62,7 +90,7 @@ impl Node {
                 4_000_000_000_000_000,
             );
         }
-        let generator = TrafficGenerator::new(generator_config(seed));
+        let generator = TrafficGenerator::new(generator_config(seed, fleet, engine_mix));
         let mut deposits = HashMap::new();
         for user in generator.users() {
             deposits.insert(user, (2_000_000_000_000u128, 2_000_000_000_000u128));
@@ -121,7 +149,14 @@ impl Node {
 /// Runs a peer for 6 epochs, checkpointing after `stale_epoch` and
 /// `snap_epoch`; returns the peer plus both snapshots.
 fn peer_with_snapshots(seed: u64, stale_epoch: u64, snap_epoch: u64) -> (Node, Snapshot, Snapshot) {
-    let mut full = Node::new(seed);
+    peer_with_snapshots_from(Node::new(seed), stale_epoch, snap_epoch)
+}
+
+fn peer_with_snapshots_from(
+    mut full: Node,
+    stale_epoch: u64,
+    snap_epoch: u64,
+) -> (Node, Snapshot, Snapshot) {
     let mut cp = Checkpointer::new();
     let mut stale = None;
     let mut snap = None;
@@ -312,4 +347,110 @@ fn exhausted_heal_fails_closed_with_typed_error() {
         ),
         "expected HealExhausted on section 0, got {err}"
     );
+}
+
+/// Self-healing fast-sync over a heterogeneous fleet: the snapshot's
+/// pool sections carry three different engine tags, a dishonest provider
+/// tampers with every one of them, and the healed snapshot must still
+/// restore the exact engine mix and catch up byte-identically.
+#[test]
+fn mixed_fleet_heals_tampered_engine_sections() {
+    let (mut full, stale_snap, snapshot) = peer_with_snapshots_from(Node::new_mixed(23), 1, 3);
+    let trusted_root = snapshot.root();
+    for ((_, kind), (_, section)) in MIXED_FLEET.iter().zip(snapshot.pool_sections()) {
+        assert_eq!(
+            section.bytes[0],
+            kind.tag(),
+            "sections must be engine-tagged"
+        );
+    }
+
+    // occurrence 0 is the manifest; 1..=3 are the three pool sections in
+    // canonical order — corrupt each engine-tagged section differently
+    let mut faults = FaultInjector::new(0xE16);
+    faults.schedule_all([
+        FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 1,
+            kind: FaultKind::BitFlip,
+        },
+        FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 2,
+            kind: FaultKind::Truncate,
+        },
+        FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 3,
+            kind: FaultKind::StaleRoot,
+        },
+    ]);
+    let mut dishonest = SimProvider::faulty(0, snapshot.clone(), Arc::new(Mutex::new(faults)))
+        .with_stale(stale_snap);
+    let mut honest = SimProvider::honest(1, snapshot.clone());
+    let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut dishonest, &mut honest];
+
+    let manifest = fetch_manifest(&mut providers, trusted_root).expect("manifest found");
+    let policy = RetryPolicy::default();
+    let (healed, report) = heal_fetch(&manifest, &mut providers, &policy).expect("heal succeeds");
+    assert_eq!(healed.root(), trusted_root);
+    assert_eq!(
+        report.quarantined.len(),
+        3,
+        "every tampered engine section quarantines: {:?}",
+        report.quarantined
+    );
+
+    let mut node = restore_node(&healed).expect("healed mixed snapshot restores");
+    assert_eq!(node.shards.engine_kinds(), MIXED_FLEET.to_vec());
+    let applied = catch_up(&mut node, &full.ledger, ROUNDS_PER_EPOCH).expect("catch-up verifies");
+    assert_eq!(applied, 3);
+    assert_eq!(node.shards.export_states(), full.shards.export_states());
+    assert_eq!(
+        root_of(&mut node.shards, &node.ledger),
+        root_of(&mut full.shards, &full.ledger),
+        "mixed-fleet state roots diverge"
+    );
+}
+
+/// Torn-commit recovery over a heterogeneous fleet: a crash mid-commit
+/// of an engine-tagged snapshot discards the torn write, restores the
+/// last committed mixed-fleet snapshot, and replays to the peer's root.
+#[test]
+fn mixed_fleet_torn_commit_recovers_and_catches_up() {
+    let (mut full, snap3, snap5) = peer_with_snapshots_from(Node::new_mixed(31), 3, 5);
+    let full_root = root_of(&mut full.shards, &full.ledger);
+    let wire_len = snap5.encode().len();
+
+    let mut store = CheckpointStore::new();
+    store.commit(&snap3, None).expect("clean commit");
+    store
+        .commit(
+            &snap5,
+            Some(CrashPoint::DuringStage {
+                offset: wire_len / 2,
+            }),
+        )
+        .unwrap_err();
+    let (mut node, outcome, applied) =
+        recover_node(&mut store, &full.ledger, ROUNDS_PER_EPOCH).expect("node recovers");
+    assert!(matches!(outcome, RecoveryOutcome::DiscardedTorn { .. }));
+    assert_eq!(applied, 3, "epochs 4..=6 replayed from the peer");
+    assert_eq!(node.shards.engine_kinds(), MIXED_FLEET.to_vec());
+    assert_eq!(root_of(&mut node.shards, &node.ledger), full_root);
+    assert_eq!(node.shards.export_states(), full.shards.export_states());
+
+    // staged and marked but not installed: roll forward to the newer
+    // engine-tagged snapshot instead
+    let mut store = CheckpointStore::new();
+    store.commit(&snap3, None).expect("clean commit");
+    store
+        .commit(&snap5, Some(CrashPoint::BeforeInstall))
+        .unwrap_err();
+    let (mut node, outcome, applied) =
+        recover_node(&mut store, &full.ledger, ROUNDS_PER_EPOCH).expect("node recovers");
+    assert_eq!(outcome, RecoveryOutcome::RolledForward { epoch: 5 });
+    assert_eq!(applied, 1, "only epoch 6 left to replay");
+    assert_eq!(node.shards.engine_kinds(), MIXED_FLEET.to_vec());
+    assert_eq!(root_of(&mut node.shards, &node.ledger), full_root);
 }

@@ -49,6 +49,7 @@ fn generator(pools: u32, users: u64, seed: u64) -> TrafficGenerator {
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
         quote_style: Default::default(),
+        engine_mix: Default::default(),
         seed,
     })
 }

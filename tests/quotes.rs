@@ -5,7 +5,8 @@
 //! observes a partially-executed epoch); and quote traffic must never
 //! perturb the executed transaction stream.
 
-use ammboost_amm::pool::{Pool, SwapKind};
+use ammboost_amm::engines::Engine;
+use ammboost_amm::pool::SwapKind;
 use ammboost_amm::tx::{AmmTx, SwapIntent, SwapTx};
 use ammboost_amm::types::PoolId;
 use ammboost_core::config::SystemConfig;
@@ -50,7 +51,7 @@ proptest! {
 
         for &id in view.pool_ids() {
             let live = view.pool(id).expect("listed pool present");
-            let frozen = Pool::from_state(live.export_state()).expect("snapshot restores");
+            let frozen = Engine::from_state(live.export_state()).expect("snapshot restores");
             // restoring the exported bytes is lossless
             prop_assert_eq!(live.export_state(), frozen.export_state());
 
@@ -86,7 +87,7 @@ proptest! {
             let sealed = view.pool(id).expect("listed pool present");
             let kind = SwapKind::ExactInput(amount);
             let quoted = view.quote_swap(id, zero_for_one, kind, None);
-            let mut writable = Pool::clone(sealed);
+            let mut writable = Engine::clone(sealed);
             let executed = writable.swap(zero_for_one, kind, None);
             match (quoted, executed) {
                 (Ok(q), Ok(e)) => prop_assert_eq!(q, e),

@@ -60,6 +60,7 @@ fn routed_generator(pools: u32, users: u64, seed: u64, share: f64) -> TrafficGen
         max_positions_per_user: 1,
         liquidity_style: LiquidityStyle::default(),
         quote_style: Default::default(),
+        engine_mix: Default::default(),
         seed,
     })
 }
@@ -312,7 +313,7 @@ fn routed_epoch_equals_independent_legs_plus_netting_ledger() {
     for p in 0..POOLS {
         assert_eq!(
             shards.get(PoolId(p)).unwrap().pool().export_state(),
-            solo_pools.get(&p).unwrap().export_state(),
+            ammboost::amm::EngineState::Cl(solo_pools.get(&p).unwrap().export_state()),
             "pool {p} diverges from independent-leg execution"
         );
     }
