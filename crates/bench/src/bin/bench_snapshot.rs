@@ -42,6 +42,14 @@
 //! `6pools_mixed` rung on the sharded-epoch ladder (2 CL + 2
 //! constant-product + 2 weighted shards under the same Zipf curve).
 //!
+//! New in v6: the 4-way-Keccak Merkle rungs (`merkle_root_1024_leaves_x4`
+//! vs the retained `_scalar` oracle — the interleaved-sponge speedup is
+//! the tentpole number) and a `checkpoint_pipeline` ladder timing one
+//! epoch (execute + checkpoint) at 1/4/8 pools with the checkpoint taken
+//! synchronously vs staged-and-committed on the worker pool while the
+//! next epoch executes. On a 1-hardware-thread host the pipelined column
+//! measures queueing overhead, not overlap, and is advisory.
+//!
 //! Usage: `bench_snapshot [--smoke] [--out PATH] [--state-out PATH]
 //! [--check] [--tolerance PCT]`. `--smoke` cuts sample counts for CI;
 //! the JSON records which mode produced it, and `hardware_threads` so
@@ -63,16 +71,17 @@ use ammboost_amm::pool::{Pool, PoolState, SwapKind, TickSearch};
 use ammboost_amm::tx::AmmTx;
 use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_bench::{fragmented_ladder_pool, ladder_pool, ladder_sweep, wide_pool};
-use ammboost_core::checkpoint::{checkpoint_node, restore_node};
+use ammboost_core::checkpoint::{checkpoint_node, restore_node, stage_node};
 use ammboost_core::config::{SnapshotPolicy, SystemConfig};
 use ammboost_core::shard::{ExecMode, ShardMap};
 use ammboost_core::system::System;
+use ammboost_core::workers::{JoinHandle, WorkerPool};
 use ammboost_crypto::merkle::{leaf_hash, MerkleTree};
 use ammboost_crypto::Address;
 use ammboost_sidechain::ledger::Ledger;
 use ammboost_sim::DetRng;
 use ammboost_state::codec::{Decode, Encode};
-use ammboost_state::{Checkpointer, Snapshot};
+use ammboost_state::{CheckpointStats, Checkpointer, Snapshot};
 use ammboost_workload::{
     EngineMix, GeneratedTx, GeneratorConfig, LiquidityStyle, RouteStyle, TrafficGenerator,
     TrafficMix, TrafficSkew,
@@ -286,6 +295,148 @@ fn pool_count_ladder(
         speedup: sequential_ns / parallel_ns,
         snapshot_bytes: stats.snapshot_bytes,
         max_pool_section_bytes,
+    }
+}
+
+/// One rung of the checkpoint-pipeline ladder.
+struct CheckpointPipelineLadder {
+    pools: u32,
+    txs_per_epoch: usize,
+    /// One epoch on the critical path with a blocking checkpoint:
+    /// execute rounds, then `checkpoint_node` (stage + Merkle commit).
+    epoch_sync_ns: f64,
+    /// The same epoch pipelined: join the previous epoch's in-flight
+    /// commit, execute rounds, stage, hand the commit to the worker
+    /// pool — the Merkle hashing overlaps the next epoch's execution.
+    epoch_pipelined_ns: f64,
+    /// The synchronous stage half alone (what pipelining cannot hide).
+    stage_ns: f64,
+    /// The deferred commit half alone (what pipelining takes off the
+    /// critical path).
+    commit_ns: f64,
+    speedup: f64,
+}
+
+/// Times one epoch of execution + checkpoint at `pools` shards, with the
+/// checkpoint taken synchronously vs staged-and-committed off-thread.
+/// The pipelined routine models `System`'s steady state: at most one
+/// commit in flight, joined before the next epoch's checkpoint stages.
+fn checkpoint_pipeline_ladder(pools: u32, samples: usize, rounds: u64) -> CheckpointPipelineLadder {
+    let users = (4 * pools as u64).max(16);
+    let mut gen = TrafficGenerator::new(GeneratorConfig {
+        daily_volume: 25_000_000,
+        mix: TrafficMix::uniswap_2023(),
+        users,
+        round_duration: ammboost_sim::time::SimDuration::from_secs(7),
+        pools: (0..pools).map(PoolId).collect(),
+        skew: TrafficSkew::Uniform,
+        route_style: RouteStyle::default(),
+        deadline_slack_rounds: 1_000_000,
+        max_positions_per_user: 1,
+        liquidity_style: LiquidityStyle::default(),
+        quote_style: Default::default(),
+        engine_mix: Default::default(),
+        seed: 0xCC_0FF + pools as u64,
+    });
+    let traffic: Vec<Vec<GeneratedTx>> = (0..rounds).map(|r| gen.next_round(r)).collect();
+    let txs_per_epoch: usize = traffic.iter().map(|r| r.len()).sum();
+    let mut ready = ShardMap::new((0..pools).map(PoolId));
+    for p in 0..pools {
+        ready.seed_liquidity(
+            PoolId(p),
+            Address::from_pubkey_bytes(b"bench-pipeline-lp"),
+            -120_000,
+            120_000,
+            4_000_000_000_000_000,
+            4_000_000_000_000_000,
+        );
+    }
+    let deposits: HashMap<Address, (u128, u128)> = gen
+        .users()
+        .into_iter()
+        .map(|u| (u, (2_000_000_000_000u128, 2_000_000_000_000u128)))
+        .collect();
+    let route_gen = &gen;
+    ready.begin_epoch(deposits, |u| route_gen.pool_for(u));
+    let ledger = Ledger::new(ammboost_crypto::H256::hash(b"bench-pipeline"));
+
+    let execute = |shards: &mut ShardMap| {
+        for (round, txs) in traffic.iter().enumerate() {
+            let batch: Vec<(&AmmTx, usize)> = txs.iter().map(|g| (&g.tx, g.wire_size)).collect();
+            black_box(shards.execute_batch(&batch, round as u64, ExecMode::Sequential));
+        }
+    };
+
+    // every sample starts from the same pre-epoch state and uses a fresh
+    // checkpointer, so both modes re-encode every pool every time
+    let mut epoch = 0u64;
+    let epoch_sync_ns = median_ns(
+        samples,
+        || ready.clone(),
+        |mut shards| {
+            epoch += 1;
+            execute(&mut shards);
+            black_box(checkpoint_node(
+                &mut Checkpointer::new(),
+                epoch,
+                &mut shards,
+                &ledger,
+            ))
+        },
+    );
+
+    let mut inflight: Option<JoinHandle<(Snapshot, CheckpointStats)>> = None;
+    let epoch_pipelined_ns = median_ns(
+        samples,
+        || ready.clone(),
+        |mut shards| {
+            epoch += 1;
+            if let Some(handle) = inflight.take() {
+                black_box(handle.join());
+            }
+            execute(&mut shards);
+            let staged = stage_node(&mut Checkpointer::new(), epoch, &mut shards, &ledger);
+            inflight = Some(WorkerPool::global().submit(move || staged.commit()));
+        },
+    );
+    if let Some(handle) = inflight.take() {
+        black_box(handle.join());
+    }
+
+    // the halves in isolation: what stays on the critical path vs what
+    // moves off it
+    let mut executed = ready.clone();
+    execute(&mut executed);
+    let stage_ns = median_ns(
+        samples,
+        || executed.clone(),
+        |mut shards| {
+            epoch += 1;
+            stage_node(&mut Checkpointer::new(), epoch, &mut shards, &ledger)
+        },
+    );
+    let commit_ns = median_ns(
+        samples,
+        || {
+            epoch += 1;
+            stage_node(
+                &mut Checkpointer::new(),
+                epoch,
+                &mut executed.clone(),
+                &ledger,
+            )
+        },
+        |staged| black_box(staged.commit()),
+    );
+
+    CheckpointPipelineLadder {
+        pools,
+        txs_per_epoch,
+        epoch_sync_ns,
+        epoch_pipelined_ns,
+        stage_ns,
+        commit_ns,
+        speedup: epoch_sync_ns / epoch_pipelined_ns,
     }
 }
 
@@ -662,7 +813,7 @@ fn check_skips_path(path: &str, skip_speedups: bool) -> bool {
     // tolerance while both components stay in band — gate the components
     if matches!(
         leaf,
-        "tick_table_speedup" | "cross64_speedup_bitmap_vs_oracle"
+        "tick_table_speedup" | "cross64_speedup_bitmap_vs_oracle" | "merkle_x4_speedup"
     ) {
         return true;
     }
@@ -673,6 +824,8 @@ fn check_skips_path(path: &str, skip_speedups: bool) -> bool {
     skip_speedups
         && (path.contains("parallel_speedup")
             || path.contains("epoch_parallel_ns")
+            || path.contains("pipeline_speedup")
+            || path.contains("epoch_pipelined_ns")
             || path.starts_with("quote_reads."))
 }
 
@@ -905,7 +1058,9 @@ fn main() {
     );
     ammboost_bench::line("pool/mint_burn_collect", format!("{mint_burn:.0} ns"));
 
-    // -- Merkle root over a block's worth of tx leaves --
+    // -- Merkle root over a block's worth of tx leaves: the default
+    // (4-way interleaved Keccak) build, the same build named explicitly,
+    // and the scalar differential oracle it must stay bit-identical to --
     let leaves: Vec<_> = (0..1024u32).map(|i| leaf_hash(&i.to_be_bytes())).collect();
     let merkle_root = median_ns(
         samples,
@@ -913,6 +1068,25 @@ fn main() {
         |l| MerkleTree::from_leaves(l).root(),
     );
     ammboost_bench::line("merkle/root_1024_leaves", format!("{merkle_root:.0} ns"));
+    let merkle_root_x4 = median_ns(
+        samples,
+        || leaves.clone(),
+        |l| MerkleTree::from_leaves(l).root(),
+    );
+    ammboost_bench::line(
+        "merkle/root_1024_leaves_x4",
+        format!("{merkle_root_x4:.0} ns"),
+    );
+    let merkle_root_scalar = median_ns(
+        samples,
+        || leaves.clone(),
+        |l| MerkleTree::from_leaves_scalar(l).root(),
+    );
+    let merkle_x4_speedup = merkle_root_scalar / merkle_root_x4;
+    ammboost_bench::line(
+        "merkle/root_1024_leaves_scalar",
+        format!("{merkle_root_scalar:.0} ns ({merkle_x4_speedup:.2}x slower than x4)"),
+    );
 
     // ---- the pool_count × skew ladder: sharded epoch execution ----
     ammboost_bench::header("Bench snapshot (sharded multi-pool epochs)");
@@ -977,6 +1151,52 @@ fn main() {
             "1 hardware thread: parallel column = scheduling overhead only",
         );
     }
+    // ---- the checkpoint-pipeline ladder: epoch + checkpoint, sync vs
+    // staged-and-committed off-thread ----
+    ammboost_bench::header("Bench snapshot (checkpoint pipeline)");
+    let pipeline_ladders: Vec<CheckpointPipelineLadder> = [1u32, 4, 8]
+        .iter()
+        .map(|&pools| {
+            let l = checkpoint_pipeline_ladder(pools, ladder_samples, ladder_rounds);
+            ammboost_bench::line(
+                &format!("checkpoint/{}pools/epoch_sync", l.pools),
+                format!("{:.0} ns/epoch ({} txs)", l.epoch_sync_ns, l.txs_per_epoch),
+            );
+            ammboost_bench::line(
+                &format!("checkpoint/{}pools/epoch_pipelined", l.pools),
+                format!("{:.0} ns/epoch ({:.2}x)", l.epoch_pipelined_ns, l.speedup),
+            );
+            ammboost_bench::line(
+                &format!("checkpoint/{}pools/stage_vs_commit", l.pools),
+                format!("{:.0} ns stage / {:.0} ns commit", l.stage_ns, l.commit_ns),
+            );
+            l
+        })
+        .collect();
+    if hardware_threads == 1 {
+        ammboost_bench::line(
+            "checkpoint/note",
+            "1 hardware thread: pipelined column = queueing overhead only",
+        );
+    }
+    let pipeline_ladder_json: Vec<String> = pipeline_ladders
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"{}pools\": {{\n      \"pool_count\": {},\n      \"txs_per_epoch\": {},\n      \"epoch_sync_ns\": {:.1},\n      \"epoch_pipelined_ns\": {:.1},\n      \"stage_ns\": {:.1},\n      \"commit_ns\": {:.1},\n      \"pipeline_speedup\": {{\"value\": {:.3}, \"threads\": {}, \"advisory\": true}}\n    }}",
+                l.pools,
+                l.pools,
+                l.txs_per_epoch,
+                l.epoch_sync_ns,
+                l.epoch_pipelined_ns,
+                l.stage_ns,
+                l.commit_ns,
+                l.speedup,
+                hardware_threads,
+            )
+        })
+        .collect();
+
     // ---- the route hops × pool_count ladder: two-phase routed epochs ----
     ammboost_bench::header("Bench snapshot (routed epochs: hops × pools)");
     let route_samples = if smoke { 5 } else { 21 };
@@ -1083,8 +1303,9 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"ammboost-bench-snapshot/v5\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_constant_product\": {swap_cp:.1},\n    \"pool_swap_weighted\": {swap_weighted:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }},\n  \"quote_reads\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ammboost-bench-snapshot/v6\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_constant_product\": {swap_cp:.1},\n    \"pool_swap_weighted\": {swap_weighted:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1},\n    \"merkle_root_1024_leaves_x4\": {merkle_root_x4:.1},\n    \"merkle_root_1024_leaves_scalar\": {merkle_root_scalar:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3},\n    \"merkle_x4_speedup\": {merkle_x4_speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"checkpoint_pipeline\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }},\n  \"quote_reads\": {{\n{}\n  }}\n}}\n",
         pool_ladder_json.join(",\n"),
+        pipeline_ladder_json.join(",\n"),
         route_ladder_json.join(",\n"),
         quote_ladder_json.join(",\n")
     );

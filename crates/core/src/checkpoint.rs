@@ -197,6 +197,21 @@ pub fn checkpoint_node(
     shards: &mut ShardMap,
     ledger: &Ledger,
 ) -> (Snapshot, CheckpointStats) {
+    stage_node(checkpointer, epoch, shards, ledger).commit()
+}
+
+/// The synchronous half of [`checkpoint_node`]: observes the node's state
+/// at the epoch boundary (dirty flags, section encodings, shard metas)
+/// and returns a [`StagedCheckpoint`] that owns everything the expensive
+/// Merkle-hashing commit needs. Because the staged data is an owned copy,
+/// `commit()` may run on another thread while the node executes the next
+/// epoch — the resulting snapshot is byte-identical either way.
+pub fn stage_node(
+    checkpointer: &mut Checkpointer,
+    epoch: u64,
+    shards: &mut ShardMap,
+    ledger: &Ledger,
+) -> ammboost_state::StagedCheckpoint {
     for shard in shards.iter_mut() {
         if shard.take_pool_dirty() {
             checkpointer.mark_dirty(shard.pool_id());
@@ -223,7 +238,7 @@ pub fn checkpoint_node(
         .iter()
         .map(|shard| (shard.pool_id(), shard.pool()))
         .collect();
-    checkpointer.checkpoint(
+    checkpointer.stage(
         epoch,
         &pools,
         ledger,

@@ -177,6 +177,109 @@ impl WorkerPool {
     }
 }
 
+/// Result slot of one detached pool job: filled exactly once by the
+/// worker, awaited by [`JoinHandle::join`].
+struct TaskState<T> {
+    slot: Mutex<Option<std::thread::Result<T>>>,
+    done: Condvar,
+}
+
+/// Handle to a detached job submitted with [`WorkerPool::submit`] — the
+/// fire-and-forget counterpart of a scope, used to overlap long-lived
+/// owned work (e.g. a checkpoint commit) with whatever the caller does
+/// next. Dropping the handle without joining leaks the job's result but
+/// the job itself still runs.
+pub struct JoinHandle<T> {
+    state: Arc<TaskState<T>>,
+    shared: Arc<Shared>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks until the job completed and returns its output. Like a
+    /// scope drain, the waiting thread helps execute queued jobs (its
+    /// own, or another scope's) instead of just parking, so a join can
+    /// never deadlock behind the very queue it is waiting on.
+    ///
+    /// # Panics
+    /// Resumes the job's panic on the joining thread, mirroring
+    /// `std::thread::JoinHandle` semantics.
+    pub fn join(self) -> T {
+        loop {
+            if let Some(result) = self.state.slot.lock().expect("task slot poisoned").take() {
+                match result {
+                    Ok(value) => return value,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            if let Some(job) = self.shared.pop() {
+                job();
+            } else {
+                let guard = self.state.slot.lock().expect("task slot poisoned");
+                if guard.is_none() {
+                    drop(
+                        self.state
+                            .done
+                            .wait_timeout(guard, std::time::Duration::from_millis(1))
+                            .expect("task slot poisoned"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// `true` once the job's result is ready (join would not block).
+    pub fn is_finished(&self) -> bool {
+        self.state
+            .slot
+            .lock()
+            .expect("task slot poisoned")
+            .is_some()
+    }
+}
+
+impl WorkerPool {
+    /// Submits an owned (`'static`) job and returns a [`JoinHandle`] for
+    /// its result. With zero pool workers the job runs inline right here
+    /// — a single-hardware-thread host degrades to the synchronous
+    /// schedule instead of queueing work nobody will pop.
+    pub fn submit<T, F>(&self, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let state = Arc::new(TaskState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let task = Arc::clone(&state);
+        let job = move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            *task.slot.lock().expect("task slot poisoned") = Some(result);
+            task.done.notify_all();
+        };
+        if self.workers == 0 {
+            job();
+        } else {
+            self.shared
+                .queue
+                .lock()
+                .expect("worker queue poisoned")
+                .push_back(Box::new(job));
+            self.shared.job_ready.notify_one();
+        }
+        JoinHandle {
+            state,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
 /// Blocks until the scope's pending job count drains to zero — from
 /// `Drop`, so the barrier holds on both the normal path and unwinding.
 /// While waiting, the owning thread helps by executing queued jobs
@@ -357,6 +460,53 @@ mod tests {
         }
         // and a clean scope afterwards succeeds
         assert_eq!(pool.try_scope(|_| 7u32), Ok(7));
+    }
+
+    #[test]
+    fn submit_runs_detached_jobs_and_join_returns_results() {
+        let pool = WorkerPool::with_workers(2);
+        let handles: Vec<JoinHandle<u64>> =
+            (0..16u64).map(|i| pool.submit(move || i * i)).collect();
+        let got: Vec<u64> = handles.into_iter().map(JoinHandle::join).collect();
+        let want: Vec<u64> = (0..16u64).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn submit_on_zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::with_workers(0);
+        let handle = pool.submit(|| 41 + 1);
+        assert!(handle.is_finished(), "inline job finished at submit");
+        assert_eq!(handle.join(), 42);
+    }
+
+    #[test]
+    fn submit_overlaps_with_scoped_work() {
+        // a detached job and a scope share the same queue and workers;
+        // both must complete regardless of interleaving
+        let pool = WorkerPool::with_workers(1);
+        let handle = pool.submit(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            7u32
+        });
+        let mut slots = [0u64; 8];
+        pool.scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert!(slots.iter().all(|&s| s > 0));
+        assert_eq!(handle.join(), 7);
+    }
+
+    #[test]
+    fn join_resumes_submitted_job_panic() {
+        let pool = WorkerPool::with_workers(1);
+        let handle = pool.submit(|| -> u32 { panic!("detached boom") });
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| handle.join()));
+        assert!(result.is_err(), "join must resume the job's panic");
+        // the worker survives and serves the next submission
+        assert_eq!(pool.submit(|| 5u8).join(), 5);
     }
 
     #[test]

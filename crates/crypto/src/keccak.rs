@@ -88,6 +88,307 @@ pub fn keccak_f1600(state: &mut [u64; 25]) {
     }
 }
 
+/// The Keccak-f[1600] permutation over **four independent states** held
+/// as interleaved lanes: `states[i][s]` is lane `i` of hash stream `s`.
+///
+/// Every θ/ρ/π/χ/ι operation runs across the four streams back-to-back,
+/// so the four permutations share one pass over the round structure and
+/// each `[u64; 4]` op is one 256-bit vector op. On x86-64 hosts with
+/// AVX2 (checked once at runtime; detection is cached by std) the call
+/// dispatches to a hand-scheduled intrinsics kernel; everywhere else a
+/// portable safe-Rust body runs, which auto-vectorizes on targets whose
+/// baseline has wide enough registers. All versions are bit-identical —
+/// integer ops only, no platform-dependent rounding anywhere.
+pub fn keccak_f1600_x4(states: &mut [[u64; 4]; 25]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: the AVX2 kernel is only reached behind the runtime
+        // feature check. An AVX-512 variant was measured slower than
+        // AVX2 on the reference host (512-bit license downclocking), so
+        // AVX2 is the only dispatch target.
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { keccak_f1600_x4_avx2(states) };
+        }
+    }
+    keccak_f1600_x4_portable(states)
+}
+
+/// Hand-scheduled AVX2 kernel: each `[u64; 4]` lane group is one ymm
+/// register, and a round is computed χ-plane by χ-plane — the five
+/// post-ρπ lanes a plane needs are built in registers (θ's d-application
+/// fused into ρ's rotate) and consumed immediately, ping-ponging between
+/// two 25-lane buffers across rounds. The 25-ymm working set cannot fit
+/// 16 registers, so the point of the schedule is to bound spills: only
+/// the buffers themselves live in memory, every temporary dies within
+/// its plane. Measured ~2× the auto-vectorized portable body, which
+/// keeps whole 25-lane intermediate arrays live and spill-thrashes.
+///
+/// Bit-identical to [`keccak_f1600_x4_portable`]: same θ/ρ/π/χ/ι
+/// algebra, integer ops only.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn keccak_f1600_x4_avx2(states: &mut [[u64; 4]; 25]) {
+    use std::arch::x86_64::*;
+
+    macro_rules! rol {
+        ($v:expr, $r:literal) => {
+            _mm256_or_si256(
+                _mm256_slli_epi64::<$r>($v),
+                _mm256_srli_epi64::<{ 64 - $r }>($v),
+            )
+        };
+    }
+    macro_rules! xor {
+        ($a:expr, $b:expr) => {
+            _mm256_xor_si256($a, $b)
+        };
+    }
+    // χ on three consecutive-in-row lanes: b0 ^ (!b1 & b2)
+    macro_rules! chi {
+        ($b0:expr, $b1:expr, $b2:expr) => {
+            _mm256_xor_si256($b0, _mm256_andnot_si256($b1, $b2))
+        };
+    }
+    // One full round from buffer `$a` into buffer `$e`. The (source
+    // lane, rotation) pairs per output plane are the standard fused
+    // θρπ tables — the same mapping the portable body walks via PI/RHO.
+    macro_rules! round {
+        ($a:ident, $e:ident, $rc:expr) => {{
+            let c0 = xor!(xor!(xor!($a[0], $a[5]), xor!($a[10], $a[15])), $a[20]);
+            let c1 = xor!(xor!(xor!($a[1], $a[6]), xor!($a[11], $a[16])), $a[21]);
+            let c2 = xor!(xor!(xor!($a[2], $a[7]), xor!($a[12], $a[17])), $a[22]);
+            let c3 = xor!(xor!(xor!($a[3], $a[8]), xor!($a[13], $a[18])), $a[23]);
+            let c4 = xor!(xor!(xor!($a[4], $a[9]), xor!($a[14], $a[19])), $a[24]);
+            let d0 = xor!(c4, rol!(c1, 1));
+            let d1 = xor!(c0, rol!(c2, 1));
+            let d2 = xor!(c1, rol!(c3, 1));
+            let d3 = xor!(c2, rol!(c4, 1));
+            let d4 = xor!(c3, rol!(c0, 1));
+
+            let b0 = xor!($a[0], d0);
+            let b1 = rol!(xor!($a[6], d1), 44);
+            let b2 = rol!(xor!($a[12], d2), 43);
+            let b3 = rol!(xor!($a[18], d3), 21);
+            let b4 = rol!(xor!($a[24], d4), 14);
+            $e[0] = xor!(chi!(b0, b1, b2), _mm256_set1_epi64x($rc as i64));
+            $e[1] = chi!(b1, b2, b3);
+            $e[2] = chi!(b2, b3, b4);
+            $e[3] = chi!(b3, b4, b0);
+            $e[4] = chi!(b4, b0, b1);
+
+            let b0 = rol!(xor!($a[3], d3), 28);
+            let b1 = rol!(xor!($a[9], d4), 20);
+            let b2 = rol!(xor!($a[10], d0), 3);
+            let b3 = rol!(xor!($a[16], d1), 45);
+            let b4 = rol!(xor!($a[22], d2), 61);
+            $e[5] = chi!(b0, b1, b2);
+            $e[6] = chi!(b1, b2, b3);
+            $e[7] = chi!(b2, b3, b4);
+            $e[8] = chi!(b3, b4, b0);
+            $e[9] = chi!(b4, b0, b1);
+
+            let b0 = rol!(xor!($a[1], d1), 1);
+            let b1 = rol!(xor!($a[7], d2), 6);
+            let b2 = rol!(xor!($a[13], d3), 25);
+            let b3 = rol!(xor!($a[19], d4), 8);
+            let b4 = rol!(xor!($a[20], d0), 18);
+            $e[10] = chi!(b0, b1, b2);
+            $e[11] = chi!(b1, b2, b3);
+            $e[12] = chi!(b2, b3, b4);
+            $e[13] = chi!(b3, b4, b0);
+            $e[14] = chi!(b4, b0, b1);
+
+            let b0 = rol!(xor!($a[4], d4), 27);
+            let b1 = rol!(xor!($a[5], d0), 36);
+            let b2 = rol!(xor!($a[11], d1), 10);
+            let b3 = rol!(xor!($a[17], d2), 15);
+            let b4 = rol!(xor!($a[23], d3), 56);
+            $e[15] = chi!(b0, b1, b2);
+            $e[16] = chi!(b1, b2, b3);
+            $e[17] = chi!(b2, b3, b4);
+            $e[18] = chi!(b3, b4, b0);
+            $e[19] = chi!(b4, b0, b1);
+
+            let b0 = rol!(xor!($a[2], d2), 62);
+            let b1 = rol!(xor!($a[8], d3), 55);
+            let b2 = rol!(xor!($a[14], d4), 39);
+            let b3 = rol!(xor!($a[15], d0), 41);
+            let b4 = rol!(xor!($a[21], d1), 2);
+            $e[20] = chi!(b0, b1, b2);
+            $e[21] = chi!(b1, b2, b3);
+            $e[22] = chi!(b2, b3, b4);
+            $e[23] = chi!(b3, b4, b0);
+            $e[24] = chi!(b4, b0, b1);
+        }};
+    }
+
+    // [[u64; 4]; 25] is exactly 25 unaligned ymm lane groups in memory.
+    let p = states.as_mut_ptr() as *mut __m256i;
+    let mut a = [_mm256_setzero_si256(); 25];
+    for (i, lane) in a.iter_mut().enumerate() {
+        *lane = _mm256_loadu_si256(p.add(i));
+    }
+    let mut e = [_mm256_setzero_si256(); 25];
+    let mut r = 0;
+    while r < ROUNDS {
+        round!(a, e, RC[r]);
+        round!(e, a, RC[r + 1]);
+        r += 2;
+    }
+    for (i, lane) in a.iter().enumerate() {
+        _mm256_storeu_si256(p.add(i), *lane);
+    }
+}
+
+#[inline(always)]
+fn keccak_f1600_x4_portable(states: &mut [[u64; 4]; 25]) {
+    for &rc in RC.iter() {
+        // θ
+        let mut c = [[0u64; 4]; 5];
+        for x in 0..5 {
+            for s in 0..4 {
+                c[x][s] = states[x][s]
+                    ^ states[x + 5][s]
+                    ^ states[x + 10][s]
+                    ^ states[x + 15][s]
+                    ^ states[x + 20][s];
+            }
+        }
+        for x in 0..5 {
+            let mut d = [0u64; 4];
+            for s in 0..4 {
+                d[s] = c[(x + 4) % 5][s] ^ c[(x + 1) % 5][s].rotate_left(1);
+            }
+            for y in 0..5 {
+                for s in 0..4 {
+                    states[x + 5 * y][s] ^= d[s];
+                }
+            }
+        }
+        // ρ and π — the same in-place walk as the scalar permutation,
+        // lifted to `[u64; 4]` lane groups. (A two-buffer variant with
+        // all-independent writes was tried and measured slower both here
+        // and in the scalar body: the `last` carry is renamed away by
+        // out-of-order execution, so the walk is not actually serial,
+        // and the extra buffer only adds memory traffic.)
+        let mut last = states[1];
+        for i in 0..24 {
+            let j = PI[i];
+            let tmp = states[j];
+            for s in 0..4 {
+                states[j][s] = last[s].rotate_left(RHO[i]);
+            }
+            last = tmp;
+        }
+        // χ
+        for y in 0..5 {
+            let row = [
+                states[5 * y],
+                states[5 * y + 1],
+                states[5 * y + 2],
+                states[5 * y + 3],
+                states[5 * y + 4],
+            ];
+            for x in 0..5 {
+                for s in 0..4 {
+                    states[5 * y + x][s] =
+                        row[x][s] ^ ((!row[(x + 1) % 5][s]) & row[(x + 2) % 5][s]);
+                }
+            }
+        }
+        // ι
+        for s in 0..4 {
+            states[0][s] ^= rc;
+        }
+    }
+}
+
+/// Copies bytes `[start, start + rate)` of the virtual concatenation of
+/// `parts` into `block` (zero-filled past the message end) and applies
+/// the Keccak `0x01 … 0x80` padding when the message ends inside this
+/// block. XOR-applied padding handles the coincidence case (message
+/// length ≡ 135 mod 136 puts both pad bytes in the last position).
+fn load_padded_block(
+    parts: &[&[u8]],
+    start: usize,
+    msg_len: usize,
+    block: &mut [u8; KECCAK256_RATE],
+) {
+    block.fill(0);
+    let end = start + KECCAK256_RATE;
+    let mut pos = 0usize;
+    for part in parts {
+        let (pstart, pend) = (pos, pos + part.len());
+        pos = pend;
+        if pend <= start || pstart >= end {
+            continue;
+        }
+        let from = start.max(pstart);
+        let to = end.min(pend);
+        block[from - start..to - start].copy_from_slice(&part[from - pstart..to - pstart]);
+    }
+    if msg_len < end {
+        // final block of this message: pad starts right after the payload
+        block[msg_len - start] ^= 0x01;
+        block[KECCAK256_RATE - 1] ^= 0x80;
+    }
+}
+
+/// Four independent Keccak-256 hashes computed in lockstep through
+/// [`keccak_f1600_x4`], each message given as concatenated parts (so
+/// callers batch domain-tagged hashes without materializing preimages).
+///
+/// Messages may have different lengths: each stream absorbs its own
+/// block sequence and its digest is captured right after its final
+/// (padded) block's permutation; a finished stream's lanes keep churning
+/// until the longest message completes, which is wasted work only when
+/// lengths are very unequal. Digests are bit-identical to four
+/// [`keccak256_concat`] calls — the batching is a pure scheduling
+/// change.
+pub fn keccak256_x4_concat(streams: [&[&[u8]]; 4]) -> [[u8; 32]; 4] {
+    let mut lens = [0usize; 4];
+    let mut nblocks = [0usize; 4];
+    for s in 0..4 {
+        lens[s] = streams[s].iter().map(|p| p.len()).sum();
+        // padding always adds at least one byte, so a rate-aligned
+        // message gains a whole extra block
+        nblocks[s] = lens[s] / KECCAK256_RATE + 1;
+    }
+    let max_blocks = nblocks.iter().copied().max().expect("four streams");
+
+    let mut states = [[0u64; 4]; 25];
+    let mut out = [[0u8; 32]; 4];
+    let mut block = [0u8; KECCAK256_RATE];
+    for b in 0..max_blocks {
+        for s in 0..4 {
+            if b >= nblocks[s] {
+                continue;
+            }
+            load_padded_block(streams[s], b * KECCAK256_RATE, lens[s], &mut block);
+            for (i, lanes) in states.iter_mut().take(KECCAK256_RATE / 8).enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&block[8 * i..8 * (i + 1)]);
+                lanes[s] ^= u64::from_le_bytes(bytes);
+            }
+        }
+        keccak_f1600_x4(&mut states);
+        for s in 0..4 {
+            if b + 1 == nblocks[s] {
+                for i in 0..4 {
+                    out[s][8 * i..8 * (i + 1)].copy_from_slice(&states[i][s].to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Four one-shot Keccak-256 hashes through the interleaved permutation.
+/// Bit-identical to four [`keccak256`] calls.
+pub fn keccak256_x4(msgs: [&[u8]; 4]) -> [[u8; 32]; 4] {
+    keccak256_x4_concat([&[msgs[0]], &[msgs[1]], &[msgs[2]], &[msgs[3]]])
+}
+
 /// Streaming Keccak-256 hasher.
 ///
 /// ```
@@ -128,28 +429,31 @@ impl Keccak256 {
         }
     }
 
-    /// Absorbs `data` into the sponge.
+    /// Absorbs `data` into the sponge. Once the carry buffer is clear,
+    /// whole rate blocks absorb straight from the input slice — only the
+    /// sub-block head and tail ever touch the buffer.
     pub fn update(&mut self, data: &[u8]) {
         let mut rest = data;
-        while !rest.is_empty() {
+        if self.buf_len > 0 {
             let take = (KECCAK256_RATE - self.buf_len).min(rest.len());
             self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
             self.buf_len += take;
             rest = &rest[take..];
             if self.buf_len == KECCAK256_RATE {
-                self.absorb_block();
+                let block = self.buf;
+                absorb_into(&mut self.state, &block);
+                self.buf_len = 0;
             }
         }
-    }
-
-    fn absorb_block(&mut self) {
-        for i in 0..KECCAK256_RATE / 8 {
-            let mut lane = [0u8; 8];
-            lane.copy_from_slice(&self.buf[8 * i..8 * (i + 1)]);
-            self.state[i] ^= u64::from_le_bytes(lane);
+        while rest.len() >= KECCAK256_RATE {
+            let (block, tail) = rest.split_at(KECCAK256_RATE);
+            absorb_into(&mut self.state, block.try_into().expect("rate-sized"));
+            rest = tail;
         }
-        keccak_f1600(&mut self.state);
-        self.buf_len = 0;
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
     }
 
     /// Finishes the hash and returns the 32-byte digest.
@@ -158,20 +462,24 @@ impl Keccak256 {
         self.buf[self.buf_len..].fill(0);
         self.buf[self.buf_len] ^= 0x01;
         self.buf[KECCAK256_RATE - 1] ^= 0x80;
-        self.buf_len = KECCAK256_RATE;
-        // absorb final block without resetting padding
-        for i in 0..KECCAK256_RATE / 8 {
-            let mut lane = [0u8; 8];
-            lane.copy_from_slice(&self.buf[8 * i..8 * (i + 1)]);
-            self.state[i] ^= u64::from_le_bytes(lane);
-        }
-        keccak_f1600(&mut self.state);
+        let block = self.buf;
+        absorb_into(&mut self.state, &block);
         let mut out = [0u8; 32];
         for i in 0..4 {
             out[8 * i..8 * (i + 1)].copy_from_slice(&self.state[i].to_le_bytes());
         }
         out
     }
+}
+
+/// XORs one rate block into the sponge state lane-wise and permutes.
+fn absorb_into(state: &mut [u64; 25], block: &[u8; KECCAK256_RATE]) {
+    for (i, lane) in state.iter_mut().take(KECCAK256_RATE / 8).enumerate() {
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&block[8 * i..8 * (i + 1)]);
+        *lane ^= u64::from_le_bytes(bytes);
+    }
+    keccak_f1600(state);
 }
 
 /// One-shot Keccak-256.
@@ -264,5 +572,94 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_digests() {
         assert_ne!(keccak256(b"a"), keccak256(b"b"));
+    }
+
+    #[test]
+    fn x4_permutation_matches_four_scalar_permutations() {
+        // a deterministic pseudo-random state per stream
+        let mut scalar = [[0u64; 25]; 4];
+        let mut interleaved = [[0u64; 4]; 25];
+        for s in 0..4 {
+            for i in 0..25 {
+                let v = (s as u64 + 1)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_mul(i as u64 + 1);
+                scalar[s][i] = v;
+                interleaved[i][s] = v;
+            }
+        }
+        for state in scalar.iter_mut() {
+            keccak_f1600(state);
+        }
+        keccak_f1600_x4(&mut interleaved);
+        for s in 0..4 {
+            for i in 0..25 {
+                assert_eq!(interleaved[i][s], scalar[s][i], "stream {s} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_vectors_through_every_x4_lane() {
+        // each known-answer vector rides each of the four interleave
+        // slots, surrounded by different traffic in the other slots
+        let vectors: [(&[u8], &str); 3] = [
+            (
+                b"",
+                "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470",
+            ),
+            (
+                b"abc",
+                "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15",
+            ),
+        ];
+        let noise: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 200]).collect();
+        for (msg, want) in vectors {
+            for slot in 0..4 {
+                let mut msgs: [&[u8]; 4] = [&noise[0], &noise[1], &noise[2], &noise[3]];
+                msgs[slot] = msg;
+                let out = keccak256_x4(msgs);
+                assert_eq!(hex(&out[slot]), want, "slot {slot}");
+                for (s, other) in out.iter().enumerate() {
+                    if s != slot {
+                        assert_eq!(*other, keccak256(msgs[s]), "noise slot {s}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x4_matches_scalar_across_unequal_lengths() {
+        // lengths straddling every rate boundary, deliberately unequal
+        // per slot so early-finishing streams are exercised
+        let lens = [0usize, 1, 135, 136, 137, 271, 272, 273, 500];
+        let data: Vec<u8> = (0..600u32).map(|i| (i % 251) as u8).collect();
+        for w in lens.windows(4) {
+            let msgs: [&[u8]; 4] = [&data[..w[0]], &data[..w[1]], &data[..w[2]], &data[..w[3]]];
+            let got = keccak256_x4(msgs);
+            for s in 0..4 {
+                assert_eq!(got[s], keccak256(msgs[s]), "len {}", msgs[s].len());
+            }
+        }
+    }
+
+    #[test]
+    fn x4_concat_matches_scalar_concat() {
+        let a = b"ammboost-".as_slice();
+        let parts: [&[&[u8]]; 4] = [
+            &[a, b"one"],
+            &[b"", a, b"two", b""],
+            &[b"three"],
+            &[a, a, a],
+        ];
+        let got = keccak256_x4_concat(parts);
+        for s in 0..4 {
+            assert_eq!(got[s], keccak256_concat(parts[s]), "stream {s}");
+        }
     }
 }

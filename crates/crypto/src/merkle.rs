@@ -2,7 +2,7 @@
 //! inclusion proofs (used to audit pruned meta-blocks against their
 //! summary-block commitments).
 
-use crate::keccak::{keccak_f1600, KECCAK256_RATE};
+use crate::keccak::{keccak256_x4_concat, keccak_f1600, keccak_f1600_x4, KECCAK256_RATE};
 use crate::types::H256;
 use serde::{Deserialize, Serialize};
 
@@ -16,6 +16,18 @@ const NODE_PREIMAGE_BYTES: usize = 1 + 32 + 32;
 /// Hashes a leaf payload.
 pub fn leaf_hash(data: &[u8]) -> H256 {
     H256::hash_concat(&[LEAF_TAG, data])
+}
+
+/// Hashes four leaf payloads through the interleaved Keccak permutation.
+/// Bit-identical to four [`leaf_hash`] calls.
+pub fn leaf_hash_x4(items: [&[u8]; 4]) -> [H256; 4] {
+    keccak256_x4_concat([
+        &[LEAF_TAG, items[0]],
+        &[LEAF_TAG, items[1]],
+        &[LEAF_TAG, items[2]],
+        &[LEAF_TAG, items[3]],
+    ])
+    .map(H256)
 }
 
 /// Reusable sponge block for node hashes. A node preimage (65 bytes) fits
@@ -63,6 +75,48 @@ fn node_hash(l: &H256, r: &H256) -> H256 {
     NodeSponge::new().hash(l, r)
 }
 
+/// Four [`NodeSponge`]s in lockstep: four 65-byte node preimages are
+/// single rate blocks, so one [`keccak_f1600_x4`] permutation over the
+/// interleaved load finishes all four node hashes. This is the Merkle
+/// inner loop — a level of `n` nodes costs `⌈n/4⌉` four-way permutations
+/// instead of `n` scalar ones.
+struct NodeSponge4 {
+    blocks: [[u8; KECCAK256_RATE]; 4],
+}
+
+impl NodeSponge4 {
+    fn new() -> NodeSponge4 {
+        let mut block = [0u8; KECCAK256_RATE];
+        block[0] = NODE_TAG[0];
+        block[NODE_PREIMAGE_BYTES] = 0x01;
+        block[KECCAK256_RATE - 1] = 0x80;
+        NodeSponge4 { blocks: [block; 4] }
+    }
+
+    fn hash(&mut self, pairs: [(&H256, &H256); 4]) -> [H256; 4] {
+        for (block, (l, r)) in self.blocks.iter_mut().zip(pairs) {
+            block[1..33].copy_from_slice(&l.0);
+            block[33..65].copy_from_slice(&r.0);
+        }
+        let mut states = [[0u64; 4]; 25];
+        for (i, lanes) in states.iter_mut().take(KECCAK256_RATE / 8).enumerate() {
+            for s in 0..4 {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&self.blocks[s][8 * i..8 * (i + 1)]);
+                lanes[s] = u64::from_le_bytes(bytes);
+            }
+        }
+        keccak_f1600_x4(&mut states);
+        let mut out = [H256::ZERO; 4];
+        for s in 0..4 {
+            for i in 0..4 {
+                out[s].0[8 * i..8 * (i + 1)].copy_from_slice(&states[i][s].to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
 /// A Merkle tree with all levels retained for proof generation.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MerkleTree {
@@ -98,10 +152,24 @@ impl MerkleTree {
         let mut levels = Vec::with_capacity(depth + 1);
         levels.push(leaves);
         let mut sponge = NodeSponge::new();
+        let mut sponge4 = NodeSponge4::new();
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
+            // four sibling pairs per interleaved permutation; the tail
+            // (< 4 pairs, or the odd duplicated node) goes through the
+            // scalar sponge — same digests either way
+            let mut octets = prev.chunks_exact(8);
+            for o in &mut octets {
+                let quad = sponge4.hash([
+                    (&o[0], &o[1]),
+                    (&o[2], &o[3]),
+                    (&o[4], &o[5]),
+                    (&o[6], &o[7]),
+                ]);
+                next.extend_from_slice(&quad);
+            }
+            for pair in octets.remainder().chunks(2) {
                 let l = &pair[0];
                 let r = pair.get(1).unwrap_or(l);
                 next.push(sponge.hash(l, r));
@@ -112,9 +180,53 @@ impl MerkleTree {
         MerkleTree { levels }
     }
 
-    /// Builds a tree by hashing raw items as leaves.
+    /// [`MerkleTree::from_leaves`] through the scalar sponge only — the
+    /// differential oracle for the four-way batched build (and its bench
+    /// baseline). Roots, levels and proofs are bit-identical.
+    pub fn from_leaves_scalar(leaves: Vec<H256>) -> MerkleTree {
+        if leaves.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![H256::ZERO]],
+            };
+        }
+        let mut levels = vec![leaves];
+        let mut sponge = NodeSponge::new();
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let l = &pair[0];
+                let r = pair.get(1).unwrap_or(l);
+                next.push(sponge.hash(l, r));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Builds a tree by hashing raw items as leaves, four leaf hashes per
+    /// interleaved permutation.
     pub fn from_items<T: AsRef<[u8]>>(items: &[T]) -> MerkleTree {
-        MerkleTree::from_leaves(items.iter().map(|i| leaf_hash(i.as_ref())).collect())
+        let mut leaves = Vec::with_capacity(items.len());
+        let mut quads = items.chunks_exact(4);
+        for q in &mut quads {
+            leaves.extend_from_slice(&leaf_hash_x4([
+                q[0].as_ref(),
+                q[1].as_ref(),
+                q[2].as_ref(),
+                q[3].as_ref(),
+            ]));
+        }
+        for item in quads.remainder() {
+            leaves.push(leaf_hash(item.as_ref()));
+        }
+        MerkleTree::from_leaves(leaves)
+    }
+
+    /// [`MerkleTree::from_items`] through scalar hashing only — the
+    /// differential oracle for the batched leaf path.
+    pub fn from_items_scalar<T: AsRef<[u8]>>(items: &[T]) -> MerkleTree {
+        MerkleTree::from_leaves_scalar(items.iter().map(|i| leaf_hash(i.as_ref())).collect())
     }
 
     /// The Merkle root.
@@ -249,6 +361,50 @@ mod tests {
             let r = H256::hash(&[i, i]);
             let expect = H256::hash_concat(&[NODE_TAG, &l.0, &r.0]);
             assert_eq!(sponge.hash(&l, &r), expect, "node {i}");
+        }
+    }
+
+    #[test]
+    fn node_sponge4_matches_scalar_sponge() {
+        let mut sponge = NodeSponge::new();
+        let mut sponge4 = NodeSponge4::new();
+        let digests: Vec<H256> = (0..8u8).map(|i| H256::hash(&[i])).collect();
+        let pairs = [
+            (&digests[0], &digests[1]),
+            (&digests[2], &digests[3]),
+            (&digests[4], &digests[5]),
+            (&digests[6], &digests[7]),
+        ];
+        let got = sponge4.hash(pairs);
+        for (s, (l, r)) in pairs.into_iter().enumerate() {
+            assert_eq!(got[s], sponge.hash(l, r), "pair {s}");
+        }
+    }
+
+    #[test]
+    fn batched_build_bit_identical_to_scalar_for_all_small_sizes() {
+        // every size 0..=257: crosses the 8-leaf octet boundary, odd
+        // duplication, and the <4-pair tail in every combination
+        for n in 0..=257usize {
+            let data = items(n);
+            let batched = MerkleTree::from_items(&data);
+            let scalar = MerkleTree::from_items_scalar(&data);
+            assert_eq!(batched.root(), scalar.root(), "n={n}");
+            assert_eq!(batched.levels, scalar.levels, "n={n} levels diverge");
+            if n > 0 {
+                for i in [0, n / 2, n - 1] {
+                    assert_eq!(batched.prove(i), scalar.prove(i), "n={n} proof {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_hash_x4_matches_scalar() {
+        let items: [&[u8]; 4] = [b"", b"a", b"ammboost", b"a-longer-leaf-payload"];
+        let got = leaf_hash_x4(items);
+        for s in 0..4 {
+            assert_eq!(got[s], leaf_hash(items[s]), "slot {s}");
         }
     }
 

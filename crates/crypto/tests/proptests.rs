@@ -1,7 +1,7 @@
 //! Property-based tests for the cryptographic substrate.
 
 use ammboost_crypto::field::{Fr, MODULUS};
-use ammboost_crypto::keccak::{keccak256, Keccak256};
+use ammboost_crypto::keccak::{keccak256, keccak256_x4, keccak_f1600, keccak_f1600_x4, Keccak256};
 use ammboost_crypto::merkle::{leaf_hash, verify_proof, MerkleTree};
 use ammboost_crypto::shamir::{reconstruct_secret, Polynomial, Share};
 use ammboost_crypto::u256::{U256, U512};
@@ -160,6 +160,41 @@ proptest! {
         prop_assert_eq!(h.finalize(), keccak256(&data));
     }
 
+    #[test]
+    fn keccak_x4_permutation_equals_four_scalar(lanes in proptest::collection::vec(any::<u64>(), 100..101)) {
+        let mut scalar = [[0u64; 25]; 4];
+        let mut interleaved = [[0u64; 4]; 25];
+        for s in 0..4 {
+            for i in 0..25 {
+                scalar[s][i] = lanes[25 * s + i];
+                interleaved[i][s] = lanes[25 * s + i];
+            }
+        }
+        for state in scalar.iter_mut() {
+            keccak_f1600(state);
+        }
+        keccak_f1600_x4(&mut interleaved);
+        for s in 0..4 {
+            for i in 0..25 {
+                prop_assert_eq!(interleaved[i][s], scalar[s][i], "stream {} lane {}", s, i);
+            }
+        }
+    }
+
+    #[test]
+    fn keccak_x4_hash_equals_four_scalar(
+        a in proptest::collection::vec(any::<u8>(), 0..400),
+        b in proptest::collection::vec(any::<u8>(), 0..400),
+        c in proptest::collection::vec(any::<u8>(), 0..400),
+        d in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let msgs: [&[u8]; 4] = [&a, &b, &c, &d];
+        let got = keccak256_x4(msgs);
+        for s in 0..4 {
+            prop_assert_eq!(got[s], keccak256(msgs[s]), "stream {}", s);
+        }
+    }
+
     // ---- Shamir ------------------------------------------------------------
 
     #[test]
@@ -203,5 +238,23 @@ proptest! {
         let tree = MerkleTree::from_items(&items);
         let proof = tree.prove(0).unwrap();
         prop_assert!(!verify_proof(&tree.root(), &leaf_hash(&items[1]), &proof));
+    }
+
+    #[test]
+    fn merkle_batched_build_equals_scalar(n in 0usize..300, seed in any::<u64>(), len in 0usize..80) {
+        // variable-length items: leaf batching and node batching must
+        // both reproduce the scalar oracle's roots and proofs exactly
+        let items: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                let digest = keccak256(&(seed ^ i as u64).to_be_bytes());
+                digest.iter().cycle().take((len + i) % 80).copied().collect()
+            })
+            .collect();
+        let batched = MerkleTree::from_items(&items);
+        let scalar = MerkleTree::from_items_scalar(&items);
+        prop_assert_eq!(batched.root(), scalar.root());
+        for i in 0..n {
+            prop_assert_eq!(batched.prove(i), scalar.prove(i), "proof {}", i);
+        }
     }
 }

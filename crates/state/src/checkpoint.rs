@@ -33,6 +33,50 @@ pub struct CheckpointStats {
     pub root: H256,
 }
 
+/// The synchronous half of a checkpoint: every section encoded, dirty
+/// flags consumed, cache refreshed — everything that must observe the
+/// live node state. What remains ([`StagedCheckpoint::commit`]) is pure
+/// hashing and assembly over data this struct *owns*, so it can run on a
+/// worker thread while the next epoch already mutates the pools.
+#[derive(Debug)]
+pub struct StagedCheckpoint {
+    epoch: u64,
+    sections: Vec<Section>,
+    pools_total: usize,
+    pools_reencoded: usize,
+    pools_reused: usize,
+}
+
+impl StagedCheckpoint {
+    /// The epoch this stage covers.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Finishes the checkpoint: Merkle-hashes the staged sections and
+    /// assembles the [`Snapshot`] plus its stats. Deterministic in the
+    /// staged data alone — committing on another thread, or an epoch
+    /// later, yields byte-identical output to an inline commit.
+    pub fn commit(self) -> (Snapshot, CheckpointStats) {
+        let snapshot = Snapshot {
+            version: SNAPSHOT_VERSION,
+            epoch: self.epoch,
+            sections: self.sections,
+        };
+        let stats = CheckpointStats {
+            epoch: self.epoch,
+            pools_total: self.pools_total,
+            pools_reencoded: self.pools_reencoded,
+            pools_reused: self.pools_reused,
+            // exact wire size without serializing — the Merkle build for
+            // the root is the only hashing a checkpoint pays here
+            snapshot_bytes: snapshot.encoded_len() as u64,
+            root: snapshot.root(),
+        };
+        (snapshot, stats)
+    }
+}
+
 /// Incremental snapshot producer. One per node; survives across epochs so
 /// the pool-section cache stays warm.
 #[derive(Debug, Default)]
@@ -67,14 +111,33 @@ impl Checkpointer {
     /// provides (sorted by tag for canonical ordering). Pool sections are
     /// engine-tagged (format v3), so a heterogeneous fleet snapshots
     /// uniformly.
+    ///
+    /// Equivalent to [`Checkpointer::stage`] followed immediately by
+    /// [`StagedCheckpoint::commit`].
     pub fn checkpoint(
         &mut self,
         epoch: u64,
         pools: &[(PoolId, &Engine)],
         ledger: &Ledger,
         deposits: &Deposits,
-        mut aux: Vec<(u8, Vec<u8>)>,
+        aux: Vec<(u8, Vec<u8>)>,
     ) -> (Snapshot, CheckpointStats) {
+        self.stage(epoch, pools, ledger, deposits, aux).commit()
+    }
+
+    /// The encode-only half of [`Checkpointer::checkpoint`]: consumes
+    /// dirty flags, (re-)encodes every section and refreshes the cache,
+    /// but performs **no hashing**. The returned [`StagedCheckpoint`]
+    /// owns its sections, so its `commit` — the Merkle work — can be
+    /// deferred or moved to another thread while the live state moves on.
+    pub fn stage(
+        &mut self,
+        epoch: u64,
+        pools: &[(PoolId, &Engine)],
+        ledger: &Ledger,
+        deposits: &Deposits,
+        mut aux: Vec<(u8, Vec<u8>)>,
+    ) -> StagedCheckpoint {
         let mut sections = Vec::with_capacity(pools.len() + 2 + aux.len());
         let mut reencoded = 0usize;
         let mut reused = 0usize;
@@ -117,22 +180,13 @@ impl Checkpointer {
             });
         }
 
-        let snapshot = Snapshot {
-            version: SNAPSHOT_VERSION,
+        StagedCheckpoint {
             epoch,
             sections,
-        };
-        let stats = CheckpointStats {
-            epoch,
             pools_total: pools.len(),
             pools_reencoded: reencoded,
             pools_reused: reused,
-            // exact wire size without serializing — the Merkle build for
-            // the root is the only hashing a checkpoint pays here
-            snapshot_bytes: snapshot.encoded_len() as u64,
-            root: snapshot.root(),
-        };
-        (snapshot, stats)
+        }
     }
 }
 
@@ -242,6 +296,31 @@ mod tests {
         for ((_, engine), (_, section)) in pools.iter().zip(snap.pool_sections()) {
             assert_eq!(section.bytes[0], engine.kind().tag());
         }
+    }
+
+    #[test]
+    fn deferred_commit_is_byte_identical_to_immediate_checkpoint() {
+        // stage at epoch 2, keep mutating the pool, then commit: the
+        // staged sections own their bytes, so the late commit must equal
+        // an immediate checkpoint taken at stage time — the contract the
+        // pipelined checkpoint mode rests on
+        let mut pool = pool_with_liquidity(1);
+        let (ledger, deposits) = fixtures();
+        let pools = [(PoolId(0), &pool)];
+
+        let mut cp_now = Checkpointer::new();
+        let (snap_now, stats_now) = cp_now.checkpoint(2, &pools, &ledger, &deposits, vec![]);
+
+        let mut cp_late = Checkpointer::new();
+        let staged = cp_late.stage(2, &[(PoolId(0), &pool)], &ledger, &deposits, vec![]);
+        assert_eq!(staged.epoch(), 2);
+        pool.swap(true, SwapKind::ExactInput(123_456), None)
+            .unwrap();
+        let (snap_late, stats_late) = staged.commit();
+
+        assert_eq!(snap_late, snap_now);
+        assert_eq!(stats_late, stats_now);
+        assert_eq!(snap_late.encode(), snap_now.encode(), "wire bytes diverge");
     }
 
     #[test]

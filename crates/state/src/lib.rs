@@ -37,7 +37,7 @@ pub mod snapshot;
 pub mod store;
 pub mod sync;
 
-pub use checkpoint::{CheckpointStats, Checkpointer};
+pub use checkpoint::{CheckpointStats, Checkpointer, StagedCheckpoint};
 pub use codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 pub use heal::{
     fetch_manifest, heal_fetch, heal_restore, HealReport, ProviderReply, Quarantine, RetryPolicy,
@@ -45,8 +45,8 @@ pub use heal::{
 };
 pub use prune::{prune_to_snapshot, PruneReport, RetentionPolicy};
 pub use snapshot::{
-    root_from_section_hashes, Section, SectionKind, Snapshot, LEGACY_SNAPSHOT_VERSION,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    root_from_section_hashes, section_hashes, Section, SectionKind, Snapshot,
+    LEGACY_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use store::{CheckpointStore, CrashPoint, RecoveryOutcome, StoreError};
 pub use sync::{restore, restore_from_bytes, RestoreError, RestoredState};
