@@ -235,7 +235,7 @@ impl AmmEngine for Pool {
     }
 
     fn position_ids(&self) -> Vec<PositionId> {
-        self.positions().map(|(id, _)| *id).collect()
+        self.positions().map(|(id, _)| id).collect()
     }
 
     fn position_count(&self) -> usize {

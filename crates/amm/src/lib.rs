@@ -17,6 +17,8 @@
 //! - [`tick_bitmap`] — word-packed next-initialized-tick index.
 //! - [`fast_hash`] — multiply-mix hashing for integer-keyed hot maps.
 //! - [`pool`] — the pool: multi-range swaps, positions, fees, flash loans.
+//! - [`positions`] — zero-copy position storage: wire-format records
+//!   behind an id index, decoded lazily through a copy-on-write overlay.
 //! - [`engines`] — the multi-engine fleet: the [`AmmEngine`] trait over
 //!   this pool plus constant-product and weighted geometric-mean engines.
 //! - [`tx`] — the transaction vocabulary + paper-calibrated size models.
@@ -42,6 +44,7 @@ pub mod error;
 pub mod fast_hash;
 pub mod liquidity_math;
 pub mod pool;
+pub mod positions;
 pub mod sqrt_price_math;
 pub mod swap_math;
 pub mod tick_bitmap;
@@ -55,5 +58,6 @@ pub use engines::{
 };
 pub use error::AmmError;
 pub use pool::{Pool, Position, PositionValuation, SwapKind, SwapResult, TickSearch};
+pub use positions::{PositionRecords, PositionTable, RecordsError, POSITION_RECORD_BYTES};
 pub use tick_bitmap::TickBitmap;
 pub use types::{Amount, AmountPair, Liquidity, PoolId, PositionId, Tick};

@@ -10,6 +10,7 @@
 use crate::error::AmmError;
 use crate::fast_hash::FastIntBuildHasher;
 use crate::liquidity_math::{add_delta, liquidity_for_amounts};
+use crate::positions::{PositionRecords, PositionTable};
 use crate::sqrt_price_math::{amount0_delta, amount1_delta};
 use crate::swap_math::{compute_swap_step, Remaining, SwapStep};
 use crate::tick_bitmap::TickBitmap;
@@ -20,6 +21,13 @@ use crate::types::{Amount, AmountPair, Liquidity, PositionId, Tick};
 use ammboost_crypto::{Address, U256};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+
+/// Minimum initialized-tick count before [`Pool::from_state`] consumes a
+/// persisted tick-price table. The table is always *validated* when
+/// present (a corrupt one still fails the restore closed); below this
+/// density, deriving the handful of boundary prices directly is cheaper
+/// than adopting the table, so small pools skip it.
+pub const TICK_TABLE_MIN_TICKS: usize = 256;
 
 /// Per-tick state (Uniswap `Tick.Info`).
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -161,8 +169,9 @@ pub struct PoolState {
     pub balance1: Amount,
     /// Initialized ticks, ascending by tick.
     pub ticks: Vec<(Tick, TickInfo)>,
-    /// Live positions, ascending by id.
-    pub positions: Vec<(PositionId, Position)>,
+    /// Live positions as wire-format records, ascending by id. Kept raw
+    /// so a restore adopts them zero-copy and decodes lazily.
+    pub positions: PositionRecords,
     /// Compact tick→sqrt-price table: `tick_prices[i]` is the boundary
     /// sqrt price (Q64.96) of `ticks[i].0`. Persisting it lets
     /// [`Pool::from_state`] rebuild the tick index without re-deriving
@@ -183,7 +192,7 @@ pub struct Pool {
     tick: Tick,
     liquidity: Liquidity,
     ticks: BTreeMap<Tick, TickInfo>,
-    positions: HashMap<PositionId, Position>,
+    positions: PositionTable,
     fee_growth_global0: U256,
     fee_growth_global1: U256,
     balance0: Amount,
@@ -223,7 +232,7 @@ impl Pool {
             tick,
             liquidity: 0,
             ticks: BTreeMap::new(),
-            positions: HashMap::new(),
+            positions: PositionTable::new(),
             fee_growth_global0: U256::ZERO,
             fee_growth_global1: U256::ZERO,
             balance0: 0,
@@ -267,19 +276,34 @@ impl Pool {
         (self.fee_growth_global0, self.fee_growth_global1)
     }
 
-    /// Looks up a position.
-    pub fn position(&self, id: &PositionId) -> Option<&Position> {
+    /// Looks up a position, decoding it from the record base if it has
+    /// not been materialized yet.
+    pub fn position(&self, id: &PositionId) -> Option<Position> {
         self.positions.get(id)
     }
 
-    /// Iterates over all positions.
-    pub fn positions(&self) -> impl Iterator<Item = (&PositionId, &Position)> {
+    /// Iterates over all positions (decoded on the fly; order
+    /// unspecified).
+    pub fn positions(&self) -> impl Iterator<Item = (PositionId, Position)> + '_ {
         self.positions.iter()
     }
 
     /// Number of live positions.
     pub fn position_count(&self) -> usize {
         self.positions.len()
+    }
+
+    /// How many positions are held decoded in memory (the rest remain
+    /// raw snapshot records until first touch).
+    pub fn materialized_position_count(&self) -> usize {
+        self.positions.materialized()
+    }
+
+    /// Eagerly decodes every record-backed position — the restore-time
+    /// oracle that lazy materialization is benchmarked and differentially
+    /// tested against. Returns how many records were newly decoded.
+    pub fn materialize_positions(&mut self) -> usize {
+        self.positions.materialize_all()
     }
 
     /// Number of initialized ticks.
@@ -359,12 +383,9 @@ impl Pool {
     /// Exports the pool's persistent state (derived structures excluded)
     /// in a deterministic order, for snapshotting.
     pub fn export_state(&self) -> PoolState {
-        let mut positions: Vec<(PositionId, Position)> = self
-            .positions
-            .iter()
-            .map(|(id, p)| (*id, p.clone()))
-            .collect();
-        positions.sort_by_key(|(id, _)| *id);
+        // zero-copy when no position was touched since restore; otherwise
+        // one sorted merge of the record base and the decoded overlay
+        let positions = self.positions.export_records();
         // the boundary prices are already materialized in the tick cache;
         // exporting them costs lookups, not tick-math derivations
         let tick_prices = self
@@ -438,8 +459,8 @@ impl Pool {
         // be strictly increasing within the sqrt-price domain; anything
         // else marks a corrupt snapshot. (Exact agreement with tick math
         // is debug-asserted when the table is consumed below.)
-        let use_table = !state.tick_prices.is_empty();
-        if use_table {
+        let table_present = !state.tick_prices.is_empty();
+        if table_present {
             if state.tick_prices.len() != state.ticks.len() {
                 return Err(AmmError::CorruptTickPriceTable);
             }
@@ -472,7 +493,9 @@ impl Pool {
             tick: state.tick,
             liquidity: state.liquidity,
             ticks: state.ticks.into_iter().collect(),
-            positions: state.positions.into_iter().collect(),
+            // O(1): the wire records become the table's base; positions
+            // decode individually on first touch
+            positions: PositionTable::from_records(state.positions),
             fee_growth_global0: state.fee_growth_global0,
             fee_growth_global1: state.fee_growth_global1,
             balance0: state.balance0,
@@ -482,7 +505,9 @@ impl Pool {
             tick_search: TickSearch::default(),
             crossings_buf: Vec::with_capacity(16),
         };
-        if use_table {
+        // consume the (already validated) table only past the density
+        // threshold: below it, recomputing beats the table's cache churn
+        if table_present && pool.ticks.len() >= TICK_TABLE_MIN_TICKS {
             pool.build_tick_index(Some(&state.tick_prices))?;
         } else {
             pool.rebuild_tick_index()?;
@@ -743,7 +768,7 @@ impl Pool {
             }
         }
 
-        let pos = self.positions.entry(id).or_insert_with(|| Position {
+        let pos = self.positions.entry_or_insert_with(id, || Position {
             owner,
             tick_lower,
             tick_upper,

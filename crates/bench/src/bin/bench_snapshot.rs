@@ -50,6 +50,15 @@
 //! next epoch executes. On a 1-hardware-thread host the pipelined column
 //! measures queueing overhead, not overlap, and is advisory.
 //!
+//! New in v7 (`BENCH_state.json`): a `delta_ladders` table sizing
+//! page-granular delta checkpoints against the full section re-encode
+//! over a dirty-fraction × position-count grid (positions are poked
+//! in place — fixed-stride records, so a poke never shifts bytes — and
+//! the delta must shrink ≥10× at ≤1% dirty), and eager columns on the
+//! restore ladder: the lazy zero-copy restore (positions stay packed
+//! wire records until touched) vs the same restore followed by
+//! materializing every position, at 10⁵ and (full mode) 10⁶ positions.
+//!
 //! Usage: `bench_snapshot [--smoke] [--out PATH] [--state-out PATH]
 //! [--check] [--tolerance PCT]`. `--smoke` cuts sample counts for CI;
 //! the JSON records which mode produced it, and `hardware_threads` so
@@ -68,6 +77,7 @@
 
 use ammboost_amm::engines::{CpEngine, WeightedEngine};
 use ammboost_amm::pool::{Pool, PoolState, SwapKind, TickSearch};
+use ammboost_amm::positions::PositionTable;
 use ammboost_amm::tx::AmmTx;
 use ammboost_amm::types::{PoolId, PositionId};
 use ammboost_bench::{fragmented_ladder_pool, ladder_pool, ladder_sweep, wide_pool};
@@ -81,7 +91,8 @@ use ammboost_crypto::Address;
 use ammboost_sidechain::ledger::Ledger;
 use ammboost_sim::DetRng;
 use ammboost_state::codec::{Decode, Encode};
-use ammboost_state::{CheckpointStats, Checkpointer, Snapshot};
+use ammboost_state::snapshot::{Section, SectionKind, SNAPSHOT_VERSION};
+use ammboost_state::{Checkpointer, DeltaSnapshot, Snapshot, DEFAULT_PAGE_SIZE};
 use ammboost_workload::{
     EngineMix, GeneratedTx, GeneratorConfig, LiquidityStyle, RouteStyle, TrafficGenerator,
     TrafficMix, TrafficSkew,
@@ -279,7 +290,8 @@ fn pool_count_ladder(
         executed.execute_batch(&batch, round as u64, ExecMode::Sequential);
     }
     let ledger = Ledger::new(ammboost_crypto::H256::hash(b"bench-ladder"));
-    let (snapshot, stats) = checkpoint_node(&mut Checkpointer::new(), 1, &mut executed, &ledger);
+    let out = checkpoint_node(&mut Checkpointer::new(), 1, &mut executed, &ledger);
+    let (snapshot, stats) = (out.snapshot, out.stats);
     let max_pool_section_bytes = snapshot
         .pool_sections()
         .map(|(_, s)| s.bytes.len() as u64)
@@ -385,7 +397,7 @@ fn checkpoint_pipeline_ladder(pools: u32, samples: usize, rounds: u64) -> Checkp
         },
     );
 
-    let mut inflight: Option<JoinHandle<(Snapshot, CheckpointStats)>> = None;
+    let mut inflight: Option<JoinHandle<ammboost_state::CheckpointOutput>> = None;
     let epoch_pipelined_ns = median_ns(
         samples,
         || ready.clone(),
@@ -566,6 +578,9 @@ struct RestoreLadder {
     encoded_bytes: usize,
     restore_with_table_ns: f64,
     restore_recompute_ns: f64,
+    /// The lazy restore above plus materializing every position — the
+    /// eager oracle the zero-copy position table must beat.
+    restore_eager_ns: f64,
 }
 
 fn restore_ladder(positions: usize, samples: usize) -> RestoreLadder {
@@ -606,6 +621,19 @@ fn restore_ladder(positions: usize, samples: usize) -> RestoreLadder {
     };
     let restore_with_table_ns = time_restore(&with_table);
     let restore_recompute_ns = time_restore(&stripped);
+    // the eager oracle: the same restore, then decode every packed
+    // position record into the live table (what the pre-zero-copy
+    // restore paid up front)
+    let restore_eager_ns = median_ns(
+        samples,
+        || with_table.clone(),
+        |b| {
+            let decoded = PoolState::decode_all(&b).expect("ladder state decodes");
+            let mut pool = Pool::from_state(decoded).expect("ladder state restores");
+            black_box(pool.materialize_positions());
+            pool
+        },
+    );
 
     RestoreLadder {
         name: format!("positions_{positions}"),
@@ -614,7 +642,105 @@ fn restore_ladder(positions: usize, samples: usize) -> RestoreLadder {
         encoded_bytes: with_table.len(),
         restore_with_table_ns,
         restore_recompute_ns,
+        restore_eager_ns,
     }
+}
+
+/// One rung of the delta-vs-full checkpoint size grid: a pool with
+/// `positions` packed records, `dirty_bp` basis points of them poked in
+/// place, and the page-granular delta sized against the full section
+/// re-encode.
+struct DeltaLadder {
+    name: String,
+    positions: usize,
+    dirty_positions: usize,
+    pages_total: usize,
+    pages_dirty: usize,
+    full_section_bytes: usize,
+    delta_bytes: usize,
+    shrink: f64,
+}
+
+/// Pokes `dirty_bp`/10000 of the pool's positions in place (fee-owed
+/// bumps — fixed-stride records, so no byte in the section shifts),
+/// diffs the resulting section against the base at the default page
+/// size, and verifies the delta applies back to the exact full
+/// re-encode before sizing both forms.
+fn delta_ladder(state: &PoolState, dirty_bp: u32) -> DeltaLadder {
+    let base_bytes = state.encode_to_vec();
+    let records = state.positions.clone();
+    let total = records.len();
+    let mut table = PositionTable::from_records(records.clone());
+    let dirty = ((total as u64 * dirty_bp as u64) / 10_000).max(1) as usize;
+    // spread the pokes across the whole record range so dirty pages are
+    // scattered, not one contiguous run
+    let stride = (total / dirty).max(1);
+    let mut poked = 0usize;
+    let mut i = 0usize;
+    while poked < dirty && i < total {
+        let id = records.id_at(i);
+        let position = table.get_mut(&id).expect("record exists");
+        position.tokens_owed0 = position.tokens_owed0.wrapping_add(1);
+        poked += 1;
+        i += stride;
+    }
+    let mut dirty_state = state.clone();
+    dirty_state.positions = table.export_records();
+    let dirty_bytes = dirty_state.encode_to_vec();
+    assert_eq!(
+        dirty_bytes.len(),
+        base_bytes.len(),
+        "in-place pokes must never shift section bytes"
+    );
+
+    let snapshot_of = |epoch: u64, bytes: Vec<u8>| Snapshot {
+        version: SNAPSHOT_VERSION,
+        epoch,
+        sections: vec![Section {
+            kind: SectionKind::Pool(0),
+            bytes,
+        }],
+    };
+    let base_snap = snapshot_of(1, base_bytes);
+    let next_snap = snapshot_of(2, dirty_bytes.clone());
+    let delta = DeltaSnapshot::diff(&base_snap, &next_snap, DEFAULT_PAGE_SIZE);
+    // the delta must reproduce the full re-encode bit-exactly
+    assert_eq!(
+        delta.apply(&base_snap).expect("delta applies"),
+        next_snap,
+        "delta apply diverged from the full re-encode"
+    );
+
+    DeltaLadder {
+        name: format!("positions_{total}_dirty_{dirty_bp}bp"),
+        positions: total,
+        dirty_positions: poked,
+        pages_total: dirty_bytes.len().div_ceil(DEFAULT_PAGE_SIZE),
+        pages_dirty: delta.pages(),
+        full_section_bytes: dirty_bytes.len(),
+        delta_bytes: delta.encoded_len(),
+        shrink: dirty_bytes.len() as f64 / delta.encoded_len() as f64,
+    }
+}
+
+/// A pool holding `positions` packed records across a modest band of
+/// tick ranges — the position table dominates its section bytes, the
+/// regime the delta grid measures.
+fn delta_ladder_pool(positions: usize) -> PoolState {
+    let mut pool = Pool::new_standard();
+    for i in 0..positions {
+        let rung = (i % 64) as i32 - 32;
+        pool.mint(
+            PositionId::derive(&[b"delta-grid", &(i as u64).to_be_bytes()]),
+            Address::from_index(i as u64 % 4096),
+            rung * 60,
+            (rung + 2) * 60,
+            1_000_000,
+            1_000_000,
+        )
+        .expect("grid mint");
+    }
+    pool.export_state()
 }
 
 /// One rung of the concurrent-read scaling ladder: `threads` reader
@@ -813,7 +939,10 @@ fn check_skips_path(path: &str, skip_speedups: bool) -> bool {
     // tolerance while both components stay in band — gate the components
     if matches!(
         leaf,
-        "tick_table_speedup" | "cross64_speedup_bitmap_vs_oracle" | "merkle_x4_speedup"
+        "tick_table_speedup"
+            | "cross64_speedup_bitmap_vs_oracle"
+            | "merkle_x4_speedup"
+            | "lazy_restore_speedup"
     ) {
         return true;
     }
@@ -1303,7 +1432,7 @@ fn main() {
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
-        "{{\n  \"schema\": \"ammboost-bench-snapshot/v6\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_constant_product\": {swap_cp:.1},\n    \"pool_swap_weighted\": {swap_weighted:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1},\n    \"merkle_root_1024_leaves_x4\": {merkle_root_x4:.1},\n    \"merkle_root_1024_leaves_scalar\": {merkle_root_scalar:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3},\n    \"merkle_x4_speedup\": {merkle_x4_speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"checkpoint_pipeline\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }},\n  \"quote_reads\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ammboost-bench-snapshot/v7\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {samples},\n  \"unix_time_secs\": {unix_secs},\n  \"hardware_threads\": {hardware_threads},\n  \"median_ns_per_op\": {{\n    \"pool_swap_single_range\": {swap_single:.1},\n    \"pool_swap_constant_product\": {swap_cp:.1},\n    \"pool_swap_weighted\": {swap_weighted:.1},\n    \"pool_swap_cross64_bitmap\": {swap_cross64_bitmap:.1},\n    \"pool_swap_cross64_oracle\": {swap_cross64_oracle:.1},\n    \"pool_swap_dense_band\": {swap_dense:.1},\n    \"pool_swap_sparse_band\": {swap_sparse:.1},\n    \"pool_mint_burn_collect\": {mint_burn:.1},\n    \"merkle_root_1024_leaves\": {merkle_root:.1},\n    \"merkle_root_1024_leaves_x4\": {merkle_root_x4:.1},\n    \"merkle_root_1024_leaves_scalar\": {merkle_root_scalar:.1}\n  }},\n  \"derived\": {{\n    \"cross64_speedup_bitmap_vs_oracle\": {speedup:.3},\n    \"merkle_x4_speedup\": {merkle_x4_speedup:.3}\n  }},\n  \"multi_pool_epochs\": {{\n{}\n  }},\n  \"checkpoint_pipeline\": {{\n{}\n  }},\n  \"routed_epochs\": {{\n{}\n  }},\n  \"quote_reads\": {{\n{}\n  }}\n}}\n",
         pool_ladder_json.join(",\n"),
         pipeline_ladder_json.join(",\n"),
         route_ladder_json.join(",\n"),
@@ -1360,7 +1489,7 @@ fn main() {
     // ---- restore-throughput ladder: tick-dense pools at position scale ----
     ammboost_bench::header("Bench snapshot (restore throughput)");
     let restore_sizes: &[usize] = if smoke {
-        &[20_000]
+        &[20_000, 100_000]
     } else {
         &[100_000, 1_000_000]
     };
@@ -1385,6 +1514,25 @@ fn main() {
                     l.restore_recompute_ns / l.restore_with_table_ns
                 ),
             );
+            ammboost_bench::line(
+                &format!("restore/{}/eager", l.name),
+                format!(
+                    "{:.0} ns ({:.2}x slower than lazy)",
+                    l.restore_eager_ns,
+                    l.restore_eager_ns / l.restore_with_table_ns
+                ),
+            );
+            // the zero-copy acceptance bar: at 10⁵+ positions the lazy
+            // restore must beat materializing every position up front
+            if l.positions >= 100_000 {
+                assert!(
+                    l.restore_with_table_ns < l.restore_eager_ns,
+                    "lazy restore ({:.0} ns) must beat the eager oracle ({:.0} ns) at {} positions",
+                    l.restore_with_table_ns,
+                    l.restore_eager_ns,
+                    l.positions
+                );
+            }
             l
         })
         .collect();
@@ -1392,7 +1540,7 @@ fn main() {
         .iter()
         .map(|l| {
             format!(
-                "    \"{}\": {{\n      \"positions\": {},\n      \"initialized_ticks\": {},\n      \"encoded_bytes\": {},\n      \"decode_restore_with_tick_table_ns\": {:.1},\n      \"decode_restore_recompute_ns\": {:.1},\n      \"tick_table_speedup\": {:.3}\n    }}",
+                "    \"{}\": {{\n      \"positions\": {},\n      \"initialized_ticks\": {},\n      \"encoded_bytes\": {},\n      \"decode_restore_with_tick_table_ns\": {:.1},\n      \"decode_restore_recompute_ns\": {:.1},\n      \"tick_table_speedup\": {:.3},\n      \"decode_restore_eager_ns\": {:.1},\n      \"lazy_restore_speedup\": {:.3}\n    }}",
                 l.name,
                 l.positions,
                 l.ticks,
@@ -1400,14 +1548,74 @@ fn main() {
                 l.restore_with_table_ns,
                 l.restore_recompute_ns,
                 l.restore_recompute_ns / l.restore_with_table_ns,
+                l.restore_eager_ns,
+                l.restore_eager_ns / l.restore_with_table_ns,
+            )
+        })
+        .collect();
+    // ---- delta-vs-full checkpoint grid: dirty fraction × positions ----
+    ammboost_bench::header("Bench snapshot (delta checkpoints)");
+    let delta_sizes: &[usize] = if smoke {
+        &[100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let delta_ladders: Vec<DeltaLadder> = delta_sizes
+        .iter()
+        .flat_map(|&n| {
+            let state = delta_ladder_pool(n);
+            [10u32, 100, 1000]
+                .iter()
+                .map(|&bp| {
+                    let l = delta_ladder(&state, bp);
+                    ammboost_bench::line(
+                        &format!("delta/{}/bytes", l.name),
+                        format!(
+                            "{} delta vs {} full ({:.1}x smaller, {}/{} pages)",
+                            ammboost_bench::fmt_bytes(l.delta_bytes as u64),
+                            ammboost_bench::fmt_bytes(l.full_section_bytes as u64),
+                            l.shrink,
+                            l.pages_dirty,
+                            l.pages_total
+                        ),
+                    );
+                    // the tentpole acceptance bar: a sparse-dirty epoch
+                    // (≤1% of positions) must shrink the checkpoint ≥10×
+                    if bp <= 100 {
+                        assert!(
+                            l.shrink >= 10.0,
+                            "delta at {}bp dirty must shrink ≥10x, got {:.1}x",
+                            bp,
+                            l.shrink
+                        );
+                    }
+                    l
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let delta_json: Vec<String> = delta_ladders
+        .iter()
+        .map(|l| {
+            format!(
+                "    \"{}\": {{\n      \"positions\": {},\n      \"dirty_positions\": {},\n      \"pages_total\": {},\n      \"pages_dirty\": {},\n      \"full_section_bytes\": {},\n      \"delta_bytes\": {},\n      \"delta_shrink\": {:.3}\n    }}",
+                l.name,
+                l.positions,
+                l.dirty_positions,
+                l.pages_total,
+                l.pages_dirty,
+                l.full_section_bytes,
+                l.delta_bytes,
+                l.shrink,
             )
         })
         .collect();
 
     let state_json = format!(
-        "{{\n  \"schema\": \"ammboost-state-snapshot/v2\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {state_samples},\n  \"unix_time_secs\": {unix_secs},\n  \"ladders\": {{\n{}\n  }},\n  \"restore_ladders\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"ammboost-state-snapshot/v3\",\n  \"smoke\": {smoke},\n  \"samples_per_metric\": {state_samples},\n  \"unix_time_secs\": {unix_secs},\n  \"ladders\": {{\n{}\n  }},\n  \"restore_ladders\": {{\n{}\n  }},\n  \"delta_ladders\": {{\n{}\n  }}\n}}\n",
         ladder_json.join(",\n"),
-        restore_json.join(",\n")
+        restore_json.join(",\n"),
+        delta_json.join(",\n")
     );
     if check {
         // ---- the regression gate: fresh smoke run vs committed baseline ----

@@ -19,15 +19,20 @@
 //! 4. **provider drop / stale root / delay** — self-healing restore
 //!    against one dishonest provider and one honest provider quarantines
 //!    every bad section and heals it within the retry budget.
+//! 5. **delta-chain faults** — mid-delta-commit crashes recover to the
+//!    chain tip (discard torn, roll forward marked), corrupted delta
+//!    wire bytes never decode, a delta against the wrong base is
+//!    refused, and page-granular delta sync from a stale snapshot heals
+//!    a tampered page off the honest provider.
 //!
 //! Usage: `chaos_drill [--seed N] [--pools N]`
 
 use ammboost_core::config::{SnapshotPolicy, SystemConfig};
 use ammboost_core::system::System;
 use ammboost_sim::{FaultInjector, FaultKind, FaultSpec, InjectionPoint};
-use ammboost_state::heal::{heal_restore, RetryPolicy, SectionProvider, SimProvider};
+use ammboost_state::heal::{delta_sync, heal_restore, RetryPolicy, SectionProvider, SimProvider};
 use ammboost_state::store::{CheckpointStore, CrashPoint, RecoveryOutcome, StoreError};
-use ammboost_state::Snapshot;
+use ammboost_state::{DeltaSnapshot, Snapshot};
 use std::sync::{Arc, Mutex};
 
 /// Builds the drill's system config: `small_test` sized, checkpoints
@@ -259,7 +264,7 @@ fn main() {
         clean_snapshot.clone(),
         Arc::new(Mutex::new(provider_faults)),
     )
-    .with_stale(stale_snapshot);
+    .with_stale(stale_snapshot.clone());
     let mut honest = SimProvider::honest(1, clean_snapshot.clone());
     let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut dishonest, &mut honest];
     let policy = RetryPolicy::default();
@@ -304,6 +309,123 @@ fn main() {
     ammboost_bench::line("heal/retries", heal.retries);
     ammboost_bench::line("heal/sim_elapsed_ms", heal.sim_elapsed.as_millis());
 
+    // -- fault 5: delta-chain crashes, corruption, and page healing -------
+    // The stale→clean pair from fault 4 gives a genuine dirty-page diff.
+    let delta = DeltaSnapshot::diff(&stale_snapshot, &clean_snapshot, 256);
+    assert!(
+        !delta.deltas.is_empty(),
+        "stale→clean delta carries no dirty pages — pick another seed"
+    );
+    let mut delta_store = CheckpointStore::new();
+    delta_store
+        .commit(&stale_snapshot, None)
+        .expect("delta base commits");
+    let delta_len = delta.encoded_len();
+    for crash in [
+        CrashPoint::DuringStage { offset: 0 },
+        CrashPoint::DuringStage {
+            offset: delta_len / 2,
+        },
+        CrashPoint::DuringStage {
+            offset: delta_len - 1,
+        },
+        CrashPoint::BeforeMark,
+    ] {
+        let err = delta_store.commit_delta(&delta, Some(crash)).unwrap_err();
+        assert!(matches!(err, StoreError::SimulatedCrash(_)));
+        let outcome = delta_store.recover();
+        assert!(
+            matches!(outcome, RecoveryOutcome::DiscardedTorn { .. }),
+            "torn delta must be discarded, got {outcome:?}"
+        );
+        assert_eq!(
+            delta_store.latest().expect("base survives").root(),
+            stale_snapshot.root(),
+            "torn delta moved the chain tip ({crash:?})"
+        );
+    }
+    // staged + marked delta rolls forward to the new tip on recovery
+    delta_store
+        .commit_delta(&delta, Some(CrashPoint::BeforeInstall))
+        .unwrap_err();
+    let outcome = delta_store.recover();
+    assert_eq!(
+        outcome,
+        RecoveryOutcome::RolledForward { epoch: delta.epoch },
+        "marked delta must roll forward"
+    );
+    let folded = delta_store.latest().expect("chain folds");
+    assert_eq!(
+        folded.root(),
+        clean_snapshot.root(),
+        "folded delta chain diverges from the full snapshot"
+    );
+    // a delta whose base is no longer the tip must be refused
+    assert!(
+        matches!(
+            delta_store.commit_delta(&delta, None),
+            Err(StoreError::DeltaBaseMismatch { .. })
+        ),
+        "re-applying a delta off the wrong base must be refused"
+    );
+    // corrupted delta wire bytes never decode
+    let delta_wire = delta.encode();
+    for kind in [
+        FaultKind::BitFlip,
+        FaultKind::Truncate,
+        FaultKind::Duplicate,
+    ] {
+        let mut mutated = delta_wire.clone();
+        assert!(injector.mutate(kind, &mut mutated), "mutation was a no-op");
+        assert!(
+            DeltaSnapshot::decode(&mutated).is_err(),
+            "{} of the delta wire form was silently accepted",
+            kind.name()
+        );
+    }
+    // page-granular delta sync: provider 0 flips a byte in a page reply
+    // (occurrence 0 is the manifest, 1 the page manifest, 2 the first page)
+    let mut page_faults = FaultInjector::new(seed ^ 0xDE17A);
+    page_faults.schedule_all([FaultSpec {
+        point: InjectionPoint::Provider(0),
+        occurrence: 2,
+        kind: FaultKind::BitFlip,
+    }]);
+    let mut bad_pages =
+        SimProvider::faulty(0, clean_snapshot.clone(), Arc::new(Mutex::new(page_faults)))
+            .with_page_size(256);
+    let mut good_pages = SimProvider::honest(1, clean_snapshot.clone()).with_page_size(256);
+    let mut page_providers: Vec<&mut dyn SectionProvider> = vec![&mut bad_pages, &mut good_pages];
+    let (synced, delta_heal) = delta_sync(
+        &stale_snapshot,
+        &mut page_providers,
+        clean_stats.root,
+        &policy,
+    )
+    .expect("delta sync heals");
+    assert_eq!(
+        synced.root(),
+        clean_stats.root,
+        "delta sync landed on the wrong root"
+    );
+    assert!(
+        delta_heal.pages_fetched > 0,
+        "page-granular sync never shipped a page"
+    );
+    let flipped_pages = delta_heal
+        .quarantined
+        .iter()
+        .filter(|q| q.reason == "page-hash-mismatch")
+        .count();
+    assert_eq!(
+        flipped_pages, 1,
+        "the flipped page must quarantine exactly once"
+    );
+    ammboost_bench::line("delta/dirty_pages", delta.deltas.len());
+    ammboost_bench::line("delta/recoveries", delta_store.recoveries());
+    ammboost_bench::line("delta/pages_fetched", delta_heal.pages_fetched);
+    ammboost_bench::line("delta/pages_reused", delta_heal.pages_reused);
+
     println!();
-    println!("chaos drill PASS ({pools} pools, {epochs} epochs, 7 fault kinds)");
+    println!("chaos drill PASS ({pools} pools, {epochs} epochs, 7 fault kinds, delta chain)");
 }

@@ -19,7 +19,13 @@
 //! hammer round runs against the final sealed view and is re-verified
 //! against the post-epoch restored snapshot.
 //!
-//! Usage: `state_drill [--seed N] [--pools N] [--uniform] [--routed] [--quotes]`
+//! `--delta` appends the delta-chain drill: after the full cycle, a run
+//! of synthetic single-shard epochs journals only page-granular
+//! [`ammboost_state::DeltaSnapshot`]s into a [`CheckpointStore`], the
+//! chain compacts at its threshold, and the folded tip must restore
+//! byte-identical to the live node.
+//!
+//! Usage: `state_drill [--seed N] [--pools N] [--uniform] [--routed] [--quotes] [--delta]`
 
 use ammboost_amm::engines::Engine;
 use ammboost_amm::pool::{SwapKind, SwapResult};
@@ -29,7 +35,7 @@ use ammboost_core::config::{SnapshotPolicy, SystemConfig};
 use ammboost_core::system::System;
 use ammboost_core::view::{QuoteError, QuoteView};
 use ammboost_sim::DetRng;
-use ammboost_state::{prune_to_snapshot, Checkpointer, RetentionPolicy, Snapshot};
+use ammboost_state::{prune_to_snapshot, CheckpointStore, Checkpointer, RetentionPolicy, Snapshot};
 use ammboost_workload::{QuoteStyle, RouteStyle, TrafficSkew};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -113,12 +119,14 @@ fn main() {
     let uniform = args.iter().any(|a| a == "--uniform");
     let routed = args.iter().any(|a| a == "--routed");
     let quotes = args.iter().any(|a| a == "--quotes");
+    let delta = args.iter().any(|a| a == "--delta");
 
     ammboost_bench::header("State drill: checkpoint → prune → restore → verify");
     ammboost_bench::line("config/pools", pools);
     ammboost_bench::line("config/skew", if uniform { "uniform" } else { "zipf(1.0)" });
     ammboost_bench::line("config/routed", routed);
     ammboost_bench::line("config/quotes", quotes);
+    ammboost_bench::line("config/delta", delta);
 
     let mut cfg = SystemConfig::small_test();
     cfg.seed = seed;
@@ -280,12 +288,13 @@ fn main() {
     );
 
     // -- re-verify: the pruned node still checkpoints and restores --------
-    let (snap2, stats2) = checkpoint_node(
+    let out2 = checkpoint_node(
         &mut Checkpointer::new(),
         epoch,
         &mut node.shards,
         &node.ledger,
     );
+    let (snap2, stats2) = (out2.snapshot, out2.stats);
     let node2 = restore_node(&Snapshot::decode(&snap2.encode()).expect("root verifies"))
         .expect("post-prune snapshot restores");
     assert_eq!(node2.root, stats2.root);
@@ -296,10 +305,78 @@ fn main() {
     );
     ammboost_bench::line("reverify/root", stats2.root);
 
+    // -- delta mode: checkpoint → delta chain → compact → restore ---------
+    // Each synthetic epoch touches exactly one shard, checkpoints, and
+    // journals only the page-granular delta. The chain compacts at the
+    // threshold; the folded tip must restore byte-identical to the node
+    // that was checkpointed.
+    if delta {
+        let mut cp = Checkpointer::new();
+        let mut store = CheckpointStore::with_compaction_threshold(3);
+        let base = checkpoint_node(&mut cp, epoch + 1, &mut node.shards, &node.ledger);
+        store
+            .commit(&base.snapshot, None)
+            .expect("base full snapshot commits");
+
+        let rounds = 7u64;
+        let mut delta_bytes = 0u64;
+        let mut full_bytes = 0u64;
+        let mut last_root = base.stats.root;
+        for i in 0..rounds {
+            // touch one shard: a fresh LP range marks exactly that pool
+            // dirty, so the delta stays sparse
+            let p = PoolId((i % pools as u64) as u32);
+            node.shards.seed_liquidity(
+                p,
+                ammboost_crypto::Address::from_index(1_000 + i),
+                -60_000,
+                60_000,
+                10u128.pow(10) + i as u128,
+                10u128.pow(10) + i as u128,
+            );
+            let out = checkpoint_node(&mut cp, epoch + 2 + i, &mut node.shards, &node.ledger);
+            let d = out
+                .delta
+                .expect("every checkpoint after the base emits a delta");
+            delta_bytes += d.encoded_len() as u64;
+            full_bytes += out.stats.snapshot_bytes;
+            store.commit_delta(&d, None).expect("delta journals");
+            last_root = out.stats.root;
+        }
+        assert!(
+            store.compactions() > 0,
+            "chain never compacted at threshold 3 over {rounds} deltas"
+        );
+        let folded = store.latest().expect("folded tip decodes");
+        assert_eq!(folded.root(), last_root, "folded tip root diverges");
+        let delta_node = restore_node(&folded).expect("folded tip restores");
+        assert_eq!(
+            delta_node.shards.export_states(),
+            node.shards.export_states(),
+            "delta-chain restore diverges from the live node"
+        );
+        // the chain is recoverable from its persisted journal too
+        let rec = store.recover();
+        assert_eq!(rec, ammboost_state::RecoveryOutcome::Clean);
+        ammboost_bench::line("delta/chained", rounds);
+        ammboost_bench::line("delta/compactions", store.compactions());
+        ammboost_bench::line("delta/bytes", ammboost_bench::fmt_bytes(delta_bytes));
+        ammboost_bench::line("delta/full_bytes", ammboost_bench::fmt_bytes(full_bytes));
+        ammboost_bench::line(
+            "delta/shrink",
+            format!("{:.1}x", full_bytes as f64 / delta_bytes.max(1) as f64),
+        );
+        assert!(
+            delta_bytes < full_bytes,
+            "deltas must undercut full snapshots on sparse epochs"
+        );
+    }
+
     println!();
     println!(
-        "state drill PASS ({pools} pools{}{})",
+        "state drill PASS ({pools} pools{}{}{})",
         if routed { ", routed traffic" } else { "" },
-        if quotes { ", concurrent quotes" } else { "" }
+        if quotes { ", concurrent quotes" } else { "" },
+        if delta { ", delta chain" } else { "" }
     );
 }

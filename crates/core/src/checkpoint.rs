@@ -27,7 +27,7 @@ use ammboost_state::codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
 use ammboost_state::snapshot::{SectionKind, Snapshot};
 use ammboost_state::store::{CheckpointStore, RecoveryOutcome, StoreError};
 use ammboost_state::sync::RestoreError;
-use ammboost_state::{CheckpointStats, Checkpointer};
+use ammboost_state::{CheckpointOutput, Checkpointer};
 use std::fmt;
 
 /// Aux-section tag carrying the per-shard epoch bookkeeping (everything
@@ -190,14 +190,19 @@ pub struct NodeRestore {
 /// at `epoch`. Each shard's pool section is re-encoded only when that
 /// shard reports its pool dirty; clean shards reuse the checkpointer's
 /// cached bytes, so the per-epoch snapshot cost scales with the *touched*
-/// shards, not the fleet size.
+/// shards, not the fleet size. From the second checkpoint on, the output
+/// also carries the page-granular [`ammboost_state::DeltaSnapshot`]
+/// against the previous one, ready for a
+/// [`CheckpointStore::commit_delta`] journal append.
 pub fn checkpoint_node(
     checkpointer: &mut Checkpointer,
     epoch: u64,
     shards: &mut ShardMap,
     ledger: &Ledger,
-) -> (Snapshot, CheckpointStats) {
-    stage_node(checkpointer, epoch, shards, ledger).commit()
+) -> CheckpointOutput {
+    let output = stage_node(checkpointer, epoch, shards, ledger).commit();
+    checkpointer.note_committed(output.stats.epoch, output.stats.root);
+    output
 }
 
 /// The synchronous half of [`checkpoint_node`]: observes the node's state
@@ -543,9 +548,9 @@ mod tests {
         for epoch in 1..=5 {
             full.run_epoch(epoch);
             if epoch == 2 {
-                let (snap, stats) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
-                assert_eq!(stats.pools_reencoded, 1);
-                mid_snapshot = Some(snap);
+                let out = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+                assert_eq!(out.stats.pools_reencoded, 1);
+                mid_snapshot = Some(out.snapshot);
             }
         }
 
@@ -560,9 +565,9 @@ mod tests {
         // state root as the uninterrupted node
         assert_eq!(node.ledger.export_state(), full.ledger.export_state());
         assert_eq!(node.shards.export_states(), full.shards.export_states());
-        let (_, a) = checkpoint_node(&mut Checkpointer::new(), 5, &mut node.shards, &node.ledger);
-        let (_, b) = checkpoint_node(&mut Checkpointer::new(), 5, &mut full.shards, &full.ledger);
-        assert_eq!(a.root, b.root, "state roots diverge");
+        let a = checkpoint_node(&mut Checkpointer::new(), 5, &mut node.shards, &node.ledger);
+        let b = checkpoint_node(&mut Checkpointer::new(), 5, &mut full.shards, &full.ledger);
+        assert_eq!(a.stats.root, b.stats.root, "state roots diverge");
     }
 
     #[test]
@@ -574,10 +579,10 @@ mod tests {
         for epoch in 1..=4 {
             full.run_epoch(epoch);
             if epoch == 2 {
-                let (snap, stats) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
-                assert_eq!(stats.pools_total, 4);
-                assert_eq!(snap.pool_sections().count(), 4);
-                mid = Some(snap);
+                let out = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+                assert_eq!(out.stats.pools_total, 4);
+                assert_eq!(out.snapshot.pool_sections().count(), 4);
+                mid = Some(out.snapshot);
             }
         }
         let mut node = restore_node(&Snapshot::decode(&mid.unwrap().encode()).unwrap()).unwrap();
@@ -598,13 +603,13 @@ mod tests {
         let mut full = Node::new(2);
         let mut cp = Checkpointer::new();
         full.run_epoch(1);
-        let (snap1, _) = checkpoint_node(&mut cp, 1, &mut full.shards, &full.ledger);
+        let snap1 = checkpoint_node(&mut cp, 1, &mut full.shards, &full.ledger).snapshot;
         full.run_epoch(2);
-        let (snap2, _) = checkpoint_node(&mut cp, 2, &mut full.shards, &full.ledger);
+        let snap2 = checkpoint_node(&mut cp, 2, &mut full.shards, &full.ledger).snapshot;
         full.run_epoch(3);
         full.run_epoch(4);
-        let (ref_snap, _) =
-            checkpoint_node(&mut Checkpointer::new(), 4, &mut full.shards, &full.ledger);
+        let ref_snap =
+            checkpoint_node(&mut Checkpointer::new(), 4, &mut full.shards, &full.ledger).snapshot;
 
         let torn_len = snap2.encode().len();
         let crashes = [
@@ -634,8 +639,8 @@ mod tests {
                     assert_eq!(applied, 3, "re-replays epoch 2 too");
                 }
             }
-            let (got, _) =
-                checkpoint_node(&mut Checkpointer::new(), 4, &mut node.shards, &node.ledger);
+            let got = checkpoint_node(&mut Checkpointer::new(), 4, &mut node.shards, &node.ledger)
+                .snapshot;
             assert_eq!(got.root(), ref_snap.root(), "{crash:?} diverged");
         }
 
@@ -655,8 +660,8 @@ mod tests {
     fn catch_up_reports_missing_summary_typed() {
         let mut full = Node::new(1);
         full.run_epoch(1);
-        let (snap, _) =
-            checkpoint_node(&mut Checkpointer::new(), 1, &mut full.shards, &full.ledger);
+        let snap =
+            checkpoint_node(&mut Checkpointer::new(), 1, &mut full.shards, &full.ledger).snapshot;
         full.run_epoch(2);
         full.run_epoch(3);
         // corrupt source: epoch 2's summary vanishes while epoch 3's
@@ -676,7 +681,7 @@ mod tests {
         let mut full = Node::new(1);
         let mut cp = Checkpointer::new();
         full.run_epoch(1);
-        let (snap, _) = checkpoint_node(&mut cp, 1, &mut full.shards, &full.ledger);
+        let snap = checkpoint_node(&mut cp, 1, &mut full.shards, &full.ledger).snapshot;
         full.run_epoch(2);
         full.run_epoch(3);
         // the source drops epoch 2's raw history before the node synced
@@ -695,7 +700,7 @@ mod tests {
         let mut node = Node::new(3);
         let mut cp = Checkpointer::new();
         node.run_epoch(1);
-        let (_, s1) = checkpoint_node(&mut cp, 1, &mut node.shards, &node.ledger);
+        let s1 = checkpoint_node(&mut cp, 1, &mut node.shards, &node.ledger).stats;
         assert_eq!(s1.pools_reencoded, 3, "first checkpoint encodes all");
 
         node.shards.carry_over_epoch();
@@ -713,9 +718,15 @@ mod tests {
             pools,
         };
         node.ledger.append_summary(summary).unwrap();
-        let (_, s2) = checkpoint_node(&mut cp, 2, &mut node.shards, &node.ledger);
-        assert_eq!(s2.pools_reencoded, 1, "only the traded shard re-encodes");
-        assert_eq!(s2.pools_reused, 2);
+        let out = checkpoint_node(&mut cp, 2, &mut node.shards, &node.ledger);
+        assert_eq!(
+            out.stats.pools_reencoded, 1,
+            "only the traded shard re-encodes"
+        );
+        assert_eq!(out.stats.pools_reused, 2);
+        let delta = out.delta.expect("second checkpoint carries a delta");
+        assert_eq!(delta.base_epoch, 1);
+        assert_eq!(delta.root, out.stats.root);
     }
 
     #[test]
@@ -728,7 +739,7 @@ mod tests {
         snapshot.insert(user(1), (1_000u128, 1_000u128));
         shards.begin_epoch(snapshot, |_| Some(PoolId(0)));
         let ledger = Ledger::new(H256::hash(b"unclaimed"));
-        let (mut snap, _) = checkpoint_node(&mut Checkpointer::new(), 1, &mut shards, &ledger);
+        let mut snap = checkpoint_node(&mut Checkpointer::new(), 1, &mut shards, &ledger).snapshot;
         let metas = Vec::<ShardMeta>::decode_all(
             &snap
                 .section(SectionKind::Aux(AUX_PROCESSOR_META))
@@ -752,8 +763,8 @@ mod tests {
     fn restore_rejects_missing_shard_pool_section() {
         let mut node = Node::new(2);
         node.run_epoch(1);
-        let (mut snap, _) =
-            checkpoint_node(&mut Checkpointer::new(), 1, &mut node.shards, &node.ledger);
+        let mut snap =
+            checkpoint_node(&mut Checkpointer::new(), 1, &mut node.shards, &node.ledger).snapshot;
         snap.sections.retain(|s| s.kind != SectionKind::Pool(1));
         assert!(matches!(
             restore_node(&snap),

@@ -205,11 +205,14 @@ pub struct System {
     /// A pipelined checkpoint's commit half, running on the worker pool
     /// while the next epoch executes. Joined at the next checkpoint
     /// boundary, at [`System::checkpoint`], and before the run report.
-    inflight_checkpoint: Option<JoinHandle<(Snapshot, CheckpointStats)>>,
+    inflight_checkpoint: Option<JoinHandle<ammboost_state::CheckpointOutput>>,
     snapshots_taken: u64,
     last_checkpoint: Option<CheckpointStats>,
     /// The most recent node snapshot (kept for restart/fast-sync drills).
     last_snapshot: Option<Snapshot>,
+    /// The delta the most recent checkpoint emitted against the previous
+    /// one (absent on the first checkpoint and after restarts).
+    last_delta: Option<ammboost_state::DeltaSnapshot>,
     /// The most recent sync receipt (itemization source for Table II).
     pub last_sync_receipt: Option<SyncReceipt>,
 }
@@ -355,6 +358,7 @@ impl System {
             snapshots_taken: 0,
             last_checkpoint: None,
             last_snapshot: None,
+            last_delta: None,
             last_sync_receipt: None,
             cfg,
         }
@@ -536,9 +540,14 @@ impl System {
     /// Idempotent; cheap when nothing is in flight.
     fn drain_checkpoint(&mut self) {
         if let Some(handle) = self.inflight_checkpoint.take() {
-            let (snapshot, stats) = handle.join();
-            self.last_checkpoint = Some(stats);
-            self.last_snapshot = Some(snapshot);
+            let output = handle.join();
+            // confirm the commit to the checkpointer so the *next* stage
+            // can diff against it and emit a page-granular delta
+            self.checkpointer
+                .note_committed(output.stats.epoch, output.stats.root);
+            self.last_checkpoint = Some(output.stats);
+            self.last_delta = output.delta;
+            self.last_snapshot = Some(output.snapshot);
         }
     }
 
@@ -549,21 +558,29 @@ impl System {
     /// first, so the returned stats describe the state as of `epoch`.
     pub fn checkpoint(&mut self, epoch: u64) -> CheckpointStats {
         self.drain_checkpoint();
-        let (snapshot, stats) = checkpoint_node(
+        let output = checkpoint_node(
             &mut self.checkpointer,
             epoch,
             &mut self.shards,
             &self.ledger,
         );
         self.snapshots_taken += 1;
+        let stats = output.stats;
         self.last_checkpoint = Some(stats);
-        self.last_snapshot = Some(snapshot);
+        self.last_delta = output.delta;
+        self.last_snapshot = Some(output.snapshot);
         stats
     }
 
     /// The most recent node snapshot, if any checkpoint was taken.
     pub fn last_snapshot(&self) -> Option<&Snapshot> {
         self.last_snapshot.as_ref()
+    }
+
+    /// The page-granular delta the most recent checkpoint emitted against
+    /// its predecessor, if any (the first checkpoint has no base).
+    pub fn last_delta(&self) -> Option<&ammboost_state::DeltaSnapshot> {
+        self.last_delta.as_ref()
     }
 
     /// Stats of the most recent checkpoint.

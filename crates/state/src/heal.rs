@@ -1,4 +1,4 @@
-//! Section-granular self-healing fast-sync.
+//! Section- and page-granular self-healing fast-sync.
 //!
 //! Plain [`restore`](crate::sync::restore) trusts one source and fails on
 //! the first bad byte. For a late-joiner on a real network that is not
@@ -19,12 +19,24 @@
 //! 3. The reassembled snapshot's Merkle root is re-derived and must equal
 //!    the trusted root before [`restore`](crate::sync::restore) runs.
 //!
+//! On top of that, [`delta_sync`] makes re-sync **page-granular**: a
+//! late-joiner that already holds a stale snapshot reuses every section
+//! whose leaf still matches, and for changed sections asks providers for
+//! a [`PageManifest`] (the section's per-page sub-leaves) and fetches
+//! *only the pages whose hash differs locally*, verifying each fetched
+//! page against its sub-leaf. A tampered page quarantines exactly like a
+//! tampered section and heals through provider rotation; a provider that
+//! does not speak the page protocol (or serves a lying page manifest —
+//! page hashes are only bound to the trusted root through the final
+//! section-hash check) degrades that section to the full fetch path.
+//!
 //! The result: a sync succeeds as long as *some* provider serves each
 //! section honestly, and every failure mode is a typed [`SyncError`], not
 //! a panic or abort. Providers are simulated ([`SectionProvider`]), with
 //! [`SimProvider`] wiring byte faults from a shared
 //! [`FaultInjector`](ammboost_sim::FaultInjector) into its replies.
 
+use crate::pages::{page_count, page_hash, page_hashes};
 use crate::snapshot::{root_from_section_hashes, Section, SectionKind, Snapshot};
 use crate::sync::{restore, RestoreError, RestoredState};
 use ammboost_crypto::H256;
@@ -143,6 +155,50 @@ impl SyncManifest {
     }
 }
 
+/// A section's page-level sub-leaf list, served alongside the section
+/// leaf so a syncer can tell *which pages* of its stale copy changed.
+///
+/// Trust model: the snapshot root commits to `section_hash` (through the
+/// [`SyncManifest`] leaf) but **not** to the individual page hashes, so a
+/// page manifest is held to account in two steps — each fetched page must
+/// match its advertised sub-leaf (catching in-flight tampering page by
+/// page), and the fully assembled section must hash to the trusted leaf
+/// (catching a manifest that lied about the sub-leaves in the first
+/// place, which degrades the section to the full fetch path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageManifest {
+    /// Section kind this manifest describes.
+    pub kind: SectionKind,
+    /// The section leaf the pages must reassemble to.
+    pub section_hash: H256,
+    /// Byte length of the section encoding.
+    pub len: u32,
+    /// Page size the section was split at.
+    pub page_size: u32,
+    /// [`page_hash`] sub-leaf per page, in index order.
+    pub page_hashes: Vec<H256>,
+}
+
+impl PageManifest {
+    /// Builds the page manifest of `section` at `page_size`.
+    pub fn of(section: &Section, page_size: usize) -> PageManifest {
+        PageManifest {
+            kind: section.kind,
+            section_hash: section.hash(),
+            len: section.bytes.len() as u32,
+            page_size: page_size as u32,
+            page_hashes: page_hashes(section.kind, &section.bytes, page_size),
+        }
+    }
+
+    /// Internal consistency: sane page size and a sub-leaf per page.
+    pub fn is_consistent(&self) -> bool {
+        self.page_size > 0
+            && self.page_size <= (1 << 24)
+            && self.page_hashes.len() == page_count(self.len as usize, self.page_size as usize)
+    }
+}
+
 /// One provider reply to a section fetch.
 #[derive(Debug, Clone)]
 pub enum ProviderReply {
@@ -159,7 +215,27 @@ pub enum ProviderReply {
     Dropped,
 }
 
+/// One provider reply to a page fetch.
+#[derive(Debug, Clone)]
+pub enum PageReply {
+    /// The page bytes, delivered immediately.
+    Page(Vec<u8>),
+    /// The page bytes, delivered after a simulated delay.
+    Delayed {
+        /// Simulated delivery delay in milliseconds.
+        millis: u64,
+        /// The (possibly corrupt) page bytes.
+        bytes: Vec<u8>,
+    },
+    /// No reply (request dropped / page protocol unsupported).
+    Dropped,
+}
+
 /// A simulated snapshot provider a late-joiner can fetch from.
+///
+/// The page-granular methods have conservative defaults (no page
+/// manifest, every page fetch dropped) so a legacy provider transparently
+/// degrades [`delta_sync`] to full-section fetches.
 pub trait SectionProvider {
     /// Stable provider id (used for fault addressing and reporting).
     fn id(&self) -> u32;
@@ -167,21 +243,34 @@ pub trait SectionProvider {
     fn manifest(&mut self) -> Option<SyncManifest>;
     /// Fetches the section at canonical `index`.
     fn fetch(&mut self, index: usize) -> ProviderReply;
+    /// The page manifest of section `index`, or `None` when the provider
+    /// does not speak the page protocol.
+    fn page_manifest(&mut self, index: usize) -> Option<PageManifest> {
+        let _ = index;
+        None
+    }
+    /// Fetches one page of section `index`.
+    fn fetch_page(&mut self, index: usize, page: u32) -> PageReply {
+        let _ = (index, page);
+        PageReply::Dropped
+    }
 }
 
 /// A provider serving one snapshot, optionally perturbed by a shared
-/// [`FaultInjector`] at [`InjectionPoint::Provider`]`(id)`. Each fetch
-/// visits the injection point once, so occurrence indexes address
-/// individual requests. [`FaultKind::StaleRoot`] serves the matching
-/// section of an older snapshot (a lagging replica) when one is
-/// configured — and applies to `manifest()` too, where the whole stale
-/// manifest is served; [`FaultKind::Panic`] is treated as a drop (a
-/// crashed provider looks like silence from the fetcher's side).
+/// [`FaultInjector`] at [`InjectionPoint::Provider`]`(id)`. Each fetch —
+/// manifest, section, page manifest or page — visits the injection point
+/// once, so occurrence indexes address individual requests.
+/// [`FaultKind::StaleRoot`] serves the matching section of an older
+/// snapshot (a lagging replica) when one is configured — and applies to
+/// `manifest()` too, where the whole stale manifest is served;
+/// [`FaultKind::Panic`] is treated as a drop (a crashed provider looks
+/// like silence from the fetcher's side).
 pub struct SimProvider {
     id: u32,
     snapshot: Snapshot,
     stale: Option<Snapshot>,
     injector: Option<Arc<Mutex<FaultInjector>>>,
+    page_size: usize,
 }
 
 impl SimProvider {
@@ -192,6 +281,7 @@ impl SimProvider {
             snapshot,
             stale: None,
             injector: None,
+            page_size: crate::pages::DEFAULT_PAGE_SIZE,
         }
     }
 
@@ -199,16 +289,20 @@ impl SimProvider {
     /// [`InjectionPoint::Provider`]`(id)`.
     pub fn faulty(id: u32, snapshot: Snapshot, injector: Arc<Mutex<FaultInjector>>) -> SimProvider {
         SimProvider {
-            id,
-            snapshot,
-            stale: None,
             injector: Some(injector),
+            ..SimProvider::honest(id, snapshot)
         }
     }
 
     /// Configures the older snapshot served when a stale-root fault fires.
     pub fn with_stale(mut self, stale: Snapshot) -> SimProvider {
         self.stale = Some(stale);
+        self
+    }
+
+    /// Configures the page size this provider splits sections at.
+    pub fn with_page_size(mut self, page_size: usize) -> SimProvider {
+        self.page_size = page_size;
         self
     }
 
@@ -230,6 +324,13 @@ impl SimProvider {
                 .mutate(kind, bytes);
         }
     }
+
+    fn source(&self, fault: Option<FaultKind>) -> &Snapshot {
+        match fault {
+            Some(FaultKind::StaleRoot) => self.stale.as_ref().unwrap_or(&self.snapshot),
+            _ => &self.snapshot,
+        }
+    }
 }
 
 impl SectionProvider for SimProvider {
@@ -240,20 +341,13 @@ impl SectionProvider for SimProvider {
     fn manifest(&mut self) -> Option<SyncManifest> {
         match self.fire() {
             Some(FaultKind::Drop) | Some(FaultKind::Panic) => None,
-            Some(FaultKind::StaleRoot) => Some(SyncManifest::of(
-                self.stale.as_ref().unwrap_or(&self.snapshot),
-            )),
-            _ => Some(SyncManifest::of(&self.snapshot)),
+            fault => Some(SyncManifest::of(self.source(fault))),
         }
     }
 
     fn fetch(&mut self, index: usize) -> ProviderReply {
         let fault = self.fire();
-        let source = match fault {
-            Some(FaultKind::StaleRoot) => self.stale.as_ref().unwrap_or(&self.snapshot),
-            _ => &self.snapshot,
-        };
-        let Some(section) = source.sections.get(index).cloned() else {
+        let Some(section) = self.source(fault).sections.get(index).cloned() else {
             return ProviderReply::Dropped;
         };
         match fault {
@@ -265,6 +359,41 @@ impl SectionProvider for SimProvider {
                 ProviderReply::Section(section)
             }
             Some(FaultKind::StaleRoot) | None => ProviderReply::Section(section),
+        }
+    }
+
+    fn page_manifest(&mut self, index: usize) -> Option<PageManifest> {
+        let fault = self.fire();
+        match fault {
+            Some(FaultKind::Drop) | Some(FaultKind::Panic) => None,
+            _ => self
+                .source(fault)
+                .sections
+                .get(index)
+                .map(|s| PageManifest::of(s, self.page_size)),
+        }
+    }
+
+    fn fetch_page(&mut self, index: usize, page: u32) -> PageReply {
+        let fault = self.fire();
+        let page_size = self.page_size;
+        let Some(section) = self.source(fault).sections.get(index) else {
+            return PageReply::Dropped;
+        };
+        let start = page as usize * page_size;
+        if start >= section.bytes.len() && !(start == 0 && section.bytes.is_empty()) {
+            return PageReply::Dropped;
+        }
+        let end = (start + page_size).min(section.bytes.len());
+        let mut bytes = section.bytes[start..end].to_vec();
+        match fault {
+            Some(FaultKind::Drop) | Some(FaultKind::Panic) => PageReply::Dropped,
+            Some(FaultKind::Delay { millis }) => PageReply::Delayed { millis, bytes },
+            Some(kind @ (FaultKind::BitFlip | FaultKind::Truncate | FaultKind::Duplicate)) => {
+                self.mutate(kind, &mut bytes);
+                PageReply::Page(bytes)
+            }
+            Some(FaultKind::StaleRoot) | None => PageReply::Page(bytes),
         }
     }
 }
@@ -301,8 +430,8 @@ impl RetryPolicy {
     }
 }
 
-/// One quarantine event: a fetched section copy that failed verification
-/// (or never arrived) and was discarded.
+/// One quarantine event: a fetched section or page copy that failed
+/// verification (or never arrived) and was discarded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Quarantine {
     /// Canonical section index.
@@ -311,22 +440,32 @@ pub struct Quarantine {
     pub provider: u32,
     /// Attempt number (0-based) at which it happened.
     pub attempt: u32,
-    /// What was wrong: `"dropped"` or `"hash-mismatch"`.
+    /// What was wrong: `"dropped"`, `"hash-mismatch"`,
+    /// `"page-hash-mismatch"` or `"page-manifest-mismatch"`.
     pub reason: &'static str,
 }
 
-/// What a healing sync did: which sections needed healing, how much
-/// retry/backoff budget it spent, and the simulated time that passed.
+/// What a healing sync did: which sections needed healing, how much of
+/// the state moved as pages versus whole sections, how much retry/backoff
+/// budget it spent, and the simulated time that passed.
 #[derive(Debug, Clone, Default)]
 pub struct HealReport {
     /// Every discarded bad copy, in fetch order.
     pub quarantined: Vec<Quarantine>,
-    /// Sections that needed more than one attempt and ended verified.
+    /// Sections that needed more than one attempt — or any page work —
+    /// and ended verified.
     pub healed_sections: Vec<usize>,
-    /// Total fetch attempts across all sections.
+    /// Total fetch attempts across all sections and pages.
     pub attempts: u64,
-    /// Total retries (attempts beyond the first per section).
+    /// Total retries (attempts beyond the first per section or page).
     pub retries: u64,
+    /// Sections reused wholesale from the local snapshot (leaf match).
+    pub sections_reused: usize,
+    /// Pages fetched from providers during page-granular healing.
+    pub pages_fetched: u64,
+    /// Pages reused from the local stale copy during page-granular
+    /// healing.
+    pub pages_reused: u64,
     /// Simulated time consumed by backoff and delayed deliveries.
     pub sim_elapsed: SimDuration,
 }
@@ -359,13 +498,64 @@ pub fn fetch_manifest(
     })
 }
 
+/// Fetches one section with provider rotation, retries and quarantine:
+/// attempt `k` asks provider `k % n` after waiting
+/// [`RetryPolicy::backoff_before`]`(k)` on the simulated clock, and any
+/// copy whose kind or hash disagrees with the manifest leaf is
+/// quarantined.
+fn fetch_section(
+    manifest: &SyncManifest,
+    index: usize,
+    providers: &mut [&mut dyn SectionProvider],
+    policy: &RetryPolicy,
+    report: &mut HealReport,
+) -> Result<Section, SyncError> {
+    let n = providers.len().max(1);
+    for attempt in 0..policy.max_attempts {
+        report.sim_elapsed += policy.backoff_before(attempt);
+        report.attempts += 1;
+        if attempt > 0 {
+            report.retries += 1;
+        }
+        let provider = &mut providers[attempt as usize % n];
+        let pid = provider.id();
+        let (section, delay) = match provider.fetch(index) {
+            ProviderReply::Section(s) => (Some(s), 0),
+            ProviderReply::Delayed { millis, section } => (Some(section), millis),
+            ProviderReply::Dropped => (None, 0),
+        };
+        report.sim_elapsed += SimDuration::from_millis(delay);
+        match section {
+            Some(s) if manifest.section_matches(index, &s) => {
+                if attempt > 0 {
+                    report.healed_sections.push(index);
+                }
+                return Ok(s);
+            }
+            Some(_) => report.quarantined.push(Quarantine {
+                section: index,
+                provider: pid,
+                attempt,
+                reason: "hash-mismatch",
+            }),
+            None => report.quarantined.push(Quarantine {
+                section: index,
+                provider: pid,
+                attempt,
+                reason: "dropped",
+            }),
+        }
+    }
+    Err(SyncError::HealExhausted {
+        section: index,
+        attempts: policy.max_attempts,
+    })
+}
+
 /// Fetches and verifies every section of `manifest`, healing bad copies
-/// by provider rotation: attempt `k` of any section asks provider
-/// `k % n` — so a retry always moves to the *next* provider rather than
-/// re-asking the one that just served a bad copy — waits
-/// [`RetryPolicy::backoff_before`]`(k)` on the simulated clock first,
-/// and quarantines any copy whose kind or hash disagrees with the
-/// manifest leaf. Deterministic given the providers' behaviour.
+/// by provider rotation: a retry always moves to the *next* provider
+/// rather than re-asking the one that just served a bad copy.
+/// Deterministic given the providers' behaviour.
 ///
 /// # Errors
 /// [`SyncError::HealExhausted`] when some section has no honest copy
@@ -378,9 +568,70 @@ pub fn heal_fetch(
 ) -> Result<(Snapshot, HealReport), SyncError> {
     let mut report = HealReport::default();
     let mut sections = Vec::with_capacity(manifest.sections.len());
-    let n = providers.len().max(1);
     for index in 0..manifest.sections.len() {
-        let mut accepted = None;
+        sections.push(fetch_section(
+            manifest,
+            index,
+            providers,
+            policy,
+            &mut report,
+        )?);
+    }
+    let snapshot = Snapshot {
+        version: manifest.version,
+        epoch: manifest.epoch,
+        sections,
+    };
+    if snapshot.root() != manifest.root() {
+        return Err(SyncError::RootMismatch);
+    }
+    Ok((snapshot, report))
+}
+
+/// Page-granular sync of one changed section: obtains a page manifest
+/// matching the trusted leaf, reuses every page whose sub-leaf the local
+/// stale bytes already satisfy, and fetches the rest with the same
+/// rotation/retry/quarantine discipline as sections. Returns `None` when
+/// the section must fall back to a whole-section fetch (no page manifest
+/// within budget, a page unhealed, or an assembled section that fails the
+/// trusted leaf — a lying page manifest).
+fn sync_section_pages(
+    manifest: &SyncManifest,
+    index: usize,
+    local_bytes: &[u8],
+    providers: &mut [&mut dyn SectionProvider],
+    policy: &RetryPolicy,
+    report: &mut HealReport,
+) -> Option<Section> {
+    let (kind, leaf) = manifest.sections[index];
+    let n = providers.len().max(1);
+    let mut pm = None;
+    for attempt in 0..policy.max_attempts {
+        let provider = &mut providers[attempt as usize % n];
+        let pid = provider.id();
+        match provider.page_manifest(index) {
+            Some(m) if m.kind == kind && m.section_hash == leaf && m.is_consistent() => {
+                pm = Some((m, pid));
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (pm, pm_provider) = pm?;
+    let page_size = pm.page_size as usize;
+    let len = pm.len as usize;
+    let mut bytes = vec![0u8; len];
+    for (i, want) in pm.page_hashes.iter().enumerate() {
+        let start = i * page_size;
+        let slot_len = page_size.min(len - start);
+        if let Some(chunk) = local_bytes.get(start..start + slot_len) {
+            if page_hash(kind, i as u32, chunk) == *want {
+                bytes[start..start + slot_len].copy_from_slice(chunk);
+                report.pages_reused += 1;
+                continue;
+            }
+        }
+        let mut healed = false;
         for attempt in 0..policy.max_attempts {
             report.sim_elapsed += policy.backoff_before(attempt);
             report.attempts += 1;
@@ -389,25 +640,24 @@ pub fn heal_fetch(
             }
             let provider = &mut providers[attempt as usize % n];
             let pid = provider.id();
-            let (section, delay) = match provider.fetch(index) {
-                ProviderReply::Section(s) => (Some(s), 0),
-                ProviderReply::Delayed { millis, section } => (Some(section), millis),
-                ProviderReply::Dropped => (None, 0),
+            let (got, delay) = match provider.fetch_page(index, i as u32) {
+                PageReply::Page(b) => (Some(b), 0),
+                PageReply::Delayed { millis, bytes } => (Some(bytes), millis),
+                PageReply::Dropped => (None, 0),
             };
             report.sim_elapsed += SimDuration::from_millis(delay);
-            match section {
-                Some(s) if manifest.section_matches(index, &s) => {
-                    if attempt > 0 {
-                        report.healed_sections.push(index);
-                    }
-                    accepted = Some(s);
+            match got {
+                Some(b) if b.len() == slot_len && page_hash(kind, i as u32, &b) == *want => {
+                    bytes[start..start + slot_len].copy_from_slice(&b);
+                    report.pages_fetched += 1;
+                    healed = true;
                     break;
                 }
                 Some(_) => report.quarantined.push(Quarantine {
                     section: index,
                     provider: pid,
                     attempt,
-                    reason: "hash-mismatch",
+                    reason: "page-hash-mismatch",
                 }),
                 None => report.quarantined.push(Quarantine {
                     section: index,
@@ -417,15 +667,67 @@ pub fn heal_fetch(
                 }),
             }
         }
-        match accepted {
-            Some(s) => sections.push(s),
-            None => {
-                return Err(SyncError::HealExhausted {
-                    section: index,
-                    attempts: policy.max_attempts,
-                })
+        if !healed {
+            return None;
+        }
+    }
+    let section = Section { kind, bytes };
+    if manifest.section_matches(index, &section) {
+        report.healed_sections.push(index);
+        Some(section)
+    } else {
+        report.quarantined.push(Quarantine {
+            section: index,
+            provider: pm_provider,
+            attempt: 0,
+            reason: "page-manifest-mismatch",
+        });
+        None
+    }
+}
+
+/// Delta sync for a late-joiner that already holds `local` (a stale
+/// snapshot): fetches a manifest committing to `trusted_root`, reuses
+/// every section whose leaf is unchanged, page-syncs the changed ones —
+/// fetching and verifying only the pages whose sub-leaf differs locally —
+/// and falls back to whole-section healing ([`fetch_section`] semantics)
+/// for any section the page path cannot serve. The reassembled snapshot
+/// must re-derive the trusted root.
+///
+/// # Errors
+/// Any [`SyncError`]; notably [`SyncError::HealExhausted`] when a section
+/// is unhealable through pages *and* whole-section fetches.
+pub fn delta_sync(
+    local: &Snapshot,
+    providers: &mut [&mut dyn SectionProvider],
+    trusted_root: H256,
+    policy: &RetryPolicy,
+) -> Result<(Snapshot, HealReport), SyncError> {
+    let manifest = fetch_manifest(providers, trusted_root)?;
+    let mut report = HealReport::default();
+    let mut sections = Vec::with_capacity(manifest.sections.len());
+    for (index, (kind, leaf)) in manifest.sections.iter().enumerate() {
+        let local_section = local.sections.iter().find(|s| s.kind == *kind);
+        if let Some(s) = local_section {
+            if s.hash() == *leaf {
+                report.sections_reused += 1;
+                sections.push(s.clone());
+                continue;
             }
         }
+        let local_bytes = local_section.map(|s| s.bytes.as_slice()).unwrap_or(&[]);
+        let section = match sync_section_pages(
+            &manifest,
+            index,
+            local_bytes,
+            providers,
+            policy,
+            &mut report,
+        ) {
+            Some(section) => section,
+            None => fetch_section(&manifest, index, providers, policy, &mut report)?,
+        };
+        sections.push(section);
     }
     let snapshot = Snapshot {
         version: manifest.version,
@@ -451,6 +753,22 @@ pub fn heal_restore(
 ) -> Result<(RestoredState, HealReport), SyncError> {
     let manifest = fetch_manifest(providers, trusted_root)?;
     let (snapshot, report) = heal_fetch(&manifest, providers, policy)?;
+    let restored = restore(&snapshot)?;
+    Ok((restored, report))
+}
+
+/// [`delta_sync`] followed by [`restore`]: the late-joiner path that
+/// moves only changed pages and ends on a fully verified working state.
+///
+/// # Errors
+/// Any [`SyncError`].
+pub fn delta_restore(
+    local: &Snapshot,
+    providers: &mut [&mut dyn SectionProvider],
+    trusted_root: H256,
+    policy: &RetryPolicy,
+) -> Result<(RestoredState, HealReport), SyncError> {
+    let (snapshot, report) = delta_sync(local, providers, trusted_root, policy)?;
     let restored = restore(&snapshot)?;
     Ok((restored, report))
 }
@@ -485,14 +803,15 @@ mod tests {
         let ledger = Ledger::new(H256::hash(b"genesis"));
         let mut deposits = Deposits::new();
         deposits.credit(Address::from_index(1), 100, 200).unwrap();
-        let (snapshot, _) = Checkpointer::new().checkpoint(
-            epoch,
-            &[(PoolId(0), &pool), (PoolId(1), &pool)],
-            &ledger,
-            &deposits,
-            vec![],
-        );
-        snapshot
+        Checkpointer::new()
+            .checkpoint(
+                epoch,
+                &[(PoolId(0), &pool), (PoolId(1), &pool)],
+                &ledger,
+                &deposits,
+                vec![],
+            )
+            .snapshot
     }
 
     fn injector(specs: &[FaultSpec]) -> Arc<Mutex<FaultInjector>> {
@@ -684,5 +1003,102 @@ mod tests {
         assert!(!manifest.section_matches(1, &section), "wrong index");
         section.bytes.push(0);
         assert!(!manifest.section_matches(0, &section), "content bound");
+    }
+
+    #[test]
+    fn delta_sync_moves_only_changed_pages() {
+        let stale = snapshot_at(4, false);
+        let fresh = snapshot_at(5, true);
+        let root = fresh.root();
+        // small pages so the changed pool sections split into many
+        let mut p0 = SimProvider::honest(0, fresh.clone()).with_page_size(64);
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut p0];
+        let (synced, report) =
+            delta_sync(&stale, &mut providers, root, &RetryPolicy::default()).unwrap();
+        assert_eq!(synced.root(), root);
+        assert_eq!(synced, fresh);
+        // ledger + deposits are byte-identical across the two epochs
+        assert_eq!(report.sections_reused, 2);
+        // both pool sections were page-synced, mostly from local bytes
+        assert_eq!(report.healed_sections, vec![0, 1]);
+        assert!(report.pages_fetched > 0);
+        assert!(
+            report.pages_reused > report.pages_fetched,
+            "a one-swap diff must reuse more pages than it ships \
+             (reused {}, fetched {})",
+            report.pages_reused,
+            report.pages_fetched
+        );
+        assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn tampered_page_quarantined_and_healed_by_honest_peer() {
+        let stale = snapshot_at(4, false);
+        let fresh = snapshot_at(5, true);
+        let root = fresh.root();
+        // provider 0 flips a byte in its first page reply (occurrence 0
+        // is the manifest call, 1 the page manifest, 2 the first page)
+        let inj = injector(&[FaultSpec {
+            point: InjectionPoint::Provider(0),
+            occurrence: 2,
+            kind: FaultKind::BitFlip,
+        }]);
+        let mut bad = SimProvider::faulty(0, fresh.clone(), inj).with_page_size(64);
+        let mut good = SimProvider::honest(1, fresh.clone()).with_page_size(64);
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut bad, &mut good];
+        let (synced, report) =
+            delta_sync(&stale, &mut providers, root, &RetryPolicy::default()).unwrap();
+        assert_eq!(synced.root(), root);
+        let bad_pages: Vec<&Quarantine> = report
+            .quarantined
+            .iter()
+            .filter(|q| q.reason == "page-hash-mismatch")
+            .collect();
+        assert_eq!(bad_pages.len(), 1, "the flipped page was caught");
+        assert_eq!(bad_pages[0].provider, 0);
+        assert!(report.retries > 0, "the page was re-fetched elsewhere");
+    }
+
+    /// A provider that does not speak the page protocol: the trait
+    /// defaults answer its page calls.
+    struct LegacyProvider(SimProvider);
+
+    impl SectionProvider for LegacyProvider {
+        fn id(&self) -> u32 {
+            self.0.id()
+        }
+        fn manifest(&mut self) -> Option<SyncManifest> {
+            self.0.manifest()
+        }
+        fn fetch(&mut self, index: usize) -> ProviderReply {
+            self.0.fetch(index)
+        }
+    }
+
+    #[test]
+    fn legacy_provider_degrades_to_full_section_fetch() {
+        let stale = snapshot_at(4, false);
+        let fresh = snapshot_at(5, true);
+        let root = fresh.root();
+        let mut legacy = LegacyProvider(SimProvider::honest(0, fresh.clone()));
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut legacy];
+        let (synced, report) =
+            delta_sync(&stale, &mut providers, root, &RetryPolicy::default()).unwrap();
+        assert_eq!(synced, fresh);
+        assert_eq!(report.pages_fetched, 0, "no page ever moved");
+        assert_eq!(report.sections_reused, 2, "unchanged sections still reused");
+    }
+
+    #[test]
+    fn delta_restore_lands_on_verified_state() {
+        let stale = snapshot_at(4, false);
+        let fresh = snapshot_at(5, true);
+        let root = fresh.root();
+        let mut p0 = SimProvider::honest(0, fresh).with_page_size(64);
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut p0];
+        let (restored, _) =
+            delta_restore(&stale, &mut providers, root, &RetryPolicy::default()).unwrap();
+        assert_eq!(restored.root, root);
     }
 }

@@ -14,7 +14,13 @@
 //!   32-byte commitment to the full system state; tamper-evident wire
 //!   encoding.
 //! - [`checkpoint`] — incremental checkpointing with dirty-pool tracking:
-//!   per-epoch snapshots re-encode only touched pools.
+//!   per-epoch snapshots re-encode only touched pools, and each commit
+//!   also emits a page-granular delta against the previous checkpoint.
+//! - [`pages`] — fixed-size page decomposition of section encodings,
+//!   with per-page sub-leaf hashes under the existing section leaves.
+//! - [`delta`] — [`DeltaSnapshot`]: the page-granular difference between
+//!   two committed snapshots, with `apply` proven byte-identical to a
+//!   full re-encode and tamper detection down to single page bytes.
 //! - [`prune`] — snapshot-aware retention pruning of raw meta-block
 //!   history, reporting reclaimed bytes.
 //! - [`sync`] — fast-sync restore: snapshot → working pools (derived tick
@@ -30,19 +36,24 @@
 
 pub mod checkpoint;
 pub mod codec;
+pub mod delta;
 pub mod heal;
+pub mod pages;
 pub mod prune;
 pub mod records;
 pub mod snapshot;
 pub mod store;
 pub mod sync;
 
-pub use checkpoint::{CheckpointStats, Checkpointer, StagedCheckpoint};
+pub use checkpoint::{CheckpointOutput, CheckpointStats, Checkpointer, StagedCheckpoint};
 pub use codec::{ByteReader, ByteWriter, CodecError, Decode, Encode};
+pub use delta::{DeltaError, DeltaSnapshot, SectionDelta, DELTA_MAGIC, DELTA_VERSION};
 pub use heal::{
-    fetch_manifest, heal_fetch, heal_restore, HealReport, ProviderReply, Quarantine, RetryPolicy,
-    SectionProvider, SimProvider, SyncError, SyncManifest,
+    delta_restore, delta_sync, fetch_manifest, heal_fetch, heal_restore, HealReport, PageManifest,
+    PageReply, ProviderReply, Quarantine, RetryPolicy, SectionProvider, SimProvider, SyncError,
+    SyncManifest,
 };
+pub use pages::{page_hash, page_hashes, page_root, PageDiff, DEFAULT_PAGE_SIZE};
 pub use prune::{prune_to_snapshot, PruneReport, RetentionPolicy};
 pub use snapshot::{
     root_from_section_hashes, section_hashes, Section, SectionKind, Snapshot,

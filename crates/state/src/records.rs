@@ -7,6 +7,7 @@
 use crate::codec::{ensure_sorted_keys, ByteReader, ByteWriter, CodecError, Decode, Encode};
 use ammboost_amm::engines::{CpState, EngineKind, EngineState, SharePosition, WeightedState};
 use ammboost_amm::pool::{PoolState, Position, TickInfo};
+use ammboost_amm::positions::{PositionRecords, RecordsError, POSITION_RECORD_BYTES};
 use ammboost_amm::tx::{
     AmmTx, BurnTx, CollectTx, MintTx, RouteHop, RouteTx, SwapIntent, SwapTx, MAX_ROUTE_HOPS,
 };
@@ -134,6 +135,31 @@ impl Decode for Position {
     }
 }
 
+/// Decodes the position section of a [`PoolState`]: a `u32` count prefix
+/// followed by `count` raw [`POSITION_RECORD_BYTES`]-sized records. The
+/// bytes are adopted zero-parse — only the stride and the strict id
+/// ordering are checked; field payloads stay raw until the pool touches
+/// them.
+fn decode_position_records(r: &mut ByteReader<'_>) -> Result<PositionRecords, CodecError> {
+    let count = r.take_len()?;
+    let byte_len = count
+        .checked_mul(POSITION_RECORD_BYTES)
+        .ok_or(CodecError::LengthOverflow {
+            declared: count,
+            remaining: r.remaining(),
+        })?;
+    let raw = r.take(byte_len)?;
+    PositionRecords::from_sorted_raw(raw).map_err(|e| match e {
+        // stride is impossible here (we took an exact multiple); map it
+        // to the same taxonomy as any other malformed length
+        RecordsError::Stride { len } => CodecError::LengthOverflow {
+            declared: len,
+            remaining: 0,
+        },
+        RecordsError::Unsorted { .. } => CodecError::UnsortedKeys,
+    })
+}
+
 impl Encode for PoolState {
     fn encode(&self, w: &mut ByteWriter) {
         w.put_u32(self.fee_pips);
@@ -146,7 +172,10 @@ impl Encode for PoolState {
         w.put_u128(self.balance0);
         w.put_u128(self.balance1);
         self.ticks.encode(w);
-        self.positions.encode(w);
+        // positions are kept in wire form: count prefix + raw records.
+        // Byte-identical to encoding each (id, Position) pair in order.
+        w.put_len(self.positions.len());
+        w.put_bytes(self.positions.raw());
         self.tick_prices.encode(w);
     }
 }
@@ -164,11 +193,10 @@ impl Decode for PoolState {
             balance0: r.take_u128()?,
             balance1: r.take_u128()?,
             ticks: r.get()?,
-            positions: r.get()?,
+            positions: decode_position_records(r)?,
             tick_prices: r.get()?,
         };
         ensure_sorted_keys(&state.ticks)?;
-        ensure_sorted_keys(&state.positions)?;
         Ok(state)
     }
 }

@@ -23,12 +23,27 @@
 //! write rolls forward, anything torn or unmarked is discarded. The node
 //! catches back up from the committed epoch by replaying meta-blocks
 //! (`catch_up`), landing on a bit-identical state root.
+//!
+//! The journal is **delta-aware**: [`CheckpointStore::commit_delta`]
+//! pushes a [`DeltaSnapshot`] through the same stage→mark→install dance
+//! (the staged bytes' magic distinguishes full `ABSS` from delta `ABDS`
+//! writes, including during recovery). Installed deltas form a *chain*
+//! on top of the last full snapshot; [`CheckpointStore::latest`] folds
+//! the chain — every link re-verified — and once the chain reaches the
+//! compaction threshold the store folds it into a new full snapshot in
+//! the committed slot. Per-epoch durable bytes therefore scale with the
+//! dirty pages, while reads always see one verified tip.
 
 use crate::codec::CodecError;
+use crate::delta::{DeltaError, DeltaSnapshot, DELTA_MAGIC};
 use crate::snapshot::Snapshot;
 use ammboost_crypto::H256;
 use ammboost_sim::{FaultInjector, FaultKind, InjectionPoint};
 use std::fmt;
+
+/// Delta-chain links after which the store folds the chain into a new
+/// full snapshot.
+pub const DEFAULT_COMPACTION_THRESHOLD: usize = 8;
 
 /// Where a simulated crash interrupts a checkpoint commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +73,15 @@ pub enum StoreError {
     /// The committed slot failed to decode (cannot happen through this
     /// API; guards external corruption of the committed bytes).
     Corrupt(CodecError),
+    /// A delta-chain link failed to decode or apply.
+    CorruptDelta(DeltaError),
+    /// A delta was committed against a tip other than the store's.
+    DeltaBaseMismatch {
+        /// The store's current tip root, if any.
+        tip: Option<H256>,
+        /// The base root the delta expects.
+        base: H256,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -66,6 +90,10 @@ impl fmt::Display for StoreError {
             StoreError::SimulatedCrash(p) => write!(f, "simulated crash at {p:?}"),
             StoreError::NothingCommitted => write!(f, "no committed checkpoint"),
             StoreError::Corrupt(e) => write!(f, "committed checkpoint corrupt: {e}"),
+            StoreError::CorruptDelta(e) => write!(f, "delta chain corrupt: {e}"),
+            StoreError::DeltaBaseMismatch { tip, base } => {
+                write!(f, "delta base {base:?} does not match store tip {tip:?}")
+            }
         }
     }
 }
@@ -105,28 +133,61 @@ struct CommitMark {
 /// A simulated durable checkpoint store with a stage→mark→install
 /// commit journal. See the module docs for the protocol and crash
 /// semantics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CheckpointStore {
     committed: Option<Vec<u8>>,
     committed_epoch: Option<u64>,
+    /// Encoded delta links on top of `committed`, oldest first.
+    chain: Vec<Vec<u8>>,
+    /// Root of the folded tip (committed + chain).
+    tip_root: Option<H256>,
     staged: Option<Vec<u8>>,
     mark: Option<CommitMark>,
+    compaction_threshold: usize,
     commits: u64,
     recoveries: u64,
+    compactions: u64,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> CheckpointStore {
+        CheckpointStore::new()
+    }
 }
 
 impl CheckpointStore {
-    /// An empty store (nothing committed).
+    /// An empty store (nothing committed) with the default compaction
+    /// threshold.
     pub fn new() -> CheckpointStore {
-        CheckpointStore::default()
+        CheckpointStore::with_compaction_threshold(DEFAULT_COMPACTION_THRESHOLD)
+    }
+
+    /// An empty store folding its delta chain after `threshold` links.
+    ///
+    /// # Panics
+    /// Panics on a zero threshold.
+    pub fn with_compaction_threshold(threshold: usize) -> CheckpointStore {
+        assert!(threshold > 0, "compaction threshold must be positive");
+        CheckpointStore {
+            committed: None,
+            committed_epoch: None,
+            chain: Vec::new(),
+            tip_root: None,
+            staged: None,
+            mark: None,
+            compaction_threshold: threshold,
+            commits: 0,
+            recoveries: 0,
+            compactions: 0,
+        }
     }
 
     /// Commits `snapshot` through the journal, optionally dying at
-    /// `crash`. On success the snapshot is installed and its epoch
-    /// returned; on a simulated crash the store is left torn exactly as
-    /// the crash point dictates and [`StoreError::SimulatedCrash`] is
-    /// returned — the caller then restarts via
-    /// [`CheckpointStore::recover`].
+    /// `crash`. On success the snapshot is installed (resetting any
+    /// delta chain) and its epoch returned; on a simulated crash the
+    /// store is left torn exactly as the crash point dictates and
+    /// [`StoreError::SimulatedCrash`] is returned — the caller then
+    /// restarts via [`CheckpointStore::recover`].
     ///
     /// # Errors
     /// Only [`StoreError::SimulatedCrash`], and only when `crash` is set.
@@ -141,6 +202,52 @@ impl CheckpointStore {
             root: snapshot.root(),
             len: bytes.len(),
         };
+        self.journal(bytes, mark, crash)?;
+        Ok(snapshot.epoch)
+    }
+
+    /// Commits a [`DeltaSnapshot`] link through the same journal. The
+    /// delta must extend the store's current tip (base root and epoch
+    /// both agreeing); on install it joins the chain, and once the chain
+    /// reaches the compaction threshold it is folded into a new full
+    /// snapshot in the committed slot.
+    ///
+    /// # Errors
+    /// [`StoreError::NothingCommitted`] on an empty store,
+    /// [`StoreError::DeltaBaseMismatch`] when the delta does not extend
+    /// the tip, [`StoreError::SimulatedCrash`] when `crash` is set.
+    pub fn commit_delta(
+        &mut self,
+        delta: &DeltaSnapshot,
+        crash: Option<CrashPoint>,
+    ) -> Result<u64, StoreError> {
+        if self.committed.is_none() {
+            return Err(StoreError::NothingCommitted);
+        }
+        if self.tip_root != Some(delta.base_root) || self.committed_epoch != Some(delta.base_epoch)
+        {
+            return Err(StoreError::DeltaBaseMismatch {
+                tip: self.tip_root,
+                base: delta.base_root,
+            });
+        }
+        let bytes = delta.encode();
+        let mark = CommitMark {
+            epoch: delta.epoch,
+            root: delta.root,
+            len: bytes.len(),
+        };
+        self.journal(bytes, mark, crash)?;
+        Ok(delta.epoch)
+    }
+
+    /// The shared stage→mark→install dance over already-encoded bytes.
+    fn journal(
+        &mut self,
+        bytes: Vec<u8>,
+        mark: CommitMark,
+        crash: Option<CrashPoint>,
+    ) -> Result<(), StoreError> {
         if let Some(CrashPoint::DuringStage { offset }) = crash {
             let cut = offset.min(bytes.len());
             self.staged = Some(bytes[..cut].to_vec());
@@ -158,7 +265,7 @@ impl CheckpointStore {
         }
         self.install();
         self.commits += 1;
-        Ok(snapshot.epoch)
+        Ok(())
     }
 
     /// Commits `snapshot`, consulting `injector` at
@@ -177,39 +284,80 @@ impl CheckpointStore {
         snapshot: &Snapshot,
         injector: &mut FaultInjector,
     ) -> Result<u64, StoreError> {
-        let crash = injector
+        let crash = self.injected_crash(injector, snapshot.encoded_len());
+        self.commit(snapshot, crash)
+    }
+
+    /// Delta counterpart of [`CheckpointStore::commit_with_injector`]:
+    /// the same fault-to-crash-point mapping applied to a delta commit.
+    ///
+    /// # Errors
+    /// As [`CheckpointStore::commit_delta`], plus
+    /// [`StoreError::SimulatedCrash`] when a fault fires.
+    pub fn commit_delta_with_injector(
+        &mut self,
+        delta: &DeltaSnapshot,
+        injector: &mut FaultInjector,
+    ) -> Result<u64, StoreError> {
+        let crash = self.injected_crash(injector, delta.encoded_len());
+        self.commit_delta(delta, crash)
+    }
+
+    fn injected_crash(
+        &mut self,
+        injector: &mut FaultInjector,
+        encoded_len: usize,
+    ) -> Option<CrashPoint> {
+        injector
             .fire(InjectionPoint::CheckpointWrite)
             .map(|kind| match kind {
                 FaultKind::BitFlip | FaultKind::Truncate | FaultKind::Panic => {
                     CrashPoint::DuringStage {
-                        offset: injector.crash_offset(snapshot.encoded_len()),
+                        offset: injector.crash_offset(encoded_len),
                     }
                 }
                 FaultKind::Drop => CrashPoint::BeforeMark,
                 FaultKind::Delay { .. } | FaultKind::Duplicate | FaultKind::StaleRoot => {
                     CrashPoint::BeforeInstall
                 }
-            });
-        self.commit(snapshot, crash)
+            })
     }
 
     /// Restores the journal invariant after a (possible) crash: a marked
     /// *and* byte-complete staged write — length, decode and root all
-    /// agreeing with the mark — is installed; anything else in the
-    /// staging area is discarded. Idempotent; safe to call on a clean
-    /// store.
+    /// agreeing with the mark (and, for a staged delta, its base
+    /// agreeing with the store's tip) — is installed; anything else in
+    /// the staging area is discarded. Idempotent; safe to call on a
+    /// clean store.
     pub fn recover(&mut self) -> RecoveryOutcome {
         let outcome = match (&self.staged, &self.mark) {
             (None, None) => return RecoveryOutcome::Clean,
             (Some(staged), Some(mark)) if staged.len() == mark.len => {
-                match Snapshot::decode(staged) {
-                    Ok(snap) if snap.epoch == mark.epoch && snap.root() == mark.root => {
-                        let epoch = mark.epoch;
-                        self.install();
-                        self.commits += 1;
-                        RecoveryOutcome::RolledForward { epoch }
+                if staged.get(..4) == Some(DELTA_MAGIC.as_slice()) {
+                    match DeltaSnapshot::decode(staged) {
+                        Ok(delta)
+                            if delta.epoch == mark.epoch
+                                && delta.root == mark.root
+                                && self.tip_root == Some(delta.base_root)
+                                && self.committed_epoch == Some(delta.base_epoch) =>
+                        {
+                            let epoch = mark.epoch;
+                            self.install();
+                            self.commits += 1;
+                            RecoveryOutcome::RolledForward { epoch }
+                        }
+                        _ => self.discard_staged(),
                     }
-                    _ => self.discard_staged(),
+                } else {
+                    match Snapshot::decode(staged) {
+                        Ok(snap) if snap.epoch == mark.epoch && snap.root() == mark.root => {
+                            let epoch = mark.epoch;
+                            self.install();
+                            self.commits += 1;
+                            RecoveryOutcome::RolledForward { epoch }
+                        }
+                        _ => self.discard_staged(),
+                    }
                 }
             }
             _ => self.discard_staged(),
@@ -220,9 +368,45 @@ impl CheckpointStore {
 
     fn install(&mut self) {
         if let (Some(bytes), Some(mark)) = (self.staged.take(), self.mark.take()) {
-            self.committed = Some(bytes);
+            if bytes.get(..4) == Some(DELTA_MAGIC.as_slice()) {
+                self.chain.push(bytes);
+            } else {
+                self.committed = Some(bytes);
+                self.chain.clear();
+            }
             self.committed_epoch = Some(mark.epoch);
+            self.tip_root = Some(mark.root);
+            if self.chain.len() >= self.compaction_threshold {
+                self.compact();
+            }
         }
+    }
+
+    /// Folds the delta chain into a new full snapshot in the committed
+    /// slot. On a fold error the chain is left untouched — the
+    /// corruption then fails loud at the next [`CheckpointStore::latest`]
+    /// instead of being papered over.
+    fn compact(&mut self) {
+        if let Ok(snapshot) = self.fold() {
+            self.committed = Some(snapshot.encode());
+            self.chain.clear();
+            self.compactions += 1;
+        }
+    }
+
+    /// Decodes the committed slot and re-applies (re-verifying) every
+    /// chain link.
+    fn fold(&self) -> Result<Snapshot, StoreError> {
+        let bytes = self
+            .committed
+            .as_ref()
+            .ok_or(StoreError::NothingCommitted)?;
+        let mut snapshot = Snapshot::decode(bytes).map_err(StoreError::Corrupt)?;
+        for link in &self.chain {
+            let delta = DeltaSnapshot::decode(link).map_err(StoreError::CorruptDelta)?;
+            snapshot = delta.apply(&snapshot).map_err(StoreError::CorruptDelta)?;
+        }
+        Ok(snapshot)
     }
 
     fn discard_staged(&mut self) -> RecoveryOutcome {
@@ -234,27 +418,42 @@ impl CheckpointStore {
         }
     }
 
-    /// Decodes (and root-verifies) the last committed snapshot.
+    /// Decodes (and root-verifies) the store's tip: the last committed
+    /// full snapshot with every installed delta link applied and
+    /// re-verified on top.
     ///
     /// # Errors
     /// [`StoreError::NothingCommitted`] on an empty store;
-    /// [`StoreError::Corrupt`] if the committed bytes fail verification.
+    /// [`StoreError::Corrupt`]/[`StoreError::CorruptDelta`] if any
+    /// committed bytes fail verification.
     pub fn latest(&self) -> Result<Snapshot, StoreError> {
-        let bytes = self
-            .committed
-            .as_ref()
-            .ok_or(StoreError::NothingCommitted)?;
-        Snapshot::decode(bytes).map_err(StoreError::Corrupt)
+        self.fold()
     }
 
-    /// Epoch of the last committed snapshot.
+    /// Epoch of the store's tip (last installed commit, full or delta).
     pub fn committed_epoch(&self) -> Option<u64> {
         self.committed_epoch
     }
 
-    /// Raw committed bytes (what a provider would serve).
+    /// Root of the store's tip.
+    pub fn tip_root(&self) -> Option<H256> {
+        self.tip_root
+    }
+
+    /// Raw bytes of the last *full* snapshot (what a provider would
+    /// serve as a sync base; installed deltas live in the chain on top).
     pub fn latest_bytes(&self) -> Option<&[u8]> {
         self.committed.as_deref()
+    }
+
+    /// Installed delta links since the last full snapshot.
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Durable bytes in the delta chain.
+    pub fn chain_bytes(&self) -> u64 {
+        self.chain.iter().map(|b| b.len() as u64).sum()
     }
 
     /// Whether an interrupted commit is pending recovery.
@@ -270,6 +469,11 @@ impl CheckpointStore {
     /// Times [`CheckpointStore::recover`] ran.
     pub fn recoveries(&self) -> u64 {
         self.recoveries
+    }
+
+    /// Times the delta chain was folded into a full snapshot.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 
@@ -294,6 +498,18 @@ mod tests {
                 },
             ],
         }
+    }
+
+    /// `snap(epoch)` with one pool byte varied per epoch, so consecutive
+    /// epochs differ by exactly one page.
+    fn evolving(epoch: u64) -> Snapshot {
+        let mut s = snap(epoch);
+        s.sections[0].bytes[0] = epoch as u8;
+        s
+    }
+
+    fn delta(from: u64, to: u64) -> DeltaSnapshot {
+        DeltaSnapshot::diff(&evolving(from), &evolving(to), 16)
     }
 
     #[test]
@@ -402,5 +618,124 @@ mod tests {
         // a third commit goes through untouched (occurrence 2 unscheduled)
         let mut inj = FaultInjector::new(5);
         assert_eq!(s1.commit_with_injector(&snap(3), &mut inj).unwrap(), 3);
+    }
+
+    #[test]
+    fn delta_commits_chain_and_fold_to_the_tip() {
+        let mut store = CheckpointStore::new();
+        store.commit(&evolving(1), None).unwrap();
+        store.commit_delta(&delta(1, 2), None).unwrap();
+        store.commit_delta(&delta(2, 3), None).unwrap();
+        assert_eq!(store.chain_len(), 2);
+        assert_eq!(store.committed_epoch(), Some(3));
+        assert_eq!(store.tip_root(), Some(evolving(3).root()));
+        assert_eq!(store.latest().unwrap(), evolving(3));
+        assert!(store.chain_bytes() > 0);
+    }
+
+    #[test]
+    fn delta_against_wrong_tip_rejected() {
+        let mut store = CheckpointStore::new();
+        assert_eq!(
+            store.commit_delta(&delta(1, 2), None).unwrap_err(),
+            StoreError::NothingCommitted
+        );
+        store.commit(&evolving(1), None).unwrap();
+        assert!(matches!(
+            store.commit_delta(&delta(2, 3), None).unwrap_err(),
+            StoreError::DeltaBaseMismatch { .. }
+        ));
+        // the failed commit left no trace
+        assert!(!store.is_torn());
+        assert_eq!(store.latest().unwrap(), evolving(1));
+    }
+
+    #[test]
+    fn chain_compacts_at_threshold() {
+        let mut store = CheckpointStore::with_compaction_threshold(3);
+        store.commit(&evolving(1), None).unwrap();
+        store.commit_delta(&delta(1, 2), None).unwrap();
+        store.commit_delta(&delta(2, 3), None).unwrap();
+        assert_eq!(store.chain_len(), 2);
+        assert_eq!(store.compactions(), 0);
+        store.commit_delta(&delta(3, 4), None).unwrap();
+        assert_eq!(store.chain_len(), 0, "threshold reached, chain folded");
+        assert_eq!(store.compactions(), 1);
+        // the committed slot now holds the folded full snapshot
+        assert_eq!(
+            Snapshot::decode(store.latest_bytes().unwrap()).unwrap(),
+            evolving(4)
+        );
+        // and the chain keeps growing from the new base
+        store.commit_delta(&delta(4, 5), None).unwrap();
+        assert_eq!(store.latest().unwrap(), evolving(5));
+    }
+
+    #[test]
+    fn full_commit_resets_the_chain() {
+        let mut store = CheckpointStore::new();
+        store.commit(&evolving(1), None).unwrap();
+        store.commit_delta(&delta(1, 2), None).unwrap();
+        store.commit(&evolving(7), None).unwrap();
+        assert_eq!(store.chain_len(), 0);
+        assert_eq!(store.latest().unwrap(), evolving(7));
+    }
+
+    #[test]
+    fn delta_crash_at_every_byte_offset_recovers_to_tip() {
+        let d = delta(2, 3);
+        let encoded_len = d.encode().len();
+        for offset in 0..encoded_len {
+            let mut store = CheckpointStore::new();
+            store.commit(&evolving(1), None).unwrap();
+            store.commit_delta(&delta(1, 2), None).unwrap();
+            store
+                .commit_delta(&d, Some(CrashPoint::DuringStage { offset }))
+                .unwrap_err();
+            assert_eq!(
+                store.recover(),
+                RecoveryOutcome::DiscardedTorn {
+                    staged_bytes: offset,
+                    marked: false
+                }
+            );
+            assert_eq!(store.latest().unwrap(), evolving(2), "crash at {offset}");
+        }
+    }
+
+    #[test]
+    fn marked_delta_rolls_forward_on_recovery() {
+        let mut store = CheckpointStore::new();
+        store.commit(&evolving(1), None).unwrap();
+        store
+            .commit_delta(&delta(1, 2), Some(CrashPoint::BeforeInstall))
+            .unwrap_err();
+        assert_eq!(store.recover(), RecoveryOutcome::RolledForward { epoch: 2 });
+        assert_eq!(store.latest().unwrap(), evolving(2));
+        assert_eq!(store.chain_len(), 1);
+    }
+
+    #[test]
+    fn delta_injector_crash_then_full_resync() {
+        let mut inj = FaultInjector::new(9);
+        inj.schedule(FaultSpec {
+            point: InjectionPoint::CheckpointWrite,
+            occurrence: 0,
+            kind: FaultKind::Drop,
+        });
+        let mut store = CheckpointStore::new();
+        store.commit(&evolving(1), None).unwrap();
+        store
+            .commit_delta_with_injector(&delta(1, 2), &mut inj)
+            .unwrap_err();
+        assert!(matches!(
+            store.recover(),
+            RecoveryOutcome::DiscardedTorn { marked: false, .. }
+        ));
+        // the tip is still epoch 1, so the 1→2 delta re-commits cleanly
+        store
+            .commit_delta_with_injector(&delta(1, 2), &mut inj)
+            .unwrap();
+        assert_eq!(store.latest().unwrap(), evolving(2));
     }
 }

@@ -235,9 +235,9 @@ mod tests {
         let ledger = Ledger::new(H256::hash(b"genesis"));
         let mut deposits = Deposits::new();
         deposits.credit(Address::from_index(1), 100, 200).unwrap();
-        let (snapshot, _) =
-            Checkpointer::new().checkpoint(3, &[(PoolId(0), pool)], &ledger, &deposits, vec![]);
-        snapshot
+        Checkpointer::new()
+            .checkpoint(3, &[(PoolId(0), pool)], &ledger, &deposits, vec![])
+            .snapshot
     }
 
     #[test]
@@ -274,7 +274,9 @@ mod tests {
             .collect();
         let ledger = Ledger::new(H256::hash(b"genesis"));
         let deposits = Deposits::new();
-        let (snapshot, _) = Checkpointer::new().checkpoint(9, &pools, &ledger, &deposits, vec![]);
+        let snapshot = Checkpointer::new()
+            .checkpoint(9, &pools, &ledger, &deposits, vec![])
+            .snapshot;
         let restored = restore_from_bytes(&snapshot.encode()).unwrap();
         assert_eq!(restored.pools.len(), 3);
         for ((_, rebuilt), original) in restored.pools.iter().zip(engines.iter()) {
@@ -335,7 +337,9 @@ mod tests {
         let ledger = Ledger::new(H256::hash(b"genesis"));
         let deposits = Deposits::new();
         let pools: Vec<(PoolId, &Engine)> = (0..4).map(|i| (PoolId(7770 + i), &pool)).collect();
-        let (snapshot, _) = Checkpointer::new().checkpoint(1, &pools, &ledger, &deposits, vec![]);
+        let snapshot = Checkpointer::new()
+            .checkpoint(1, &pools, &ledger, &deposits, vec![])
+            .snapshot;
         PANIC_ON_POOL.store(7772, Ordering::Relaxed);
         let got = restore(&snapshot);
         PANIC_ON_POOL.store(-1, Ordering::Relaxed);

@@ -2,21 +2,28 @@
 //! `Encode` → `Decode` bit-exactly under random values including
 //! extremes, and the snapshot container detects corruption.
 
+use ammboost_amm::engines::EngineKind;
 use ammboost_amm::pool::{Pool, PoolState, Position, TickInfo};
 use ammboost_amm::tick_math::{MAX_TICK, MIN_TICK};
 use ammboost_amm::tx::{
     AmmTx, BurnTx, CollectTx, MintTx, RouteHop, RouteTx, SwapIntent, SwapTx, MAX_ROUTE_HOPS,
 };
 use ammboost_amm::types::{PoolId, PositionId};
+use ammboost_amm::Engine;
 use ammboost_crypto::{Address, H256, U256};
 use ammboost_sidechain::block::{ExecutedTx, MetaBlock, RouteLeg, SummaryBlock, TxEffect};
-use ammboost_sidechain::ledger::LedgerState;
-use ammboost_sidechain::summary::{PayoutEntry, PoolUpdate, PositionEntry};
+use ammboost_sidechain::ledger::{Ledger, LedgerState};
+use ammboost_sidechain::summary::{Deposits, PayoutEntry, PoolUpdate, PositionEntry};
 use ammboost_state::codec::{Decode, Encode};
+use ammboost_state::delta::{DeltaError, DeltaSnapshot};
 use ammboost_state::heal::{
-    heal_fetch, ProviderReply, RetryPolicy, SectionProvider, SimProvider, SyncManifest,
+    delta_sync, heal_fetch, PageManifest, PageReply, ProviderReply, RetryPolicy, SectionProvider,
+    SimProvider, SyncManifest,
 };
 use ammboost_state::snapshot::{Section, SectionKind, Snapshot, SNAPSHOT_VERSION};
+use ammboost_state::store::CheckpointStore;
+use ammboost_state::sync::restore;
+use ammboost_state::Checkpointer;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -601,6 +608,241 @@ proptest! {
         prop_assert!(
             report.healed_sections.contains(&target),
             "quarantined section {} was never healed", target
+        );
+    }
+}
+
+/// One random "epoch" of traffic for the delta-chain properties: each
+/// entry mints into one of the fleet's engines.
+type EpochOps = Vec<(u8, u64)>;
+
+/// A small mixed fleet grown through the real engines, so pool sections
+/// carry genuine engine-tagged encodings.
+fn delta_fleet() -> Vec<Engine> {
+    let mut fleet = vec![
+        Engine::new_standard(EngineKind::ConcentratedLiquidity),
+        Engine::new_standard(EngineKind::ConstantProduct),
+    ];
+    for (i, engine) in fleet.iter_mut().enumerate() {
+        engine
+            .mint(
+                PositionId::derive(&[b"delta-prop-base", &[i as u8]]),
+                Address::from_index(7 + i as u64),
+                -1200,
+                1200,
+                50_000_000,
+                50_000_000,
+            )
+            .expect("base liquidity mints");
+    }
+    fleet
+}
+
+fn apply_ops(fleet: &mut [Engine], cp: &mut Checkpointer, epoch: usize, ops: &EpochOps) {
+    for (i, (which, salt)) in ops.iter().enumerate() {
+        let pool = *which as usize % fleet.len();
+        cp.mark_dirty(PoolId(pool as u32));
+        let engine = &mut fleet[pool];
+        let width = 60 * (1 + (salt % 40) as i32);
+        let _ = engine.mint(
+            PositionId::derive(&[b"delta-prop-op", &epoch.to_be_bytes(), &i.to_be_bytes()]),
+            Address::from_index(*salt),
+            -width,
+            width,
+            1_000_000u128 + *salt as u128 * 7,
+            1_000_000u128 + *salt as u128 * 13,
+        );
+    }
+}
+
+fn checkpoint_fleet(
+    cp: &mut Checkpointer,
+    epoch: u64,
+    fleet: &[Engine],
+) -> ammboost_state::CheckpointOutput {
+    let refs: Vec<(PoolId, &Engine)> = fleet
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (PoolId(i as u32), e))
+        .collect();
+    let ledger = Ledger::new(H256::hash(b"delta-prop-genesis"));
+    let mut deposits = Deposits::new();
+    deposits
+        .credit(Address::from_index(1), 100, 200)
+        .expect("deposit credits");
+    cp.checkpoint(epoch, &refs, &ledger, &deposits, vec![])
+}
+
+/// An otherwise-honest page-protocol provider that flips one byte (or
+/// one sub-leaf hash bit) in a single page reply — the adversary the
+/// page-granular delta sync must quarantine.
+struct FlipPageProvider {
+    snap: Snapshot,
+    page_size: usize,
+    target: (usize, u32),
+    pos: u32,
+    mask: u8,
+}
+
+impl SectionProvider for FlipPageProvider {
+    fn id(&self) -> u32 {
+        0
+    }
+    fn manifest(&mut self) -> Option<SyncManifest> {
+        Some(SyncManifest::of(&self.snap))
+    }
+    fn fetch(&mut self, index: usize) -> ProviderReply {
+        ProviderReply::Section(self.snap.sections[index].clone())
+    }
+    fn page_manifest(&mut self, index: usize) -> Option<PageManifest> {
+        self.snap
+            .sections
+            .get(index)
+            .map(|s| PageManifest::of(s, self.page_size))
+    }
+    fn fetch_page(&mut self, index: usize, page: u32) -> PageReply {
+        let section = &self.snap.sections[index];
+        let start = page as usize * self.page_size;
+        let end = (start + self.page_size).min(section.bytes.len());
+        let mut bytes = section.bytes[start..end].to_vec();
+        if (index, page) == self.target && !bytes.is_empty() {
+            let i = self.pos as usize % bytes.len();
+            bytes[i] ^= self.mask;
+        }
+        PageReply::Page(bytes)
+    }
+}
+
+proptest! {
+    // each case drives the real checkpoint → delta → store machinery,
+    // so fewer, heavier cases than the codec round-trips above
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random epoch sequences: committing the base snapshot plus every
+    /// checkpointer-emitted delta into the journal, then folding the
+    /// chain (through compactions), restores a state byte-identical —
+    /// root and exported pool encodings — to restoring the final full
+    /// snapshot directly. Zero-op epochs (empty deltas) must chain too.
+    #[test]
+    fn delta_chain_restore_matches_full_restore(
+        epochs in vec(vec((0u8..2, 1u64..500), 0..4), 1..6),
+        page_size in prop_oneof![Just(64usize), Just(256usize), Just(1024usize)],
+    ) {
+        let mut fleet = delta_fleet();
+        let mut cp = Checkpointer::new();
+        let mut store = CheckpointStore::with_compaction_threshold(2);
+        let out = checkpoint_fleet(&mut cp, 1, &fleet);
+        store.commit(&out.snapshot, None).expect("base commit");
+        let mut prev = out.snapshot;
+        for (e, ops) in epochs.iter().enumerate() {
+            apply_ops(&mut fleet, &mut cp, e, ops);
+            let out = checkpoint_fleet(&mut cp, 2 + e as u64, &fleet);
+            let delta = out.delta.expect("consecutive checkpoints emit deltas");
+            // the delta wire form round-trips bit-exactly
+            let back = DeltaSnapshot::decode(&delta.encode())
+                .map_err(|err| TestCaseError::fail(format!("delta decode failed: {err}")))?;
+            prop_assert_eq!(&back, &delta);
+            // applying it to the previous snapshot is byte-identical to
+            // the full re-encode the checkpointer produced
+            let applied = delta.apply(&prev)
+                .map_err(|err| TestCaseError::fail(format!("delta apply failed: {err}")))?;
+            prop_assert_eq!(&applied, &out.snapshot);
+            // an explicit diff at a random page size agrees as well
+            let rediff = DeltaSnapshot::diff(&prev, &out.snapshot, page_size);
+            prop_assert_eq!(rediff.apply(&prev).unwrap(), out.snapshot.clone());
+            store.commit_delta(&delta, None)
+                .map_err(|err| TestCaseError::fail(format!("delta commit failed: {err}")))?;
+            prev = out.snapshot;
+        }
+        // folding the journal chain lands on the full snapshot, bit for bit
+        let folded = store.latest().expect("chain folds");
+        prop_assert_eq!(&folded, &prev);
+        prop_assert_eq!(folded.root(), prev.root());
+        // and the restored states match pool-for-pool, byte-for-byte
+        let from_chain = restore(&folded)
+            .map_err(|err| TestCaseError::fail(format!("chain restore failed: {err}")))?;
+        let from_full = restore(&prev)
+            .map_err(|err| TestCaseError::fail(format!("full restore failed: {err}")))?;
+        prop_assert_eq!(from_chain.root, from_full.root);
+        prop_assert_eq!(from_chain.pools.len(), from_full.pools.len());
+        for ((ida, a), (idb, b)) in from_chain.pools.iter().zip(from_full.pools.iter()) {
+            prop_assert_eq!(ida, idb);
+            prop_assert_eq!(
+                a.export_state().encode_to_vec(),
+                b.export_state().encode_to_vec()
+            );
+        }
+    }
+
+    /// Any single-byte flip in a delta page — payload or sub-leaf hash —
+    /// is rejected by `DeltaSnapshot::decode` before the delta can be
+    /// applied, and the same flip served over the page-sync protocol is
+    /// quarantined and healed off one honest provider.
+    #[test]
+    fn flipped_delta_page_is_detected_and_heals(
+        ops in vec((0u8..2, 1u64..500), 1..4),
+        page_size in prop_oneof![Just(64usize), Just(256usize)],
+        sec_pick in any::<u16>(),
+        page_pick in any::<u16>(),
+        pos in any::<u32>(),
+        mask in any::<u8>(),
+        flip_hash in any::<bool>(),
+    ) {
+        let mask = if mask == 0 { 1 } else { mask };
+        let mut fleet = delta_fleet();
+        let mut cp = Checkpointer::new();
+        let stale = checkpoint_fleet(&mut cp, 4, &fleet).snapshot;
+        apply_ops(&mut fleet, &mut cp, 0, &ops);
+        let fresh = checkpoint_fleet(&mut cp, 5, &fleet).snapshot;
+        let delta = DeltaSnapshot::diff(&stale, &fresh, page_size);
+        prop_assert!(delta.pages() > 0, "a mint must dirty at least one page");
+
+        // -- decode rejects the flip ----------------------------------
+        let mut tampered = delta.clone();
+        let d = sec_pick as usize % tampered.deltas.len();
+        let section_delta = &mut tampered.deltas[d];
+        let p = page_pick as usize % section_delta.pages.len();
+        let page = &mut section_delta.pages[p];
+        if flip_hash || page.bytes.is_empty() {
+            page.hash.0[pos as usize % 32] ^= mask;
+        } else {
+            let i = pos as usize % page.bytes.len();
+            page.bytes[i] ^= mask;
+        }
+        prop_assert!(
+            matches!(
+                DeltaSnapshot::decode(&tampered.encode()),
+                Err(DeltaError::PageHashMismatch { .. })
+            ),
+            "flipped delta page was silently decoded"
+        );
+
+        // -- the same flip over the wire protocol quarantines & heals --
+        // pick the target page from the diff's genuinely dirty pages so
+        // the sync is guaranteed to request it
+        let target_delta = &delta.deltas[d];
+        let target_section = fresh
+            .sections
+            .iter()
+            .position(|s| s.kind == target_delta.kind)
+            .expect("delta section exists in the snapshot");
+        let target_page = target_delta.pages[sec_pick as usize % target_delta.pages.len()].index;
+        let mut corrupt = FlipPageProvider {
+            snap: fresh.clone(),
+            page_size,
+            target: (target_section, target_page),
+            pos,
+            mask,
+        };
+        let mut honest = SimProvider::honest(1, fresh.clone()).with_page_size(page_size);
+        let mut providers: Vec<&mut dyn SectionProvider> = vec![&mut corrupt, &mut honest];
+        let (synced, report) = delta_sync(&stale, &mut providers, fresh.root(), &RetryPolicy::default())
+            .map_err(|err| TestCaseError::fail(format!("delta sync failed: {err}")))?;
+        prop_assert_eq!(synced.root(), fresh.root());
+        prop_assert_eq!(&synced, &fresh);
+        prop_assert!(
+            report.quarantined.iter().any(|q| q.reason == "page-hash-mismatch"),
+            "flipped page was accepted without quarantine: {:?}", report.quarantined
         );
     }
 }

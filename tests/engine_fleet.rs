@@ -209,9 +209,9 @@ fn mixed_fleet_survives_snapshot_restore_catch_up() {
     for epoch in 1..=6 {
         full.run_epoch(epoch);
         if epoch == 3 {
-            let (snapshot, stats) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
-            assert_eq!(stats.pools_total, 3);
-            wire = Some(snapshot.encode());
+            let out = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+            assert_eq!(out.stats.pools_total, 3);
+            wire = Some(out.snapshot.encode());
         }
     }
     let stats = full.shards.stats();
@@ -231,10 +231,10 @@ fn mixed_fleet_survives_snapshot_restore_catch_up() {
 
     assert_eq!(node.shards.export_states(), full.shards.export_states());
     assert_eq!(node.ledger.export_state(), full.ledger.export_state());
-    let (_, restored) =
-        checkpoint_node(&mut Checkpointer::new(), 99, &mut node.shards, &node.ledger);
-    let (_, replayed) =
-        checkpoint_node(&mut Checkpointer::new(), 99, &mut full.shards, &full.ledger);
+    let restored =
+        checkpoint_node(&mut Checkpointer::new(), 99, &mut node.shards, &node.ledger).stats;
+    let replayed =
+        checkpoint_node(&mut Checkpointer::new(), 99, &mut full.shards, &full.ledger).stats;
     assert_eq!(restored.root, replayed.root, "state roots diverge");
 }
 

@@ -121,7 +121,8 @@ fn restored_node_is_byte_identical_to_full_replay() {
     for epoch in 1..=6 {
         full.run_epoch(epoch);
         if epoch == 3 {
-            let (snapshot, stats) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+            let out = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+            let (snapshot, stats) = (out.snapshot, out.stats);
             assert!(stats.snapshot_bytes > 0);
             // ship the snapshot through its serialized (verified) form
             snapshot_bytes = Some(snapshot.encode());
@@ -173,7 +174,7 @@ fn snapshot_plus_pruned_peer_still_serves_recent_epochs() {
     for epoch in 1..=5 {
         full.run_epoch(epoch);
         if epoch == 4 {
-            let (snap, _) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+            let snap = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger).snapshot;
             let report = ammboost::state::prune_to_snapshot(
                 &mut full.ledger,
                 epoch,
@@ -192,7 +193,7 @@ fn snapshot_plus_pruned_peer_still_serves_recent_epochs() {
 
 /// Convenience: a fresh checkpoint's (bytes, root) for comparison.
 fn root_of(shards: &mut ShardMap, ledger: &Ledger) -> (u64, H256) {
-    let (_, stats) = checkpoint_node(&mut Checkpointer::new(), 0, shards, ledger);
+    let stats = checkpoint_node(&mut Checkpointer::new(), 0, shards, ledger).stats;
     (stats.snapshot_bytes, stats.root)
 }
 
@@ -204,8 +205,8 @@ fn positions_survive_restore() {
     for epoch in 1..=3 {
         full.run_epoch(epoch);
     }
-    let (snapshot, _) =
-        checkpoint_node(&mut Checkpointer::new(), 3, &mut full.shards, &full.ledger);
+    let snapshot =
+        checkpoint_node(&mut Checkpointer::new(), 3, &mut full.shards, &full.ledger).snapshot;
     let node = restore_node(&snapshot).unwrap();
     let full_pool = full.shards.first().pool();
     let restored_pool = node.shards.first().pool();

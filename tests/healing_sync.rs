@@ -163,11 +163,11 @@ fn peer_with_snapshots_from(
     for epoch in 1..=6 {
         full.run_epoch(epoch);
         if epoch == stale_epoch {
-            let (s, _) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+            let s = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger).snapshot;
             stale = Some(s);
         }
         if epoch == snap_epoch {
-            let (s, _) = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger);
+            let s = checkpoint_node(&mut cp, epoch, &mut full.shards, &full.ledger).snapshot;
             snap = Some(s);
         }
     }
@@ -177,7 +177,7 @@ fn peer_with_snapshots_from(
 
 /// The Merkle root of a node's live state, via a throwaway checkpoint.
 fn root_of(shards: &mut ShardMap, ledger: &Ledger) -> H256 {
-    let (_, stats) = checkpoint_node(&mut Checkpointer::new(), 99, shards, ledger);
+    let stats = checkpoint_node(&mut Checkpointer::new(), 99, shards, ledger).stats;
     stats.root
 }
 

@@ -125,8 +125,8 @@ fn sharded_system_is_byte_identical_to_independent_single_pool_systems() {
         ledger.append_summary(summary.clone()).unwrap();
         epoch_summaries.push(summary);
     }
-    let (sharded_snapshot, sharded_stats) =
-        checkpoint_node(&mut Checkpointer::new(), EPOCHS, &mut shards, &ledger);
+    let sharded_out = checkpoint_node(&mut Checkpointer::new(), EPOCHS, &mut shards, &ledger);
+    let (sharded_snapshot, sharded_stats) = (sharded_out.snapshot, sharded_out.stats);
     assert_eq!(sharded_stats.pools_total, POOLS as usize);
 
     // --- N independent single-pool nodes fed the same per-pool traffic ---
@@ -168,7 +168,7 @@ fn sharded_system_is_byte_identical_to_independent_single_pool_systems() {
         assert_eq!(shard_state, solo.export_state(), "{pool} state diverges");
 
         // 2. byte-identical pool section in the all-shards snapshot
-        let (solo_map_snapshot, _) = {
+        let solo_map_snapshot = {
             let mut solo_map = ShardMap::from_processors(vec![solo.clone()]);
             let solo_ledger = Ledger::new(H256::hash(b"solo-genesis"));
             checkpoint_node(
@@ -177,6 +177,7 @@ fn sharded_system_is_byte_identical_to_independent_single_pool_systems() {
                 &mut solo_map,
                 &solo_ledger,
             )
+            .snapshot
         };
         assert_eq!(
             sharded_snapshot
@@ -362,9 +363,9 @@ fn multi_pool_fast_sync_restart() {
         };
         ledger.append_summary(summary).unwrap();
         if epoch == 2 {
-            let (snap, stats) = checkpoint_node(&mut cp, epoch, &mut shards, &ledger);
-            assert_eq!(stats.pools_total, POOLS as usize);
-            wire = Some(snap.encode());
+            let out = checkpoint_node(&mut cp, epoch, &mut shards, &ledger);
+            assert_eq!(out.stats.pools_total, POOLS as usize);
+            wire = Some(out.snapshot.encode());
         }
     }
 
@@ -376,12 +377,13 @@ fn multi_pool_fast_sync_restart() {
     assert_eq!(applied, EPOCHS - 2);
     assert_eq!(node.shards.export_states(), shards.export_states());
     assert_eq!(node.ledger.export_state(), ledger.export_state());
-    let (_, a) = checkpoint_node(
+    let a = checkpoint_node(
         &mut Checkpointer::new(),
         EPOCHS,
         &mut node.shards,
         &node.ledger,
-    );
-    let (_, b) = checkpoint_node(&mut Checkpointer::new(), EPOCHS, &mut shards, &ledger);
+    )
+    .stats;
+    let b = checkpoint_node(&mut Checkpointer::new(), EPOCHS, &mut shards, &ledger).stats;
     assert_eq!(a.root, b.root, "state roots diverge after catch-up");
 }

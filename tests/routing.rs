@@ -166,7 +166,7 @@ fn run_routed_node(
         ledger.append_summary(summary.clone()).unwrap();
         summaries.push(summary);
         if checkpoint_at == Some(epoch) {
-            let (snap, _) = checkpoint_node(&mut cp, epoch, &mut shards, &ledger);
+            let snap = checkpoint_node(&mut cp, epoch, &mut shards, &ledger).snapshot;
             wire = Some(snap.encode());
         }
     }
@@ -199,8 +199,8 @@ fn routed_epoch_is_scheduling_free_down_to_sync_bytes() {
     assert_eq!(seq_shards.epoch_netting(), par_shards.epoch_netting());
 
     // identical Merkle state roots
-    let (_, a) = checkpoint_node(&mut Checkpointer::new(), 2, &mut seq_shards, &seq_ledger);
-    let (_, b) = checkpoint_node(&mut Checkpointer::new(), 2, &mut par_shards, &par_ledger);
+    let a = checkpoint_node(&mut Checkpointer::new(), 2, &mut seq_shards, &seq_ledger).stats;
+    let b = checkpoint_node(&mut Checkpointer::new(), 2, &mut par_shards, &par_ledger).stats;
     assert_eq!(a.root, b.root, "state roots diverge");
 
     // identical settlement bytes: the SyncInput ABI payload is built
@@ -352,13 +352,14 @@ fn routes_replay_bit_identically_through_fast_sync() {
     assert_eq!(applied, EPOCHS - 2);
     assert_eq!(node.shards.export_states(), shards.export_states());
     assert_eq!(node.ledger.export_state(), ledger.export_state());
-    let (_, a) = checkpoint_node(
+    let a = checkpoint_node(
         &mut Checkpointer::new(),
         EPOCHS,
         &mut node.shards,
         &node.ledger,
-    );
-    let (_, b) = checkpoint_node(&mut Checkpointer::new(), EPOCHS, &mut shards, &ledger);
+    )
+    .stats;
+    let b = checkpoint_node(&mut Checkpointer::new(), EPOCHS, &mut shards, &ledger).stats;
     assert_eq!(a.root, b.root, "state roots diverge after routed catch-up");
 }
 
